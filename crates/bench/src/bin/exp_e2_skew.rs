@@ -1,0 +1,73 @@
+//! **E2** — classify-and-select quality vs local skew `α` (Theorem 3.1:
+//! loss `O(log 2α)` on top of the unit-skew solver).
+//!
+//! Reports the measured ratio OPT/alg as `α` sweeps over powers of two, the
+//! number of buckets actually solved, and the theorem's `log₂(2α)`
+//! reference curve.
+
+use mmd_bench::report::{f2, f3, Table};
+use mmd_core::algo::classify::{solve_smd, ClassifyConfig};
+use mmd_core::algo::reduction::{solve_mmd, MmdConfig};
+use mmd_exact::{solve, ExactConfig, Objective};
+use mmd_workload::special::{target_skew_smd, SmdFamilyConfig};
+
+fn main() {
+    let mut table = Table::new(
+        "E2: classify-and-select vs skew (20 seeds per row, streams=10, users=5)",
+        &[
+            "alpha",
+            "log2(2a)",
+            "buckets (max)",
+            "ratio classify (mean)",
+            "ratio classify (max)",
+            "ratio +fill (mean)",
+        ],
+    );
+
+    let cfg = SmdFamilyConfig {
+        streams: 10,
+        users: 5,
+        density: 0.6,
+        budget_fraction: 0.4,
+    };
+    for &alpha in &[1.0f64, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0] {
+        let mut sum = 0.0;
+        let mut max: f64 = 0.0;
+        let mut sum_fill = 0.0;
+        let mut n = 0usize;
+        let mut buckets = 0usize;
+        for seed in 0..20u64 {
+            let inst = target_skew_smd(&cfg, alpha, seed);
+            let opt = solve(
+                &inst,
+                &ExactConfig {
+                    objective: Objective::Feasible,
+                    ..ExactConfig::default()
+                },
+            )
+            .expect("within limits")
+            .value;
+            if opt <= 0.0 {
+                continue;
+            }
+            let out = solve_smd(&inst, &ClassifyConfig::default()).unwrap();
+            let filled = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+            let ratio = opt / out.utility.max(1e-12);
+            sum += ratio;
+            max = max.max(ratio);
+            sum_fill += opt / filled.utility.max(1e-12);
+            buckets = buckets.max(out.num_buckets);
+            n += 1;
+        }
+        table.row(&[
+            format!("{alpha:.0}"),
+            f2((2.0 * alpha).log2()),
+            buckets.to_string(),
+            f3(sum / n as f64),
+            f3(max),
+            f3(sum_fill / n as f64),
+        ]);
+    }
+    table.print();
+    println!("theorem 3.1: ratio grows at most O(log 2a) (columns 4-5 vs column 2)");
+}

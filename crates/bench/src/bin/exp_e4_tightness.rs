@@ -1,0 +1,86 @@
+//! **E4** — the §4.2 tightness construction: the paper's output
+//! transformation really loses `Θ(m·m_c)` on its adversarial instance
+//! (OPT ≈ m), while the engineering refinements defuse it.
+//!
+//! Two measurements:
+//! 1. the output transformation *in isolation*, fed the optimal reduced-smd
+//!    assignment (exactly the §4.2 analysis) — loss `≈ m·m_c`;
+//! 2. the full pipeline, faithful vs default configuration.
+
+use mmd_bench::report::{f2, Table};
+use mmd_core::algo::reduction::{
+    interval_partition, output_transform, solve_mmd, to_single_budget, MmdConfig,
+};
+use mmd_core::{Assignment, UserId};
+use mmd_workload::special::tightness_instance_biased;
+
+fn main() {
+    let mut table = Table::new(
+        "E4: §4.2 tightness instance, adversarial tie-break (OPT ≈ m by construction)",
+        &[
+            "m",
+            "m_c",
+            "OPT",
+            "transform alone",
+            "loss factor",
+            "paper worst case m*m_c",
+            "pipeline faithful",
+            "pipeline default",
+        ],
+    );
+
+    for &(m, mc) in &[
+        (2usize, 1usize),
+        (2, 2),
+        (3, 2),
+        (4, 2),
+        (4, 4),
+        (6, 3),
+        (8, 4),
+    ] {
+        // Tiny positive bias: the adversarial tie-break of the §4.2 analysis.
+        let inst = tightness_instance_biased(m, mc, 0.01);
+        let opt = (m - 1) as f64 + 1.01;
+
+        // The optimal assignment in the reduced instance takes everything.
+        let reduced = to_single_budget(&inst);
+        let mut smd_opt = Assignment::for_instance(&reduced);
+        let u = UserId::new(0);
+        for s in inst.streams() {
+            smd_opt.assign(u, s);
+        }
+        let faithful_cfg = MmdConfig {
+            residual_fill: false,
+            faithful_output_transform: true,
+            ..MmdConfig::default()
+        };
+        let (transformed, _) = output_transform(&inst, &reduced, &smd_opt, &faithful_cfg);
+        assert!(transformed.check_feasible(&inst).is_ok());
+        let t_util = transformed.utility(&inst);
+
+        let faithful = solve_mmd(&inst, &faithful_cfg).unwrap();
+        let default = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+        assert!(faithful.assignment.check_feasible(&inst).is_ok());
+        assert!(default.assignment.check_feasible(&inst).is_ok());
+        table.row(&[
+            m.to_string(),
+            mc.to_string(),
+            f2(opt),
+            f2(t_util),
+            f2(opt / t_util.max(1e-12)),
+            (m * mc).to_string(),
+            f2(faithful.utility),
+            f2(default.utility),
+        ]);
+    }
+    table.print();
+
+    // A worked Fig. 3 decomposition for the narrative.
+    let costs = [0.4, 0.5, 0.3, 0.9, 0.2, 0.6];
+    let groups = interval_partition(&costs, 1.0);
+    println!("fig. 3 worked example: costs {costs:?} -> groups {groups:?}");
+    println!(
+        "(the transform alone, fed the optimal reduced solution, loses ~m*m_c as §4.2\n\
+         predicts; the default pipeline's refinements + residual fill recover OPT)"
+    );
+}

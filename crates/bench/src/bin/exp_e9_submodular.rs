@@ -1,0 +1,85 @@
+//! **E9** — the §4 closing remark: budgeted maximization of arbitrary
+//! submodular functions under `m` budgets with `O(m)` loss, demonstrated on
+//! weighted coverage functions against the exact optimum.
+
+use mmd_bench::report::{f3, Table};
+use mmd_core::algo::submodular::{
+    is_budget_feasible, maximize_multi, maximize_single, SetFunction, WeightedCoverage,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Exhaustive optimum over all budget-feasible subsets (n <= 18).
+fn exact(f: &WeightedCoverage, costs: &[Vec<f64>], budgets: &[f64]) -> f64 {
+    let n = f.ground_size();
+    assert!(n <= 18);
+    let mut best = 0.0f64;
+    for mask in 0u32..(1 << n) {
+        let set: BTreeSet<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        if is_budget_feasible(&set, costs, budgets) {
+            best = best.max(f.eval(&set));
+        }
+    }
+    best
+}
+
+fn random_coverage(seed: u64, n_sets: usize, universe: usize) -> WeightedCoverage {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..universe).map(|_| rng.gen_range(0.5..5.0)).collect();
+    let sets: Vec<Vec<usize>> = (0..n_sets)
+        .map(|_| {
+            let k = rng.gen_range(1..=universe.min(6));
+            let mut s = BTreeSet::new();
+            while s.len() < k {
+                s.insert(rng.gen_range(0..universe));
+            }
+            s.into_iter().collect()
+        })
+        .collect();
+    WeightedCoverage::new(sets, weights)
+}
+
+fn main() {
+    let mut table = Table::new(
+        "E9: budgeted submodular maximization under m budgets (20 seeds per row, 14 sets, universe 20)",
+        &["m", "ratio mean", "ratio max", "theory O(m) reference"],
+    );
+    for &m in &[1usize, 2, 3, 4] {
+        let mut sum = 0.0;
+        let mut max: f64 = 0.0;
+        let mut n = 0usize;
+        for seed in 0..20u64 {
+            let f = random_coverage(seed, 14, 20);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let costs: Vec<Vec<f64>> = (0..f.ground_size())
+                .map(|_| (0..m).map(|_| rng.gen_range(0.5..3.0)).collect())
+                .collect();
+            let budgets: Vec<f64> = (0..m)
+                .map(|i| {
+                    let total: f64 = costs.iter().map(|c| c[i]).sum();
+                    let maxc = costs.iter().map(|c| c[i]).fold(0.0f64, f64::max);
+                    (total * 0.4).max(maxc)
+                })
+                .collect();
+            let sol = if m == 1 {
+                let flat: Vec<f64> = costs.iter().map(|c| c[0]).collect();
+                maximize_single(&f, &flat, budgets[0])
+            } else {
+                maximize_multi(&f, &costs, &budgets)
+            };
+            assert!(is_budget_feasible(&sol.items, &costs, &budgets));
+            let opt = exact(&f, &costs, &budgets);
+            if opt <= 0.0 {
+                continue;
+            }
+            let r = opt / sol.value.max(1e-12);
+            sum += r;
+            max = max.max(r);
+            n += 1;
+        }
+        table.row(&[m.to_string(), f3(sum / n as f64), f3(max), m.to_string()]);
+    }
+    table.print();
+    println!("remark (§4 end): ratio stays within O(m) of the optimum");
+}

@@ -1,0 +1,10 @@
+//! Benchmark harness for the `mmd` reproduction.
+//!
+//! Each experiment binary in `src/bin/` regenerates one table of
+//! `EXPERIMENTS.md` (the empirical counterpart of one paper claim); the
+//! Criterion benches in `benches/` cover the running-time claims. Shared
+//! reporting utilities live here.
+
+pub mod report;
+
+pub use report::Table;

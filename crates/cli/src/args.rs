@@ -1,0 +1,301 @@
+//! Hand-rolled argument parsing (the approved dependency set has no CLI
+//! parser; four subcommands do not justify one).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `gen`: generate an instance to JSON.
+    Gen {
+        /// Family: `workload`, `unit-skew`, `tightness`, `small-streams`,
+        /// `hole`.
+        kind: String,
+        /// RNG seed.
+        seed: u64,
+        /// Streams (families that take it).
+        streams: usize,
+        /// Users (families that take it).
+        users: usize,
+        /// Server measures `m`.
+        measures: usize,
+        /// User measures `m_c`.
+        user_measures: usize,
+        /// Target skew (target-skew family).
+        alpha: f64,
+        /// Output path (`-` = stdout).
+        out: String,
+    },
+    /// `inspect`: print stats, skews, smallness of an instance file.
+    Inspect {
+        /// Input path.
+        input: String,
+    },
+    /// `solve`: run a solver on an instance file.
+    Solve {
+        /// Input path.
+        input: String,
+        /// `pipeline`, `greedy`, `partial-enum`, `online`, `threshold`, or
+        /// `exact`.
+        algorithm: String,
+        /// Disable the residual-fill refinement.
+        no_fill: bool,
+        /// Use the paper-verbatim output transform.
+        faithful: bool,
+        /// Threshold margin (threshold algorithm).
+        margin: f64,
+    },
+    /// `simulate`: run the DES on an instance file.
+    Simulate {
+        /// Input path.
+        input: String,
+        /// `online`, `threshold`, or `oracle`.
+        policy: String,
+        /// Threshold margin.
+        margin: f64,
+        /// Poisson arrival rate.
+        rate: f64,
+        /// Mean stream duration.
+        duration: f64,
+        /// Trace seed.
+        seed: u64,
+    },
+    /// `help`: usage text.
+    Help,
+}
+
+/// Error raised for malformed command lines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl Error for ArgError {}
+
+/// Usage text printed by `help` and on errors.
+pub const USAGE: &str = "\
+mmd-cli — video distribution under multiple constraints
+
+USAGE:
+  mmd-cli gen --kind <workload|unit-skew|tightness|small-streams|hole>
+              [--seed N] [--streams N] [--users N] [--measures N]
+              [--user-measures N] [--alpha X] [--out FILE]
+  mmd-cli inspect --input FILE
+  mmd-cli solve --input FILE [--algorithm pipeline|greedy|partial-enum|online|threshold|exact]
+              [--no-fill] [--faithful] [--margin X]
+  mmd-cli simulate --input FILE [--policy online|threshold|oracle]
+              [--margin X] [--rate X] [--duration X] [--seed N]
+  mmd-cli help
+";
+
+fn flags_to_map(args: &[String]) -> Result<BTreeMap<String, String>, ArgError> {
+    let mut map = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        if let Some(name) = key.strip_prefix("--") {
+            if name == "no-fill" || name == "faithful" {
+                map.insert(name.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| ArgError(format!("missing value for --{name}")))?;
+                map.insert(name.to_string(), value.clone());
+                i += 2;
+            }
+        } else {
+            return Err(ArgError(format!("unexpected argument: {key}")));
+        }
+    }
+    Ok(map)
+}
+
+fn get_num<T: std::str::FromStr>(
+    map: &BTreeMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, ArgError> {
+    match map.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| ArgError(format!("invalid value for --{key}: {v}"))),
+    }
+}
+
+/// Parses a full argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ArgError`] with a message suitable for the user.
+pub fn parse(args: &[String]) -> Result<Command, ArgError> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "gen" => {
+            let map = flags_to_map(rest)?;
+            Ok(Command::Gen {
+                kind: map
+                    .get("kind")
+                    .cloned()
+                    .unwrap_or_else(|| "workload".into()),
+                seed: get_num(&map, "seed", 0u64)?,
+                streams: get_num(&map, "streams", 60usize)?,
+                users: get_num(&map, "users", 40usize)?,
+                measures: get_num(&map, "measures", 2usize)?,
+                user_measures: get_num(&map, "user-measures", 1usize)?,
+                alpha: get_num(&map, "alpha", 8.0f64)?,
+                out: map.get("out").cloned().unwrap_or_else(|| "-".into()),
+            })
+        }
+        "inspect" => {
+            let map = flags_to_map(rest)?;
+            let input = map
+                .get("input")
+                .cloned()
+                .ok_or_else(|| ArgError("inspect requires --input FILE".into()))?;
+            Ok(Command::Inspect { input })
+        }
+        "solve" => {
+            let map = flags_to_map(rest)?;
+            let input = map
+                .get("input")
+                .cloned()
+                .ok_or_else(|| ArgError("solve requires --input FILE".into()))?;
+            Ok(Command::Solve {
+                input,
+                algorithm: map
+                    .get("algorithm")
+                    .cloned()
+                    .unwrap_or_else(|| "pipeline".into()),
+                no_fill: map.contains_key("no-fill"),
+                faithful: map.contains_key("faithful"),
+                margin: get_num(&map, "margin", 1.0f64)?,
+            })
+        }
+        "simulate" => {
+            let map = flags_to_map(rest)?;
+            let input = map
+                .get("input")
+                .cloned()
+                .ok_or_else(|| ArgError("simulate requires --input FILE".into()))?;
+            Ok(Command::Simulate {
+                input,
+                policy: map
+                    .get("policy")
+                    .cloned()
+                    .unwrap_or_else(|| "online".into()),
+                margin: get_num(&map, "margin", 0.9f64)?,
+                rate: get_num(&map, "rate", 1.0f64)?,
+                duration: get_num(&map, "duration", 20.0f64)?,
+                seed: get_num(&map, "seed", 0u64)?,
+            })
+        }
+        other => Err(ArgError(format!("unknown subcommand: {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_gen_with_defaults() {
+        let cmd = parse(&argv("gen --kind unit-skew --seed 7")).unwrap();
+        match cmd {
+            Command::Gen {
+                kind,
+                seed,
+                streams,
+                ..
+            } => {
+                assert_eq!(kind, "unit-skew");
+                assert_eq!(seed, 7);
+                assert_eq!(streams, 60);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_solve_flags() {
+        let cmd = parse(&argv(
+            "solve --input x.json --algorithm online --no-fill --faithful",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Solve {
+                input,
+                algorithm,
+                no_fill,
+                faithful,
+                ..
+            } => {
+                assert_eq!(input, "x.json");
+                assert_eq!(algorithm, "online");
+                assert!(no_fill);
+                assert!(faithful);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_simulate_numbers() {
+        let cmd = parse(&argv(
+            "simulate --input x.json --policy threshold --margin 0.8 --rate 2.5",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                policy,
+                margin,
+                rate,
+                ..
+            } => {
+                assert_eq!(policy, "threshold");
+                assert_eq!(margin, 0.8);
+                assert_eq!(rate, 2.5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn rejects_unknown_subcommand() {
+        assert!(parse(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse(&argv("gen --seed")).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_required_input() {
+        assert!(parse(&argv("solve --algorithm greedy")).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_number() {
+        assert!(parse(&argv("gen --seed banana")).is_err());
+    }
+}

@@ -1,0 +1,374 @@
+//! Subcommand implementations. Each returns its textual output so tests can
+//! assert on it.
+
+use crate::args::{Command, USAGE};
+use crate::io;
+use mmd_core::algo::online::{OnlineAllocator, OnlineConfig};
+use mmd_core::algo::reduction::{solve_mmd, MmdConfig};
+use mmd_core::algo::{self, baselines, Feasibility, PartialEnumConfig};
+use mmd_core::skew;
+use mmd_core::Instance;
+use mmd_exact::{solve as exact_solve, ExactConfig, Objective};
+use mmd_sim::{run as sim_run, PolicyKind, SimConfig};
+use mmd_workload::special;
+use mmd_workload::{CatalogConfig, PopulationConfig, TraceConfig, WorkloadConfig};
+use std::error::Error;
+use std::fmt::Write as _;
+
+/// Executes a parsed command, returning its stdout text.
+///
+/// # Errors
+///
+/// Returns a boxed error with a user-facing message.
+pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Gen {
+            kind,
+            seed,
+            streams,
+            users,
+            measures,
+            user_measures,
+            alpha,
+            out,
+        } => {
+            let instance = generate(&kind, seed, streams, users, measures, user_measures, alpha)?;
+            io::save(&instance, &out)?;
+            Ok(format!("wrote {instance}\n"))
+        }
+        Command::Inspect { input } => {
+            let instance = io::load(&input)?;
+            Ok(inspect(&instance))
+        }
+        Command::Solve {
+            input,
+            algorithm,
+            no_fill,
+            faithful,
+            margin,
+        } => {
+            let instance = io::load(&input)?;
+            solve(&instance, &algorithm, no_fill, faithful, margin)
+        }
+        Command::Simulate {
+            input,
+            policy,
+            margin,
+            rate,
+            duration,
+            seed,
+        } => {
+            let instance = io::load(&input)?;
+            simulate(&instance, &policy, margin, rate, duration, seed)
+        }
+    }
+}
+
+fn generate(
+    kind: &str,
+    seed: u64,
+    streams: usize,
+    users: usize,
+    measures: usize,
+    user_measures: usize,
+    alpha: f64,
+) -> Result<Instance, Box<dyn Error>> {
+    Ok(match kind {
+        "workload" => WorkloadConfig {
+            catalog: CatalogConfig {
+                streams,
+                measures,
+                ..CatalogConfig::default()
+            },
+            population: PopulationConfig {
+                users,
+                user_measures,
+                ..PopulationConfig::default()
+            },
+            ..WorkloadConfig::default()
+        }
+        .generate(seed),
+        "unit-skew" => special::unit_skew_smd(
+            &special::SmdFamilyConfig {
+                streams,
+                users,
+                ..special::SmdFamilyConfig::default()
+            },
+            seed,
+        ),
+        "target-skew" => special::target_skew_smd(
+            &special::SmdFamilyConfig {
+                streams,
+                users,
+                ..special::SmdFamilyConfig::default()
+            },
+            alpha,
+            seed,
+        ),
+        "tightness" => special::tightness_instance(measures.max(1), user_measures.max(1)),
+        "small-streams" => special::small_streams(streams, users, measures.clamp(1, 4), seed),
+        "hole" => special::greedy_hole(),
+        other => return Err(format!("unknown instance kind: {other}").into()),
+    })
+}
+
+fn inspect(instance: &Instance) -> String {
+    let mut out = String::new();
+    let stats = instance.stats();
+    let _ = writeln!(out, "{instance}");
+    let _ = writeln!(out, "input length n = {}", stats.input_length);
+    let _ = writeln!(out, "local skew alpha = {:.3}", skew::local_skew(instance));
+    match skew::global_skew(instance) {
+        Ok(g) => {
+            let mu = 2.0 * g.gamma * g.budget_count as f64 + 2.0;
+            let _ = writeln!(out, "global skew gamma = {:.3}", g.gamma);
+            let _ = writeln!(out, "finite budgets (m + sum m_c) = {}", g.budget_count);
+            let _ = writeln!(out, "mu = {:.3}, log2(mu) = {:.3}", mu, mu.log2());
+            match OnlineAllocator::new(instance) {
+                Ok(a) => {
+                    let rep = a.smallness();
+                    let _ = writeln!(
+                        out,
+                        "theorem 1.2 smallness: {} ({} violations)",
+                        if rep.ok { "holds" } else { "violated" },
+                        rep.violations
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "online normalization failed: {e}");
+                }
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "global skew: {e}");
+        }
+    }
+    for i in 0..instance.num_measures() {
+        let total: f64 = instance.streams().map(|s| instance.cost(s, i)).sum();
+        let _ = writeln!(
+            out,
+            "measure {i}: budget {:.2}, total demand {:.2} ({:.0}% contended)",
+            instance.budget(i),
+            total,
+            100.0 * total / instance.budget(i).max(1e-12)
+        );
+    }
+    out
+}
+
+fn solve(
+    instance: &Instance,
+    algorithm: &str,
+    no_fill: bool,
+    faithful: bool,
+    margin: f64,
+) -> Result<String, Box<dyn Error>> {
+    let (name, assignment): (&str, mmd_core::Assignment) = match algorithm {
+        "pipeline" => {
+            let cfg = MmdConfig {
+                residual_fill: !no_fill,
+                faithful_output_transform: faithful,
+                ..MmdConfig::default()
+            };
+            ("pipeline (thm 1.1)", solve_mmd(instance, &cfg)?.assignment)
+        }
+        "greedy" => (
+            "fixed greedy (§2.2)",
+            algo::solve_smd_unit(instance, Feasibility::Strict)?.assignment,
+        ),
+        "partial-enum" => (
+            "partial enumeration (§2.3)",
+            algo::solve_smd_partial_enum(
+                instance,
+                &PartialEnumConfig::default(),
+                Feasibility::Strict,
+            )?
+            .assignment,
+        ),
+        "online" => {
+            let order: Vec<_> = instance.streams().collect();
+            (
+                "online allocate (§5)",
+                OnlineAllocator::run(instance, order, OnlineConfig::default())?.assignment,
+            )
+        }
+        "threshold" => (
+            "threshold baseline",
+            baselines::threshold_admission(instance, &baselines::id_order(instance), margin),
+        ),
+        "exact" => (
+            "exact (branch & bound)",
+            exact_solve(
+                instance,
+                &ExactConfig {
+                    objective: Objective::Feasible,
+                    ..ExactConfig::default()
+                },
+            )?
+            .assignment,
+        ),
+        other => return Err(format!("unknown algorithm: {other}").into()),
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "algorithm: {name}");
+    let _ = writeln!(out, "utility: {:.4}", assignment.utility(instance));
+    let _ = writeln!(
+        out,
+        "streams transmitted: {} / {}",
+        assignment.range_len(),
+        instance.num_streams()
+    );
+    let _ = writeln!(out, "assignments: {}", assignment.total_assignments());
+    for i in 0..instance.num_measures() {
+        let _ = writeln!(
+            out,
+            "measure {i}: {:.2} of {:.2}",
+            assignment.server_cost(i, instance),
+            instance.budget(i)
+        );
+    }
+    let feasible = assignment.check_feasible(instance).is_ok();
+    let _ = writeln!(out, "feasible: {}", if feasible { "yes" } else { "NO" });
+    Ok(out)
+}
+
+fn simulate(
+    instance: &Instance,
+    policy: &str,
+    margin: f64,
+    rate: f64,
+    duration: f64,
+    seed: u64,
+) -> Result<String, Box<dyn Error>> {
+    let kind = match policy {
+        "online" => PolicyKind::Online,
+        "threshold" => PolicyKind::Threshold { margin },
+        "oracle" => PolicyKind::OfflineOracle,
+        other => return Err(format!("unknown policy: {other}").into()),
+    };
+    let trace = TraceConfig {
+        arrival_rate: rate,
+        mean_duration: duration,
+        heavy_tail: false,
+    }
+    .generate(instance.num_streams(), seed);
+    let rep = sim_run(instance, &trace, kind, &SimConfig::default());
+    let mut out = String::new();
+    let _ = writeln!(out, "policy: {}", rep.policy);
+    let _ = writeln!(out, "horizon: {:.2}", rep.horizon);
+    let _ = writeln!(out, "avg delivered utility: {:.4}", rep.avg_utility);
+    let _ = writeln!(
+        out,
+        "admitted {} / rejected {} / clipped {}",
+        rep.admitted, rep.rejected, rep.clipped
+    );
+    for (i, (&peak, &mean)) in rep
+        .peak_utilization
+        .iter()
+        .zip(&rep.mean_utilization)
+        .enumerate()
+    {
+        let _ = writeln!(out, "measure {i}: peak {:.2}, mean {:.2}", peak, mean);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn tmpfile(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mmd-cli-cmd-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_string()
+    }
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn gen_inspect_solve_simulate_roundtrip() {
+        let path = tmpfile("wk.json");
+        let out = run(parse(&argv(&format!(
+            "gen --kind workload --seed 3 --streams 20 --users 10 --out {path}"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("wrote"));
+
+        let out = run(parse(&argv(&format!("inspect --input {path}"))).unwrap()).unwrap();
+        assert!(out.contains("local skew"));
+        assert!(out.contains("measure 0"));
+
+        let out = run(parse(&argv(&format!("solve --input {path} --algorithm pipeline"))).unwrap())
+            .unwrap();
+        assert!(out.contains("feasible: yes"), "{out}");
+
+        let out = run(parse(&argv(&format!(
+            "simulate --input {path} --policy threshold --margin 0.8"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("policy: threshold"));
+    }
+
+    #[test]
+    fn gen_all_kinds() {
+        for kind in [
+            "workload",
+            "unit-skew",
+            "target-skew",
+            "tightness",
+            "small-streams",
+            "hole",
+        ] {
+            let path = tmpfile(&format!("{kind}.json"));
+            let cmd = parse(&argv(&format!(
+                "gen --kind {kind} --seed 1 --streams 10 --users 4 --measures 2 --user-measures 1 --out {path}"
+            )))
+            .unwrap();
+            run(cmd).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        }
+    }
+
+    #[test]
+    fn solve_all_algorithms_on_smd() {
+        let path = tmpfile("smd.json");
+        run(parse(&argv(&format!(
+            "gen --kind unit-skew --seed 2 --streams 10 --users 5 --out {path}"
+        )))
+        .unwrap())
+        .unwrap();
+        for alg in [
+            "pipeline",
+            "greedy",
+            "partial-enum",
+            "online",
+            "threshold",
+            "exact",
+        ] {
+            let out =
+                run(parse(&argv(&format!("solve --input {path} --algorithm {alg}"))).unwrap())
+                    .unwrap_or_else(|e| panic!("{alg}: {e}"));
+            assert!(out.contains("utility:"), "{alg}: {out}");
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_errors() {
+        let path = tmpfile("err.json");
+        run(parse(&argv(&format!("gen --kind hole --out {path}"))).unwrap()).unwrap();
+        assert!(
+            run(parse(&argv(&format!("solve --input {path} --algorithm magic"))).unwrap()).is_err()
+        );
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Instance JSON I/O with post-load validation.
+
+use mmd_core::{BuildError, Instance};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::Read as _;
+use std::path::Path;
+
+/// Error loading or saving an instance.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum IoError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// JSON (de)serialization error.
+    Json(serde_json::Error),
+    /// The file parsed but violates the model assumptions.
+    Invalid(BuildError),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::Invalid(e) => write!(f, "invalid instance: {e}"),
+        }
+    }
+}
+
+impl Error for IoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Json(e) => Some(e),
+            IoError::Invalid(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+/// Serializes an instance as pretty JSON.
+///
+/// # Errors
+///
+/// Propagates serialization failures (none for valid instances).
+pub fn to_json(instance: &Instance) -> Result<String, IoError> {
+    Ok(serde_json::to_string_pretty(instance)?)
+}
+
+/// Parses an instance from JSON and re-validates the model assumptions
+/// (deserialization bypasses the builder).
+///
+/// # Errors
+///
+/// Returns [`IoError::Json`] on malformed JSON and [`IoError::Invalid`] if
+/// the parsed instance violates the model.
+pub fn from_json(json: &str) -> Result<Instance, IoError> {
+    let instance: Instance = serde_json::from_str(json)?;
+    instance.validate().map_err(IoError::Invalid)?;
+    Ok(instance)
+}
+
+/// Loads an instance from a file, or from stdin when `path` is `-`.
+///
+/// # Errors
+///
+/// See [`from_json`].
+pub fn load(path: &str) -> Result<Instance, IoError> {
+    let json = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        buf
+    } else {
+        fs::read_to_string(Path::new(path))?
+    };
+    from_json(&json)
+}
+
+/// Saves an instance to a file, or to stdout when `path` is `-`.
+///
+/// # Errors
+///
+/// See [`to_json`].
+pub fn save(instance: &Instance, path: &str) -> Result<(), IoError> {
+    let json = to_json(instance)?;
+    if path == "-" {
+        println!("{json}");
+    } else {
+        fs::write(Path::new(path), json)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Instance {
+        let mut b = Instance::builder("io").server_budgets(vec![10.0, 4.0]);
+        let s = b.add_stream(vec![2.0, 1.0]);
+        let u = b.add_user(5.0, vec![8.0]);
+        b.add_interest(u, s, 3.0, vec![2.0]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_instance() {
+        let inst = demo();
+        let json = to_json(&inst).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(matches!(from_json("{nope"), Err(IoError::Json(_))));
+    }
+
+    #[test]
+    fn rejects_model_violations_after_parse() {
+        // Budget 1.0 but cost 2.0: parses, fails validation.
+        let inst = demo();
+        let json = to_json(&inst).unwrap().replace("10.0", "1.0");
+        match from_json(&json) {
+            Err(IoError::Invalid(_)) => {}
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let inst = demo();
+        let dir = std::env::temp_dir().join("mmd-cli-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json");
+        let path_str = path.to_str().unwrap();
+        save(&inst, path_str).unwrap();
+        let back = load(path_str).unwrap();
+        assert_eq!(inst, back);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn infinite_budgets_and_caps_roundtrip() {
+        // JSON has no infinity; unbounded values must survive as null.
+        let mut b =
+            Instance::builder("inf").server_budgets(vec![10.0, f64::INFINITY]);
+        let s = b.add_stream(vec![2.0, 5.0]);
+        let u = b.add_user(f64::INFINITY, vec![8.0, f64::INFINITY]);
+        b.add_interest(u, s, 3.0, vec![2.0, 4.0]).unwrap();
+        let inst = b.build().unwrap();
+        let json = to_json(&inst).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(inst, back);
+        assert_eq!(back.budget(1), f64::INFINITY);
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        assert!(matches!(
+            load("/definitely/not/here.json"),
+            Err(IoError::Io(_))
+        ));
+    }
+}

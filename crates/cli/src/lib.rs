@@ -1,0 +1,12 @@
+//! Library backing the `mmd-cli` binary: argument parsing, instance I/O,
+//! and the four subcommands (`gen`, `inspect`, `solve`, `simulate`).
+//!
+//! Kept as a library so the logic is unit-testable; `main.rs` is a thin
+//! wrapper.
+
+pub mod args;
+pub mod commands;
+pub mod io;
+
+pub use args::{parse, Command};
+pub use commands::run;

@@ -1,0 +1,202 @@
+//! Baseline admission policies for comparison.
+//!
+//! The introduction observes that deployed systems mostly use *threshold*
+//! admission control: requests are admitted as long as resource usage stays
+//! under a safety margin, **ignoring the very different utilities of
+//! different streams** — the gap the paper's algorithms close. These
+//! baselines quantify that gap (experiment E7).
+
+use crate::assignment::Assignment;
+use crate::ids::StreamId;
+use crate::instance::Instance;
+use crate::num;
+
+/// Threshold-based admission control (the intro's "naïve" policy): walk the
+/// streams in the given order (arrival order), admit each stream iff every
+/// finite server budget stays within `margin · B_i`, and give it first-come
+/// first-served to every interested user whose capacities still fit.
+/// Streams that no user can take are not admitted (no server cost is paid
+/// for an audience-less transmission).
+///
+/// `margin` is the "safety margin" `θ ∈ (0, 1]`; deployed systems keep
+/// `θ < 1` as head-room.
+///
+/// # Panics
+///
+/// Panics if `margin` is not in `(0, 1]`.
+pub fn threshold_admission(instance: &Instance, order: &[StreamId], margin: f64) -> Assignment {
+    assert!(
+        margin > 0.0 && margin <= 1.0,
+        "margin must be in (0, 1], got {margin}"
+    );
+    let m = instance.num_measures();
+    let mut server_cost = vec![0.0f64; m];
+    let mut user_load: Vec<Vec<f64>> = instance
+        .users()
+        .map(|u| vec![0.0; instance.user(u).num_capacities()])
+        .collect();
+    let mut assignment = Assignment::for_instance(instance);
+
+    for &s in order {
+        let fits_server = (0..m).all(|i| {
+            let b = instance.budget(i);
+            !b.is_finite() || num::approx_le(server_cost[i] + instance.cost(s, i), margin * b)
+        });
+        if !fits_server {
+            continue;
+        }
+        // Tentatively hand the stream to every user that can take it.
+        let mut takers = Vec::new();
+        for &(u, _) in instance.audience(s) {
+            let spec = instance.user(u);
+            let interest = spec.interest(s).expect("audience implies interest");
+            let fits_user = interest.loads().iter().enumerate().all(|(j, &k)| {
+                let cap = spec.capacities()[j];
+                !cap.is_finite() || num::approx_le(user_load[u.index()][j] + k, margin * cap)
+            });
+            if fits_user {
+                takers.push(u);
+            }
+        }
+        if takers.is_empty() {
+            continue;
+        }
+        for u in takers {
+            assignment.assign(u, s);
+            let spec = instance.user(u);
+            let interest = spec.interest(s).expect("audience implies interest");
+            for (j, &k) in interest.loads().iter().enumerate() {
+                user_load[u.index()][j] += k;
+            }
+        }
+        for (i, cost) in server_cost.iter_mut().enumerate() {
+            *cost += instance.cost(s, i);
+        }
+    }
+    assignment
+}
+
+/// Utility-ordered admission: like [`threshold_admission`] with full margin,
+/// but streams are considered in decreasing order of their standalone capped
+/// utility `Σ_u min(W_u, w_u(S))`. A slightly-less-naïve baseline that knows
+/// utilities but not cost effectiveness.
+pub fn utility_order_admission(instance: &Instance) -> Assignment {
+    let mut order: Vec<StreamId> = instance.streams().collect();
+    order.sort_by(|&a, &b| {
+        instance
+            .singleton_utility(b)
+            .total_cmp(&instance.singleton_utility(a))
+            .then(a.cmp(&b))
+    });
+    threshold_admission(instance, &order, 1.0)
+}
+
+/// The natural arrival order `S_0, S_1, …` (id order), for callers that have
+/// no trace.
+pub fn id_order(instance: &Instance) -> Vec<StreamId> {
+    instance.streams().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UserId;
+    use crate::num::approx_eq;
+
+    fn inst() -> Instance {
+        let mut b = Instance::builder("base").server_budgets(vec![10.0]);
+        let dull = b.add_stream(vec![9.0]); // arrives first, low utility
+        let gem = b.add_stream(vec![9.0]); // arrives second, high utility
+        let u = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u, dull, 1.0, vec![]).unwrap();
+        b.add_interest(u, gem, 100.0, vec![]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn threshold_is_utility_blind() {
+        let inst = inst();
+        let order = id_order(&inst);
+        let a = threshold_admission(&inst, &order, 1.0);
+        // First-come first-served admits the dull stream, blocking the gem.
+        assert!(approx_eq(a.utility(&inst), 1.0));
+        assert!(a.check_feasible(&inst).is_ok());
+    }
+
+    #[test]
+    fn utility_order_fixes_this_case() {
+        let inst = inst();
+        let a = utility_order_admission(&inst);
+        assert!(approx_eq(a.utility(&inst), 100.0));
+    }
+
+    #[test]
+    fn margin_keeps_headroom() {
+        let mut b = Instance::builder("m").server_budgets(vec![10.0]);
+        let s0 = b.add_stream(vec![5.0]);
+        let s1 = b.add_stream(vec![4.0]);
+        let u = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u, s0, 1.0, vec![]).unwrap();
+        b.add_interest(u, s1, 1.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let order = id_order(&inst);
+        // With margin 0.8 only 8.0 of the budget is usable: s0 fits, s1 not.
+        let a = threshold_admission(&inst, &order, 0.8);
+        assert_eq!(a.range_len(), 1);
+        let full = threshold_admission(&inst, &order, 1.0);
+        assert_eq!(full.range_len(), 2);
+    }
+
+    #[test]
+    fn respects_user_capacities() {
+        let mut b = Instance::builder("uc").server_budgets(vec![100.0]);
+        let s0 = b.add_stream(vec![1.0]);
+        let s1 = b.add_stream(vec![1.0]);
+        let u = b.add_user(f64::INFINITY, vec![5.0]);
+        b.add_interest(u, s0, 1.0, vec![4.0]).unwrap();
+        b.add_interest(u, s1, 1.0, vec![4.0]).unwrap();
+        let inst = b.build().unwrap();
+        let a = threshold_admission(&inst, &id_order(&inst), 1.0);
+        // Only one of the two fits the user's 5.0 capacity; the second
+        // stream then has no taker and is not admitted.
+        assert_eq!(a.range_len(), 1);
+        assert!(a.check_feasible(&inst).is_ok());
+    }
+
+    #[test]
+    fn audience_less_streams_not_admitted() {
+        let mut b = Instance::builder("orphan").server_budgets(vec![10.0]);
+        let orphan = b.add_stream(vec![10.0]);
+        let wanted = b.add_stream(vec![10.0]);
+        let u = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u, wanted, 5.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let a = threshold_admission(&inst, &[orphan, wanted], 1.0);
+        // The orphan is skipped, leaving budget for the wanted stream.
+        assert!(!a.in_range(orphan));
+        assert!(a.in_range(wanted));
+        let _ = UserId::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn rejects_bad_margin() {
+        let inst = inst();
+        threshold_admission(&inst, &id_order(&inst), 0.0);
+    }
+
+    #[test]
+    fn multi_measure_budgets_all_checked() {
+        let mut b = Instance::builder("mm").server_budgets(vec![10.0, 2.0]);
+        let s0 = b.add_stream(vec![1.0, 2.0]);
+        let s1 = b.add_stream(vec![1.0, 1.0]);
+        let u = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u, s0, 1.0, vec![]).unwrap();
+        b.add_interest(u, s1, 1.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let a = threshold_admission(&inst, &id_order(&inst), 1.0);
+        // s0 exhausts measure 1; s1 cannot fit.
+        assert!(a.in_range(StreamId::new(0)));
+        assert!(!a.in_range(StreamId::new(1)));
+    }
+}

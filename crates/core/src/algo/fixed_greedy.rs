@@ -1,0 +1,308 @@
+//! **Fixing the greedy algorithm** (§2.2): greedy alone can be arbitrarily
+//! bad — a tiny, highly effective stream can block a huge one (the "hole").
+//! The fix compares the greedy solution against the best *single-stream*
+//! assignment `A_max` and keeps the better, giving `w(Ã) ≥ (e−1)/2e · OPT`
+//! (Lemma 2.6). For strict feasibility without resource augmentation, the
+//! greedy assignment is split per user into `A₁` (all but the last stream)
+//! and `A₂` (only the last stream), and the best of `A₁, A₂, A_max` achieves
+//! `3e/(e−1)`-approximation (Theorem 2.8).
+
+use crate::algo::greedy::{greedy_from_seed, GreedyOutcome};
+use crate::assignment::Assignment;
+use crate::error::SolveError;
+use crate::ids::StreamId;
+use crate::instance::Instance;
+use std::collections::BTreeSet;
+
+/// Which guarantee the caller wants from an smd solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Feasibility {
+    /// Semi-feasible output (§2): server budget respected; each user's
+    /// *last* stream may overshoot its cap/capacity. Corresponds to the
+    /// resource-augmentation results (Lemma 2.6, Cor. 2.7, Thm 2.9).
+    SemiFeasible,
+    /// Strictly feasible output via the `A₁/A₂/A_max` split
+    /// (Theorems 2.8/2.10). Assumes the unit-skew setting of §2, where the
+    /// utility cap coincides with the capacity.
+    #[default]
+    Strict,
+}
+
+/// A solution to a single-budget instance, tagged with which candidate won.
+#[derive(Clone, Debug)]
+pub struct SmdSolution {
+    /// The selected assignment.
+    pub assignment: Assignment,
+    /// Capped utility `w(A)`.
+    pub utility: f64,
+    /// Which candidate was selected (`"greedy"`, `"a1"`, `"a2"`, `"amax"`).
+    pub chosen: &'static str,
+}
+
+/// The best single-stream assignment `A_max` of §2.2: the stream maximizing
+/// `Σ_u min(W_u, w_u(S))`, assigned to all interested users.
+///
+/// Returns `None` when no stream has any audience.
+pub fn best_singleton(instance: &Instance) -> Option<SmdSolution> {
+    let mut best: Option<(StreamId, f64)> = None;
+    for s in instance.streams() {
+        let v = instance.singleton_utility(s);
+        if v > 0.0 && best.is_none_or(|(_, bv)| v > bv) {
+            best = Some((s, v));
+        }
+    }
+    let (s, v) = best?;
+    let mut a = Assignment::for_instance(instance);
+    for &(u, _) in instance.audience(s) {
+        a.assign(u, s);
+    }
+    Some(SmdSolution {
+        assignment: a,
+        utility: v,
+        chosen: "amax",
+    })
+}
+
+/// Solves a unit-skew single-budget instance by the fixed greedy of §2.2.
+///
+/// With [`Feasibility::SemiFeasible`], returns the better of the greedy
+/// assignment and `A_max` (Lemma 2.6: `(2e/(e−1))`-approximate against the
+/// semi-feasible optimum). With [`Feasibility::Strict`], returns the best of
+/// `A₁`, `A₂` and `A_max` (Theorem 2.8: `(3e/(e−1))`-approximate, strictly
+/// feasible in the unit-skew setting).
+///
+/// # Errors
+///
+/// Returns [`SolveError::NotSingleBudget`] unless the instance has exactly
+/// one server cost measure.
+pub fn solve_smd_unit(instance: &Instance, mode: Feasibility) -> Result<SmdSolution, SolveError> {
+    let outcome = greedy_from_seed(instance, &[])?.expect("empty seed is always budget-feasible");
+    Ok(pick_best(instance, &outcome, mode))
+}
+
+/// Applies the §2.2 selection to an existing greedy outcome (shared with the
+/// partial-enumeration solver).
+pub(crate) fn pick_best(
+    instance: &Instance,
+    outcome: &GreedyOutcome,
+    mode: Feasibility,
+) -> SmdSolution {
+    let mut candidates: Vec<SmdSolution> = Vec::with_capacity(3);
+    match mode {
+        Feasibility::SemiFeasible => {
+            candidates.push(SmdSolution {
+                assignment: outcome.assignment.clone(),
+                utility: outcome.utility,
+                chosen: "greedy",
+            });
+        }
+        Feasibility::Strict => {
+            // The greedy assignment itself is a valid candidate whenever no
+            // user actually overshot a capacity (common on loose instances).
+            if outcome.assignment.check_feasible(instance).is_ok() {
+                candidates.push(SmdSolution {
+                    assignment: outcome.assignment.clone(),
+                    utility: outcome.utility,
+                    chosen: "greedy",
+                });
+            }
+            let (a1, a2) = split_last(instance, outcome);
+            let u1 = a1.utility(instance);
+            let u2 = a2.utility(instance);
+            candidates.push(SmdSolution {
+                assignment: a1,
+                utility: u1,
+                chosen: "a1",
+            });
+            candidates.push(SmdSolution {
+                assignment: a2,
+                utility: u2,
+                chosen: "a2",
+            });
+        }
+    }
+    if let Some(amax) = best_singleton(instance) {
+        candidates.push(amax);
+    }
+    candidates
+        .into_iter()
+        .max_by(|a, b| a.utility.total_cmp(&b.utility))
+        .unwrap_or_else(|| SmdSolution {
+            assignment: Assignment::for_instance(instance),
+            utility: 0.0,
+            chosen: "greedy",
+        })
+}
+
+/// The Theorem 2.8 split: `A₁(u) = A(u) \ {S_u}` and `A₂(u) = {S_u}`, where
+/// `S_u` is the last stream greedy assigned to `u`. Both are strictly
+/// feasible in the unit-skew setting (each user's raw utility stays below
+/// its cap in `A₁`; `A₂` is a single allowed stream).
+fn split_last(instance: &Instance, outcome: &GreedyOutcome) -> (Assignment, Assignment) {
+    let mut a1 = outcome.assignment.clone();
+    let mut a2 = Assignment::for_instance(instance);
+    for u in instance.users() {
+        if let Some(last) = outcome.last_added_per_user[u.index()] {
+            if outcome.assignment.contains(u, last) {
+                a1.unassign(u, last);
+                a2.assign(u, last);
+            }
+        }
+    }
+    (a1, a2)
+}
+
+/// Convenience: evaluates the three §2.2 candidates separately (for
+/// ablation experiments).
+pub fn candidate_utilities(instance: &Instance) -> Result<CandidateReport, SolveError> {
+    let outcome = greedy_from_seed(instance, &[])?.expect("empty seed is always budget-feasible");
+    let (a1, a2) = split_last(instance, &outcome);
+    Ok(CandidateReport {
+        greedy: outcome.utility,
+        a1: a1.utility(instance),
+        a2: a2.utility(instance),
+        amax: best_singleton(instance).map_or(0.0, |s| s.utility),
+        augmented: outcome.augmented.as_ref().map(|a| a.utility),
+    })
+}
+
+/// Utilities of each §2.2 candidate (see [`candidate_utilities`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CandidateReport {
+    /// The raw greedy (semi-feasible) utility.
+    pub greedy: f64,
+    /// Greedy minus each user's last stream.
+    pub a1: f64,
+    /// Only each user's last stream.
+    pub a2: f64,
+    /// Best single stream.
+    pub amax: f64,
+    /// `w(A_{k+1})` if greedy rejected any stream.
+    pub augmented: Option<f64>,
+}
+
+/// Returns the set difference helper used in tests.
+#[doc(hidden)]
+pub fn range_set(a: &Assignment) -> BTreeSet<StreamId> {
+    a.range().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num::approx_eq;
+
+    /// The §2.2 "hole": a tiny stream with sky-high effectiveness blocks a
+    /// budget-filling stream of much larger absolute utility.
+    fn hole() -> Instance {
+        let mut b = Instance::builder("hole").server_budgets(vec![100.0]);
+        let tiny = b.add_stream(vec![1.0]);
+        let huge = b.add_stream(vec![100.0]);
+        let u = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u, tiny, 10.0, vec![]).unwrap(); // effectiveness 10
+        b.add_interest(u, huge, 500.0, vec![]).unwrap(); // effectiveness 5
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn amax_rescues_the_hole() {
+        let inst = hole();
+        let sol = solve_smd_unit(&inst, Feasibility::SemiFeasible).unwrap();
+        // Greedy gets 10 (tiny blocks huge); A_max gets 500.
+        assert_eq!(sol.chosen, "amax");
+        assert!(approx_eq(sol.utility, 500.0));
+        assert!(sol.assignment.check_feasible(&inst).is_ok());
+    }
+
+    #[test]
+    fn unfixed_greedy_falls_into_the_hole() {
+        let inst = hole();
+        let out = crate::algo::greedy(&inst).unwrap();
+        assert!(approx_eq(out.utility, 10.0));
+    }
+
+    #[test]
+    fn greedy_wins_when_it_should() {
+        let mut b = Instance::builder("gw").server_budgets(vec![10.0]);
+        let s0 = b.add_stream(vec![4.0]);
+        let s1 = b.add_stream(vec![6.0]);
+        let u = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u, s0, 8.0, vec![]).unwrap();
+        b.add_interest(u, s1, 9.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let sol = solve_smd_unit(&inst, Feasibility::SemiFeasible).unwrap();
+        assert_eq!(sol.chosen, "greedy");
+        assert!(approx_eq(sol.utility, 17.0));
+    }
+
+    #[test]
+    fn strict_split_respects_capacity() {
+        // Unit skew: utility == load, cap == capacity 10. Three streams of
+        // utility 6: greedy semi-feasibly assigns two (12 > 10); the strict
+        // split must keep loads within 10.
+        let mut b = Instance::builder("strict").server_budgets(vec![100.0]);
+        let s: Vec<_> = (0..3).map(|_| b.add_stream(vec![1.0])).collect();
+        let u = b.add_user(10.0, vec![10.0]);
+        for &si in &s {
+            b.add_interest(u, si, 6.0, vec![6.0]).unwrap();
+        }
+        let inst = b.build().unwrap();
+        let sol = solve_smd_unit(&inst, Feasibility::Strict).unwrap();
+        assert!(sol.assignment.check_feasible(&inst).is_ok());
+        // Best strict candidate here is a single stream (6.0).
+        assert!(approx_eq(sol.utility, 6.0));
+    }
+
+    #[test]
+    fn strict_never_below_half_semi() {
+        // w(A1) + w(A2) >= w(A) so the best of the two is >= w(A)/2; with
+        // A_max in the mix the strict solution is within 3x of semi here.
+        let mut b = Instance::builder("half").server_budgets(vec![6.0]);
+        let streams: Vec<_> = (0..6).map(|_| b.add_stream(vec![1.0])).collect();
+        let u0 = b.add_user(9.0, vec![9.0]);
+        let u1 = b.add_user(7.0, vec![7.0]);
+        for (i, &s) in streams.iter().enumerate() {
+            b.add_interest(u0, s, 2.0 + (i % 3) as f64, vec![2.0 + (i % 3) as f64])
+                .unwrap();
+            b.add_interest(u1, s, 3.0 - (i % 2) as f64, vec![3.0 - (i % 2) as f64])
+                .unwrap();
+        }
+        let inst = b.build().unwrap();
+        let semi = solve_smd_unit(&inst, Feasibility::SemiFeasible).unwrap();
+        let strict = solve_smd_unit(&inst, Feasibility::Strict).unwrap();
+        assert!(strict.assignment.check_feasible(&inst).is_ok());
+        assert!(strict.utility * 2.0 >= semi.utility - 1e-9);
+    }
+
+    #[test]
+    fn candidate_report_is_consistent() {
+        let inst = hole();
+        let rep = candidate_utilities(&inst).unwrap();
+        assert!(approx_eq(rep.greedy, 10.0));
+        assert!(approx_eq(rep.amax, 500.0));
+        // a1 + a2 >= greedy (they partition the greedy assignment).
+        assert!(rep.a1 + rep.a2 >= rep.greedy - 1e-9);
+        // Augmented exists because `huge` was rejected.
+        assert!(approx_eq(rep.augmented.unwrap(), 510.0));
+    }
+
+    #[test]
+    fn empty_instance_gives_empty_solution() {
+        let inst = Instance::builder("e")
+            .server_budgets(vec![1.0])
+            .build()
+            .unwrap();
+        let sol = solve_smd_unit(&inst, Feasibility::Strict).unwrap();
+        assert_eq!(sol.utility, 0.0);
+        assert!(sol.assignment.is_empty());
+    }
+
+    #[test]
+    fn best_singleton_none_without_audience() {
+        let mut b = Instance::builder("none").server_budgets(vec![1.0]);
+        b.add_stream(vec![1.0]);
+        b.add_user(1.0, vec![]);
+        let inst = b.build().unwrap();
+        assert!(best_singleton(&inst).is_none());
+    }
+}

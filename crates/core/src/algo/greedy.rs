@@ -1,0 +1,537 @@
+//! **Algorithm 1 (`Greedy`)** of §2.1: iteratively add the stream with the
+//! highest *cost effectiveness* — fractional residual utility `w̄(S)` per
+//! unit cost — as long as the (single) server budget allows.
+//!
+//! The output is *semi-feasible*: server-budget feasible, but the last
+//! stream assigned to a user may overshoot the user's utility cap (§2).
+//! Utility is always evaluated capped, so `w(A)` is well defined. §2.2's
+//! [`fixed greedy`](crate::algo::fixed_greedy) turns this into a strictly
+//! feasible solution.
+//!
+//! The implementation uses *lazy greedy*: marginal gains are nonincreasing
+//! as the solution grows (submodularity, Lemma 2.1), so stale heap entries
+//! are upper bounds and can be re-evaluated on demand. This preserves the
+//! exact greedy choice while running in `O(E log |S|)` typical time
+//! (`E` = number of interests), within the paper's `O(n²)` bound.
+
+use crate::assignment::Assignment;
+use crate::coverage::CoverageState;
+use crate::error::SolveError;
+use crate::ids::StreamId;
+use crate::instance::Instance;
+use crate::num;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Snapshot taken at the first time greedy rejects a stream for lack of
+/// budget: the assignment `A_{k+1}` of Lemma 2.2, which *includes* the
+/// rejected stream and may therefore exceed the budget by one stream.
+///
+/// Theorem 2.5 guarantees `w(A_{k+1}) ≥ (1 − 1/e)·w(SF)` for every
+/// semi-feasible `SF`; this is exposed for analysis and the resource
+/// augmentation results.
+#[derive(Clone, Debug)]
+pub struct AugmentedOutcome {
+    /// `A_{k+1}`: the greedy assignment right after force-adding the first
+    /// rejected stream.
+    pub assignment: Assignment,
+    /// Capped utility `w(A_{k+1})`.
+    pub utility: f64,
+    /// The stream `S_{k+1}` that did not fit.
+    pub rejected: StreamId,
+}
+
+/// Result of running [`greedy`].
+#[derive(Clone, Debug)]
+pub struct GreedyOutcome {
+    /// The final semi-feasible assignment `A` (server-budget feasible).
+    pub assignment: Assignment,
+    /// Capped utility `w(A)`.
+    pub utility: f64,
+    /// Snapshot at the first budget rejection, if any stream was rejected.
+    pub augmented: Option<AugmentedOutcome>,
+    /// Streams added to the solution, in greedy order.
+    pub added_order: Vec<StreamId>,
+    /// For each user, the last stream assigned to it (the only stream that
+    /// may overshoot the user's cap) — `S_u` in the proof of Theorem 2.8.
+    pub last_added_per_user: Vec<Option<StreamId>>,
+}
+
+/// Heap entry: cost effectiveness with deterministic tie-breaking by id.
+#[derive(Clone, Copy, Debug)]
+struct Candidate {
+    effectiveness: f64,
+    stream: StreamId,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.effectiveness
+            .total_cmp(&other.effectiveness)
+            // Smaller id wins ties so runs are deterministic.
+            .then_with(|| other.stream.cmp(&self.stream))
+    }
+}
+
+fn effectiveness(gain: f64, cost: f64) -> f64 {
+    if gain <= 0.0 {
+        // Useless streams sort last regardless of cost.
+        f64::NEG_INFINITY
+    } else if cost <= 0.0 {
+        // Free and useful: infinitely effective.
+        f64::INFINITY
+    } else {
+        gain / cost
+    }
+}
+
+/// Runs Algorithm 1 on a single-budget instance.
+///
+/// Users' *capacity* constraints are not consulted — per §2, in the unit-skew
+/// setting the utility cap `W_u` *is* the capacity, and the output is
+/// semi-feasible with respect to it. Use
+/// [`solve_smd_unit`](crate::algo::fixed_greedy::solve_smd_unit) with
+/// [`Feasibility::Strict`](crate::algo::Feasibility) for a strictly feasible
+/// solution.
+///
+/// # Errors
+///
+/// Returns [`SolveError::NotSingleBudget`] unless the instance has exactly
+/// one server cost measure.
+///
+/// ```
+/// use mmd_core::{algo, Instance};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Instance::builder("doc").server_budgets(vec![3.0]);
+/// let cheap = b.add_stream(vec![1.0]);
+/// let dear = b.add_stream(vec![3.0]);
+/// let u = b.add_user(10.0, vec![]);
+/// b.add_interest(u, cheap, 2.0, vec![])?;
+/// b.add_interest(u, dear, 3.0, vec![])?;
+/// let inst = b.build()?;
+/// let out = algo::greedy(&inst)?;
+/// // cheap has effectiveness 2.0 > 1.0 and is taken first; dear no longer fits.
+/// assert!(out.assignment.contains(u, cheap));
+/// assert!(!out.assignment.contains(u, dear));
+/// # Ok(())
+/// # }
+/// ```
+pub fn greedy(instance: &Instance) -> Result<GreedyOutcome, SolveError> {
+    greedy_from_seed(instance, &[]).map(|o| o.expect("empty seed is always budget-feasible"))
+}
+
+/// Runs Algorithm 1 starting from a seed set of streams already forced into
+/// the solution (the partial-enumeration building block of §2.3).
+///
+/// Returns `Ok(None)` when the seed itself exceeds the budget.
+///
+/// # Errors
+///
+/// Returns [`SolveError::NotSingleBudget`] unless the instance has exactly
+/// one server cost measure.
+pub fn greedy_from_seed(
+    instance: &Instance,
+    seed: &[StreamId],
+) -> Result<Option<GreedyOutcome>, SolveError> {
+    if instance.num_measures() != 1 {
+        return Err(SolveError::NotSingleBudget {
+            m: instance.num_measures(),
+            max_mc: instance.max_user_measures(),
+        });
+    }
+    let budget = instance.budget(0);
+    let mut coverage = CoverageState::new(instance);
+    let mut assignment = Assignment::for_instance(instance);
+    let mut last_added = vec![None; instance.num_users()];
+    let mut added_order = Vec::new();
+    let mut cost = 0.0f64;
+    let mut in_solution = vec![false; instance.num_streams()];
+
+    let mut seed_sorted: Vec<StreamId> = seed.to_vec();
+    seed_sorted.sort_unstable();
+    seed_sorted.dedup();
+    let seed_cost: f64 = seed_sorted.iter().map(|&s| instance.cost(s, 0)).sum();
+    if !num::approx_le(seed_cost, budget) {
+        return Ok(None);
+    }
+    for &s in &seed_sorted {
+        add_stream(instance, s, &mut coverage, &mut assignment, &mut last_added);
+        added_order.push(s);
+        cost += instance.cost(s, 0);
+        in_solution[s.index()] = true;
+    }
+
+    // Lazy-greedy heap over the remaining candidates.
+    let mut heap: BinaryHeap<Candidate> = instance
+        .streams()
+        .filter(|s| !in_solution[s.index()])
+        .map(|s| Candidate {
+            effectiveness: effectiveness(coverage.gain(s), instance.cost(s, 0)),
+            stream: s,
+        })
+        .collect();
+
+    let mut augmented: Option<AugmentedOutcome> = None;
+    while let Some(top) = heap.pop() {
+        let s = top.stream;
+        if in_solution[s.index()] {
+            continue;
+        }
+        let gain = coverage.gain(s);
+        let c = instance.cost(s, 0);
+        let eff = effectiveness(gain, c);
+        if let Some(next) = heap.peek() {
+            // Stale entry: gains only shrink (submodularity), so if the
+            // refreshed value falls below the next upper bound, requeue.
+            if eff < next.effectiveness {
+                heap.push(Candidate {
+                    effectiveness: eff,
+                    stream: s,
+                });
+                continue;
+            }
+        }
+        if gain <= 0.0 {
+            // Gains are nonincreasing: this stream can never help again.
+            continue;
+        }
+        if num::approx_le(cost + c, budget) {
+            add_stream(instance, s, &mut coverage, &mut assignment, &mut last_added);
+            added_order.push(s);
+            cost += c;
+            in_solution[s.index()] = true;
+        } else if augmented.is_none() {
+            // First rejection: snapshot A_{k+1} for the Lemma 2.2 analysis.
+            let mut snap = assignment.clone();
+            let mut snap_last = last_added.clone();
+            let mut snap_cov = coverage.clone();
+            add_via(instance, s, &mut snap_cov, &mut snap, &mut snap_last);
+            augmented = Some(AugmentedOutcome {
+                utility: snap.utility(instance),
+                assignment: snap,
+                rejected: s,
+            });
+        }
+        // Rejected streams are dropped (line 8 of Algorithm 1): the loop
+        // continues with smaller streams that may still fit.
+    }
+
+    let utility = assignment.utility(instance);
+    Ok(Some(GreedyOutcome {
+        assignment,
+        utility,
+        augmented,
+        added_order,
+        last_added_per_user: last_added,
+    }))
+}
+
+fn add_stream(
+    instance: &Instance,
+    s: StreamId,
+    coverage: &mut CoverageState<'_>,
+    assignment: &mut Assignment,
+    last_added: &mut [Option<StreamId>],
+) {
+    add_via(instance, s, coverage, assignment, last_added);
+}
+
+fn add_via(
+    instance: &Instance,
+    s: StreamId,
+    coverage: &mut CoverageState<'_>,
+    assignment: &mut Assignment,
+    last_added: &mut [Option<StreamId>],
+) {
+    // Assign to every user with positive fractional residual utility
+    // (line 6 of Algorithm 1).
+    for &(u, _) in instance.audience(s) {
+        let cap = instance.user(u).utility_cap();
+        if coverage.user_raw(u) < cap {
+            assignment.assign(u, s);
+            last_added[u.index()] = Some(s);
+        }
+    }
+    coverage.add(s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UserId;
+    use crate::num::approx_eq;
+
+    fn sid(i: usize) -> StreamId {
+        StreamId::new(i)
+    }
+    fn uid(i: usize) -> UserId {
+        UserId::new(i)
+    }
+
+    /// Budget 10; streams (cost, utility to the single user):
+    /// (4, 8), (6, 9), (5, 5).
+    fn knapsackish() -> Instance {
+        let mut b = Instance::builder("g").server_budgets(vec![10.0]);
+        let s0 = b.add_stream(vec![4.0]);
+        let s1 = b.add_stream(vec![6.0]);
+        let s2 = b.add_stream(vec![5.0]);
+        let u = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u, s0, 8.0, vec![]).unwrap();
+        b.add_interest(u, s1, 9.0, vec![]).unwrap();
+        b.add_interest(u, s2, 5.0, vec![]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn picks_by_cost_effectiveness() {
+        let inst = knapsackish();
+        let out = greedy(&inst).unwrap();
+        // Effectiveness: s0 = 2.0, s1 = 1.5, s2 = 1.0. Greedy takes s0 then
+        // s1 (4 + 6 = 10 fits); s2 no longer fits.
+        assert_eq!(out.added_order, vec![sid(0), sid(1)]);
+        assert!(approx_eq(out.utility, 17.0));
+        assert!(out.assignment.check_semi_feasible(&inst).is_ok());
+    }
+
+    #[test]
+    fn records_first_rejection() {
+        let mut b = Instance::builder("rej").server_budgets(vec![10.0]);
+        let s0 = b.add_stream(vec![4.0]);
+        let s1 = b.add_stream(vec![8.0]);
+        let u = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u, s0, 8.0, vec![]).unwrap();
+        b.add_interest(u, s1, 9.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let out = greedy(&inst).unwrap();
+        assert_eq!(out.added_order, vec![s0]);
+        let aug = out.augmented.expect("s1 must be rejected");
+        assert_eq!(aug.rejected, s1);
+        // A_{k+1} includes the rejected stream and its utility.
+        assert!(approx_eq(aug.utility, 17.0));
+        assert!(aug.assignment.contains(u, s1));
+    }
+
+    #[test]
+    fn respects_utility_caps_fractionally() {
+        // Two streams of utility 6 each; user cap 8. Both get assigned
+        // (second one is the overshooting "last" stream), utility capped.
+        let mut b = Instance::builder("cap").server_budgets(vec![10.0]);
+        let s0 = b.add_stream(vec![1.0]);
+        let s1 = b.add_stream(vec![1.0]);
+        let u = b.add_user(8.0, vec![]);
+        b.add_interest(u, s0, 6.0, vec![]).unwrap();
+        b.add_interest(u, s1, 6.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let out = greedy(&inst).unwrap();
+        assert_eq!(out.assignment.degree(uid(0)), 2);
+        assert!(approx_eq(out.utility, 8.0));
+        assert_eq!(out.last_added_per_user[0], Some(sid(1)));
+    }
+
+    #[test]
+    fn saturated_user_not_assigned_further() {
+        // First stream saturates the user; the second still has zero gain,
+        // so it is never assigned.
+        let mut b = Instance::builder("sat").server_budgets(vec![10.0]);
+        let s0 = b.add_stream(vec![1.0]);
+        let s1 = b.add_stream(vec![1.0]);
+        let u = b.add_user(5.0, vec![]);
+        b.add_interest(u, s0, 5.0, vec![]).unwrap();
+        b.add_interest(u, s1, 4.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let out = greedy(&inst).unwrap();
+        assert!(out.assignment.contains(u, s0));
+        assert!(!out.assignment.contains(u, s1));
+        assert!(approx_eq(out.utility, 5.0));
+    }
+
+    #[test]
+    fn multicast_shares_cost_across_users() {
+        // One stream wanted by many users beats a cheaper per-user one.
+        let mut b = Instance::builder("mc").server_budgets(vec![4.0]);
+        let broad = b.add_stream(vec![4.0]);
+        let narrow = b.add_stream(vec![1.0]);
+        for _ in 0..10 {
+            let u = b.add_user(f64::INFINITY, vec![]);
+            b.add_interest(u, broad, 2.0, vec![]).unwrap();
+        }
+        let u_extra = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u_extra, narrow, 3.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let out = greedy(&inst).unwrap();
+        // broad: effectiveness 20/4 = 5 > 3; taken first; narrow no longer fits... 4+1 > 4.
+        assert!(out.assignment.in_range(broad));
+        assert!(approx_eq(out.utility, 20.0));
+    }
+
+    #[test]
+    fn zero_cost_streams_always_taken() {
+        let mut b = Instance::builder("free").server_budgets(vec![1.0]);
+        let free = b.add_stream(vec![0.0]);
+        let paid = b.add_stream(vec![1.0]);
+        let u = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u, free, 0.5, vec![]).unwrap();
+        b.add_interest(u, paid, 10.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let out = greedy(&inst).unwrap();
+        assert!(out.assignment.in_range(free));
+        assert!(out.assignment.in_range(paid));
+        assert!(approx_eq(out.utility, 10.5));
+    }
+
+    #[test]
+    fn seed_forces_streams_in() {
+        let inst = knapsackish();
+        // Force s2 (the worst stream): 5 spent, only s0 fits after.
+        let out = greedy_from_seed(&inst, &[sid(2)]).unwrap().unwrap();
+        assert!(out.assignment.in_range(sid(2)));
+        assert!(out.assignment.in_range(sid(0)));
+        assert!(!out.assignment.in_range(sid(1)));
+        assert!(approx_eq(out.utility, 13.0));
+    }
+
+    #[test]
+    fn infeasible_seed_returns_none() {
+        let inst = knapsackish();
+        assert!(greedy_from_seed(&inst, &[sid(0), sid(1), sid(2)])
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn requires_single_budget() {
+        let mut b = Instance::builder("mm").server_budgets(vec![1.0, 1.0]);
+        b.add_stream(vec![1.0, 1.0]);
+        b.add_user(1.0, vec![]);
+        let inst = b.build().unwrap();
+        assert!(matches!(
+            greedy(&inst),
+            Err(SolveError::NotSingleBudget { m: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_instance_yields_empty_assignment() {
+        let inst = Instance::builder("e")
+            .server_budgets(vec![1.0])
+            .build()
+            .unwrap();
+        let out = greedy(&inst).unwrap();
+        assert!(out.assignment.is_empty());
+        assert_eq!(out.utility, 0.0);
+        assert!(out.augmented.is_none());
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let mut b = Instance::builder("tie").server_budgets(vec![2.0]);
+        let s0 = b.add_stream(vec![1.0]);
+        let s1 = b.add_stream(vec![1.0]);
+        let s2 = b.add_stream(vec![1.0]);
+        let u = b.add_user(f64::INFINITY, vec![]);
+        for s in [s0, s1, s2] {
+            b.add_interest(u, s, 1.0, vec![]).unwrap();
+        }
+        let inst = b.build().unwrap();
+        let a = greedy(&inst).unwrap();
+        let b2 = greedy(&inst).unwrap();
+        assert_eq!(a.added_order, b2.added_order);
+        // Ties broken by ascending id.
+        assert_eq!(a.added_order, vec![s0, s1]);
+    }
+
+    /// Reference implementation: recompute every gain each iteration (the
+    /// textbook greedy). The lazy-heap version must match it exactly.
+    fn naive_greedy(instance: &Instance) -> Vec<StreamId> {
+        use crate::coverage::CoverageState;
+        let budget = instance.budget(0);
+        let mut cov = CoverageState::new(instance);
+        let mut remaining: Vec<StreamId> = instance.streams().collect();
+        let mut cost = 0.0;
+        let mut order = Vec::new();
+        loop {
+            let mut best: Option<(StreamId, f64)> = None;
+            for &s in &remaining {
+                let g = cov.gain(s);
+                if g <= 0.0 {
+                    continue;
+                }
+                let c = instance.cost(s, 0);
+                let eff = if c <= 0.0 { f64::INFINITY } else { g / c };
+                if best.is_none_or(|(bs, be)| eff > be || (eff == be && s < bs)) {
+                    best = Some((s, eff));
+                }
+            }
+            let Some((s, _)) = best else { break };
+            remaining.retain(|&x| x != s);
+            if crate::num::approx_le(cost + instance.cost(s, 0), budget) {
+                cov.add(s);
+                cost += instance.cost(s, 0);
+                order.push(s);
+            }
+        }
+        order
+    }
+
+    #[test]
+    fn lazy_greedy_matches_naive_reference() {
+        // Deterministic pseudo-random instances; the lazy heap must pick the
+        // exact same streams in the exact same order.
+        for seed in 0..20u64 {
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let n_streams = 6 + (seed % 5) as usize;
+            let n_users = 2 + (seed % 3) as usize;
+            let mut b = Instance::builder("diff").server_budgets(vec![6.0]);
+            let streams: Vec<StreamId> = (0..n_streams)
+                .map(|_| b.add_stream(vec![0.5 + 3.0 * next()]))
+                .collect();
+            for _ in 0..n_users {
+                let u = b.add_user(2.0 + 6.0 * next(), vec![]);
+                for &s in &streams {
+                    if next() < 0.7 {
+                        b.add_interest(u, s, 0.2 + 2.0 * next(), vec![]).unwrap();
+                    }
+                }
+            }
+            let inst = b.build().unwrap();
+            let lazy = greedy(&inst).unwrap();
+            let naive = naive_greedy(&inst);
+            assert_eq!(lazy.added_order, naive, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn greedy_is_server_feasible_always() {
+        // A pile of streams that cannot all fit.
+        let mut b = Instance::builder("feas").server_budgets(vec![7.0]);
+        let mut streams = Vec::new();
+        for i in 0..6 {
+            streams.push(b.add_stream(vec![2.0 + (i as f64) * 0.5]));
+        }
+        let u = b.add_user(f64::INFINITY, vec![]);
+        for (i, &s) in streams.iter().enumerate() {
+            b.add_interest(u, s, 1.0 + i as f64, vec![]).unwrap();
+        }
+        let inst = b.build().unwrap();
+        let out = greedy(&inst).unwrap();
+        assert!(out.assignment.check_semi_feasible(&inst).is_ok());
+    }
+}

@@ -1,0 +1,36 @@
+//! Every algorithm from the paper, bottom-up (§1.3):
+//!
+//! 1. [`mod@greedy`] — Algorithm 1 for single-budget instances (§2.1), the
+//!    building block.
+//! 2. [`fixed_greedy`] — §2.2: greedy ⊕ best single stream, with the
+//!    `A₁/A₂/A_max` split for strict feasibility (Theorem 2.8).
+//! 3. [`partial_enum`] — §2.3: Sviridenko-style partial enumeration for the
+//!    better `e/(e−1)`-class ratios (Theorems 2.9/2.10).
+//! 4. [`classify`] — §3: classify-and-select reduction from arbitrary local
+//!    skew `α` to unit skew (Theorem 3.1).
+//! 5. [`reduction`] — §4: the multi-budget → single-budget reduction and the
+//!    interval-decomposition output transform (Theorems 4.3/4.4); entry
+//!    point [`solve_mmd`] implements Theorem 1.1 end to end.
+//! 6. [`online`] — §5: Algorithm 2 (`Allocate`), the online exponential-cost
+//!    algorithm for small streams (Theorems 5.4/1.2).
+//! 7. [`baselines`] — the threshold admission policy the introduction calls
+//!    naïve, plus other comparison policies.
+//! 8. [`submodular`] — the §4 closing remark: budgeted maximization of
+//!    arbitrary nonnegative nondecreasing submodular set functions under
+//!    `m` budgets.
+
+pub mod baselines;
+pub mod classify;
+pub mod fixed_greedy;
+pub mod greedy;
+pub mod online;
+pub mod partial_enum;
+pub mod reduction;
+pub mod submodular;
+
+pub use classify::{solve_smd, ClassifyOutcome};
+pub use fixed_greedy::{solve_smd_unit, Feasibility, SmdSolution};
+pub use greedy::{greedy, GreedyOutcome};
+pub use online::{OnlineAllocator, OnlineReport};
+pub use partial_enum::{solve_smd_partial_enum, PartialEnumConfig};
+pub use reduction::{solve_mmd, MmdConfig, MmdOutcome};

@@ -1,0 +1,628 @@
+//! **Algorithm 2 (`Allocate`)** of §5: online allocation of *small* streams
+//! via exponential cost functions, after Awerbuch–Azar–Plotkin.
+//!
+//! Streams arrive one by one; each is either dropped or irrevocably assigned
+//! to a maximal set of users such that the current exponential costs of the
+//! touched budgets are covered by the utility gained:
+//!
+//! `Σ_{i ∈ M ∪ U_j} (c_i(S)/B_i)·C(i) ≤ Σ_{u ∈ U_j} w_u(S)`,
+//! where `C(i) = B_i·(µ^{L(i)} − 1)` and `L(i)` is the normalized load.
+//!
+//! Under the smallness hypothesis `c_i(S) ≤ B_i / log µ` (for every server
+//! measure *and* every user capacity, viewed as a virtual budget), no budget
+//! is ever violated (Lemma 5.1) and the algorithm is `(1 + 2·log µ)`-
+//! competitive (Theorem 5.4), with `µ = 2γ(m + |U|) + 2` for global skew `γ`
+//! (eq. (1)).
+//!
+//! Faithfulness notes: per §5, the utility caps `W_u` play no role in the
+//! *decisions* (they only cap the reported utility); the maximal user subset
+//! is found by discarding users with the worst exponential-cost/utility
+//! surplus first, which yields an inclusion-maximal feasible subset.
+
+use crate::assignment::Assignment;
+use crate::error::SolveError;
+use crate::ids::{StreamId, UserId};
+use crate::instance::Instance;
+use crate::num;
+use crate::skew::{global_skew, GlobalSkew};
+
+/// Configuration for the online allocator.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OnlineConfig {
+    /// When `true`, additionally refuse any assignment that would *hard*
+    /// violate a budget or capacity. Under the Theorem 1.2 smallness
+    /// hypothesis this never triggers (Lemma 5.1); it is a safety net for
+    /// running the policy on non-small workloads (e.g. in the simulator).
+    /// Default `false` — the faithful algorithm.
+    pub hard_guard: bool,
+    /// Override the exponent base `µ` (for ablation studies). `None`
+    /// computes the paper's `µ = 2γ(m + |U|) + 2`.
+    pub mu_override: Option<f64>,
+}
+
+/// Verdict of the Theorem 1.2 smallness hypothesis for an instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SmallnessReport {
+    /// The exponent base `µ`.
+    pub mu: f64,
+    /// `log₂ µ` — the smallness divisor.
+    pub log_mu: f64,
+    /// The global skew `γ`.
+    pub gamma: f64,
+    /// Number of finite budgets (server measures + user capacities).
+    pub budget_count: usize,
+    /// Number of (stream, budget) pairs violating `c ≤ B/log µ`.
+    pub violations: usize,
+    /// `true` iff the hypothesis holds for every stream and budget.
+    pub ok: bool,
+}
+
+/// Outcome of offering one stream to the allocator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OfferOutcome {
+    /// The offered stream.
+    pub stream: StreamId,
+    /// Users the stream was assigned to (empty = dropped).
+    pub assigned: Vec<UserId>,
+    /// Raw utility gained, `Σ_{u ∈ U_j} w_u(S)`.
+    pub gained: f64,
+}
+
+/// Report of a full online run (see [`OnlineAllocator::run`]).
+#[derive(Clone, Debug)]
+pub struct OnlineReport {
+    /// The final assignment.
+    pub assignment: Assignment,
+    /// Capped utility of the final assignment.
+    pub utility: f64,
+    /// Streams assigned to at least one user.
+    pub accepted: usize,
+    /// Streams dropped.
+    pub rejected: usize,
+    /// The instance's smallness verdict.
+    pub smallness: SmallnessReport,
+}
+
+/// Incremental online allocator (Algorithm 2). Create once per instance,
+/// then [`offer`](Self::offer) streams in arrival order.
+#[derive(Clone, Debug)]
+pub struct OnlineAllocator<'a> {
+    instance: &'a Instance,
+    config: OnlineConfig,
+    skew: GlobalSkew,
+    mu: f64,
+    log_mu: f64,
+    /// Normalized server loads `L(i) = c_i(S(A))/B_i` (finite measures; 0.0
+    /// kept for skipped ones).
+    server_load: Vec<f64>,
+    /// Normalized user loads per capacity measure.
+    user_load: Vec<Vec<f64>>,
+    assignment: Assignment,
+    offered: Vec<bool>,
+    accepted: usize,
+    rejected: usize,
+}
+
+impl<'a> OnlineAllocator<'a> {
+    /// Creates an allocator with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolveError::DegenerateSkew`] from the eq.-(1)
+    /// normalization (streams with positive cost but no audience).
+    pub fn new(instance: &'a Instance) -> Result<Self, SolveError> {
+        Self::with_config(instance, OnlineConfig::default())
+    }
+
+    /// Creates an allocator with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`OnlineAllocator::new`].
+    pub fn with_config(instance: &'a Instance, config: OnlineConfig) -> Result<Self, SolveError> {
+        let skew = global_skew(instance)?;
+        let mu = config
+            .mu_override
+            .unwrap_or(2.0 * skew.gamma * skew.budget_count as f64 + 2.0)
+            .max(2.0 + num::EPS);
+        let log_mu = num::log2(mu);
+        Ok(OnlineAllocator {
+            instance,
+            config,
+            skew,
+            mu,
+            log_mu,
+            server_load: vec![0.0; instance.num_measures()],
+            user_load: instance
+                .users()
+                .map(|u| vec![0.0; instance.user(u).num_capacities()])
+                .collect(),
+            assignment: Assignment::for_instance(instance),
+            offered: vec![false; instance.num_streams()],
+            accepted: 0,
+            rejected: 0,
+        })
+    }
+
+    /// The exponent base `µ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The global skew `γ` of the instance.
+    pub fn gamma(&self) -> f64 {
+        self.skew.gamma
+    }
+
+    /// The current assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Consumes the allocator, returning the assignment.
+    pub fn into_assignment(self) -> Assignment {
+        self.assignment
+    }
+
+    /// Current capped utility.
+    pub fn utility(&self) -> f64 {
+        self.assignment.utility(self.instance)
+    }
+
+    /// Checks the Theorem 1.2 smallness hypothesis for the whole instance.
+    pub fn smallness(&self) -> SmallnessReport {
+        let inst = self.instance;
+        let mut violations = 0usize;
+        for s in inst.streams() {
+            for i in 0..inst.num_measures() {
+                let b = inst.budget(i);
+                if b.is_finite() && b > 0.0 && !num::approx_le(inst.cost(s, i), b / self.log_mu) {
+                    violations += 1;
+                }
+            }
+        }
+        for u in inst.users() {
+            let spec = inst.user(u);
+            for interest in spec.interests() {
+                for (j, &k) in interest.loads().iter().enumerate() {
+                    let cap = spec.capacities()[j];
+                    if cap.is_finite() && cap > 0.0 && !num::approx_le(k, cap / self.log_mu) {
+                        violations += 1;
+                    }
+                }
+            }
+        }
+        SmallnessReport {
+            mu: self.mu,
+            log_mu: self.log_mu,
+            gamma: self.skew.gamma,
+            budget_count: self.skew.budget_count,
+            violations,
+            ok: violations == 0,
+        }
+    }
+
+    /// Exponential-cost term `(c_i(S)/B_i)·C(i) = c'_i(S)·(µ^{L(i)} − 1)`
+    /// summed over the finite server measures.
+    fn server_term(&self, s: StreamId) -> f64 {
+        let inst = self.instance;
+        (0..inst.num_measures())
+            .map(|i| {
+                let b = inst.budget(i);
+                if !b.is_finite() || b <= 0.0 {
+                    return 0.0;
+                }
+                let scaled = inst.cost(s, i) * self.skew.server_scales[i];
+                scaled * (self.mu.powf(self.server_load[i]) - 1.0)
+            })
+            .sum()
+    }
+
+    /// Same for one user's virtual budgets.
+    fn user_term(&self, u: UserId, s: StreamId) -> f64 {
+        let spec = self.instance.user(u);
+        let Some(interest) = spec.interest(s) else {
+            return 0.0;
+        };
+        interest
+            .loads()
+            .iter()
+            .enumerate()
+            .map(|(j, &k)| {
+                let cap = spec.capacities()[j];
+                if !cap.is_finite() || cap <= 0.0 {
+                    return 0.0;
+                }
+                let scaled = k * self.skew.user_scales[u.index()][j];
+                scaled * (self.mu.powf(self.user_load[u.index()][j]) - 1.0)
+            })
+            .sum()
+    }
+
+    /// `true` if assigning `s` to `u` would hard-violate one of the user's
+    /// capacities (only consulted when `hard_guard` is on).
+    fn would_violate_user(&self, u: UserId, s: StreamId) -> bool {
+        let spec = self.instance.user(u);
+        let Some(interest) = spec.interest(s) else {
+            return false;
+        };
+        interest.loads().iter().enumerate().any(|(j, &k)| {
+            let cap = spec.capacities()[j];
+            cap.is_finite()
+                && cap >= 0.0
+                && !num::approx_le(self.user_load[u.index()][j] * cap + k, cap)
+        })
+    }
+
+    fn would_violate_server(&self, s: StreamId) -> bool {
+        let inst = self.instance;
+        (0..inst.num_measures()).any(|i| {
+            let b = inst.budget(i);
+            b.is_finite() && !num::approx_le(self.server_load[i] * b + inst.cost(s, i), b)
+        })
+    }
+
+    /// Offers one arriving stream (line 4 of Algorithm 2): finds the
+    /// inclusion-maximal user set whose utilities cover the exponential
+    /// costs, assigns irrevocably, and returns the decision.
+    ///
+    /// Re-offering a stream is a no-op returning an empty outcome.
+    pub fn offer(&mut self, s: StreamId) -> OfferOutcome {
+        let empty = OfferOutcome {
+            stream: s,
+            assigned: Vec::new(),
+            gained: 0.0,
+        };
+        if self.offered[s.index()] {
+            return empty;
+        }
+        self.offered[s.index()] = true;
+
+        if self.config.hard_guard && self.would_violate_server(s) {
+            self.rejected += 1;
+            return empty;
+        }
+
+        // Candidates with their surplus w_u(S) − user exponential term.
+        let mut candidates: Vec<(UserId, f64, f64)> = self
+            .instance
+            .audience(s)
+            .iter()
+            .filter(|&&(u, _)| !(self.config.hard_guard && self.would_violate_user(u, s)))
+            .map(|&(u, w)| (u, w, w - self.user_term(u, s)))
+            .collect();
+        // Highest surplus first; ties by user id for determinism.
+        candidates.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+
+        let server = self.server_term(s);
+        let mut cum = 0.0;
+        let mut best_len = 0usize;
+        for (idx, &(_, _, surplus)) in candidates.iter().enumerate() {
+            cum += surplus;
+            if cum >= server - num::EPS {
+                best_len = idx + 1;
+            }
+        }
+        if best_len == 0 {
+            self.rejected += 1;
+            return empty;
+        }
+
+        let selected = &candidates[..best_len];
+        let mut gained = 0.0;
+        let mut assigned = Vec::with_capacity(best_len);
+        for &(u, w, _) in selected {
+            self.assignment.assign(u, s);
+            gained += w;
+            assigned.push(u);
+            let spec = self.instance.user(u);
+            if let Some(interest) = spec.interest(s) {
+                for (j, &k) in interest.loads().iter().enumerate() {
+                    let cap = spec.capacities()[j];
+                    if cap.is_finite() && cap > 0.0 {
+                        self.user_load[u.index()][j] += k / cap;
+                    }
+                }
+            }
+        }
+        for i in 0..self.instance.num_measures() {
+            let b = self.instance.budget(i);
+            if b.is_finite() && b > 0.0 {
+                self.server_load[i] += self.instance.cost(s, i) / b;
+            }
+        }
+        self.accepted += 1;
+        OfferOutcome {
+            stream: s,
+            assigned,
+            gained,
+        }
+    }
+
+    /// Releases a previously assigned stream, subtracting its loads — the
+    /// footnote-1 extension for streams of finite duration. (The
+    /// competitive analysis covers known-at-arrival requirements; release
+    /// simply frees capacity for future arrivals.)
+    pub fn release(&mut self, s: StreamId) {
+        if !self.assignment.in_range(s) {
+            return;
+        }
+        let users: Vec<UserId> = self
+            .instance
+            .audience(s)
+            .iter()
+            .map(|&(u, _)| u)
+            .filter(|&u| self.assignment.contains(u, s))
+            .collect();
+        for u in users {
+            self.assignment.unassign(u, s);
+            let spec = self.instance.user(u);
+            if let Some(interest) = spec.interest(s) {
+                for (j, &k) in interest.loads().iter().enumerate() {
+                    let cap = spec.capacities()[j];
+                    if cap.is_finite() && cap > 0.0 {
+                        self.user_load[u.index()][j] =
+                            (self.user_load[u.index()][j] - k / cap).max(0.0);
+                    }
+                }
+            }
+        }
+        for i in 0..self.instance.num_measures() {
+            let b = self.instance.budget(i);
+            if b.is_finite() && b > 0.0 {
+                self.server_load[i] = (self.server_load[i] - self.instance.cost(s, i) / b).max(0.0);
+            }
+        }
+        // Allow the stream to be offered again after release.
+        self.offered[s.index()] = false;
+    }
+
+    /// Runs the allocator over a full arrival order and reports.
+    ///
+    /// # Errors
+    ///
+    /// See [`OnlineAllocator::new`].
+    pub fn run(
+        instance: &'a Instance,
+        order: impl IntoIterator<Item = StreamId>,
+        config: OnlineConfig,
+    ) -> Result<OnlineReport, SolveError> {
+        let mut alloc = OnlineAllocator::with_config(instance, config)?;
+        for s in order {
+            alloc.offer(s);
+        }
+        let smallness = alloc.smallness();
+        Ok(OnlineReport {
+            utility: alloc.utility(),
+            accepted: alloc.accepted,
+            rejected: alloc.rejected,
+            smallness,
+            assignment: alloc.into_assignment(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Many tiny identical streams wanted by every user; clearly "small".
+    fn small_instance(n_streams: usize, n_users: usize) -> Instance {
+        let mut b = Instance::builder("small").server_budgets(vec![100.0]);
+        let mut streams = Vec::new();
+        for _ in 0..n_streams {
+            streams.push(b.add_stream(vec![1.0]));
+        }
+        let mut users = Vec::new();
+        for _ in 0..n_users {
+            users.push(b.add_user(f64::INFINITY, vec![50.0]));
+        }
+        for &s in &streams {
+            for &u in &users {
+                b.add_interest(u, s, 2.0, vec![1.0]).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn smallness_holds_for_tiny_streams() {
+        let inst = small_instance(30, 3);
+        let alloc = OnlineAllocator::new(&inst).unwrap();
+        let rep = alloc.smallness();
+        assert!(rep.ok, "violations = {}", rep.violations);
+        assert!(rep.mu > 2.0);
+        assert!(rep.log_mu > 1.0);
+    }
+
+    #[test]
+    fn lemma_5_1_no_budget_violation_when_small() {
+        let inst = small_instance(200, 4);
+        let order: Vec<StreamId> = inst.streams().collect();
+        let report = OnlineAllocator::run(&inst, order, OnlineConfig::default()).unwrap();
+        assert!(report.smallness.ok);
+        // Lemma 5.1: the faithful algorithm (no hard guard) never violates.
+        assert!(report.assignment.check_feasible(&inst).is_ok());
+        assert!(report.utility > 0.0);
+    }
+
+    #[test]
+    fn early_streams_are_accepted() {
+        let inst = small_instance(10, 2);
+        let mut alloc = OnlineAllocator::new(&inst).unwrap();
+        // Loads are zero, so exponential costs are zero and any stream with
+        // positive utility is taken.
+        let out = alloc.offer(StreamId::new(0));
+        assert_eq!(out.assigned.len(), 2);
+        assert!(out.gained > 0.0);
+    }
+
+    #[test]
+    fn reoffer_is_noop() {
+        let inst = small_instance(5, 2);
+        let mut alloc = OnlineAllocator::new(&inst).unwrap();
+        let first = alloc.offer(StreamId::new(0));
+        assert!(!first.assigned.is_empty());
+        let second = alloc.offer(StreamId::new(0));
+        assert!(second.assigned.is_empty());
+        assert_eq!(alloc.assignment().range_len(), 1);
+    }
+
+    #[test]
+    fn rejects_once_exponential_costs_dominate() {
+        // Small budget relative to demand: later arrivals must be dropped.
+        let mut b = Instance::builder("tight").server_budgets(vec![10.0]);
+        let mut streams = Vec::new();
+        for _ in 0..40 {
+            streams.push(b.add_stream(vec![1.0]));
+        }
+        let u = b.add_user(f64::INFINITY, vec![1000.0]);
+        for &s in &streams {
+            b.add_interest(u, s, 1.0, vec![1.0]).unwrap();
+        }
+        let inst = b.build().unwrap();
+        let order: Vec<StreamId> = inst.streams().collect();
+        let report = OnlineAllocator::run(&inst, order, OnlineConfig::default()).unwrap();
+        assert!(report.rejected > 0, "accepted = {}", report.accepted);
+        assert!(report.assignment.check_feasible(&inst).is_ok());
+    }
+
+    #[test]
+    fn selective_about_low_utility_users() {
+        // Two users: one with high utility, one with negligible utility but
+        // heavy load. Once capacity fills, the weak user should be excluded
+        // while the strong one still gets streams.
+        let mut b = Instance::builder("sel").server_budgets(vec![1000.0]);
+        let mut streams = Vec::new();
+        for _ in 0..30 {
+            streams.push(b.add_stream(vec![1.0]));
+        }
+        let strong = b.add_user(f64::INFINITY, vec![100.0]);
+        let weak = b.add_user(f64::INFINITY, vec![3.0]);
+        for &s in &streams {
+            b.add_interest(strong, s, 10.0, vec![1.0]).unwrap();
+            b.add_interest(weak, s, 0.1, vec![1.0]).unwrap();
+        }
+        let inst = b.build().unwrap();
+        let order: Vec<StreamId> = inst.streams().collect();
+        let report = OnlineAllocator::run(&inst, order, OnlineConfig::default()).unwrap();
+        assert!(report.assignment.check_feasible(&inst).is_ok());
+        let strong_count = report.assignment.degree(strong);
+        let weak_count = report.assignment.degree(weak);
+        assert!(
+            strong_count > weak_count,
+            "strong {strong_count} vs weak {weak_count}"
+        );
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let inst = small_instance(8, 1);
+        let mut alloc = OnlineAllocator::new(&inst).unwrap();
+        let s0 = StreamId::new(0);
+        alloc.offer(s0);
+        assert!(alloc.assignment().in_range(s0));
+        alloc.release(s0);
+        assert!(!alloc.assignment().in_range(s0));
+        // Re-offer after release succeeds again.
+        let out = alloc.offer(s0);
+        assert!(!out.assigned.is_empty());
+    }
+
+    #[test]
+    fn mu_override_is_respected() {
+        let inst = small_instance(5, 1);
+        let cfg = OnlineConfig {
+            mu_override: Some(64.0),
+            ..OnlineConfig::default()
+        };
+        let alloc = OnlineAllocator::with_config(&inst, cfg).unwrap();
+        assert_eq!(alloc.mu(), 64.0);
+    }
+
+    #[test]
+    fn hard_guard_blocks_violations_on_non_small_input() {
+        // One stream consumes the entire budget: decidedly not small.
+        let mut b = Instance::builder("big").server_budgets(vec![10.0]);
+        let s0 = b.add_stream(vec![10.0]);
+        let s1 = b.add_stream(vec![10.0]);
+        let u = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u, s0, 5.0, vec![]).unwrap();
+        b.add_interest(u, s1, 5.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let cfg = OnlineConfig {
+            hard_guard: true,
+            ..OnlineConfig::default()
+        };
+        let order: Vec<StreamId> = inst.streams().collect();
+        let report = OnlineAllocator::run(&inst, order, cfg).unwrap();
+        assert!(report.assignment.check_feasible(&inst).is_ok());
+        assert_eq!(report.accepted, 1);
+        assert_eq!(report.rejected, 1);
+    }
+
+    #[test]
+    fn audience_less_stream_is_rejected() {
+        // A stream nobody wants: offered, never assigned, but it must not
+        // poison the normalization (we give it zero cost so eq. (1) holds).
+        let mut b = Instance::builder("orphan").server_budgets(vec![10.0]);
+        let wanted = b.add_stream(vec![1.0]);
+        let orphan = b.add_stream(vec![0.0]);
+        let u = b.add_user(f64::INFINITY, vec![100.0]);
+        b.add_interest(u, wanted, 2.0, vec![1.0]).unwrap();
+        let inst = b.build().unwrap();
+        let mut alloc = OnlineAllocator::new(&inst).unwrap();
+        let out = alloc.offer(orphan);
+        assert!(out.assigned.is_empty());
+        let out = alloc.offer(wanted);
+        assert!(!out.assigned.is_empty());
+    }
+
+    #[test]
+    fn infinite_budgets_never_block() {
+        let mut b = Instance::builder("inf").server_budgets(vec![f64::INFINITY]);
+        let mut streams = Vec::new();
+        for _ in 0..20 {
+            streams.push(b.add_stream(vec![100.0]));
+        }
+        let u = b.add_user(f64::INFINITY, vec![f64::INFINITY]);
+        for &s in &streams {
+            b.add_interest(u, s, 1.0, vec![1.0]).unwrap();
+        }
+        let inst = b.build().unwrap();
+        let order: Vec<StreamId> = inst.streams().collect();
+        let report = OnlineAllocator::run(&inst, order, OnlineConfig::default()).unwrap();
+        // Nothing constrains: everything is accepted.
+        assert_eq!(report.accepted, 20);
+        assert_eq!(report.rejected, 0);
+    }
+
+    #[test]
+    fn gamma_accessor_matches_skew_module() {
+        let inst = small_instance(10, 2);
+        let alloc = OnlineAllocator::new(&inst).unwrap();
+        let g = crate::skew::global_skew(&inst).unwrap();
+        assert!((alloc.gamma() - g.gamma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utility_matches_assignment_evaluation() {
+        let inst = small_instance(25, 3);
+        let mut alloc = OnlineAllocator::new(&inst).unwrap();
+        for s in inst.streams() {
+            alloc.offer(s);
+        }
+        let direct = alloc.utility();
+        let via_assignment = alloc.assignment().utility(&inst);
+        assert!((direct - via_assignment).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let inst = small_instance(50, 3);
+        let order: Vec<StreamId> = inst.streams().collect();
+        let a = OnlineAllocator::run(&inst, order.clone(), OnlineConfig::default()).unwrap();
+        let b = OnlineAllocator::run(&inst, order, OnlineConfig::default()).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

@@ -1,0 +1,636 @@
+//! **Multiple-budget constraints** (§4): the reduction from `mmd` to `smd`
+//! and the end-to-end Theorem 1.1 pipeline.
+//!
+//! *Input transform* (§4.1): normalize-and-add all server cost measures into
+//! one (`c(S) = Σ_i c_i(S)/B_i`, `B = m`), and likewise each user's capacity
+//! measures (`k_u(S) = Σ_j k^u_j(S)/K^u_j`, `K_u = m_c`). Solving the
+//! resulting smd instance (via §3 + §2) gives an assignment whose measure
+//! costs may overshoot each `B_i` by a factor `m` (Lemma 4.2).
+//!
+//! *Output transform*: split the chosen streams into at most `2m − 1` groups
+//! — streams of single-cost `≥ 1` become singletons; the rest are laid out
+//! on the real line and cut at integer points (Fig. 3) — and keep the best
+//! group, which is feasible for *every* original budget. The same trick,
+//! per user, restores the user capacities, for a total loss of `O(m·m_c)`
+//! (Theorem 4.3) and an overall `O(m·m_c·log(2α·m_c))`-approximation
+//! (Theorem 4.4 / 1.1).
+
+use crate::algo::classify::{solve_smd, ClassifyConfig};
+use crate::assignment::Assignment;
+use crate::error::SolveError;
+use crate::ids::StreamId;
+use crate::instance::Instance;
+use crate::num;
+use std::collections::BTreeSet;
+
+/// Configuration for [`solve_mmd`] (passed through to the §3/§2 layers).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MmdConfig {
+    /// How each unit-skew sub-instance is solved.
+    pub classify: ClassifyConfig,
+    /// Skip the per-user second-stage decomposition (ablation switch; the
+    /// output may then violate user capacities when `m_c > 1`).
+    pub skip_user_stage: bool,
+    /// Run the [`residual_fill`] post-pass: greedily add any stream/user
+    /// that still fits after the guaranteed solution is built. Utility can
+    /// only increase and feasibility is enforced, so the Theorem 1.1 bound
+    /// is preserved; on friendly workloads this recovers the utility the
+    /// classify/decompose layers discard. On by default; disable for the
+    /// faithfulness ablations.
+    pub residual_fill: bool,
+    /// Use the paper's output transformation verbatim: pick only among the
+    /// §4 decomposition groups, without the "keep the full solution when it
+    /// is already feasible" refinement. Used by the §4.2 tightness
+    /// experiment; off by default.
+    pub faithful_output_transform: bool,
+}
+
+impl Default for MmdConfig {
+    fn default() -> Self {
+        MmdConfig {
+            classify: ClassifyConfig::default(),
+            skip_user_stage: false,
+            residual_fill: true,
+            faithful_output_transform: false,
+        }
+    }
+}
+
+/// Greedy post-pass: extend a feasible assignment with any stream (and any
+/// receivers) that still fits every server budget and user capacity,
+/// in decreasing order of marginal capped utility per unit surrogate cost.
+/// Streams already transmitted cost nothing more (multicast), so adding
+/// receivers to them is always considered first.
+///
+/// The result is feasible whenever the input is, and its utility is at
+/// least the input's.
+pub fn residual_fill(instance: &Instance, assignment: &mut Assignment) {
+    let m = instance.num_measures();
+    let mut server_cost: Vec<f64> = (0..m)
+        .map(|i| assignment.server_cost(i, instance))
+        .collect();
+    let mut user_load: Vec<Vec<f64>> = instance
+        .users()
+        .map(|u| {
+            (0..instance.user(u).num_capacities())
+                .map(|j| assignment.user_load(u, j, instance))
+                .collect()
+        })
+        .collect();
+    let mut user_raw: Vec<f64> = instance
+        .users()
+        .map(|u| assignment.user_raw_utility(u, instance))
+        .collect();
+
+    let surrogate = |s: StreamId| -> f64 {
+        (0..m)
+            .filter(|&i| instance.budget(i).is_finite() && instance.budget(i) > 0.0)
+            .map(|i| instance.cost(s, i) / instance.budget(i))
+            .sum()
+    };
+
+    loop {
+        let mut best: Option<(StreamId, Vec<crate::ids::UserId>, f64, f64)> = None;
+        for s in instance.streams() {
+            let transmitted = assignment.in_range(s);
+            if !transmitted {
+                let fits_server = (0..m).all(|i| {
+                    num::approx_le(server_cost[i] + instance.cost(s, i), instance.budget(i))
+                });
+                if !fits_server {
+                    continue;
+                }
+            }
+            let mut gain = 0.0;
+            let mut takers = Vec::new();
+            for &(u, w) in instance.audience(s) {
+                if assignment.contains(u, s) {
+                    continue;
+                }
+                let spec = instance.user(u);
+                let head = (spec.utility_cap() - user_raw[u.index()]).max(0.0);
+                if head <= 0.0 {
+                    continue;
+                }
+                let interest = spec.interest(s).expect("audience implies interest");
+                let fits = interest.loads().iter().enumerate().all(|(j, &k)| {
+                    num::approx_le(user_load[u.index()][j] + k, spec.capacities()[j])
+                });
+                if fits {
+                    gain += w.min(head);
+                    takers.push(u);
+                }
+            }
+            if gain <= num::EPS || takers.is_empty() {
+                continue;
+            }
+            let cost = if transmitted { 0.0 } else { surrogate(s) };
+            let eff = if cost <= 0.0 {
+                f64::INFINITY
+            } else {
+                gain / cost
+            };
+            let better = match &best {
+                None => true,
+                Some((_, _, _, be)) => eff > *be,
+            };
+            if better {
+                best = Some((s, takers, gain, eff));
+            }
+        }
+        let Some((s, takers, _, _)) = best else { break };
+        if !assignment.in_range(s) {
+            for (i, c) in server_cost.iter_mut().enumerate() {
+                *c += instance.cost(s, i);
+            }
+        }
+        for u in takers {
+            assignment.assign(u, s);
+            user_raw[u.index()] += instance.utility(u, s);
+            let spec = instance.user(u);
+            if let Some(interest) = spec.interest(s) {
+                for (j, &k) in interest.loads().iter().enumerate() {
+                    user_load[u.index()][j] += k;
+                }
+            }
+        }
+    }
+}
+
+/// Result of the full Theorem 1.1 pipeline.
+#[derive(Clone, Debug)]
+pub struct MmdOutcome {
+    /// The final feasible assignment.
+    pub assignment: Assignment,
+    /// Capped utility `w(A)` in the original instance.
+    pub utility: f64,
+    /// Local skew `α` of the *reduced* smd instance (Lemma 4.1 bounds it by
+    /// `m_c · α_M`).
+    pub reduced_alpha: f64,
+    /// Number of unit-skew sub-instances solved by the §3 layer.
+    pub num_buckets: usize,
+    /// Number of candidate server groups considered by the §4 output
+    /// transformation (≤ 2m − 1; 1 when the instance was already smd).
+    pub server_groups: usize,
+}
+
+/// The §4.1 input transformation: collapses `m` budgets and per-user
+/// capacities into a single-budget smd instance over the same streams and
+/// users (ids are preserved).
+///
+/// Measures with infinite budgets/capacities are skipped (they never
+/// constrain); `B` is the number of *finite* measures, matching the paper's
+/// `B = m` under its implicit all-finite assumption.
+pub fn to_single_budget(instance: &Instance) -> Instance {
+    let finite: Vec<usize> = (0..instance.num_measures())
+        .filter(|&i| instance.budget(i).is_finite() && instance.budget(i) > 0.0)
+        .collect();
+    let b_total = if finite.is_empty() {
+        f64::INFINITY
+    } else {
+        finite.len() as f64
+    };
+    let mut b = Instance::builder(format!("{}#smd", instance.name())).server_budgets(vec![b_total]);
+    for s in instance.streams() {
+        let c: f64 = finite
+            .iter()
+            .map(|&i| instance.cost(s, i) / instance.budget(i))
+            .sum();
+        b.add_stream(vec![c]);
+    }
+    for u in instance.users() {
+        let spec = instance.user(u);
+        let fin: Vec<usize> = (0..spec.num_capacities())
+            .filter(|&j| spec.capacities()[j].is_finite() && spec.capacities()[j] > 0.0)
+            .collect();
+        if fin.is_empty() {
+            b.add_user(spec.utility_cap(), vec![]);
+        } else {
+            b.add_user(spec.utility_cap(), vec![fin.len() as f64]);
+        }
+    }
+    for u in instance.users() {
+        let spec = instance.user(u);
+        let fin: Vec<usize> = (0..spec.num_capacities())
+            .filter(|&j| spec.capacities()[j].is_finite() && spec.capacities()[j] > 0.0)
+            .collect();
+        for interest in spec.interests() {
+            let loads = if fin.is_empty() {
+                vec![]
+            } else {
+                let k: f64 = fin
+                    .iter()
+                    .map(|&j| interest.loads()[j] / spec.capacities()[j])
+                    .sum();
+                vec![k]
+            };
+            b.add_interest(u, interest.stream(), interest.utility(), loads)
+                .expect("reduced interests are unique and ids valid");
+        }
+    }
+    b.build().expect("reduction preserves validity")
+}
+
+/// The Fig. 3 interval decomposition: items (with nonnegative costs) are
+/// laid out consecutively on the real line in the given order and cut at
+/// integer multiples of `threshold`. An item whose interval strictly
+/// contains a cut point becomes a singleton group; maximal runs between cut
+/// points form the remaining groups.
+///
+/// Guarantees (tested): groups partition the items in order; every
+/// non-singleton group has total cost ≤ `threshold`; the number of groups is
+/// at most `2·⌈total/threshold⌉ + 1`.
+///
+/// # Panics
+///
+/// Panics if `threshold` is not strictly positive and finite.
+pub fn interval_partition(costs: &[f64], threshold: f64) -> Vec<Vec<usize>> {
+    assert!(
+        threshold.is_finite() && threshold > 0.0,
+        "threshold must be positive and finite"
+    );
+    let tiny = 1e-9;
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    let mut pos = 0.0f64; // in units of `threshold`
+    for (idx, &c) in costs.iter().enumerate() {
+        let start = pos;
+        let end = pos + c / threshold;
+        pos = end;
+        // Smallest integer strictly greater than `start` (with snapping).
+        let first_cut = if (start - start.round()).abs() < tiny {
+            start.round() + 1.0
+        } else {
+            start.ceil()
+        };
+        let ends_on_cut = (end - end.round()).abs() < tiny && end.round() >= first_cut;
+        if first_cut < end - tiny {
+            // The item straddles a cut point: it forms its own group.
+            if !current.is_empty() {
+                groups.push(std::mem::take(&mut current));
+            }
+            groups.push(vec![idx]);
+        } else {
+            current.push(idx);
+            if ends_on_cut {
+                groups.push(std::mem::take(&mut current));
+            }
+        }
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    groups
+}
+
+/// Solves a general `mmd` instance end-to-end (Theorem 1.1): input
+/// transform → classify-and-select → §2 solver → output transform.
+///
+/// The returned assignment is fully feasible in the original instance.
+/// Instances that are already single-budget skip the §4 transforms.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`]s from the inner layers (none occur for
+/// well-formed instances).
+pub fn solve_mmd(instance: &Instance, config: &MmdConfig) -> Result<MmdOutcome, SolveError> {
+    if instance.is_single_budget() {
+        let out = solve_smd(instance, &config.classify)?;
+        let mut assignment = out.assignment;
+        if config.residual_fill && assignment.check_feasible(instance).is_ok() {
+            residual_fill(instance, &mut assignment);
+        }
+        return Ok(MmdOutcome {
+            utility: assignment.utility(instance),
+            assignment,
+            reduced_alpha: out.alpha,
+            num_buckets: out.num_buckets,
+            server_groups: 1,
+        });
+    }
+
+    let reduced = to_single_budget(instance);
+    let smd_out = solve_smd(&reduced, &config.classify)?;
+    let (mut assignment, server_groups) =
+        output_transform(instance, &reduced, &smd_out.assignment, config);
+
+    if config.residual_fill
+        && !config.skip_user_stage
+        && assignment.check_feasible(instance).is_ok()
+    {
+        residual_fill(instance, &mut assignment);
+    }
+    let utility = assignment.utility(instance);
+    debug_assert!(
+        config.skip_user_stage || assignment.check_feasible(instance).is_ok(),
+        "theorem 4.3 output must be feasible: {:?}",
+        assignment.check_feasible(instance)
+    );
+    Ok(MmdOutcome {
+        assignment,
+        utility,
+        reduced_alpha: smd_out.alpha,
+        num_buckets: smd_out.num_buckets,
+        server_groups,
+    })
+}
+
+/// The §4 **output transformation** (Theorem 4.3) as a standalone step:
+/// given the original instance, its §4.1 reduction, and any server-feasible
+/// assignment for the *reduced* instance, produce a fully feasible
+/// assignment for the original, by the Fig. 3 interval decomposition on the
+/// server side and then per user.
+///
+/// Returns the assignment and the number of server candidate groups
+/// considered (≤ 2m − 1, plus the refinement candidate unless
+/// `config.faithful_output_transform`).
+pub fn output_transform(
+    instance: &Instance,
+    reduced: &Instance,
+    smd_assignment: &Assignment,
+    config: &MmdConfig,
+) -> (Assignment, usize) {
+    // ---- Server side (§4, Fig. 3). ----
+    let range: Vec<StreamId> = smd_assignment.range().collect();
+    let single_cost = |s: StreamId| reduced.cost(s, 0);
+
+    let mut singles: Vec<StreamId> = Vec::new();
+    let mut small: Vec<StreamId> = Vec::new();
+    for &s in &range {
+        if num::approx_ge(single_cost(s), 1.0) {
+            singles.push(s);
+        } else {
+            small.push(s);
+        }
+    }
+    let mut candidates: Vec<BTreeSet<StreamId>> =
+        singles.iter().map(|&s| BTreeSet::from([s])).collect();
+    let small_costs: Vec<f64> = small.iter().map(|&s| single_cost(s)).collect();
+    for group in interval_partition(&small_costs, 1.0) {
+        candidates.push(group.into_iter().map(|i| small[i]).collect());
+    }
+
+    // Engineering refinement (keeps the Theorem 4.3 guarantee, strictly
+    // helps in practice): when the full smd solution is already feasible for
+    // every original budget, keep it as a candidate instead of only its
+    // groups.
+    if !config.faithful_output_transform && smd_assignment.check_semi_feasible(instance).is_ok() {
+        candidates.push(range.iter().copied().collect());
+    }
+
+    let server_groups = candidates.len().max(1);
+    let mut best: Option<(Assignment, f64)> = None;
+    if candidates.is_empty() {
+        best = Some((Assignment::for_instance(instance), 0.0));
+    }
+    for cand in candidates {
+        let restricted = smd_assignment.restricted_to(&cand);
+        let utility = restricted.utility(instance);
+        if best.as_ref().is_none_or(|&(_, bu)| utility > bu) {
+            best = Some((restricted, utility));
+        }
+    }
+    let (mut assignment, _) = best.expect("at least one candidate exists");
+
+    // ---- User side. ----
+    if !config.skip_user_stage {
+        for u in instance.users() {
+            let spec = instance.user(u);
+            let fin: Vec<usize> = (0..spec.num_capacities())
+                .filter(|&j| spec.capacities()[j].is_finite() && spec.capacities()[j] > 0.0)
+                .collect();
+            if fin.is_empty() {
+                continue;
+            }
+            let streams: Vec<StreamId> = assignment.streams_of(u).collect();
+            if streams.is_empty() {
+                continue;
+            }
+            let load_of = |s: StreamId| -> f64 {
+                let interest = spec.interest(s);
+                fin.iter()
+                    .map(|&j| interest.map_or(0.0, |i| i.loads()[j] / spec.capacities()[j]))
+                    .sum()
+            };
+            let mut subsets: Vec<Vec<StreamId>> = Vec::new();
+            let mut small_u: Vec<StreamId> = Vec::new();
+            for &s in &streams {
+                if num::approx_ge(load_of(s), 1.0) {
+                    subsets.push(vec![s]);
+                } else {
+                    small_u.push(s);
+                }
+            }
+            let costs_u: Vec<f64> = small_u.iter().map(|&s| load_of(s)).collect();
+            for group in interval_partition(&costs_u, 1.0) {
+                subsets.push(group.into_iter().map(|i| small_u[i]).collect());
+            }
+            // Same refinement as the server side: keep the user's full set
+            // when it already satisfies every capacity.
+            if !config.faithful_output_transform {
+                let full_feasible = (0..spec.num_capacities()).all(|j| {
+                    let total: f64 = streams
+                        .iter()
+                        .map(|&s| spec.interest(s).map_or(0.0, |i| i.loads()[j]))
+                        .sum();
+                    num::approx_le(total, spec.capacities()[j])
+                });
+                if full_feasible {
+                    subsets.push(streams.clone());
+                }
+            }
+            let best_subset = subsets
+                .into_iter()
+                .max_by(|a, b| {
+                    let wa: f64 = a.iter().map(|&s| instance.utility(u, s)).sum::<f64>();
+                    let wb: f64 = b.iter().map(|&s| instance.utility(u, s)).sum::<f64>();
+                    let ca = wa.min(spec.utility_cap());
+                    let cb = wb.min(spec.utility_cap());
+                    ca.total_cmp(&cb)
+                })
+                .unwrap_or_default();
+            assignment.set_user_streams(u, best_subset.into_iter().collect());
+        }
+    }
+    (assignment, server_groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num::approx_eq;
+
+    fn multi() -> Instance {
+        let mut b = Instance::builder("multi").server_budgets(vec![10.0, 6.0, 4.0]);
+        let s0 = b.add_stream(vec![4.0, 1.0, 1.0]);
+        let s1 = b.add_stream(vec![5.0, 4.0, 1.0]);
+        let s2 = b.add_stream(vec![1.0, 1.0, 2.0]);
+        let u0 = b.add_user(20.0, vec![10.0, 5.0]);
+        let u1 = b.add_user(15.0, vec![8.0]);
+        b.add_interest(u0, s0, 6.0, vec![4.0, 2.0]).unwrap();
+        b.add_interest(u0, s1, 9.0, vec![6.0, 3.0]).unwrap();
+        b.add_interest(u0, s2, 3.0, vec![2.0, 1.0]).unwrap();
+        b.add_interest(u1, s0, 5.0, vec![4.0]).unwrap();
+        b.add_interest(u1, s2, 4.0, vec![3.0]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reduction_normalizes_costs_and_loads() {
+        let inst = multi();
+        let red = to_single_budget(&inst);
+        assert_eq!(red.num_measures(), 1);
+        assert!(approx_eq(red.budget(0), 3.0));
+        // c(s0) = 4/10 + 1/6 + 1/4.
+        let expected = 4.0 / 10.0 + 1.0 / 6.0 + 1.0 / 4.0;
+        assert!(approx_eq(red.cost(StreamId::new(0), 0), expected));
+        // u0: k(s0) = 4/10 + 2/5, capacity = 2.
+        let u0 = crate::ids::UserId::new(0);
+        assert!(approx_eq(red.load(u0, StreamId::new(0), 0), 0.4 + 0.4));
+        assert!(approx_eq(red.user(u0).capacities()[0], 2.0));
+        // Utilities unchanged.
+        assert!(approx_eq(red.utility(u0, StreamId::new(1)), 9.0));
+    }
+
+    #[test]
+    fn reduction_skips_infinite_measures() {
+        let mut b = Instance::builder("inf").server_budgets(vec![10.0, f64::INFINITY]);
+        let s = b.add_stream(vec![5.0, 123.0]);
+        let u = b.add_user(1.0, vec![f64::INFINITY]);
+        b.add_interest(u, s, 1.0, vec![7.0]).unwrap();
+        let inst = b.build().unwrap();
+        let red = to_single_budget(&inst);
+        assert!(approx_eq(red.budget(0), 1.0));
+        assert!(approx_eq(red.cost(StreamId::new(0), 0), 0.5));
+        // User has no finite capacity: unconstrained in the reduction.
+        assert_eq!(red.max_user_measures(), 0);
+    }
+
+    #[test]
+    fn lemma_4_2_feasible_original_maps_to_feasible_reduced() {
+        // Any assignment feasible in the original has reduced cost <= m and
+        // reduced user load <= m_c (Lemma 4.2(3) direction).
+        let inst = multi();
+        let red = to_single_budget(&inst);
+        let mut a = Assignment::for_instance(&inst);
+        a.assign(crate::ids::UserId::new(0), StreamId::new(0));
+        a.assign(crate::ids::UserId::new(1), StreamId::new(2));
+        assert!(a.check_feasible(&inst).is_ok());
+        assert!(num::approx_le(a.server_cost(0, &red), red.budget(0)));
+        for u in red.users() {
+            if red.user(u).num_capacities() == 1 {
+                assert!(num::approx_le(
+                    a.user_load(u, 0, &red),
+                    red.user(u).capacities()[0]
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_output_is_feasible() {
+        let inst = multi();
+        let out = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+        assert!(out.assignment.check_feasible(&inst).is_ok());
+        assert!(out.utility > 0.0);
+        assert!(out.server_groups >= 1);
+    }
+
+    #[test]
+    fn smd_instances_bypass_reduction() {
+        let mut b = Instance::builder("smd").server_budgets(vec![10.0]);
+        let s = b.add_stream(vec![4.0]);
+        let u = b.add_user(5.0, vec![6.0]);
+        b.add_interest(u, s, 3.0, vec![2.0]).unwrap();
+        let inst = b.build().unwrap();
+        let out = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+        assert_eq!(out.server_groups, 1);
+        assert!(approx_eq(out.utility, 3.0));
+    }
+
+    #[test]
+    fn interval_partition_basic_invariants() {
+        let costs = [0.5, 0.4, 0.3, 0.9, 0.2, 0.6, 0.1];
+        let groups = interval_partition(&costs, 1.0);
+        // Partition: every index exactly once, in order.
+        let flat: Vec<usize> = groups.iter().flatten().copied().collect();
+        assert_eq!(flat, (0..costs.len()).collect::<Vec<_>>());
+        // Non-singleton groups have total <= 1.
+        for g in &groups {
+            if g.len() > 1 {
+                let total: f64 = g.iter().map(|&i| costs[i]).sum();
+                assert!(total <= 1.0 + 1e-9, "group {g:?} total {total}");
+            }
+        }
+        // Group count bound: 2*ceil(total) + 1.
+        let total: f64 = costs.iter().sum();
+        assert!(groups.len() <= 2 * total.ceil() as usize + 1);
+    }
+
+    #[test]
+    fn interval_partition_straddler_is_singleton() {
+        // 0.6 + 0.6: the second item straddles 1.0.
+        let groups = interval_partition(&[0.6, 0.6], 1.0);
+        assert_eq!(groups, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn interval_partition_exact_boundary() {
+        // 0.5 + 0.5 ends exactly on the cut: both stay in one group.
+        let groups = interval_partition(&[0.5, 0.5, 0.3], 1.0);
+        assert_eq!(groups, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn interval_partition_with_threshold() {
+        let groups = interval_partition(&[1.0, 1.0, 3.0], 2.0);
+        // 1+1 fills [0,2]; 3.0 spans (2,5): singleton.
+        assert_eq!(groups, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn interval_partition_empty() {
+        assert!(interval_partition(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn interval_partition_rejects_bad_threshold() {
+        interval_partition(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn pipeline_beats_nothing_on_dense_instance() {
+        // Deterministic dense-ish instance; sanity floor on quality.
+        let mut b = Instance::builder("dense").server_budgets(vec![8.0, 8.0]);
+        let mut streams = Vec::new();
+        for i in 0..6 {
+            streams.push(b.add_stream(vec![1.0 + (i % 3) as f64, 2.0 - (i % 2) as f64]));
+        }
+        let mut users = Vec::new();
+        for _ in 0..4 {
+            users.push(b.add_user(12.0, vec![9.0]));
+        }
+        for (si, &s) in streams.iter().enumerate() {
+            for (ui, &u) in users.iter().enumerate() {
+                let w = 1.0 + ((si + ui) % 4) as f64;
+                b.add_interest(u, s, w, vec![w]).unwrap();
+            }
+        }
+        let inst = b.build().unwrap();
+        let out = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+        assert!(out.assignment.check_feasible(&inst).is_ok());
+        assert!(out.utility > 0.0);
+    }
+
+    #[test]
+    fn ablation_skip_user_stage_keeps_server_feasibility() {
+        let inst = multi();
+        let cfg = MmdConfig {
+            skip_user_stage: true,
+            ..MmdConfig::default()
+        };
+        let out = solve_mmd(&inst, &cfg).unwrap();
+        assert!(out.assignment.check_semi_feasible(&inst).is_ok());
+    }
+}

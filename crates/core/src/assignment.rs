@@ -1,0 +1,529 @@
+//! Assignments `A : U → 2^S` and their evaluation (Fig. 2 glossary).
+//!
+//! An [`Assignment`] maps every user to a set of streams. Its *range*
+//! `S(A) = ∪_u A(u)` is the set of streams the server must transmit; the
+//! server pays `c_i(S)` **once** per stream in the range (multicast), while
+//! each user pays its own loads for every stream it receives.
+//!
+//! The paper distinguishes *feasible* assignments (all budgets and
+//! capacities respected) from *semi-feasible* ones (server budgets
+//! respected, user capacities possibly exceeded by the last stream
+//! assigned); utility is always capped per user at `W_u`:
+//! `w(A) = Σ_u min(W_u, Σ_{S ∈ A(u)} w_u(S))`.
+
+use crate::error::Infeasibility;
+use crate::ids::{StreamId, UserId};
+use crate::instance::Instance;
+use crate::num;
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A (possibly partial) solution: for every user the set of streams it
+/// receives.
+///
+/// ```
+/// use mmd_core::{Assignment, Instance};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Instance::builder("doc").server_budgets(vec![10.0]);
+/// let s = b.add_stream(vec![4.0]);
+/// let u = b.add_user(5.0, vec![]);
+/// b.add_interest(u, s, 3.0, vec![])?;
+/// let inst = b.build()?;
+///
+/// let mut a = Assignment::new(inst.num_users());
+/// a.assign(u, s);
+/// assert_eq!(a.utility(&inst), 3.0);
+/// assert!(a.check_feasible(&inst).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignment {
+    per_user: Vec<BTreeSet<StreamId>>,
+    range: BTreeMap<StreamId, usize>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment for `num_users` users.
+    pub fn new(num_users: usize) -> Self {
+        Assignment {
+            per_user: vec![BTreeSet::new(); num_users],
+            range: BTreeMap::new(),
+        }
+    }
+
+    /// Creates an empty assignment sized for `instance`.
+    pub fn for_instance(instance: &Instance) -> Self {
+        Self::new(instance.num_users())
+    }
+
+    /// Number of users this assignment covers.
+    pub fn num_users(&self) -> usize {
+        self.per_user.len()
+    }
+
+    /// Assigns `stream` to `user`. Returns `true` if it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user id is out of range.
+    pub fn assign(&mut self, user: UserId, stream: StreamId) -> bool {
+        let added = self.per_user[user.index()].insert(stream);
+        if added {
+            *self.range.entry(stream).or_insert(0) += 1;
+        }
+        added
+    }
+
+    /// Removes `stream` from `user`. Returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user id is out of range.
+    pub fn unassign(&mut self, user: UserId, stream: StreamId) -> bool {
+        let removed = self.per_user[user.index()].remove(&stream);
+        if removed {
+            if let Entry::Occupied(mut e) = self.range.entry(stream) {
+                *e.get_mut() -= 1;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+        }
+        removed
+    }
+
+    /// `true` if `user` receives `stream`.
+    pub fn contains(&self, user: UserId, stream: StreamId) -> bool {
+        self.per_user
+            .get(user.index())
+            .is_some_and(|set| set.contains(&stream))
+    }
+
+    /// The streams assigned to one user, in id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user id is out of range.
+    pub fn streams_of(&self, user: UserId) -> impl Iterator<Item = StreamId> + '_ {
+        self.per_user[user.index()].iter().copied()
+    }
+
+    /// Number of streams assigned to one user.
+    pub fn degree(&self, user: UserId) -> usize {
+        self.per_user[user.index()].len()
+    }
+
+    /// The range `S(A)`: streams assigned to at least one user, in id order.
+    pub fn range(&self) -> impl Iterator<Item = StreamId> + '_ {
+        self.range.keys().copied()
+    }
+
+    /// `true` if `stream` is in the range `S(A)`.
+    pub fn in_range(&self, stream: StreamId) -> bool {
+        self.range.contains_key(&stream)
+    }
+
+    /// Size of the range `|S(A)|`.
+    pub fn range_len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// `true` when no user receives any stream.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// Total number of (user, stream) assignments.
+    pub fn total_assignments(&self) -> usize {
+        self.per_user.iter().map(BTreeSet::len).sum()
+    }
+
+    /// The capped utility `w(A) = Σ_u min(W_u, Σ_{S ∈ A(u)} w_u(S))`
+    /// (extended to semi-feasible assignments as in §2).
+    pub fn utility(&self, instance: &Instance) -> f64 {
+        instance
+            .users()
+            .map(|u| self.user_utility(u, instance))
+            .sum()
+    }
+
+    /// One user's capped utility `min(W_u, Σ_{S ∈ A(u)} w_u(S))`.
+    pub fn user_utility(&self, user: UserId, instance: &Instance) -> f64 {
+        let raw = self.user_raw_utility(user, instance);
+        raw.min(instance.user(user).utility_cap())
+    }
+
+    /// One user's uncapped utility `Σ_{S ∈ A(u)} w_u(S)`.
+    pub fn user_raw_utility(&self, user: UserId, instance: &Instance) -> f64 {
+        self.per_user[user.index()]
+            .iter()
+            .map(|&s| instance.utility(user, s))
+            .sum()
+    }
+
+    /// The assignment's cost in server measure `i`:
+    /// `c_i(A) = Σ_{S ∈ S(A)} c_i(S)` (paid once per stream — multicast).
+    pub fn server_cost(&self, measure: usize, instance: &Instance) -> f64 {
+        self.range.keys().map(|&s| instance.cost(s, measure)).sum()
+    }
+
+    /// The load `k^u_j(A) = Σ_{S ∈ A(u)} k^u_j(S)` of one user in one of its
+    /// capacity measures.
+    pub fn user_load(&self, user: UserId, measure: usize, instance: &Instance) -> f64 {
+        self.per_user[user.index()]
+            .iter()
+            .map(|&s| instance.load(user, s, measure))
+            .sum()
+    }
+
+    /// Checks *full* feasibility: every server budget and every user
+    /// capacity is respected, and no zero-utility assignment exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns every violated constraint.
+    pub fn check_feasible(&self, instance: &Instance) -> Result<(), Vec<Infeasibility>> {
+        let mut violations = self.server_violations(instance);
+        for u in instance.users() {
+            let spec = instance.user(u);
+            for (j, &cap) in spec.capacities().iter().enumerate() {
+                let load = self.user_load(u, j, instance);
+                if !num::approx_le(load, cap) {
+                    violations.push(Infeasibility::UserCapacityExceeded {
+                        user: u,
+                        measure: j,
+                        load,
+                        capacity: cap,
+                    });
+                }
+            }
+            for s in self.streams_of(u) {
+                if instance.utility(u, s) <= 0.0 {
+                    violations.push(Infeasibility::ZeroUtilityAssignment { user: u, stream: s });
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// Checks *semi*-feasibility (§2): only the server budget constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns every violated server budget.
+    pub fn check_semi_feasible(&self, instance: &Instance) -> Result<(), Vec<Infeasibility>> {
+        let violations = self.server_violations(instance);
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// Checks feasibility under the **resource augmentation** of
+    /// Corollary 2.7 / Theorem 2.9: each user's capacity `K^u_j` is relaxed
+    /// to `K^u_j + k̄^u_j`, where `k̄^u_j = max_S k^u_j(S)` over the user's
+    /// interests. Every semi-feasible assignment produced by the §2
+    /// algorithms satisfies this (a user overshoots by at most its last
+    /// stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns every constraint violated even after augmentation.
+    pub fn check_feasible_augmented(&self, instance: &Instance) -> Result<(), Vec<Infeasibility>> {
+        let mut violations = self.server_violations(instance);
+        for u in instance.users() {
+            let spec = instance.user(u);
+            for (j, &cap) in spec.capacities().iter().enumerate() {
+                let slack = spec
+                    .interests()
+                    .iter()
+                    .map(|i| i.loads()[j])
+                    .fold(0.0f64, f64::max);
+                let load = self.user_load(u, j, instance);
+                if !num::approx_le(load, cap + slack) {
+                    violations.push(Infeasibility::UserCapacityExceeded {
+                        user: u,
+                        measure: j,
+                        load,
+                        capacity: cap + slack,
+                    });
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    fn server_violations(&self, instance: &Instance) -> Vec<Infeasibility> {
+        let mut violations = Vec::new();
+        for i in 0..instance.num_measures() {
+            let cost = self.server_cost(i, instance);
+            let budget = instance.budget(i);
+            if !num::approx_le(cost, budget) {
+                violations.push(Infeasibility::ServerBudgetExceeded {
+                    measure: i,
+                    cost,
+                    budget,
+                });
+            }
+        }
+        violations
+    }
+
+    /// Restriction `A|_C` of the assignment to a set of streams
+    /// (`A|_C(u) = A(u) ∩ C`, used by the §4 output transformation).
+    pub fn restricted_to(&self, streams: &BTreeSet<StreamId>) -> Assignment {
+        let mut out = Assignment::new(self.num_users());
+        for (ui, set) in self.per_user.iter().enumerate() {
+            for &s in set.iter().filter(|s| streams.contains(s)) {
+                out.assign(UserId::new(ui), s);
+            }
+        }
+        out
+    }
+
+    /// Replaces one user's stream set (used by per-user fix-ups in §4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user id is out of range.
+    pub fn set_user_streams(&mut self, user: UserId, streams: BTreeSet<StreamId>) {
+        let old = std::mem::take(&mut self.per_user[user.index()]);
+        for s in old {
+            if let Entry::Occupied(mut e) = self.range.entry(s) {
+                *e.get_mut() -= 1;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+        }
+        for &s in &streams {
+            *self.range.entry(s).or_insert(0) += 1;
+        }
+        self.per_user[user.index()] = streams;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        let mut b = Instance::builder("t").server_budgets(vec![10.0, 4.0]);
+        let s0 = b.add_stream(vec![2.0, 1.0]);
+        let s1 = b.add_stream(vec![8.0, 3.0]);
+        let u0 = b.add_user(6.0, vec![12.0]);
+        let u1 = b.add_user(3.0, vec![]);
+        b.add_interest(u0, s0, 2.0, vec![2.0]).unwrap();
+        b.add_interest(u0, s1, 5.0, vec![8.0]).unwrap();
+        b.add_interest(u1, s1, 4.0, vec![]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn ids() -> (StreamId, StreamId, UserId, UserId) {
+        (
+            StreamId::new(0),
+            StreamId::new(1),
+            UserId::new(0),
+            UserId::new(1),
+        )
+    }
+
+    #[test]
+    fn assign_and_range_refcounting() {
+        let (s0, s1, u0, u1) = ids();
+        let mut a = Assignment::new(2);
+        assert!(a.assign(u0, s1));
+        assert!(!a.assign(u0, s1));
+        assert!(a.assign(u1, s1));
+        assert_eq!(a.range_len(), 1);
+        assert!(a.unassign(u0, s1));
+        assert!(a.in_range(s1), "still held by u1");
+        assert!(a.unassign(u1, s1));
+        assert!(!a.in_range(s1));
+        assert!(a.is_empty());
+        assert!(!a.unassign(u1, s0));
+    }
+
+    #[test]
+    fn multicast_cost_counted_once() {
+        let (_, s1, u0, u1) = ids();
+        let inst = inst();
+        let mut a = Assignment::for_instance(&inst);
+        a.assign(u0, s1);
+        a.assign(u1, s1);
+        // Both users receive s1 but the server pays once.
+        assert_eq!(a.server_cost(0, &inst), 8.0);
+        assert_eq!(a.server_cost(1, &inst), 3.0);
+    }
+
+    #[test]
+    fn utility_is_capped_per_user() {
+        let (s0, s1, u0, u1) = ids();
+        let inst = inst();
+        let mut a = Assignment::for_instance(&inst);
+        a.assign(u0, s0);
+        a.assign(u0, s1);
+        a.assign(u1, s1);
+        // u0 raw = 7 capped at 6; u1 raw = 4 capped at 3.
+        assert_eq!(a.user_raw_utility(u0, &inst), 7.0);
+        assert_eq!(a.user_utility(u0, &inst), 6.0);
+        assert_eq!(a.utility(&inst), 9.0);
+    }
+
+    #[test]
+    fn feasibility_detects_budget_violation() {
+        let (s0, s1, u0, _) = ids();
+        let inst = inst();
+        let mut a = Assignment::for_instance(&inst);
+        a.assign(u0, s0);
+        a.assign(u0, s1);
+        // total measure-1 cost = 4.0 == budget: feasible.
+        assert!(a.check_feasible(&inst).is_ok());
+    }
+
+    #[test]
+    fn feasibility_detects_capacity_violation() {
+        let mut b = Instance::builder("cap").server_budgets(vec![100.0]);
+        let s0 = b.add_stream(vec![1.0]);
+        let s1 = b.add_stream(vec![1.0]);
+        let u = b.add_user(100.0, vec![10.0]);
+        b.add_interest(u, s0, 1.0, vec![6.0]).unwrap();
+        b.add_interest(u, s1, 1.0, vec![6.0]).unwrap();
+        let inst = b.build().unwrap();
+        let mut a = Assignment::for_instance(&inst);
+        a.assign(u, s0);
+        a.assign(u, s1);
+        let errs = a.check_feasible(&inst).unwrap_err();
+        assert!(matches!(
+            errs[0],
+            Infeasibility::UserCapacityExceeded { load, capacity, .. }
+                if load == 12.0 && capacity == 10.0
+        ));
+        // Semi-feasibility only checks the server side.
+        assert!(a.check_semi_feasible(&inst).is_ok());
+    }
+
+    #[test]
+    fn zero_utility_assignment_is_flagged() {
+        let (s0, _, _, u1) = ids();
+        let inst = inst();
+        let mut a = Assignment::for_instance(&inst);
+        a.assign(u1, s0); // u1 has no interest in s0
+        let errs = a.check_feasible(&inst).unwrap_err();
+        assert!(matches!(
+            errs[0],
+            Infeasibility::ZeroUtilityAssignment { .. }
+        ));
+    }
+
+    #[test]
+    fn restriction_intersects_per_user() {
+        let (s0, s1, u0, u1) = ids();
+        let inst = inst();
+        let mut a = Assignment::for_instance(&inst);
+        a.assign(u0, s0);
+        a.assign(u0, s1);
+        a.assign(u1, s1);
+        let only_s0: BTreeSet<_> = [s0].into();
+        let r = a.restricted_to(&only_s0);
+        assert!(r.contains(u0, s0));
+        assert!(!r.contains(u0, s1));
+        assert!(!r.contains(u1, s1));
+        assert_eq!(r.range_len(), 1);
+    }
+
+    #[test]
+    fn set_user_streams_updates_range() {
+        let (s0, s1, u0, u1) = ids();
+        let mut a = Assignment::new(2);
+        a.assign(u0, s0);
+        a.assign(u0, s1);
+        a.assign(u1, s1);
+        a.set_user_streams(u0, BTreeSet::new());
+        assert!(!a.in_range(s0));
+        assert!(a.in_range(s1));
+        a.set_user_streams(u1, [s0].into());
+        assert!(a.in_range(s0));
+        assert!(!a.in_range(s1));
+    }
+
+    #[test]
+    fn user_load_sums_assigned_streams() {
+        let (s0, s1, u0, _) = ids();
+        let inst = inst();
+        let mut a = Assignment::for_instance(&inst);
+        a.assign(u0, s0);
+        a.assign(u0, s1);
+        assert_eq!(a.user_load(u0, 0, &inst), 10.0);
+    }
+
+    #[test]
+    fn augmented_feasibility_allows_one_stream_overshoot() {
+        let mut b = Instance::builder("aug").server_budgets(vec![100.0]);
+        let s0 = b.add_stream(vec![1.0]);
+        let s1 = b.add_stream(vec![1.0]);
+        let u = b.add_user(100.0, vec![10.0]);
+        b.add_interest(u, s0, 1.0, vec![6.0]).unwrap();
+        b.add_interest(u, s1, 1.0, vec![6.0]).unwrap();
+        let inst = b.build().unwrap();
+        let mut a = Assignment::for_instance(&inst);
+        a.assign(u, s0);
+        a.assign(u, s1);
+        // Load 12 > 10: infeasible, but within K + k̄ = 16.
+        assert!(a.check_feasible(&inst).is_err());
+        assert!(a.check_feasible_augmented(&inst).is_ok());
+    }
+
+    #[test]
+    fn augmented_feasibility_still_catches_big_violations() {
+        let mut b = Instance::builder("aug2").server_budgets(vec![100.0]);
+        let streams: Vec<_> = (0..4).map(|_| b.add_stream(vec![1.0])).collect();
+        let u = b.add_user(100.0, vec![10.0]);
+        for &s in &streams {
+            b.add_interest(u, s, 1.0, vec![6.0]).unwrap();
+        }
+        let inst = b.build().unwrap();
+        let mut a = Assignment::for_instance(&inst);
+        for &s in &streams {
+            a.assign(u, s);
+        }
+        // Load 24 > 10 + 6.
+        assert!(a.check_feasible_augmented(&inst).is_err());
+    }
+
+    #[test]
+    fn infinite_budget_never_violated() {
+        let mut b = Instance::builder("inf").server_budgets(vec![f64::INFINITY]);
+        let s = b.add_stream(vec![1e15]);
+        let u = b.add_user(1.0, vec![]);
+        b.add_interest(u, s, 1.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let mut a = Assignment::for_instance(&inst);
+        a.assign(u, s);
+        assert!(a.check_feasible(&inst).is_ok());
+    }
+
+    #[test]
+    fn degree_and_total_assignments() {
+        let (s0, s1, u0, u1) = ids();
+        let mut a = Assignment::new(2);
+        a.assign(u0, s0);
+        a.assign(u0, s1);
+        a.assign(u1, s1);
+        assert_eq!(a.degree(u0), 2);
+        assert_eq!(a.degree(u1), 1);
+        assert_eq!(a.total_assignments(), 3);
+        assert_eq!(a.range_len(), 2);
+    }
+}

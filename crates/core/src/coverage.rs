@@ -1,0 +1,257 @@
+//! The capped-utility **set function** `w : 2^S → R` of §2.1 and its
+//! submodularity (Lemma 2.1).
+//!
+//! For a set `T` of streams provided by the server, define per user
+//! `w_u(T) = min(W_u, Σ_{S ∈ T} w_u(S))` and `w(T) = Σ_u w_u(T)`. This
+//! ignores which user receives which stream — it coincides with the utility
+//! of the best *semi-feasible* assignment with range `T` — and is
+//! nonnegative, nondecreasing and submodular (Lemma 2.1), which powers the
+//! greedy analysis and the exact solvers.
+
+use crate::ids::{StreamId, UserId};
+use crate::instance::Instance;
+use std::collections::BTreeSet;
+
+/// Evaluates `w(T) = Σ_u min(W_u, Σ_{S ∈ T} w_u(S))` for a stream set `T`.
+///
+/// Runs in `O(Σ_{S ∈ T} |audience(S)|)`.
+///
+/// ```
+/// use mmd_core::{coverage, Instance};
+/// use std::collections::BTreeSet;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Instance::builder("doc").server_budgets(vec![10.0]);
+/// let s0 = b.add_stream(vec![1.0]);
+/// let s1 = b.add_stream(vec![1.0]);
+/// let u = b.add_user(4.0, vec![]);
+/// b.add_interest(u, s0, 3.0, vec![])?;
+/// b.add_interest(u, s1, 3.0, vec![])?;
+/// let inst = b.build()?;
+/// let t: BTreeSet<_> = [s0, s1].into();
+/// assert_eq!(coverage::eval_set(&inst, &t), 4.0); // capped at W_u = 4
+/// # Ok(())
+/// # }
+/// ```
+pub fn eval_set(instance: &Instance, set: &BTreeSet<StreamId>) -> f64 {
+    let mut raw = vec![0.0f64; instance.num_users()];
+    for &s in set {
+        for &(u, w) in instance.audience(s) {
+            raw[u.index()] += w;
+        }
+    }
+    raw.iter()
+        .enumerate()
+        .map(|(ui, &r)| r.min(instance.user(UserId::new(ui)).utility_cap()))
+        .sum()
+}
+
+/// Incremental evaluator for `w(T)` supporting `O(|audience(S)|)` marginal
+/// gains — the workhorse of the greedy and exact solvers.
+#[derive(Clone, Debug)]
+pub struct CoverageState<'a> {
+    instance: &'a Instance,
+    raw: Vec<f64>,
+    value: f64,
+    set: BTreeSet<StreamId>,
+}
+
+impl<'a> CoverageState<'a> {
+    /// Starts from the empty stream set.
+    pub fn new(instance: &'a Instance) -> Self {
+        CoverageState {
+            instance,
+            raw: vec![0.0; instance.num_users()],
+            value: 0.0,
+            set: BTreeSet::new(),
+        }
+    }
+
+    /// The current set `T`.
+    pub fn set(&self) -> &BTreeSet<StreamId> {
+        &self.set
+    }
+
+    /// The current value `w(T)`.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// One user's current raw (uncapped) utility `Σ_{S ∈ T} w_u(S)`.
+    pub fn user_raw(&self, user: UserId) -> f64 {
+        self.raw[user.index()]
+    }
+
+    /// The marginal gain `w(T ∪ {S}) − w(T)` — the *fractional residual
+    /// utility* `w̄(S)` of §2.1 when `T = S(A)`.
+    pub fn gain(&self, stream: StreamId) -> f64 {
+        if self.set.contains(&stream) {
+            return 0.0;
+        }
+        let mut g = 0.0;
+        for &(u, w) in self.instance.audience(stream) {
+            let cap = self.instance.user(u).utility_cap();
+            let head = (cap - self.raw[u.index()]).max(0.0);
+            g += w.min(head);
+        }
+        g
+    }
+
+    /// Adds a stream to `T`, returning the realized marginal gain.
+    pub fn add(&mut self, stream: StreamId) -> f64 {
+        if !self.set.insert(stream) {
+            return 0.0;
+        }
+        let mut g = 0.0;
+        for &(u, w) in self.instance.audience(stream) {
+            let cap = self.instance.user(u).utility_cap();
+            let before = self.raw[u.index()];
+            let head = (cap - before).max(0.0);
+            g += w.min(head);
+            self.raw[u.index()] = before + w;
+        }
+        self.value += g;
+        g
+    }
+
+    /// Removes a stream from `T` (recomputes affected users exactly).
+    pub fn remove(&mut self, stream: StreamId) {
+        if !self.set.remove(&stream) {
+            return;
+        }
+        for &(u, w) in self.instance.audience(stream) {
+            let cap = self.instance.user(u).utility_cap();
+            let before = self.raw[u.index()];
+            let after = before - w;
+            let delta = before.min(cap) - after.min(cap);
+            self.raw[u.index()] = after;
+            self.value -= delta;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num::approx_eq;
+
+    fn inst() -> Instance {
+        let mut b = Instance::builder("cov").server_budgets(vec![100.0]);
+        let s0 = b.add_stream(vec![1.0]);
+        let s1 = b.add_stream(vec![1.0]);
+        let s2 = b.add_stream(vec![1.0]);
+        let u0 = b.add_user(4.0, vec![]);
+        let u1 = b.add_user(10.0, vec![]);
+        b.add_interest(u0, s0, 3.0, vec![]).unwrap();
+        b.add_interest(u0, s1, 3.0, vec![]).unwrap();
+        b.add_interest(u1, s1, 2.0, vec![]).unwrap();
+        b.add_interest(u1, s2, 5.0, vec![]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn sid(i: usize) -> StreamId {
+        StreamId::new(i)
+    }
+
+    #[test]
+    fn eval_set_caps_per_user() {
+        let inst = inst();
+        let t: BTreeSet<_> = [sid(0), sid(1)].into();
+        // u0: min(4, 6) = 4; u1: min(10, 2) = 2.
+        assert_eq!(eval_set(&inst, &t), 6.0);
+    }
+
+    #[test]
+    fn eval_empty_set_is_zero() {
+        let inst = inst();
+        assert_eq!(eval_set(&inst, &BTreeSet::new()), 0.0);
+    }
+
+    #[test]
+    fn incremental_matches_eval() {
+        let inst = inst();
+        let mut state = CoverageState::new(&inst);
+        for s in [sid(1), sid(0), sid(2)] {
+            state.add(s);
+            assert!(approx_eq(state.value(), eval_set(&inst, state.set())));
+        }
+    }
+
+    #[test]
+    fn gain_equals_add_delta() {
+        let inst = inst();
+        let mut state = CoverageState::new(&inst);
+        for s in [sid(0), sid(1), sid(2)] {
+            let predicted = state.gain(s);
+            let before = state.value();
+            let realized = state.add(s);
+            assert!(approx_eq(predicted, realized));
+            assert!(approx_eq(state.value() - before, realized));
+        }
+        // Re-adding yields zero gain.
+        assert_eq!(state.gain(sid(0)), 0.0);
+        assert_eq!(state.add(sid(0)), 0.0);
+    }
+
+    #[test]
+    fn remove_restores_value() {
+        let inst = inst();
+        let mut state = CoverageState::new(&inst);
+        state.add(sid(0));
+        let v1 = state.value();
+        state.add(sid(1));
+        state.remove(sid(1));
+        assert!(approx_eq(state.value(), v1));
+        assert!(approx_eq(state.value(), eval_set(&inst, state.set())));
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let inst = inst();
+        let mut state = CoverageState::new(&inst);
+        let mut last = 0.0;
+        for s in inst.streams() {
+            state.add(s);
+            assert!(state.value() >= last - 1e-12);
+            last = state.value();
+        }
+    }
+
+    /// Lemma 2.1 on a fixed pair of sets: w(T) + w(T') >= w(T∪T') + w(T∩T').
+    #[test]
+    fn submodular_on_fixed_sets() {
+        let inst = inst();
+        let t: BTreeSet<_> = [sid(0), sid(1)].into();
+        let tp: BTreeSet<_> = [sid(1), sid(2)].into();
+        let union: BTreeSet<_> = t.union(&tp).copied().collect();
+        let inter: BTreeSet<_> = t.intersection(&tp).copied().collect();
+        let lhs = eval_set(&inst, &t) + eval_set(&inst, &tp);
+        let rhs = eval_set(&inst, &union) + eval_set(&inst, &inter);
+        assert!(lhs >= rhs - 1e-12, "submodularity violated: {lhs} < {rhs}");
+    }
+
+    /// Exhaustive Lemma 2.1 check over all pairs of subsets of a small
+    /// ground set.
+    #[test]
+    fn submodular_exhaustive_small() {
+        let inst = inst();
+        let n = inst.num_streams();
+        let subsets: Vec<BTreeSet<StreamId>> = (0..1u32 << n)
+            .map(|mask| {
+                (0..n)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(StreamId::new)
+                    .collect()
+            })
+            .collect();
+        for t in &subsets {
+            for tp in &subsets {
+                let union: BTreeSet<_> = t.union(tp).copied().collect();
+                let inter: BTreeSet<_> = t.intersection(tp).copied().collect();
+                let lhs = eval_set(&inst, t) + eval_set(&inst, tp);
+                let rhs = eval_set(&inst, &union) + eval_set(&inst, &inter);
+                assert!(lhs >= rhs - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Error types for instance construction, solving, and feasibility checking.
+
+use crate::ids::{StreamId, UserId};
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while building an [`Instance`](crate::Instance).
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A stream's cost vector length differs from the number of server
+    /// budgets declared with `server_budgets`.
+    CostLenMismatch {
+        /// Offending stream.
+        stream: StreamId,
+        /// Number of costs supplied.
+        got: usize,
+        /// Number of server measures `m`.
+        expected: usize,
+    },
+    /// The paper assumes `c_i(S) ≤ B_i` for every stream and measure; a
+    /// stream violating this can never be transmitted and the instance is
+    /// malformed.
+    CostExceedsBudget {
+        /// Offending stream.
+        stream: StreamId,
+        /// Server measure index `i`.
+        measure: usize,
+        /// The cost `c_i(S)`.
+        cost: f64,
+        /// The budget `B_i`.
+        budget: f64,
+    },
+    /// An interest's load vector length differs from the user's number of
+    /// capacity measures.
+    LoadLenMismatch {
+        /// Offending user.
+        user: UserId,
+        /// Offending stream.
+        stream: StreamId,
+        /// Number of loads supplied.
+        got: usize,
+        /// The user's `m_c`.
+        expected: usize,
+    },
+    /// A value that must be a nonnegative finite number (or an infinite
+    /// budget where allowed) was negative or NaN.
+    InvalidValue {
+        /// What the value was for, e.g. `"utility"`.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `add_interest` referenced a stream id that was never added.
+    UnknownStream(StreamId),
+    /// `add_interest` referenced a user id that was never added.
+    UnknownUser(UserId),
+    /// The same (user, stream) pair was given two interests.
+    DuplicateInterest {
+        /// Offending user.
+        user: UserId,
+        /// Offending stream.
+        stream: StreamId,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::CostLenMismatch {
+                stream,
+                got,
+                expected,
+            } => write!(
+                f,
+                "stream {stream} has {got} costs but the server declares {expected} measures"
+            ),
+            BuildError::CostExceedsBudget {
+                stream,
+                measure,
+                cost,
+                budget,
+            } => write!(
+                f,
+                "stream {stream} costs {cost} in measure {measure}, exceeding budget {budget} \
+                 (the model assumes c_i(S) <= B_i)"
+            ),
+            BuildError::LoadLenMismatch {
+                user,
+                stream,
+                got,
+                expected,
+            } => write!(
+                f,
+                "interest of {user} in {stream} has {got} loads but the user declares \
+                 {expected} capacity measures"
+            ),
+            BuildError::InvalidValue { what, value } => {
+                write!(
+                    f,
+                    "invalid {what}: {value} (must be a nonnegative finite number)"
+                )
+            }
+            BuildError::UnknownStream(s) => write!(f, "unknown stream {s}"),
+            BuildError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            BuildError::DuplicateInterest { user, stream } => {
+                write!(f, "duplicate interest of {user} in {stream}")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Error raised when an algorithm's preconditions are not met.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The algorithm requires a single-budget (`smd`) instance (`m = 1` and
+    /// at most one capacity constraint per user).
+    NotSingleBudget {
+        /// Number of server measures found.
+        m: usize,
+        /// Maximum number of capacity constraints at a user.
+        max_mc: usize,
+    },
+    /// The instance has no streams or no users, so no assignment exists.
+    EmptyInstance,
+    /// The online algorithm requires every cost to be a small fraction of its
+    /// budget (`c_i(S) ≤ B_i / log µ`, Theorem 1.2); this instance violates
+    /// that hypothesis.
+    StreamsNotSmall {
+        /// The threshold `log₂ µ` computed for the instance.
+        log_mu: f64,
+        /// Number of (stream, measure) pairs violating the hypothesis.
+        violations: usize,
+    },
+    /// The instance's skew could not be normalized because a stream has
+    /// positive utility but no comparable load/cost (degenerate ratio).
+    DegenerateSkew {
+        /// Human-readable description of the degeneracy.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NotSingleBudget { m, max_mc } => write!(
+                f,
+                "algorithm requires an smd instance (m = 1, at most one capacity constraint \
+                 per user) but got m = {m}, max m_c = {max_mc}"
+            ),
+            SolveError::EmptyInstance => write!(f, "instance has no streams or no users"),
+            SolveError::StreamsNotSmall { log_mu, violations } => write!(
+                f,
+                "online allocation requires c_i(S) <= B_i/log mu (log mu = {log_mu:.3}); \
+                 {violations} stream costs violate this"
+            ),
+            SolveError::DegenerateSkew { detail } => {
+                write!(f, "cannot normalize instance skew: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// A single violated constraint, reported by
+/// [`Assignment::check_feasible`](crate::Assignment::check_feasible).
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Infeasibility {
+    /// A server budget is exceeded: `Σ_{S ∈ S(A)} c_i(S) > B_i`.
+    ServerBudgetExceeded {
+        /// Server measure index `i`.
+        measure: usize,
+        /// Total cost of the assignment in measure `i`.
+        cost: f64,
+        /// The budget `B_i`.
+        budget: f64,
+    },
+    /// A user capacity is exceeded: `Σ_{S ∈ A(u)} k^u_j(S) > K^u_j`.
+    UserCapacityExceeded {
+        /// The overloaded user.
+        user: UserId,
+        /// The user's capacity measure index `j`.
+        measure: usize,
+        /// Total load of `A(u)` in measure `j`.
+        load: f64,
+        /// The capacity `K^u_j`.
+        capacity: f64,
+    },
+    /// A user was assigned a stream it has zero utility for (a wasted
+    /// assignment, flagged to keep solutions tidy).
+    ZeroUtilityAssignment {
+        /// The user.
+        user: UserId,
+        /// The stream with `w_u(S) = 0`.
+        stream: StreamId,
+    },
+}
+
+impl fmt::Display for Infeasibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Infeasibility::ServerBudgetExceeded {
+                measure,
+                cost,
+                budget,
+            } => write!(
+                f,
+                "server budget {measure} exceeded: cost {cost} > budget {budget}"
+            ),
+            Infeasibility::UserCapacityExceeded {
+                user,
+                measure,
+                load,
+                capacity,
+            } => write!(
+                f,
+                "capacity {measure} of {user} exceeded: load {load} > capacity {capacity}"
+            ),
+            Infeasibility::ZeroUtilityAssignment { user, stream } => {
+                write!(f, "{user} assigned {stream} with zero utility")
+            }
+        }
+    }
+}
+
+impl Error for Infeasibility {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_error<E: Error + Send + Sync + 'static>(_e: &E) {}
+
+    #[test]
+    fn errors_implement_error_send_sync() {
+        let b = BuildError::UnknownStream(StreamId::new(0));
+        let s = SolveError::EmptyInstance;
+        let i = Infeasibility::ServerBudgetExceeded {
+            measure: 0,
+            cost: 2.0,
+            budget: 1.0,
+        };
+        assert_error(&b);
+        assert_error(&s);
+        assert_error(&i);
+    }
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let msgs = [
+            BuildError::UnknownUser(UserId::new(3)).to_string(),
+            SolveError::EmptyInstance.to_string(),
+            Infeasibility::ZeroUtilityAssignment {
+                user: UserId::new(1),
+                stream: StreamId::new(2),
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn display_mentions_key_values() {
+        let e = BuildError::CostExceedsBudget {
+            stream: StreamId::new(5),
+            measure: 1,
+            cost: 9.0,
+            budget: 4.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("S5"));
+        assert!(msg.contains('9'));
+        assert!(msg.contains('4'));
+    }
+}

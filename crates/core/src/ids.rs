@@ -1,0 +1,123 @@
+//! Typed identifiers for streams and users.
+//!
+//! The paper indexes streams `S ∈ S` and users `u ∈ U`; we use dense integer
+//! ids assigned by [`InstanceBuilder`](crate::InstanceBuilder) in insertion
+//! order. Newtypes keep the two index spaces from being confused
+//! (C-NEWTYPE).
+
+use std::fmt;
+
+/// Identifier of a stream within an [`Instance`](crate::Instance).
+///
+/// Ids are dense: the `i`-th added stream has id `i`.
+///
+/// ```
+/// use mmd_core::StreamId;
+/// let s = StreamId::new(3);
+/// assert_eq!(s.index(), 3);
+/// assert_eq!(s.to_string(), "S3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StreamId(usize);
+
+impl StreamId {
+    /// Creates a stream id from a dense index.
+    pub const fn new(index: usize) -> Self {
+        StreamId(index)
+    }
+
+    /// Returns the dense index of this stream.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl From<StreamId> for usize {
+    fn from(id: StreamId) -> usize {
+        id.0
+    }
+}
+
+/// Identifier of a user (client) within an [`Instance`](crate::Instance).
+///
+/// Ids are dense: the `i`-th added user has id `i`.
+///
+/// ```
+/// use mmd_core::UserId;
+/// let u = UserId::new(0);
+/// assert_eq!(u.index(), 0);
+/// assert_eq!(u.to_string(), "u0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UserId(usize);
+
+impl UserId {
+    /// Creates a user id from a dense index.
+    pub const fn new(index: usize) -> Self {
+        UserId(index)
+    }
+
+    /// Returns the dense index of this user.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl From<UserId> for usize {
+    fn from(id: UserId) -> usize {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn stream_id_roundtrip() {
+        let s = StreamId::new(7);
+        assert_eq!(usize::from(s), 7);
+        assert_eq!(s.index(), 7);
+    }
+
+    #[test]
+    fn user_id_roundtrip() {
+        let u = UserId::new(11);
+        assert_eq!(usize::from(u), 11);
+        assert_eq!(u.index(), 11);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let set: BTreeSet<StreamId> = [2, 0, 1].into_iter().map(StreamId::new).collect();
+        let order: Vec<usize> = set.into_iter().map(StreamId::index).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(StreamId::new(4).to_string(), "S4");
+        assert_eq!(UserId::new(4).to_string(), "u4");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", StreamId::new(0)).is_empty());
+        assert!(!format!("{:?}", UserId::new(0)).is_empty());
+    }
+}

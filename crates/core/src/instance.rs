@@ -1,0 +1,790 @@
+//! The `mmd` problem input: streams, server budgets, users, capacities and
+//! utilities (Fig. 2 of the paper).
+//!
+//! An [`Instance`] is immutable once built; construct it through
+//! [`InstanceBuilder`], which validates the model assumptions:
+//!
+//! * `c_i(S) ≤ B_i` for every stream `S` and server measure `i`;
+//! * `w_u(S) = 0` whenever some load exceeds the user's capacity
+//!   (`k^u_j(S) > K^u_j`) — such interests are dropped;
+//! * all quantities are nonnegative, and budgets/capacities may be
+//!   `f64::INFINITY` ("unconstrained").
+
+use crate::error::BuildError;
+use crate::ids::{StreamId, UserId};
+use crate::num;
+use std::collections::HashSet;
+use std::fmt;
+
+/// JSON (and friends) cannot represent `f64::INFINITY`; serde_json writes
+/// `null`. These helpers round-trip unbounded budgets/capacities as `null`.
+#[cfg(feature = "serde")]
+mod serde_inf {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+        if v.is_finite() {
+            s.serialize_some(v)
+        } else {
+            s.serialize_none()
+        }
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::INFINITY))
+    }
+}
+
+/// Vector variant of [`serde_inf`].
+#[cfg(feature = "serde")]
+mod serde_inf_vec {
+    use serde::ser::SerializeSeq;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &[f64], s: S) -> Result<S::Ok, S::Error> {
+        let mut seq = s.serialize_seq(Some(v.len()))?;
+        for x in v {
+            if x.is_finite() {
+                seq.serialize_element(&Some(*x))?;
+            } else {
+                seq.serialize_element(&None::<f64>)?;
+            }
+        }
+        seq.end()
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
+        Ok(Vec::<Option<f64>>::deserialize(d)?
+            .into_iter()
+            .map(|x| x.unwrap_or(f64::INFINITY))
+            .collect())
+    }
+}
+
+/// A user's interest in one stream: the utility `w_u(S)` it derives and the
+/// loads `k^u_j(S)` the stream places on each of the user's capacity
+/// measures.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Interest {
+    stream: StreamId,
+    utility: f64,
+    loads: Vec<f64>,
+}
+
+impl Interest {
+    /// The stream this interest refers to.
+    pub fn stream(&self) -> StreamId {
+        self.stream
+    }
+
+    /// The utility `w_u(S)` the user derives from receiving the stream.
+    pub fn utility(&self) -> f64 {
+        self.utility
+    }
+
+    /// The loads `k^u_j(S)` on the user's capacity measures (length `m_c`).
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+}
+
+/// One user (client): its utility cap `W_u`, capacities `K^u_j`, and sparse
+/// interests.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UserSpec {
+    #[cfg_attr(feature = "serde", serde(with = "serde_inf"))]
+    utility_cap: f64,
+    #[cfg_attr(feature = "serde", serde(with = "serde_inf_vec"))]
+    capacities: Vec<f64>,
+    interests: Vec<Interest>,
+}
+
+impl UserSpec {
+    /// The bound `W_u` on the utility this user can generate.
+    pub fn utility_cap(&self) -> f64 {
+        self.utility_cap
+    }
+
+    /// The user's capacities `K^u_j` (length `m_c`, possibly zero).
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
+    }
+
+    /// Number of capacity measures `m_c` at this user.
+    pub fn num_capacities(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// All interests with positive utility, sorted by stream id.
+    pub fn interests(&self) -> &[Interest] {
+        &self.interests
+    }
+
+    /// Looks up this user's interest in `stream`, if any.
+    pub fn interest(&self, stream: StreamId) -> Option<&Interest> {
+        self.interests
+            .binary_search_by_key(&stream, |i| i.stream)
+            .ok()
+            .map(|idx| &self.interests[idx])
+    }
+}
+
+/// Summary statistics of an instance (see [`Instance::stats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InstanceStats {
+    /// Number of streams `|S|`.
+    pub streams: usize,
+    /// Number of users `|U|`.
+    pub users: usize,
+    /// Number of server cost measures `m`.
+    pub measures: usize,
+    /// Maximum number of capacity constraints at any user, `m_c`.
+    pub max_user_measures: usize,
+    /// Number of positive-utility (user, stream) pairs.
+    pub interests: usize,
+    /// The input length proxy `n = |S| + |U| + #interests`.
+    pub input_length: usize,
+}
+
+/// An immutable `mmd` problem instance.
+///
+/// See the [module documentation](self) and the crate quick start for
+/// construction examples.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Instance {
+    name: String,
+    #[cfg_attr(feature = "serde", serde(with = "serde_inf_vec"))]
+    budgets: Vec<f64>,
+    stream_costs: Vec<Vec<f64>>,
+    users: Vec<UserSpec>,
+    /// Per stream: the users that derive positive utility from it, with that
+    /// utility. Kept sorted by user id.
+    audiences: Vec<Vec<(UserId, f64)>>,
+    dropped_interests: usize,
+}
+
+impl Instance {
+    /// Starts building an instance with the given (diagnostic) name.
+    pub fn builder(name: impl Into<String>) -> InstanceBuilder {
+        InstanceBuilder {
+            name: name.into(),
+            budgets: Vec::new(),
+            stream_costs: Vec::new(),
+            users: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Diagnostic name of the instance.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of streams `|S|`.
+    pub fn num_streams(&self) -> usize {
+        self.stream_costs.len()
+    }
+
+    /// Number of users `|U|`.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of server cost measures `m`.
+    pub fn num_measures(&self) -> usize {
+        self.budgets.len()
+    }
+
+    /// Iterator over all stream ids in order.
+    pub fn streams(&self) -> impl Iterator<Item = StreamId> + '_ {
+        (0..self.num_streams()).map(StreamId::new)
+    }
+
+    /// Iterator over all user ids in order.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        (0..self.num_users()).map(UserId::new)
+    }
+
+    /// The server budget `B_i` (may be `f64::INFINITY`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measure >= m`.
+    pub fn budget(&self, measure: usize) -> f64 {
+        self.budgets[measure]
+    }
+
+    /// All server budgets.
+    pub fn budgets(&self) -> &[f64] {
+        &self.budgets
+    }
+
+    /// The cost `c_i(S)` of one stream in one measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream id or measure is out of range.
+    pub fn cost(&self, stream: StreamId, measure: usize) -> f64 {
+        self.stream_costs[stream.index()][measure]
+    }
+
+    /// All costs of one stream (length `m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream id is out of range.
+    pub fn costs(&self, stream: StreamId) -> &[f64] {
+        &self.stream_costs[stream.index()]
+    }
+
+    /// The specification of one user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user id is out of range.
+    pub fn user(&self, user: UserId) -> &UserSpec {
+        &self.users[user.index()]
+    }
+
+    /// The utility `w_u(S)`; zero when the user has no interest in the
+    /// stream.
+    pub fn utility(&self, user: UserId, stream: StreamId) -> f64 {
+        self.users[user.index()]
+            .interest(stream)
+            .map_or(0.0, |i| i.utility)
+    }
+
+    /// The load `k^u_j(S)`; zero when the user has no interest in the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user exists but `measure >= m_c(u)` while the user has
+    /// an interest in the stream.
+    pub fn load(&self, user: UserId, stream: StreamId, measure: usize) -> f64 {
+        self.users[user.index()]
+            .interest(stream)
+            .map_or(0.0, |i| i.loads[measure])
+    }
+
+    /// The users that derive positive utility from `stream`, with that
+    /// utility, sorted by user id.
+    pub fn audience(&self, stream: StreamId) -> &[(UserId, f64)] {
+        &self.audiences[stream.index()]
+    }
+
+    /// Total raw utility `w(S) = Σ_u w_u(S)` of one stream (Fig. 2).
+    pub fn stream_total_utility(&self, stream: StreamId) -> f64 {
+        self.audiences[stream.index()].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Capped utility of transmitting only `stream`:
+    /// `Σ_u min(W_u, w_u(S))` — the value of the `A_max` single-stream
+    /// assignment of §2.2.
+    pub fn singleton_utility(&self, stream: StreamId) -> f64 {
+        self.audiences[stream.index()]
+            .iter()
+            .map(|&(u, w)| w.min(self.users[u.index()].utility_cap))
+            .sum()
+    }
+
+    /// Maximum number of capacity constraints at any user (`m_c` in the
+    /// paper's theorem statements). Zero when no user has capacities.
+    pub fn max_user_measures(&self) -> usize {
+        self.users
+            .iter()
+            .map(UserSpec::num_capacities)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of positive-utility (user, stream) pairs.
+    pub fn num_interests(&self) -> usize {
+        self.users.iter().map(|u| u.interests.len()).sum()
+    }
+
+    /// The input-length proxy `n = |S| + |U| + #interests` used in the
+    /// paper's running-time statements.
+    pub fn input_length(&self) -> usize {
+        self.num_streams() + self.num_users() + self.num_interests()
+    }
+
+    /// Number of interests dropped at build time because a load exceeded the
+    /// user's capacity (the paper's assumption `w_u(S) = 0` if
+    /// `k^u_j(S) > K^u_j`) or because the utility was zero.
+    pub fn dropped_interests(&self) -> usize {
+        self.dropped_interests
+    }
+
+    /// `true` when the instance is a single-budget instance (`smd`):
+    /// one server measure and at most one capacity constraint per user.
+    pub fn is_single_budget(&self) -> bool {
+        self.num_measures() == 1 && self.max_user_measures() <= 1
+    }
+
+    /// `true` when there are no streams or no users.
+    pub fn is_empty(&self) -> bool {
+        self.num_streams() == 0 || self.num_users() == 0
+    }
+
+    /// Re-validates the model assumptions on an instance that was obtained
+    /// without the builder (e.g. deserialized from disk): cost vector
+    /// lengths, `c_i(S) ≤ B_i`, load vector lengths, nonnegative finite
+    /// values, interests sorted by stream with positive utility within
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated assumption.
+    pub fn validate(&self) -> Result<(), BuildError> {
+        let rebuilt = {
+            let mut b = Instance::builder(self.name.clone()).server_budgets(self.budgets.clone());
+            for costs in &self.stream_costs {
+                b.add_stream(costs.clone());
+            }
+            for (ui, spec) in self.users.iter().enumerate() {
+                let u = b.add_user(spec.utility_cap, spec.capacities.clone());
+                debug_assert_eq!(u.index(), ui);
+                for interest in &spec.interests {
+                    b.add_interest(u, interest.stream, interest.utility, interest.loads.clone())?;
+                }
+            }
+            b.build()?
+        };
+        if rebuilt.dropped_interests > 0 {
+            return Err(BuildError::InvalidValue {
+                what: "interest (zero utility or load above capacity)",
+                value: rebuilt.dropped_interests as f64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> InstanceStats {
+        InstanceStats {
+            streams: self.num_streams(),
+            users: self.num_users(),
+            measures: self.num_measures(),
+            max_user_measures: self.max_user_measures(),
+            interests: self.num_interests(),
+            input_length: self.input_length(),
+        }
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "{}: {} streams, {} users, m={}, m_c={}, {} interests",
+            self.name, s.streams, s.users, s.measures, s.max_user_measures, s.interests
+        )
+    }
+}
+
+/// Incremental builder for [`Instance`] (see crate-level example).
+///
+/// Call [`server_budgets`](Self::server_budgets) once, then
+/// [`add_stream`](Self::add_stream) / [`add_user`](Self::add_user) /
+/// [`add_interest`](Self::add_interest) in any order (streams and users must
+/// exist before interests referencing them), and finish with
+/// [`build`](Self::build).
+#[derive(Clone, Debug)]
+pub struct InstanceBuilder {
+    name: String,
+    budgets: Vec<f64>,
+    stream_costs: Vec<Vec<f64>>,
+    users: Vec<UserSpec>,
+    seen: HashSet<(usize, usize)>,
+}
+
+impl InstanceBuilder {
+    /// Declares the server budgets `B_1..B_m`, fixing the number of cost
+    /// measures `m`. Use `f64::INFINITY` for unconstrained measures.
+    #[must_use]
+    pub fn server_budgets(mut self, budgets: Vec<f64>) -> Self {
+        self.budgets = budgets;
+        self
+    }
+
+    /// Adds a stream with costs `c_1(S)..c_m(S)` and returns its id.
+    pub fn add_stream(&mut self, costs: Vec<f64>) -> StreamId {
+        let id = StreamId::new(self.stream_costs.len());
+        self.stream_costs.push(costs);
+        id
+    }
+
+    /// Adds a user with utility cap `W_u` and capacities `K^u_1..K^u_{m_c}`,
+    /// returning its id. Pass an empty capacity vector for a user limited
+    /// only by its utility cap.
+    pub fn add_user(&mut self, utility_cap: f64, capacities: Vec<f64>) -> UserId {
+        let id = UserId::new(self.users.len());
+        self.users.push(UserSpec {
+            utility_cap,
+            capacities,
+            interests: Vec::new(),
+        });
+        id
+    }
+
+    /// Declares that `user` derives `utility` from `stream`, loading the
+    /// user's capacity measures by `loads` (must match the user's `m_c`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownStream`] / [`BuildError::UnknownUser`]
+    /// for dangling ids, [`BuildError::DuplicateInterest`] when the pair was
+    /// already declared, and [`BuildError::LoadLenMismatch`] when `loads`
+    /// does not match the user's number of capacities.
+    pub fn add_interest(
+        &mut self,
+        user: UserId,
+        stream: StreamId,
+        utility: f64,
+        loads: Vec<f64>,
+    ) -> Result<(), BuildError> {
+        if stream.index() >= self.stream_costs.len() {
+            return Err(BuildError::UnknownStream(stream));
+        }
+        if user.index() >= self.users.len() {
+            return Err(BuildError::UnknownUser(user));
+        }
+        if !self.seen.insert((user.index(), stream.index())) {
+            return Err(BuildError::DuplicateInterest { user, stream });
+        }
+        let spec = &mut self.users[user.index()];
+        if loads.len() != spec.capacities.len() {
+            return Err(BuildError::LoadLenMismatch {
+                user,
+                stream,
+                got: loads.len(),
+                expected: spec.capacities.len(),
+            });
+        }
+        spec.interests.push(Interest {
+            stream,
+            utility,
+            loads,
+        });
+        Ok(())
+    }
+
+    /// Validates and finalizes the instance.
+    ///
+    /// Interests whose utility is zero, or where some load exceeds the
+    /// user's capacity (the paper assumes `w_u(S) = 0` then), are dropped;
+    /// their count is available via [`Instance::dropped_interests`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when a cost vector has the wrong length,
+    /// a cost exceeds its budget (`c_i(S) ≤ B_i` is a model assumption), or
+    /// any value is negative/NaN.
+    pub fn build(self) -> Result<Instance, BuildError> {
+        let m = self.budgets.len();
+        for (i, &b) in self.budgets.iter().enumerate() {
+            if b.is_nan() || b < 0.0 {
+                let _ = i;
+                return Err(BuildError::InvalidValue {
+                    what: "server budget",
+                    value: b,
+                });
+            }
+        }
+        for (si, costs) in self.stream_costs.iter().enumerate() {
+            let stream = StreamId::new(si);
+            if costs.len() != m {
+                return Err(BuildError::CostLenMismatch {
+                    stream,
+                    got: costs.len(),
+                    expected: m,
+                });
+            }
+            for (i, &c) in costs.iter().enumerate() {
+                if !c.is_finite() || c < 0.0 {
+                    return Err(BuildError::InvalidValue {
+                        what: "stream cost",
+                        value: c,
+                    });
+                }
+                if !num::approx_le(c, self.budgets[i]) {
+                    return Err(BuildError::CostExceedsBudget {
+                        stream,
+                        measure: i,
+                        cost: c,
+                        budget: self.budgets[i],
+                    });
+                }
+            }
+        }
+        let mut dropped = 0usize;
+        let mut users = self.users;
+        for spec in &mut users {
+            if spec.utility_cap.is_nan() || spec.utility_cap < 0.0 {
+                return Err(BuildError::InvalidValue {
+                    what: "utility cap",
+                    value: spec.utility_cap,
+                });
+            }
+            for &k in &spec.capacities {
+                if k.is_nan() || k < 0.0 {
+                    return Err(BuildError::InvalidValue {
+                        what: "user capacity",
+                        value: k,
+                    });
+                }
+            }
+            for interest in &spec.interests {
+                if !interest.utility.is_finite() || interest.utility < 0.0 {
+                    return Err(BuildError::InvalidValue {
+                        what: "utility",
+                        value: interest.utility,
+                    });
+                }
+                for &l in &interest.loads {
+                    if !l.is_finite() || l < 0.0 {
+                        return Err(BuildError::InvalidValue {
+                            what: "load",
+                            value: l,
+                        });
+                    }
+                }
+            }
+            let before = spec.interests.len();
+            let caps = spec.capacities.clone();
+            spec.interests.retain(|interest| {
+                interest.utility > 0.0
+                    && interest
+                        .loads
+                        .iter()
+                        .zip(&caps)
+                        .all(|(&l, &k)| num::approx_le(l, k))
+            });
+            dropped += before - spec.interests.len();
+            spec.interests.sort_by_key(Interest::stream);
+        }
+        let mut audiences = vec![Vec::new(); self.stream_costs.len()];
+        for (ui, spec) in users.iter().enumerate() {
+            for interest in &spec.interests {
+                audiences[interest.stream.index()].push((UserId::new(ui), interest.utility));
+            }
+        }
+        Ok(Instance {
+            name: self.name,
+            budgets: self.budgets,
+            stream_costs: self.stream_costs,
+            users,
+            audiences,
+            dropped_interests: dropped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Instance {
+        let mut b = Instance::builder("tiny").server_budgets(vec![10.0, 4.0]);
+        let s0 = b.add_stream(vec![2.0, 1.0]);
+        let s1 = b.add_stream(vec![8.0, 3.0]);
+        let u0 = b.add_user(6.0, vec![12.0]);
+        let u1 = b.add_user(3.0, vec![]);
+        b.add_interest(u0, s0, 2.0, vec![2.0]).unwrap();
+        b.add_interest(u0, s1, 5.0, vec![8.0]).unwrap();
+        b.add_interest(u1, s1, 4.0, vec![]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let inst = tiny();
+        assert_eq!(inst.num_streams(), 2);
+        assert_eq!(inst.num_users(), 2);
+        assert_eq!(inst.num_measures(), 2);
+        assert_eq!(inst.max_user_measures(), 1);
+        assert_eq!(inst.num_interests(), 3);
+        assert_eq!(inst.input_length(), 2 + 2 + 3);
+        assert_eq!(inst.budget(1), 4.0);
+        assert_eq!(inst.cost(StreamId::new(1), 0), 8.0);
+        assert_eq!(inst.utility(UserId::new(0), StreamId::new(1)), 5.0);
+        assert_eq!(inst.load(UserId::new(0), StreamId::new(1), 0), 8.0);
+        assert_eq!(inst.utility(UserId::new(1), StreamId::new(0)), 0.0);
+    }
+
+    #[test]
+    fn audience_is_sorted_and_positive() {
+        let inst = tiny();
+        let aud = inst.audience(StreamId::new(1));
+        assert_eq!(aud.len(), 2);
+        assert!(aud[0].0 < aud[1].0);
+    }
+
+    #[test]
+    fn stream_utilities() {
+        let inst = tiny();
+        assert_eq!(inst.stream_total_utility(StreamId::new(1)), 9.0);
+        // u1 is capped at 3.0 < 4.0.
+        assert_eq!(inst.singleton_utility(StreamId::new(1)), 5.0 + 3.0);
+    }
+
+    #[test]
+    fn drops_interest_exceeding_capacity() {
+        let mut b = Instance::builder("drop").server_budgets(vec![10.0]);
+        let s = b.add_stream(vec![1.0]);
+        let u = b.add_user(5.0, vec![1.0]);
+        // Load 2.0 > capacity 1.0: the paper assumes w_u(S) = 0 then.
+        b.add_interest(u, s, 3.0, vec![2.0]).unwrap();
+        let inst = b.build().unwrap();
+        assert_eq!(inst.num_interests(), 0);
+        assert_eq!(inst.dropped_interests(), 1);
+        assert_eq!(inst.utility(u, s), 0.0);
+    }
+
+    #[test]
+    fn drops_zero_utility_interest() {
+        let mut b = Instance::builder("zero").server_budgets(vec![10.0]);
+        let s = b.add_stream(vec![1.0]);
+        let u = b.add_user(5.0, vec![]);
+        b.add_interest(u, s, 0.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        assert_eq!(inst.num_interests(), 0);
+        assert_eq!(inst.dropped_interests(), 1);
+    }
+
+    #[test]
+    fn rejects_cost_exceeding_budget() {
+        let mut b = Instance::builder("bad").server_budgets(vec![5.0]);
+        b.add_stream(vec![6.0]);
+        match b.build() {
+            Err(BuildError::CostExceedsBudget { measure: 0, .. }) => {}
+            other => panic!("expected CostExceedsBudget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_cost_len_mismatch() {
+        let mut b = Instance::builder("bad").server_budgets(vec![5.0, 5.0]);
+        b.add_stream(vec![1.0]);
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::CostLenMismatch {
+                got: 1,
+                expected: 2,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_load_len_mismatch() {
+        let mut b = Instance::builder("bad").server_budgets(vec![5.0]);
+        let s = b.add_stream(vec![1.0]);
+        let u = b.add_user(1.0, vec![1.0, 2.0]);
+        let err = b.add_interest(u, s, 1.0, vec![1.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::LoadLenMismatch {
+                got: 1,
+                expected: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_interest() {
+        let mut b = Instance::builder("dup").server_budgets(vec![5.0]);
+        let s = b.add_stream(vec![1.0]);
+        let u = b.add_user(1.0, vec![]);
+        b.add_interest(u, s, 1.0, vec![]).unwrap();
+        assert!(matches!(
+            b.add_interest(u, s, 2.0, vec![]),
+            Err(BuildError::DuplicateInterest { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_dangling_ids() {
+        let mut b = Instance::builder("dangling").server_budgets(vec![5.0]);
+        let s = b.add_stream(vec![1.0]);
+        let u = b.add_user(1.0, vec![]);
+        assert!(matches!(
+            b.add_interest(u, StreamId::new(9), 1.0, vec![]),
+            Err(BuildError::UnknownStream(_))
+        ));
+        assert!(matches!(
+            b.add_interest(UserId::new(9), s, 1.0, vec![]),
+            Err(BuildError::UnknownUser(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_and_nan_values() {
+        let mut b = Instance::builder("neg").server_budgets(vec![5.0]);
+        b.add_stream(vec![-1.0]);
+        assert!(matches!(b.build(), Err(BuildError::InvalidValue { .. })));
+
+        let mut b = Instance::builder("nan").server_budgets(vec![f64::NAN]);
+        b.add_stream(vec![1.0]);
+        assert!(matches!(b.build(), Err(BuildError::InvalidValue { .. })));
+    }
+
+    #[test]
+    fn infinite_budget_allows_any_cost() {
+        let mut b = Instance::builder("inf").server_budgets(vec![f64::INFINITY]);
+        b.add_stream(vec![1e12]);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn single_budget_detection() {
+        let inst = tiny();
+        assert!(!inst.is_single_budget());
+        let mut b = Instance::builder("smd").server_budgets(vec![5.0]);
+        let s = b.add_stream(vec![1.0]);
+        let u = b.add_user(1.0, vec![2.0]);
+        b.add_interest(u, s, 1.0, vec![1.0]).unwrap();
+        let inst = b.build().unwrap();
+        assert!(inst.is_single_budget());
+    }
+
+    #[test]
+    fn empty_instance_detection() {
+        let b = Instance::builder("empty").server_budgets(vec![1.0]);
+        let inst = b.build().unwrap();
+        assert!(inst.is_empty());
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let inst = tiny();
+        let text = inst.to_string();
+        assert!(text.contains("2 streams"));
+        assert!(text.contains("m=2"));
+    }
+
+    #[test]
+    fn interests_sorted_by_stream() {
+        let mut b = Instance::builder("sorted").server_budgets(vec![10.0]);
+        let s0 = b.add_stream(vec![1.0]);
+        let s1 = b.add_stream(vec![1.0]);
+        let s2 = b.add_stream(vec![1.0]);
+        let u = b.add_user(10.0, vec![]);
+        b.add_interest(u, s2, 1.0, vec![]).unwrap();
+        b.add_interest(u, s0, 1.0, vec![]).unwrap();
+        b.add_interest(u, s1, 1.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let order: Vec<_> = inst
+            .user(u)
+            .interests()
+            .iter()
+            .map(|i| i.stream())
+            .collect();
+        assert_eq!(order, vec![s0, s1, s2]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Floating-point hygiene shared by the whole workspace.
+//!
+//! Costs, budgets, utilities and loads are nonnegative `f64` values
+//! (`f64::INFINITY` is a legal budget meaning "unconstrained"). Feasibility
+//! checks use a relative tolerance so that sums of costs that are *exactly*
+//! at budget do not flip infeasible due to rounding.
+
+/// Relative tolerance used by every feasibility comparison in the workspace.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` if `a ≤ b` up to relative tolerance [`EPS`].
+///
+/// Infinite `b` accepts everything; `NaN` on either side returns `false`.
+///
+/// ```
+/// use mmd_core::num::approx_le;
+/// assert!(approx_le(1.0 + 1e-12, 1.0));
+/// assert!(!approx_le(1.1, 1.0));
+/// assert!(approx_le(42.0, f64::INFINITY));
+/// ```
+pub fn approx_le(a: f64, b: f64) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    if b.is_infinite() && b > 0.0 {
+        return true;
+    }
+    if a.is_infinite() {
+        return a < 0.0;
+    }
+    a <= b + EPS * b.abs().max(a.abs()).max(1.0)
+}
+
+/// Returns `true` if `a ≥ b` up to relative tolerance [`EPS`].
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    approx_le(b, a)
+}
+
+/// Returns `true` if `a` and `b` are equal up to relative tolerance [`EPS`].
+///
+/// ```
+/// use mmd_core::num::approx_eq;
+/// assert!(approx_eq(0.1 + 0.2, 0.3));
+/// assert!(!approx_eq(1.0, 1.001));
+/// ```
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    if a.is_infinite() && b.is_infinite() {
+        return a.signum() == b.signum();
+    }
+    (a - b).abs() <= EPS * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Strictly-positive test guarding against negative-zero and tiny noise.
+pub fn is_positive(a: f64) -> bool {
+    a > EPS
+}
+
+/// Maximum of a non-empty iterator of floats under total order.
+///
+/// Returns `None` on an empty iterator. `NaN` values are ignored.
+pub fn float_max<I: IntoIterator<Item = f64>>(iter: I) -> Option<f64> {
+    iter.into_iter()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+}
+
+/// Minimum of a non-empty iterator of floats under total order.
+///
+/// Returns `None` on an empty iterator. `NaN` values are ignored.
+pub fn float_min<I: IntoIterator<Item = f64>>(iter: I) -> Option<f64> {
+    iter.into_iter()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.min(x))))
+}
+
+/// `log₂` as used throughout the paper ("all logarithms are to base 2").
+pub fn log2(x: f64) -> f64 {
+    x.log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_le_basic() {
+        assert!(approx_le(1.0, 1.0));
+        assert!(approx_le(0.9, 1.0));
+        assert!(!approx_le(1.0 + 1e-6, 1.0));
+        assert!(approx_le(1.0 + 1e-12, 1.0));
+    }
+
+    #[test]
+    fn approx_le_infinite_budget() {
+        assert!(approx_le(1e300, f64::INFINITY));
+        assert!(!approx_le(f64::INFINITY, 1.0));
+    }
+
+    #[test]
+    fn approx_le_nan_rejects() {
+        assert!(!approx_le(f64::NAN, 1.0));
+        assert!(!approx_le(1.0, f64::NAN));
+    }
+
+    #[test]
+    fn approx_le_scales_with_magnitude() {
+        // Relative tolerance: near 1e12 an absolute slack of 1e-9 is not enough,
+        // the comparison must scale.
+        let b = 1e12;
+        assert!(approx_le(b + 1.0, b));
+        assert!(!approx_le(b * 1.001, b));
+    }
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(2.0, 2.0));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY));
+        assert!(!approx_eq(f64::INFINITY, f64::NEG_INFINITY));
+        assert!(!approx_eq(1.0, 2.0));
+    }
+
+    #[test]
+    fn float_extrema() {
+        assert_eq!(float_max([1.0, 3.0, 2.0]), Some(3.0));
+        assert_eq!(float_min([1.0, 3.0, 2.0]), Some(1.0));
+        assert_eq!(float_max(std::iter::empty()), None);
+        assert_eq!(float_min(std::iter::empty()), None);
+        // NaN is skipped rather than poisoning the result.
+        assert_eq!(float_max([f64::NAN, 2.0]), Some(2.0));
+    }
+
+    #[test]
+    fn is_positive_rejects_noise() {
+        assert!(is_positive(0.5));
+        assert!(!is_positive(0.0));
+        assert!(!is_positive(-1.0));
+        assert!(!is_positive(EPS / 2.0));
+    }
+
+    #[test]
+    fn log2_matches_std() {
+        assert!(approx_eq(log2(8.0), 3.0));
+    }
+}

@@ -1,0 +1,335 @@
+//! Skew measures of an instance: the **local skew** `α` (§3) and the
+//! **global skew** `γ` (§5, eq. (1)).
+//!
+//! For a user `u` and capacity measure `j`, compare streams by their
+//! cost-benefit ratio `w_u(S) / k^u_j(S)` (utility per unit load). The local
+//! skew of `u` at `j` is the ratio between the largest and smallest such
+//! ratios (over streams with `w_u(S) > 0`); the local skew `α` of the
+//! instance is the maximum over all users and measures. `α = 1` iff every
+//! user's loads are proportional to its utilities — the "unit skew" case
+//! solved by the §2 algorithms.
+//!
+//! The global skew `γ` additionally compares streams *across* users and
+//! against the server cost measures; it calibrates the online algorithm's
+//! exponential cost functions (§5).
+
+use crate::error::SolveError;
+use crate::ids::UserId;
+use crate::instance::Instance;
+use crate::num;
+
+/// Local skew of one user at one of its capacity measures.
+///
+/// Returns:
+/// * `None` when the measure is vacuous for the user (no interest has a
+///   positive load there, or the user has no interests);
+/// * `Some(f64::INFINITY)` when some interest has positive utility but zero
+///   load at the measure while another has positive load (incomparable
+///   ratios);
+/// * `Some(α_{u,j} ≥ 1)` otherwise.
+pub fn user_measure_skew(instance: &Instance, user: UserId, measure: usize) -> Option<f64> {
+    let spec = instance.user(user);
+    let mut min_ratio = f64::INFINITY;
+    let mut max_ratio: f64 = 0.0;
+    let mut any_positive_load = false;
+    let mut any_zero_load = false;
+    for interest in spec.interests() {
+        let k = interest.loads()[measure];
+        if num::is_positive(k) {
+            any_positive_load = true;
+            let r = interest.utility() / k;
+            min_ratio = min_ratio.min(r);
+            max_ratio = max_ratio.max(r);
+        } else {
+            any_zero_load = true;
+        }
+    }
+    if !any_positive_load {
+        return None;
+    }
+    if any_zero_load {
+        return Some(f64::INFINITY);
+    }
+    Some(max_ratio / min_ratio)
+}
+
+/// The local skew `α` of the instance (§3): maximum of
+/// [`user_measure_skew`] over all users and capacity measures. Users with no
+/// capacity constraints contribute 1 (they are limited only by their utility
+/// cap).
+///
+/// Always `≥ 1`; equals 1 iff all load functions are proportional to the
+/// utilities. `f64::INFINITY` signals a degenerate mix of zero and positive
+/// loads for the same user/measure.
+pub fn local_skew(instance: &Instance) -> f64 {
+    let mut alpha: f64 = 1.0;
+    for u in instance.users() {
+        for j in 0..instance.user(u).num_capacities() {
+            if let Some(a) = user_measure_skew(instance, u, j) {
+                alpha = alpha.max(a);
+            }
+        }
+    }
+    alpha
+}
+
+/// Result of the eq.-(1) normalization: the global skew `γ` and the scale
+/// factors that achieve `1 ≤ (Σ_{u∈X} w_u(S)) / ((m+|U|)·c_i(S)) ≤ γ` for
+/// every cost function `i ∈ M ∪ U` (server measures and users' virtual
+/// budgets).
+///
+/// Measures with an infinite budget/capacity never constrain the online
+/// algorithm and are excluded from both `γ` and the budget count.
+#[derive(Clone, Debug)]
+pub struct GlobalSkew {
+    /// The global skew `γ ≥ 1`.
+    pub gamma: f64,
+    /// `m + Σ_u m_c(u)` counting only finite budgets/capacities — the
+    /// `(m + |U|)` factor of eq. (1), generalized to `m_c ≥ 1`.
+    pub budget_count: usize,
+    /// Per server measure: multiply `c_i(S)` by this to satisfy eq. (1)
+    /// with lower bound exactly 1.
+    pub server_scales: Vec<f64>,
+    /// Per user, per capacity measure: multiply `k^u_j(S)` by this.
+    pub user_scales: Vec<Vec<f64>>,
+}
+
+/// Computes the global skew `γ` and normalization scales (eq. (1), §5).
+///
+/// For each server measure `i`, streams with `c_i(S) > 0` are compared by
+/// `Σ_{u ∈ X} w_u(S) / c_i(S)`; the minimum over nonempty `X ⊆ {u :
+/// w_u(S) > 0}` is attained by the least-utility single user and the maximum
+/// by the full audience. For a user's virtual budget the minimal `X`
+/// containing the user is `{u}` itself. Scales are chosen per measure so the
+/// lower bound of eq. (1) is exactly 1, which minimizes `γ`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::DegenerateSkew`] when a stream has positive cost in
+/// some measure but an empty audience (it can never be assigned, so eq. (1)
+/// cannot hold for it). Filter such streams out before calling.
+pub fn global_skew(instance: &Instance) -> Result<GlobalSkew, SolveError> {
+    let m = instance.num_measures();
+    let mut budget_count = 0usize;
+    for i in 0..m {
+        if instance.budget(i).is_finite() {
+            budget_count += 1;
+        }
+    }
+    for u in instance.users() {
+        budget_count += instance
+            .user(u)
+            .capacities()
+            .iter()
+            .filter(|k| k.is_finite())
+            .count();
+    }
+    let t = budget_count.max(1) as f64;
+
+    let mut gamma: f64 = 1.0;
+    let mut server_scales = vec![1.0; m];
+    for (i, scale) in server_scales.iter_mut().enumerate() {
+        if !instance.budget(i).is_finite() {
+            continue;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for s in instance.streams() {
+            let c = instance.cost(s, i);
+            if !num::is_positive(c) {
+                continue;
+            }
+            let audience = instance.audience(s);
+            if audience.is_empty() {
+                return Err(SolveError::DegenerateSkew {
+                    detail: format!(
+                        "stream {s} has positive cost in measure {i} but no interested user"
+                    ),
+                });
+            }
+            let min_w = num::float_min(audience.iter().map(|&(_, w)| w)).unwrap_or(0.0);
+            let sum_w: f64 = audience.iter().map(|&(_, w)| w).sum();
+            lo = lo.min(min_w / (t * c));
+            hi = hi.max(sum_w / (t * c));
+        }
+        if lo.is_finite() && num::is_positive(lo) {
+            gamma = gamma.max(hi / lo);
+            *scale = lo;
+        }
+    }
+
+    let mut user_scales = Vec::with_capacity(instance.num_users());
+    for u in instance.users() {
+        let spec = instance.user(u);
+        let mut scales = vec![1.0; spec.num_capacities()];
+        for (j, scale) in scales.iter_mut().enumerate() {
+            if !spec.capacities()[j].is_finite() {
+                continue;
+            }
+            let mut lo = f64::INFINITY;
+            let mut hi: f64 = 0.0;
+            for interest in spec.interests() {
+                let k = interest.loads()[j];
+                if !num::is_positive(k) {
+                    continue;
+                }
+                let s = interest.stream();
+                let sum_w: f64 = instance.audience(s).iter().map(|&(_, w)| w).sum();
+                lo = lo.min(interest.utility() / (t * k));
+                hi = hi.max(sum_w / (t * k));
+            }
+            if lo.is_finite() && num::is_positive(lo) {
+                gamma = gamma.max(hi / lo);
+                *scale = lo;
+            }
+        }
+        user_scales.push(scales);
+    }
+
+    Ok(GlobalSkew {
+        gamma,
+        budget_count,
+        server_scales,
+        user_scales,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::StreamId;
+
+    fn build(utilities_loads: &[(f64, f64)], cap: f64) -> Instance {
+        let mut b = Instance::builder("skew").server_budgets(vec![100.0]);
+        let u = b.add_user(f64::INFINITY, vec![cap]);
+        for &(w, k) in utilities_loads {
+            let s = b.add_stream(vec![1.0]);
+            b.add_interest(u, s, w, vec![k]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unit_skew_when_proportional() {
+        let inst = build(&[(2.0, 1.0), (4.0, 2.0), (8.0, 4.0)], 100.0);
+        assert!(num::approx_eq(local_skew(&inst), 1.0));
+    }
+
+    #[test]
+    fn skew_is_max_over_min_ratio() {
+        // Ratios 2/1 = 2 and 8/1 = 8 -> alpha = 4.
+        let inst = build(&[(2.0, 1.0), (8.0, 1.0)], 100.0);
+        assert!(num::approx_eq(local_skew(&inst), 4.0));
+    }
+
+    #[test]
+    fn zero_load_with_positive_load_is_infinite() {
+        let inst = build(&[(2.0, 0.0), (8.0, 1.0)], 100.0);
+        assert_eq!(local_skew(&inst), f64::INFINITY);
+    }
+
+    #[test]
+    fn all_zero_loads_is_vacuous() {
+        let inst = build(&[(2.0, 0.0), (8.0, 0.0)], 100.0);
+        assert!(num::approx_eq(local_skew(&inst), 1.0));
+        assert_eq!(user_measure_skew(&inst, UserId::new(0), 0), None);
+    }
+
+    #[test]
+    fn users_without_capacities_contribute_one() {
+        let mut b = Instance::builder("nocap").server_budgets(vec![10.0]);
+        let s = b.add_stream(vec![1.0]);
+        let u = b.add_user(5.0, vec![]);
+        b.add_interest(u, s, 3.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        assert!(num::approx_eq(local_skew(&inst), 1.0));
+    }
+
+    #[test]
+    fn skew_maximizes_over_users_and_measures() {
+        let mut b = Instance::builder("multi").server_budgets(vec![10.0]);
+        let s0 = b.add_stream(vec![1.0]);
+        let s1 = b.add_stream(vec![1.0]);
+        let u0 = b.add_user(f64::INFINITY, vec![10.0, 10.0]);
+        let u1 = b.add_user(f64::INFINITY, vec![10.0]);
+        // u0: measure 0 has skew 1, measure 1 has skew 8.
+        b.add_interest(u0, s0, 2.0, vec![2.0, 1.0]).unwrap();
+        b.add_interest(u0, s1, 4.0, vec![4.0, 0.25]).unwrap();
+        // u1: skew 2.
+        b.add_interest(u1, s0, 2.0, vec![1.0]).unwrap();
+        b.add_interest(u1, s1, 4.0, vec![1.0]).unwrap();
+        let inst = b.build().unwrap();
+        assert!(num::approx_eq(local_skew(&inst), 8.0));
+    }
+
+    #[test]
+    fn global_skew_counts_finite_budgets() {
+        let mut b = Instance::builder("g").server_budgets(vec![10.0, f64::INFINITY]);
+        let s = b.add_stream(vec![1.0, 5.0]);
+        let u0 = b.add_user(f64::INFINITY, vec![4.0]);
+        let u1 = b.add_user(f64::INFINITY, vec![f64::INFINITY]);
+        b.add_interest(u0, s, 2.0, vec![1.0]).unwrap();
+        b.add_interest(u1, s, 6.0, vec![1.0]).unwrap();
+        let inst = b.build().unwrap();
+        let g = global_skew(&inst).unwrap();
+        // Finite budgets: server measure 0 and u0's capacity.
+        assert_eq!(g.budget_count, 2);
+        assert!(g.gamma >= 1.0);
+    }
+
+    #[test]
+    fn global_skew_of_symmetric_instance_is_small() {
+        // One stream, one user, utility 2, cost 1, load 1: X = {u} only, so
+        // lo = hi for both measures and gamma = 1.
+        let mut b = Instance::builder("sym").server_budgets(vec![10.0]);
+        let s = b.add_stream(vec![1.0]);
+        let u = b.add_user(f64::INFINITY, vec![4.0]);
+        b.add_interest(u, s, 2.0, vec![1.0]).unwrap();
+        let inst = b.build().unwrap();
+        let g = global_skew(&inst).unwrap();
+        assert!(num::approx_eq(g.gamma, 1.0), "gamma = {}", g.gamma);
+        // Scale normalizes w/(T c) to exactly 1: T = 2, w = 2, c = 1 -> scale 1.
+        assert!(num::approx_eq(g.server_scales[0], 1.0));
+    }
+
+    #[test]
+    fn global_skew_grows_with_utility_spread() {
+        let mut b = Instance::builder("spread").server_budgets(vec![100.0]);
+        let cheap = b.add_stream(vec![1.0]);
+        let dear = b.add_stream(vec![1.0]);
+        let u = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u, cheap, 1.0, vec![]).unwrap();
+        b.add_interest(u, dear, 64.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let g = global_skew(&inst).unwrap();
+        assert!(num::approx_eq(g.gamma, 64.0), "gamma = {}", g.gamma);
+    }
+
+    #[test]
+    fn global_skew_rejects_audienceless_costly_stream() {
+        let mut b = Instance::builder("orphan").server_budgets(vec![10.0]);
+        b.add_stream(vec![1.0]);
+        b.add_user(1.0, vec![]);
+        let inst = b.build().unwrap();
+        assert!(matches!(
+            global_skew(&inst),
+            Err(SolveError::DegenerateSkew { .. })
+        ));
+    }
+
+    #[test]
+    fn global_dominates_local() {
+        // gamma >= alpha on a shared instance (paper remark).
+        let mut b = Instance::builder("dom").server_budgets(vec![100.0]);
+        let s0 = b.add_stream(vec![1.0]);
+        let s1 = b.add_stream(vec![1.0]);
+        let u = b.add_user(f64::INFINITY, vec![50.0]);
+        b.add_interest(u, s0, 2.0, vec![1.0]).unwrap();
+        b.add_interest(u, s1, 8.0, vec![1.0]).unwrap();
+        let inst = b.build().unwrap();
+        let alpha = local_skew(&inst);
+        let gamma = global_skew(&inst).unwrap().gamma;
+        assert!(gamma >= alpha - 1e-12, "gamma {gamma} < alpha {alpha}");
+        let _ = StreamId::new(0);
+    }
+}

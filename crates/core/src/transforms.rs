@@ -1,0 +1,259 @@
+//! Instance transformations: sub-instances, scaling, and measure
+//! restriction.
+//!
+//! These are the generic building blocks the §3/§4 reductions specialize;
+//! they are exposed because downstream users routinely need them (e.g.
+//! restricting a head-end problem to the streams currently on air, or
+//! stress-testing with scaled budgets).
+
+use crate::ids::{StreamId, UserId};
+use crate::instance::Instance;
+use std::collections::BTreeMap;
+
+/// Mapping between an original instance and a sub-instance produced by
+/// [`subinstance`].
+#[derive(Clone, Debug, Default)]
+pub struct IdMap {
+    /// `new stream id (dense) -> original stream id`.
+    pub streams: Vec<StreamId>,
+    /// `new user id (dense) -> original user id`.
+    pub users: Vec<UserId>,
+}
+
+impl IdMap {
+    /// Translates a sub-instance stream id back to the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for the sub-instance.
+    pub fn original_stream(&self, s: StreamId) -> StreamId {
+        self.streams[s.index()]
+    }
+
+    /// Translates a sub-instance user id back to the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for the sub-instance.
+    pub fn original_user(&self, u: UserId) -> UserId {
+        self.users[u.index()]
+    }
+}
+
+/// Builds the sub-instance induced by subsets of streams and users
+/// (both given in original ids; order is preserved, ids are re-densified).
+/// Budgets, caps, capacities and all surviving interests are copied.
+///
+/// Returns the sub-instance and the [`IdMap`] back to the original ids.
+///
+/// # Panics
+///
+/// Panics if a referenced id is out of range.
+pub fn subinstance(
+    instance: &Instance,
+    streams: &[StreamId],
+    users: &[UserId],
+) -> (Instance, IdMap) {
+    let mut b = Instance::builder(format!("{}#sub", instance.name()))
+        .server_budgets(instance.budgets().to_vec());
+    let mut stream_new: BTreeMap<StreamId, StreamId> = BTreeMap::new();
+    for &s in streams {
+        let ns = b.add_stream(instance.costs(s).to_vec());
+        stream_new.insert(s, ns);
+    }
+    let mut users_kept = Vec::with_capacity(users.len());
+    for &u in users {
+        let spec = instance.user(u);
+        let nu = b.add_user(spec.utility_cap(), spec.capacities().to_vec());
+        users_kept.push((u, nu));
+    }
+    for &(u, nu) in &users_kept {
+        for interest in instance.user(u).interests() {
+            if let Some(&ns) = stream_new.get(&interest.stream()) {
+                b.add_interest(nu, ns, interest.utility(), interest.loads().to_vec())
+                    .expect("copied interests are unique");
+            }
+        }
+    }
+    let map = IdMap {
+        streams: streams.to_vec(),
+        users: users.iter().copied().collect(),
+    };
+    (b.build().expect("sub-instance inherits validity"), map)
+}
+
+/// Returns a copy of the instance with every server budget multiplied by
+/// `factor` (stress-testing / sensitivity analysis). Stream costs are
+/// unchanged; `factor < 1` may make previously-affordable streams violate
+/// `c_i(S) ≤ B_i`, in which case the offending costs are clamped to the new
+/// budget (documented deviation, counted in the return value).
+///
+/// # Panics
+///
+/// Panics if `factor` is not positive and finite.
+pub fn scale_budgets(instance: &Instance, factor: f64) -> (Instance, usize) {
+    assert!(
+        factor.is_finite() && factor > 0.0,
+        "factor must be positive and finite"
+    );
+    let budgets: Vec<f64> = instance.budgets().iter().map(|b| b * factor).collect();
+    let mut clamped = 0usize;
+    let mut b =
+        Instance::builder(format!("{}#x{factor}", instance.name())).server_budgets(budgets.clone());
+    for s in instance.streams() {
+        let costs: Vec<f64> = instance
+            .costs(s)
+            .iter()
+            .zip(&budgets)
+            .map(|(&c, &bud)| {
+                if c > bud {
+                    clamped += 1;
+                    bud
+                } else {
+                    c
+                }
+            })
+            .collect();
+        b.add_stream(costs);
+    }
+    for u in instance.users() {
+        let spec = instance.user(u);
+        b.add_user(spec.utility_cap(), spec.capacities().to_vec());
+    }
+    for u in instance.users() {
+        for interest in instance.user(u).interests() {
+            b.add_interest(
+                u,
+                interest.stream(),
+                interest.utility(),
+                interest.loads().to_vec(),
+            )
+            .expect("copied interests are unique");
+        }
+    }
+    (b.build().expect("scaled instance is valid"), clamped)
+}
+
+/// Projects a multi-budget instance onto a single server measure, dropping
+/// all others (the "what if only bandwidth mattered" view). User capacities
+/// are kept.
+///
+/// # Panics
+///
+/// Panics if `measure` is out of range.
+pub fn restrict_to_measure(instance: &Instance, measure: usize) -> Instance {
+    assert!(measure < instance.num_measures(), "measure out of range");
+    let mut b = Instance::builder(format!("{}#m{measure}", instance.name()))
+        .server_budgets(vec![instance.budget(measure)]);
+    for s in instance.streams() {
+        b.add_stream(vec![instance.cost(s, measure)]);
+    }
+    for u in instance.users() {
+        let spec = instance.user(u);
+        b.add_user(spec.utility_cap(), spec.capacities().to_vec());
+    }
+    for u in instance.users() {
+        for interest in instance.user(u).interests() {
+            b.add_interest(
+                u,
+                interest.stream(),
+                interest.utility(),
+                interest.loads().to_vec(),
+            )
+            .expect("copied interests are unique");
+        }
+    }
+    b.build().expect("projection is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Instance {
+        let mut b = Instance::builder("t").server_budgets(vec![10.0, 4.0]);
+        let s0 = b.add_stream(vec![2.0, 1.0]);
+        let s1 = b.add_stream(vec![8.0, 3.0]);
+        let s2 = b.add_stream(vec![5.0, 2.0]);
+        let u0 = b.add_user(6.0, vec![12.0]);
+        let u1 = b.add_user(3.0, vec![]);
+        b.add_interest(u0, s0, 2.0, vec![2.0]).unwrap();
+        b.add_interest(u0, s1, 5.0, vec![8.0]).unwrap();
+        b.add_interest(u1, s1, 4.0, vec![]).unwrap();
+        b.add_interest(u1, s2, 1.0, vec![]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn subinstance_keeps_selected_edges() {
+        let inst = demo();
+        let (sub, map) = subinstance(
+            &inst,
+            &[StreamId::new(1), StreamId::new(2)],
+            &[UserId::new(1)],
+        );
+        assert_eq!(sub.num_streams(), 2);
+        assert_eq!(sub.num_users(), 1);
+        assert_eq!(sub.num_interests(), 2);
+        // New ids are dense; mapping recovers the originals.
+        assert_eq!(map.original_stream(StreamId::new(0)), StreamId::new(1));
+        assert_eq!(map.original_user(UserId::new(0)), UserId::new(1));
+        assert_eq!(sub.utility(UserId::new(0), StreamId::new(0)), 4.0);
+    }
+
+    #[test]
+    fn subinstance_drops_edges_to_missing_streams() {
+        let inst = demo();
+        let (sub, _) = subinstance(&inst, &[StreamId::new(0)], &[UserId::new(1)]);
+        // u1 has no interest in s0.
+        assert_eq!(sub.num_interests(), 0);
+    }
+
+    #[test]
+    fn scale_budgets_up_is_lossless() {
+        let inst = demo();
+        let (scaled, clamped) = scale_budgets(&inst, 2.0);
+        assert_eq!(clamped, 0);
+        assert_eq!(scaled.budget(0), 20.0);
+        assert_eq!(scaled.cost(StreamId::new(1), 0), 8.0);
+        assert_eq!(scaled.num_interests(), inst.num_interests());
+    }
+
+    #[test]
+    fn scale_budgets_down_clamps_costs() {
+        let inst = demo();
+        let (scaled, clamped) = scale_budgets(&inst, 0.5);
+        // s1 costs 8.0 > new budget 5.0 in measure 0; 3.0 > 2.0 in measure 1;
+        // s2 costs 5.0 <= 5.0 ok, 2.0 <= 2.0 ok.
+        assert!(clamped >= 2, "clamped = {clamped}");
+        assert!(scaled.cost(StreamId::new(1), 0) <= scaled.budget(0));
+    }
+
+    #[test]
+    fn restrict_to_measure_projects() {
+        let inst = demo();
+        let proj = restrict_to_measure(&inst, 1);
+        assert_eq!(proj.num_measures(), 1);
+        assert_eq!(proj.budget(0), 4.0);
+        assert_eq!(proj.cost(StreamId::new(1), 0), 3.0);
+        assert_eq!(proj.num_interests(), inst.num_interests());
+    }
+
+    #[test]
+    #[should_panic(expected = "measure out of range")]
+    fn restrict_rejects_bad_measure() {
+        restrict_to_measure(&demo(), 5);
+    }
+
+    #[test]
+    fn solving_a_projection_is_sound() {
+        use crate::algo::reduction::{solve_mmd, MmdConfig};
+        let inst = demo();
+        let proj = restrict_to_measure(&inst, 0);
+        let out = solve_mmd(&proj, &MmdConfig::default()).unwrap();
+        assert!(out.assignment.check_feasible(&proj).is_ok());
+        // Dropping a constraint can only help.
+        let full = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+        assert!(out.utility >= full.utility - 1e-9);
+    }
+}

@@ -1,0 +1,42 @@
+//! Exact solvers and upper bounds for `mmd` instances.
+//!
+//! The paper's theorems state ratios against the *optimal* solution; this
+//! crate computes that optimum on small instances (branch-and-bound /
+//! exhaustive search) and valid upper bounds on larger ones, so the
+//! benchmark harness can report **measured** approximation ratios.
+//!
+//! Two objectives are supported, mirroring §2's distinction:
+//!
+//! * [`Objective::SemiFeasible`] — the submodular capped utility `w(T)` over
+//!   server-feasible stream sets `T` (user capacities relaxed; coincides
+//!   with the best semi-feasible assignment). This upper-bounds the feasible
+//!   optimum, so ratios measured against it are conservative.
+//! * [`Objective::Feasible`] — full `mmd`: for every candidate `T`, each
+//!   user's best capacity-respecting subset of `T` is computed exactly.
+//!
+//! ```
+//! use mmd_core::Instance;
+//! use mmd_exact::{solve, ExactConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = Instance::builder("tiny").server_budgets(vec![2.0]);
+//! let s0 = b.add_stream(vec![1.0]);
+//! let s1 = b.add_stream(vec![1.0]);
+//! let s2 = b.add_stream(vec![1.0]);
+//! let u = b.add_user(f64::INFINITY, vec![]);
+//! b.add_interest(u, s0, 3.0, vec![])?;
+//! b.add_interest(u, s1, 5.0, vec![])?;
+//! b.add_interest(u, s2, 4.0, vec![])?;
+//! let inst = b.build()?;
+//! let opt = solve(&inst, &ExactConfig::default())?;
+//! assert_eq!(opt.value, 9.0); // s1 + s2
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bounds;
+mod solver;
+mod user_alloc;
+
+pub use solver::{solve, ExactConfig, ExactError, ExactResult, Objective};
+pub use user_alloc::best_user_allocation;

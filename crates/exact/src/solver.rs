@@ -1,0 +1,449 @@
+//! Branch-and-bound exact solver over server stream sets.
+//!
+//! Depth-first over streams (ordered by initial cost effectiveness for
+//! pruning power), maintaining per-measure costs and an incremental
+//! [`CoverageState`]; nodes are pruned by multi-budget feasibility and the
+//! fractional completion bound of [`crate::bounds`]. At each node the
+//! current set is evaluated under the chosen [`Objective`].
+
+use crate::bounds::fractional_completion_bound;
+use crate::user_alloc::best_user_allocation;
+use mmd_core::assignment::Assignment;
+use mmd_core::coverage::CoverageState;
+use mmd_core::ids::StreamId;
+use mmd_core::num;
+use mmd_core::Instance;
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// What "optimal" means for [`solve`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Optimal *semi-feasible* value: `max w(T)` over server-feasible `T`
+    /// (Lemma 2.1's submodular objective). Upper-bounds the feasible
+    /// optimum.
+    #[default]
+    SemiFeasible,
+    /// Optimal fully feasible value: user capacities enforced via exact
+    /// per-user allocation.
+    Feasible,
+}
+
+/// Configuration for [`solve`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExactConfig {
+    /// Objective to optimize.
+    pub objective: Objective,
+    /// Refuse instances with more streams than this (exponential blow-up
+    /// guard).
+    pub max_streams: usize,
+    /// Refuse [`Objective::Feasible`] instances where some user is
+    /// interested in more streams than this (per-node `O(2^d)` guard).
+    pub max_user_degree: usize,
+    /// Prune with the fractional completion bound (disable to get plain
+    /// exhaustive search — used to validate the bound itself).
+    pub use_bound: bool,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            objective: Objective::SemiFeasible,
+            max_streams: 26,
+            max_user_degree: 20,
+            use_bound: true,
+        }
+    }
+}
+
+/// Result of [`solve`]: the optimum value and a witness.
+#[derive(Clone, Debug)]
+pub struct ExactResult {
+    /// The optimal value under the configured objective.
+    pub value: f64,
+    /// The transmitted stream set attaining it.
+    pub server_set: BTreeSet<StreamId>,
+    /// A witness assignment attaining `value` (semi-feasible or feasible
+    /// according to the objective).
+    pub assignment: Assignment,
+    /// Number of search nodes explored (for bound-effectiveness tests).
+    pub nodes: u64,
+}
+
+/// Error raised when an instance exceeds the exponential-search guards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExactError {
+    /// Too many streams for exhaustive search.
+    TooManyStreams {
+        /// Streams in the instance.
+        streams: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A user's degree is too large for exact per-user allocation.
+    UserDegreeTooLarge {
+        /// The offending user's degree.
+        degree: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ExactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExactError::TooManyStreams { streams, limit } => {
+                write!(f, "instance has {streams} streams, exact limit is {limit}")
+            }
+            ExactError::UserDegreeTooLarge { degree, limit } => write!(
+                f,
+                "a user is interested in {degree} streams, exact limit is {limit}"
+            ),
+        }
+    }
+}
+
+impl Error for ExactError {}
+
+struct Search<'a> {
+    instance: &'a Instance,
+    config: ExactConfig,
+    /// Streams in branch order with surrogate costs.
+    order: Vec<(StreamId, f64)>,
+    budgets: Vec<f64>,
+    best_value: f64,
+    best_set: BTreeSet<StreamId>,
+    nodes: u64,
+}
+
+impl Search<'_> {
+    fn evaluate(&mut self, state: &CoverageState<'_>) {
+        let value = match self.config.objective {
+            Objective::SemiFeasible => state.value(),
+            Objective::Feasible => self
+                .instance
+                .users()
+                .map(|u| best_user_allocation(self.instance, u, state.set()).1)
+                .sum(),
+        };
+        if value > self.best_value {
+            self.best_value = value;
+            self.best_set = state.set().clone();
+        }
+    }
+
+    fn dfs(&mut self, idx: usize, costs: &mut Vec<f64>, state: &mut CoverageState<'_>) {
+        self.nodes += 1;
+        self.evaluate(state);
+        if idx == self.order.len() {
+            return;
+        }
+        if self.config.use_bound {
+            // Residual surrogate budget over the finite measures; with no
+            // finite measure the surrogate constraint is vacuous.
+            let any_finite = self.budgets.iter().any(|b| b.is_finite() && *b > 0.0);
+            let surrogate_remaining = if any_finite {
+                (0..self.budgets.len())
+                    .map(|i| {
+                        let b = self.budgets[i];
+                        if b.is_finite() && b > 0.0 {
+                            ((b - costs[i]) / b).max(0.0)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum::<f64>()
+            } else {
+                f64::INFINITY
+            };
+            let bound = fractional_completion_bound(state, &self.order[idx..], surrogate_remaining);
+            // The coverage bound is valid for both objectives (feasible <= semi).
+            if bound <= self.best_value + 1e-12 {
+                return;
+            }
+        }
+
+        let (s, _) = self.order[idx];
+        // Branch 1: include s if it fits every budget.
+        let fits = (0..self.budgets.len())
+            .all(|i| num::approx_le(costs[i] + self.instance.cost(s, i), self.budgets[i]));
+        if fits {
+            for (i, c) in costs.iter_mut().enumerate() {
+                *c += self.instance.cost(s, i);
+            }
+            state.add(s);
+            self.dfs(idx + 1, costs, state);
+            state.remove(s);
+            for (i, c) in costs.iter_mut().enumerate() {
+                *c -= self.instance.cost(s, i);
+            }
+        }
+        // Branch 2: exclude s.
+        self.dfs(idx + 1, costs, state);
+    }
+}
+
+/// Computes the exact optimum of an instance (see crate docs for an
+/// example).
+///
+/// # Errors
+///
+/// Returns [`ExactError`] when the instance exceeds the configured
+/// exponential-search guards.
+pub fn solve(instance: &Instance, config: &ExactConfig) -> Result<ExactResult, ExactError> {
+    if instance.num_streams() > config.max_streams {
+        return Err(ExactError::TooManyStreams {
+            streams: instance.num_streams(),
+            limit: config.max_streams,
+        });
+    }
+    if config.objective == Objective::Feasible {
+        for u in instance.users() {
+            let deg = instance.user(u).interests().len();
+            if deg > config.max_user_degree {
+                return Err(ExactError::UserDegreeTooLarge {
+                    degree: deg,
+                    limit: config.max_user_degree,
+                });
+            }
+        }
+    }
+
+    let finite: Vec<usize> = (0..instance.num_measures())
+        .filter(|&i| instance.budget(i).is_finite() && instance.budget(i) > 0.0)
+        .collect();
+    let surrogate_cost = |s: StreamId| -> f64 {
+        finite
+            .iter()
+            .map(|&i| instance.cost(s, i) / instance.budget(i))
+            .sum()
+    };
+    let mut order: Vec<(StreamId, f64)> =
+        instance.streams().map(|s| (s, surrogate_cost(s))).collect();
+    // Effective streams first: tightens the incumbent early.
+    order.sort_by(|a, b| {
+        let ea = density(instance, a.0, a.1);
+        let eb = density(instance, b.0, b.1);
+        eb.total_cmp(&ea).then(a.0.cmp(&b.0))
+    });
+
+    let mut search = Search {
+        instance,
+        config: *config,
+        order,
+        budgets: instance.budgets().to_vec(),
+        best_value: 0.0,
+        best_set: BTreeSet::new(),
+        nodes: 0,
+    };
+    let mut costs = vec![0.0; instance.num_measures()];
+    let mut state = CoverageState::new(instance);
+    search.dfs(0, &mut costs, &mut state);
+
+    // Reconstruct the witness assignment for the winning set.
+    let assignment = witness(instance, &search.best_set, config.objective);
+    Ok(ExactResult {
+        value: search.best_value,
+        server_set: search.best_set,
+        assignment,
+        nodes: search.nodes,
+    })
+}
+
+fn density(instance: &Instance, s: StreamId, surrogate: f64) -> f64 {
+    let w = instance.singleton_utility(s);
+    if surrogate <= 0.0 {
+        if w > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    } else {
+        w / surrogate
+    }
+}
+
+fn witness(instance: &Instance, set: &BTreeSet<StreamId>, objective: Objective) -> Assignment {
+    let mut a = Assignment::for_instance(instance);
+    match objective {
+        Objective::SemiFeasible => {
+            for &s in set {
+                for &(u, _) in instance.audience(s) {
+                    a.assign(u, s);
+                }
+            }
+        }
+        Objective::Feasible => {
+            for u in instance.users() {
+                let (streams, _) = best_user_allocation(instance, u, set);
+                for s in streams {
+                    a.assign(u, s);
+                }
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmd_core::algo;
+
+    fn knapsackish() -> Instance {
+        let mut b = Instance::builder("k").server_budgets(vec![10.0]);
+        let s0 = b.add_stream(vec![4.0]);
+        let s1 = b.add_stream(vec![6.0]);
+        let s2 = b.add_stream(vec![5.0]);
+        let u = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u, s0, 8.0, vec![]).unwrap();
+        b.add_interest(u, s1, 9.0, vec![]).unwrap();
+        b.add_interest(u, s2, 5.0, vec![]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_knapsack_optimum() {
+        let inst = knapsackish();
+        let res = solve(&inst, &ExactConfig::default()).unwrap();
+        assert_eq!(res.value, 17.0);
+        assert_eq!(res.server_set.len(), 2);
+        assert!(res.assignment.check_semi_feasible(&inst).is_ok());
+    }
+
+    #[test]
+    fn bound_does_not_change_answer() {
+        let inst = knapsackish();
+        let with = solve(&inst, &ExactConfig::default()).unwrap();
+        let without = solve(
+            &inst,
+            &ExactConfig {
+                use_bound: false,
+                ..ExactConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(with.value, without.value);
+        assert!(with.nodes <= without.nodes);
+    }
+
+    #[test]
+    fn multi_budget_optimum() {
+        let mut b = Instance::builder("mb").server_budgets(vec![10.0, 5.0]);
+        let s0 = b.add_stream(vec![9.0, 1.0]);
+        let s1 = b.add_stream(vec![1.0, 4.5]);
+        let s2 = b.add_stream(vec![5.0, 2.0]);
+        let u = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u, s0, 10.0, vec![]).unwrap();
+        b.add_interest(u, s1, 8.0, vec![]).unwrap();
+        b.add_interest(u, s2, 7.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let res = solve(&inst, &ExactConfig::default()).unwrap();
+        // s0+s1: measure0 = 10 <= 10, measure1 = 5.5 > 5 infeasible.
+        // s0+s2: 14 > 10 infeasible. s1+s2: 6, 6.5 > 5 infeasible.
+        // Best single: s0 = 10.
+        assert_eq!(res.value, 10.0);
+    }
+
+    #[test]
+    fn feasible_objective_respects_capacities() {
+        let mut b = Instance::builder("feas").server_budgets(vec![10.0]);
+        let s0 = b.add_stream(vec![1.0]);
+        let s1 = b.add_stream(vec![1.0]);
+        let u = b.add_user(f64::INFINITY, vec![5.0]);
+        b.add_interest(u, s0, 6.0, vec![4.0]).unwrap();
+        b.add_interest(u, s1, 5.0, vec![4.0]).unwrap();
+        let inst = b.build().unwrap();
+        let semi = solve(&inst, &ExactConfig::default()).unwrap();
+        assert_eq!(semi.value, 11.0);
+        let feas = solve(
+            &inst,
+            &ExactConfig {
+                objective: Objective::Feasible,
+                ..ExactConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(feas.value, 6.0);
+        assert!(feas.assignment.check_feasible(&inst).is_ok());
+    }
+
+    #[test]
+    fn utility_caps_shape_the_optimum() {
+        // Two users capped at 5; one stream each worth 9 to one user.
+        let mut b = Instance::builder("caps").server_budgets(vec![2.0]);
+        let s0 = b.add_stream(vec![1.0]);
+        let s1 = b.add_stream(vec![1.0]);
+        let u0 = b.add_user(5.0, vec![]);
+        let u1 = b.add_user(5.0, vec![]);
+        b.add_interest(u0, s0, 9.0, vec![]).unwrap();
+        b.add_interest(u1, s1, 9.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let res = solve(&inst, &ExactConfig::default()).unwrap();
+        assert_eq!(res.value, 10.0);
+    }
+
+    #[test]
+    fn greedy_never_beats_exact() {
+        // Cross-check on a batch of deterministic instances.
+        for seedish in 0..10u64 {
+            let mut b = Instance::builder("x").server_budgets(vec![8.0]);
+            let streams: Vec<StreamId> = (0..7)
+                .map(|i| b.add_stream(vec![1.0 + ((i as u64 + seedish) % 4) as f64]))
+                .collect();
+            let users: Vec<_> = (0..3).map(|j| b.add_user(6.0 + j as f64, vec![])).collect();
+            for (si, &s) in streams.iter().enumerate() {
+                for (ui, &u) in users.iter().enumerate() {
+                    let w = ((si * 7 + ui * 3 + seedish as usize) % 5) as f64;
+                    if w > 0.0 {
+                        b.add_interest(u, s, w, vec![]).unwrap();
+                    }
+                }
+            }
+            let inst = b.build().unwrap();
+            let exact = solve(&inst, &ExactConfig::default()).unwrap();
+            let greedy = algo::solve_smd_unit(&inst, algo::Feasibility::SemiFeasible).unwrap();
+            assert!(
+                greedy.utility <= exact.value + 1e-9,
+                "greedy {} > exact {}",
+                greedy.utility,
+                exact.value
+            );
+            // Lemma 2.6 with slack: greedy-fix is within 2e/(e-1) of semi OPT.
+            let bound = 2.0 * std::f64::consts::E / (std::f64::consts::E - 1.0);
+            assert!(
+                greedy.utility * bound >= exact.value - 1e-9,
+                "ratio violated: {} vs {}",
+                greedy.utility,
+                exact.value
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_instances() {
+        let mut b = Instance::builder("big").server_budgets(vec![100.0]);
+        for _ in 0..30 {
+            b.add_stream(vec![1.0]);
+        }
+        b.add_user(1.0, vec![]);
+        let inst = b.build().unwrap();
+        assert!(matches!(
+            solve(&inst, &ExactConfig::default()),
+            Err(ExactError::TooManyStreams { streams: 30, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_instance_is_zero() {
+        let inst = Instance::builder("e")
+            .server_budgets(vec![1.0])
+            .build()
+            .unwrap();
+        let res = solve(&inst, &ExactConfig::default()).unwrap();
+        assert_eq!(res.value, 0.0);
+        assert!(res.server_set.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Exact per-user allocation: given the set `T` of streams the server
+//! transmits, compute one user's best capacity-respecting subset.
+//!
+//! This is the inner problem of the [`Objective::Feasible`] solver — itself
+//! a small multi-dimensional knapsack with a capped linear objective, solved
+//! by depth-first search with a residual-sum bound. User degrees in `T` are
+//! expected to be small (guarded by the caller).
+//!
+//! [`Objective::Feasible`]: crate::Objective
+
+use mmd_core::ids::{StreamId, UserId};
+use mmd_core::num;
+use mmd_core::Instance;
+use std::collections::BTreeSet;
+
+struct Item {
+    stream: StreamId,
+    utility: f64,
+    loads: Vec<f64>,
+}
+
+struct Dfs<'a> {
+    items: Vec<Item>,
+    caps: &'a [f64],
+    utility_cap: f64,
+    /// Suffix sums of utilities for the residual bound.
+    suffix: Vec<f64>,
+    best_value: f64,
+    best_set: Vec<StreamId>,
+}
+
+impl Dfs<'_> {
+    fn run(&mut self, idx: usize, value: f64, loads: &mut [f64], chosen: &mut Vec<StreamId>) {
+        let capped = value.min(self.utility_cap);
+        if capped > self.best_value {
+            self.best_value = capped;
+            self.best_set = chosen.clone();
+        }
+        if idx == self.items.len() {
+            return;
+        }
+        // Bound: even taking every remaining item cannot beat the best.
+        if (value + self.suffix[idx]).min(self.utility_cap) <= self.best_value + 1e-15 {
+            return;
+        }
+        // Branch 1: take item idx if it fits every capacity.
+        let item = &self.items[idx];
+        let fits = item
+            .loads
+            .iter()
+            .enumerate()
+            .all(|(j, &k)| num::approx_le(loads[j] + k, self.caps[j]));
+        if fits {
+            for (j, &k) in item.loads.iter().enumerate() {
+                loads[j] += k;
+            }
+            chosen.push(item.stream);
+            self.run(idx + 1, value + item.utility, loads, chosen);
+            chosen.pop();
+            for (j, &k) in self.items[idx].loads.iter().enumerate() {
+                loads[j] -= k;
+            }
+        }
+        // Branch 2: skip it.
+        self.run(idx + 1, value, loads, chosen);
+    }
+}
+
+/// Computes one user's optimal subset of the transmitted streams `T`:
+/// maximize `min(W_u, Σ w_u(S))` subject to `Σ k^u_j(S) ≤ K^u_j` for every
+/// capacity measure `j`.
+///
+/// Returns the chosen streams and the capped utility. Runs a bounded DFS in
+/// `O(2^d)` for degree `d = |{S ∈ T : w_u(S) > 0}|`; callers should guard
+/// the degree.
+pub fn best_user_allocation(
+    instance: &Instance,
+    user: UserId,
+    transmitted: &BTreeSet<StreamId>,
+) -> (BTreeSet<StreamId>, f64) {
+    let spec = instance.user(user);
+    let mut items: Vec<Item> = spec
+        .interests()
+        .iter()
+        .filter(|i| transmitted.contains(&i.stream()))
+        .map(|i| Item {
+            stream: i.stream(),
+            utility: i.utility(),
+            loads: i.loads().to_vec(),
+        })
+        .collect();
+    if items.is_empty() {
+        return (BTreeSet::new(), 0.0);
+    }
+    // Highest utility first improves the bound.
+    items.sort_by(|a, b| b.utility.total_cmp(&a.utility));
+    let mut suffix = vec![0.0; items.len() + 1];
+    for i in (0..items.len()).rev() {
+        suffix[i] = suffix[i + 1] + items[i].utility;
+    }
+    let mut dfs = Dfs {
+        items,
+        caps: spec.capacities(),
+        utility_cap: spec.utility_cap(),
+        suffix,
+        best_value: 0.0,
+        best_set: Vec::new(),
+    };
+    let mut loads = vec![0.0; spec.num_capacities()];
+    let mut chosen = Vec::new();
+    dfs.run(0, 0.0, &mut loads, &mut chosen);
+    (dfs.best_set.into_iter().collect(), dfs.best_value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Instance, UserId, Vec<StreamId>) {
+        let mut b = Instance::builder("ua").server_budgets(vec![100.0]);
+        let streams: Vec<StreamId> = (0..4).map(|_| b.add_stream(vec![1.0])).collect();
+        let u = b.add_user(100.0, vec![10.0]);
+        // (utility, load): (8,6), (7,5), (6,4), (1,1)
+        b.add_interest(u, streams[0], 8.0, vec![6.0]).unwrap();
+        b.add_interest(u, streams[1], 7.0, vec![5.0]).unwrap();
+        b.add_interest(u, streams[2], 6.0, vec![4.0]).unwrap();
+        b.add_interest(u, streams[3], 1.0, vec![1.0]).unwrap();
+        (b.build().unwrap(), u, streams)
+    }
+
+    #[test]
+    fn solves_the_knapsack() {
+        let (inst, u, streams) = setup();
+        let t: BTreeSet<StreamId> = streams.iter().copied().collect();
+        let (set, value) = best_user_allocation(&inst, u, &t);
+        // Optimum under capacity 10 is 14, attained by {s0,s2} (loads 6+4)
+        // or {s1,s2,s3} (loads 5+4+1).
+        assert_eq!(value, 14.0);
+        let load: f64 = set.iter().map(|s| inst.load(u, *s, 0)).sum();
+        let utility: f64 = set.iter().map(|s| inst.utility(u, *s)).sum();
+        assert!(load <= 10.0);
+        assert_eq!(utility, 14.0);
+    }
+
+    #[test]
+    fn restricted_to_transmitted_set() {
+        let (inst, u, streams) = setup();
+        let t: BTreeSet<StreamId> = [streams[0], streams[3]].into();
+        let (set, value) = best_user_allocation(&inst, u, &t);
+        assert_eq!(value, 9.0);
+        assert_eq!(set, BTreeSet::from([streams[0], streams[3]]));
+    }
+
+    #[test]
+    fn utility_cap_limits_value() {
+        let mut b = Instance::builder("cap").server_budgets(vec![10.0]);
+        let s0 = b.add_stream(vec![1.0]);
+        let s1 = b.add_stream(vec![1.0]);
+        let u = b.add_user(5.0, vec![100.0]);
+        b.add_interest(u, s0, 4.0, vec![1.0]).unwrap();
+        b.add_interest(u, s1, 4.0, vec![1.0]).unwrap();
+        let inst = b.build().unwrap();
+        let t: BTreeSet<StreamId> = [s0, s1].into();
+        let (_, value) = best_user_allocation(&inst, u, &t);
+        assert_eq!(value, 5.0);
+    }
+
+    #[test]
+    fn empty_transmission_yields_nothing() {
+        let (inst, u, _) = setup();
+        let (set, value) = best_user_allocation(&inst, u, &BTreeSet::new());
+        assert!(set.is_empty());
+        assert_eq!(value, 0.0);
+    }
+
+    #[test]
+    fn multi_dimensional_capacities() {
+        let mut b = Instance::builder("md").server_budgets(vec![10.0]);
+        let s0 = b.add_stream(vec![1.0]);
+        let s1 = b.add_stream(vec![1.0]);
+        let s2 = b.add_stream(vec![1.0]);
+        let u = b.add_user(f64::INFINITY, vec![10.0, 4.0]);
+        b.add_interest(u, s0, 6.0, vec![5.0, 2.0]).unwrap();
+        b.add_interest(u, s1, 6.0, vec![5.0, 3.0]).unwrap();
+        b.add_interest(u, s2, 5.0, vec![1.0, 2.0]).unwrap();
+        let inst = b.build().unwrap();
+        let t: BTreeSet<StreamId> = [s0, s1, s2].into();
+        let (set, value) = best_user_allocation(&inst, u, &t);
+        // s0+s1 violates dim 1 (5 > 4); s0+s2 fits (6,4): value 11.
+        assert_eq!(value, 11.0);
+        assert_eq!(set, BTreeSet::from([s0, s2]));
+    }
+}

@@ -1,0 +1,402 @@
+//! The event loop: applies policy decisions under hard feasibility and
+//! integrates delivered utility over time.
+
+use crate::policy::{
+    AdmissionPolicy, OfflineOracle, OnlinePolicy, PolicyKind, PricePolicy, SimState,
+    ThresholdPolicy,
+};
+use mmd_core::num;
+use mmd_core::{Assignment, Instance, UserId};
+use mmd_workload::{ArrivalTrace, TraceEventKind};
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimConfig {
+    /// Stop the simulation at this time (defaults to the trace horizon).
+    pub horizon: Option<f64>,
+}
+
+/// Result of one simulated run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Policy name.
+    pub policy: String,
+    /// Simulated duration.
+    pub horizon: f64,
+    /// `∫ w(A_t) dt` — time-integrated delivered (capped) utility.
+    pub utility_integral: f64,
+    /// `utility_integral / horizon`.
+    pub avg_utility: f64,
+    /// Peak normalized utilization per server measure.
+    pub peak_utilization: Vec<f64>,
+    /// Time-averaged normalized utilization per server measure.
+    pub mean_utilization: Vec<f64>,
+    /// Streams admitted (assigned to ≥ 1 user).
+    pub admitted: usize,
+    /// Streams arriving but not admitted.
+    pub rejected: usize,
+    /// User assignments the engine had to clip for hard feasibility
+    /// (non-zero indicates a policy overcommitting).
+    pub clipped: usize,
+    /// Time-averaged delivered utility per user.
+    pub per_user_avg_utility: Vec<f64>,
+    /// Jain fairness index over `per_user_avg_utility`.
+    pub jain_fairness: f64,
+}
+
+/// Runs one policy over a trace (convenience dispatcher over
+/// [`run_with`]).
+///
+/// # Panics
+///
+/// Panics if the policy constructor fails (degenerate instance); construct
+/// the policy yourself and call [`run_with`] to handle errors.
+pub fn run(
+    instance: &Instance,
+    trace: &ArrivalTrace,
+    policy: PolicyKind,
+    config: &SimConfig,
+) -> SimReport {
+    match policy {
+        PolicyKind::Threshold { margin } => {
+            run_with(instance, trace, &mut ThresholdPolicy { margin }, config)
+        }
+        PolicyKind::Online => {
+            let mut p = OnlinePolicy::new(instance).expect("online policy construction");
+            run_with(instance, trace, &mut p, config)
+        }
+        PolicyKind::OfflineOracle => {
+            let mut p = OfflineOracle::new(instance).expect("oracle construction");
+            run_with(instance, trace, &mut p, config)
+        }
+        PolicyKind::Price { lambda } => {
+            let mut p = match lambda {
+                Some(l) => PricePolicy { lambda: l },
+                None => PricePolicy::calibrated(instance),
+            };
+            run_with(instance, trace, &mut p, config)
+        }
+    }
+}
+
+/// Runs an arbitrary policy over a trace.
+pub fn run_with(
+    instance: &Instance,
+    trace: &ArrivalTrace,
+    policy: &mut dyn AdmissionPolicy,
+    config: &SimConfig,
+) -> SimReport {
+    let m = instance.num_measures();
+    let horizon = config.horizon.unwrap_or_else(|| trace.horizon());
+    let mut server_cost = vec![0.0f64; m];
+    let mut user_load: Vec<Vec<f64>> = instance
+        .users()
+        .map(|u| vec![0.0; instance.user(u).num_capacities()])
+        .collect();
+    let mut active = vec![false; instance.num_streams()];
+    let mut assignment = Assignment::for_instance(instance);
+
+    let mut utility_integral = 0.0f64;
+    let mut util_area = vec![0.0f64; m];
+    let mut peak = vec![0.0f64; m];
+    let mut admitted = 0usize;
+    let mut rejected = 0usize;
+    let mut clipped = 0usize;
+    let mut last_t = 0.0f64;
+    let mut current_utility = 0.0f64;
+    let mut current_user_utility = vec![0.0f64; instance.num_users()];
+    let mut user_util_area = vec![0.0f64; instance.num_users()];
+
+    let utilization = |cost: &[f64], i: usize| -> f64 {
+        let b = instance.budget(i);
+        if b.is_finite() && b > 0.0 {
+            cost[i] / b
+        } else {
+            0.0
+        }
+    };
+
+    for event in trace.events() {
+        let t = event.time.min(horizon);
+        let dt = (t - last_t).max(0.0);
+        utility_integral += current_utility * dt;
+        for (i, area) in util_area.iter_mut().enumerate() {
+            *area += utilization(&server_cost, i) * dt;
+        }
+        for (area, &cur) in user_util_area.iter_mut().zip(&current_user_utility) {
+            *area += cur * dt;
+        }
+        last_t = t;
+        if event.time > horizon {
+            break;
+        }
+
+        match event.kind {
+            TraceEventKind::Arrival => {
+                let s = event.stream;
+                let chosen = {
+                    let state = SimState {
+                        instance,
+                        server_cost: &server_cost,
+                        user_load: &user_load,
+                        active: &active,
+                        now: t,
+                    };
+                    policy.on_arrival(&state, s)
+                };
+                // Enforce hard feasibility: server first, then per user.
+                let fits_server = (0..m).all(|i| {
+                    num::approx_le(server_cost[i] + instance.cost(s, i), instance.budget(i))
+                });
+                let mut accepted_users: Vec<UserId> = Vec::new();
+                if fits_server {
+                    for u in chosen {
+                        if assignment.contains(u, s) || instance.utility(u, s) <= 0.0 {
+                            clipped += 1;
+                            continue;
+                        }
+                        let spec = instance.user(u);
+                        let interest = spec.interest(s).expect("positive utility");
+                        let fits = interest.loads().iter().enumerate().all(|(j, &k)| {
+                            num::approx_le(user_load[u.index()][j] + k, spec.capacities()[j])
+                        });
+                        if fits {
+                            accepted_users.push(u);
+                        } else {
+                            clipped += 1;
+                        }
+                    }
+                }
+                if accepted_users.is_empty() {
+                    rejected += 1;
+                } else {
+                    admitted += 1;
+                    active[s.index()] = true;
+                    for &u in &accepted_users {
+                        assignment.assign(u, s);
+                        let spec = instance.user(u);
+                        let interest = spec.interest(s).expect("positive utility");
+                        for (j, &k) in interest.loads().iter().enumerate() {
+                            user_load[u.index()][j] += k;
+                        }
+                    }
+                    for (i, cost) in server_cost.iter_mut().enumerate() {
+                        *cost += instance.cost(s, i);
+                    }
+                    for (i, p) in peak.iter_mut().enumerate() {
+                        *p = p.max(utilization(&server_cost, i));
+                    }
+                    for u in instance.users() {
+                        current_user_utility[u.index()] = assignment.user_utility(u, instance);
+                    }
+                    current_utility = current_user_utility.iter().sum();
+                }
+            }
+            TraceEventKind::Departure => {
+                let s = event.stream;
+                if !active[s.index()] {
+                    continue;
+                }
+                active[s.index()] = false;
+                let receivers: Vec<UserId> = instance
+                    .users()
+                    .filter(|&u| assignment.contains(u, s))
+                    .collect();
+                for u in receivers {
+                    assignment.unassign(u, s);
+                    let spec = instance.user(u);
+                    if let Some(interest) = spec.interest(s) {
+                        for (j, &k) in interest.loads().iter().enumerate() {
+                            user_load[u.index()][j] = (user_load[u.index()][j] - k).max(0.0);
+                        }
+                    }
+                }
+                for (i, cost) in server_cost.iter_mut().enumerate() {
+                    *cost = (*cost - instance.cost(s, i)).max(0.0);
+                }
+                for u in instance.users() {
+                    current_user_utility[u.index()] = assignment.user_utility(u, instance);
+                }
+                current_utility = current_user_utility.iter().sum();
+                let state = SimState {
+                    instance,
+                    server_cost: &server_cost,
+                    user_load: &user_load,
+                    active: &active,
+                    now: t,
+                };
+                policy.on_departure(&state, s);
+            }
+        }
+    }
+    // Tail segment to the horizon.
+    let dt = (horizon - last_t).max(0.0);
+    utility_integral += current_utility * dt;
+    for (i, area) in util_area.iter_mut().enumerate() {
+        *area += utilization(&server_cost, i) * dt;
+    }
+    for (area, &cur) in user_util_area.iter_mut().zip(&current_user_utility) {
+        *area += cur * dt;
+    }
+    let per_user_avg_utility: Vec<f64> = user_util_area
+        .into_iter()
+        .map(|a| if horizon > 0.0 { a / horizon } else { 0.0 })
+        .collect();
+    let jain_fairness = crate::metrics::jain_index(&per_user_avg_utility);
+
+    SimReport {
+        policy: policy.name().to_string(),
+        horizon,
+        utility_integral,
+        avg_utility: if horizon > 0.0 {
+            utility_integral / horizon
+        } else {
+            0.0
+        },
+        peak_utilization: peak,
+        mean_utilization: util_area
+            .into_iter()
+            .map(|a| if horizon > 0.0 { a / horizon } else { 0.0 })
+            .collect(),
+        admitted,
+        rejected,
+        clipped,
+        per_user_avg_utility,
+        jain_fairness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmd_workload::{TraceConfig, WorkloadConfig};
+
+    fn setup(seed: u64) -> (Instance, ArrivalTrace) {
+        let mut cfg = WorkloadConfig::default();
+        cfg.catalog.streams = 30;
+        cfg.population.users = 15;
+        let inst = cfg.generate(seed);
+        let trace = TraceConfig::default().generate(inst.num_streams(), seed);
+        (inst, trace)
+    }
+
+    #[test]
+    fn threshold_run_is_sane() {
+        let (inst, trace) = setup(1);
+        let rep = run(
+            &inst,
+            &trace,
+            PolicyKind::Threshold { margin: 1.0 },
+            &SimConfig::default(),
+        );
+        assert_eq!(rep.policy, "threshold");
+        assert!(rep.avg_utility >= 0.0);
+        assert!(rep.admitted + rep.rejected > 0);
+        for &p in &rep.peak_utilization {
+            assert!(p <= 1.0 + 1e-9, "peak utilization {p} > 1");
+        }
+    }
+
+    #[test]
+    fn online_never_overcommits() {
+        let (inst, trace) = setup(2);
+        let rep = run(&inst, &trace, PolicyKind::Online, &SimConfig::default());
+        assert_eq!(rep.clipped, 0, "online policy should self-limit");
+        for &p in &rep.peak_utilization {
+            assert!(p <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn oracle_runs() {
+        let (inst, trace) = setup(3);
+        let rep = run(
+            &inst,
+            &trace,
+            PolicyKind::OfflineOracle,
+            &SimConfig::default(),
+        );
+        assert!(rep.avg_utility >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (inst, trace) = setup(4);
+        let a = run(
+            &inst,
+            &trace,
+            PolicyKind::Threshold { margin: 0.9 },
+            &SimConfig::default(),
+        );
+        let b = run(
+            &inst,
+            &trace,
+            PolicyKind::Threshold { margin: 0.9 },
+            &SimConfig::default(),
+        );
+        assert_eq!(a.utility_integral, b.utility_integral);
+        assert_eq!(a.admitted, b.admitted);
+    }
+
+    #[test]
+    fn horizon_truncates() {
+        let (inst, trace) = setup(5);
+        let full = run(
+            &inst,
+            &trace,
+            PolicyKind::Threshold { margin: 1.0 },
+            &SimConfig::default(),
+        );
+        let half = run(
+            &inst,
+            &trace,
+            PolicyKind::Threshold { margin: 1.0 },
+            &SimConfig {
+                horizon: Some(trace.horizon() / 2.0),
+            },
+        );
+        assert!(half.horizon < full.horizon);
+        assert!(half.utility_integral <= full.utility_integral + 1e-9);
+    }
+
+    #[test]
+    fn per_user_integrals_sum_to_total() {
+        let (inst, trace) = setup(8);
+        let rep = run(
+            &inst,
+            &trace,
+            PolicyKind::Threshold { margin: 1.0 },
+            &SimConfig::default(),
+        );
+        let sum: f64 = rep.per_user_avg_utility.iter().sum();
+        assert!(
+            (sum - rep.avg_utility).abs() < 1e-6,
+            "per-user {} vs total {}",
+            sum,
+            rep.avg_utility
+        );
+    }
+
+    #[test]
+    fn fairness_is_in_unit_range() {
+        let (inst, trace) = setup(9);
+        for policy in [PolicyKind::Online, PolicyKind::Threshold { margin: 0.9 }] {
+            let rep = run(&inst, &trace, policy, &SimConfig::default());
+            assert!(rep.jain_fairness > 0.0 && rep.jain_fairness <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_zero() {
+        let (inst, _) = setup(6);
+        let trace = TraceConfig::default().generate(0, 0);
+        let rep = run(
+            &inst,
+            &trace,
+            PolicyKind::Threshold { margin: 1.0 },
+            &SimConfig::default(),
+        );
+        assert_eq!(rep.utility_integral, 0.0);
+        assert_eq!(rep.admitted, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Fairness and distribution metrics over simulated runs.
+
+/// Jain's fairness index over nonnegative allocations:
+/// `(Σx)² / (n · Σx²)` ∈ `[1/n, 1]`, 1 = perfectly even.
+///
+/// Returns 1.0 for empty input or all-zero allocations (vacuously fair).
+///
+/// ```
+/// use mmd_sim::metrics::jain_index;
+/// assert_eq!(jain_index(&[1.0, 1.0, 1.0]), 1.0);
+/// assert!((jain_index(&[1.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sq)
+}
+
+/// Simple percentile over a copy of the data (nearest-rank).
+///
+/// # Panics
+///
+/// Panics if `p` is not within `0.0..=100.0`.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    Some(sorted[rank.min(sorted.len() - 1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_even_is_one() {
+        assert!((jain_index(&[2.0, 2.0, 2.0, 2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_single_winner_is_one_over_n() {
+        let j = jain_index(&[5.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_empty_and_zero_are_fair() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn jain_is_scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 3.0]);
+        let b = jain_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+        assert_eq!(percentile(&v, 100.0), Some(5.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_rejects_bad_p() {
+        percentile(&[1.0], 150.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Admission policies for the head-end simulator.
+
+use mmd_core::algo::online::{OnlineAllocator, OnlineConfig};
+use mmd_core::algo::{solve_mmd, MmdConfig};
+use mmd_core::num;
+use mmd_core::{Assignment, Instance, StreamId, UserId};
+
+/// Read-only view of the simulator state offered to policies.
+#[derive(Debug)]
+pub struct SimState<'a> {
+    /// The instance being simulated.
+    pub instance: &'a Instance,
+    /// Current server cost per measure (over currently transmitted streams).
+    pub server_cost: &'a [f64],
+    /// Current load per user per capacity measure.
+    pub user_load: &'a [Vec<f64>],
+    /// Streams currently on air.
+    pub active: &'a [bool],
+    /// Current simulation time.
+    pub now: f64,
+}
+
+/// An online admission policy: decides which users receive each arriving
+/// stream. Decisions are irrevocable until the stream departs.
+pub trait AdmissionPolicy {
+    /// Human-readable policy name (for reports).
+    fn name(&self) -> &str;
+
+    /// Called on stream arrival; returns the users to assign (the engine
+    /// clips any choice that would violate hard feasibility).
+    fn on_arrival(&mut self, state: &SimState<'_>, stream: StreamId) -> Vec<UserId>;
+
+    /// Called when a stream departs and its resources are freed.
+    fn on_departure(&mut self, _state: &SimState<'_>, _stream: StreamId) {}
+}
+
+/// The intro's deployed-practice baseline: admit while every resource stays
+/// under `margin · budget`, first-come first-served, utility-blind.
+#[derive(Clone, Debug)]
+pub struct ThresholdPolicy {
+    /// Safety margin `θ ∈ (0, 1]`.
+    pub margin: f64,
+}
+
+impl AdmissionPolicy for ThresholdPolicy {
+    fn name(&self) -> &str {
+        "threshold"
+    }
+
+    fn on_arrival(&mut self, state: &SimState<'_>, stream: StreamId) -> Vec<UserId> {
+        let inst = state.instance;
+        let fits_server = (0..inst.num_measures()).all(|i| {
+            let b = inst.budget(i);
+            !b.is_finite()
+                || num::approx_le(state.server_cost[i] + inst.cost(stream, i), self.margin * b)
+        });
+        if !fits_server {
+            return Vec::new();
+        }
+        let mut takers = Vec::new();
+        for &(u, _) in inst.audience(stream) {
+            let spec = inst.user(u);
+            let Some(interest) = spec.interest(stream) else {
+                continue;
+            };
+            let fits = interest.loads().iter().enumerate().all(|(j, &k)| {
+                let cap = spec.capacities()[j];
+                !cap.is_finite()
+                    || num::approx_le(state.user_load[u.index()][j] + k, self.margin * cap)
+            });
+            if fits {
+                takers.push(u);
+            }
+        }
+        takers
+    }
+}
+
+/// The §5 online algorithm as a simulator policy (exponential costs, with
+/// the hard-feasibility guard enabled since simulated workloads need not be
+/// "small"). Departures release capacity via the footnote-1 extension.
+pub struct OnlinePolicy<'a> {
+    allocator: OnlineAllocator<'a>,
+}
+
+impl<'a> OnlinePolicy<'a> {
+    /// Creates the policy for an instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates normalization errors from
+    /// [`OnlineAllocator::with_config`].
+    pub fn new(instance: &'a Instance) -> Result<Self, mmd_core::SolveError> {
+        let allocator = OnlineAllocator::with_config(
+            instance,
+            OnlineConfig {
+                hard_guard: true,
+                mu_override: None,
+            },
+        )?;
+        Ok(OnlinePolicy { allocator })
+    }
+
+    /// The exponent base µ in use.
+    pub fn mu(&self) -> f64 {
+        self.allocator.mu()
+    }
+}
+
+impl AdmissionPolicy for OnlinePolicy<'_> {
+    fn name(&self) -> &str {
+        "online-allocate"
+    }
+
+    fn on_arrival(&mut self, _state: &SimState<'_>, stream: StreamId) -> Vec<UserId> {
+        self.allocator.offer(stream).assigned
+    }
+
+    fn on_departure(&mut self, _state: &SimState<'_>, stream: StreamId) {
+        self.allocator.release(stream);
+    }
+}
+
+/// Clairvoyant baseline: runs the offline Theorem 1.1 pipeline on the full
+/// catalog ahead of time and assigns each arriving stream per that plan.
+/// Upper-bounds what static planning can achieve (it still cannot use a
+/// stream before it arrives or after it departs).
+#[derive(Clone, Debug)]
+pub struct OfflineOracle {
+    plan: Assignment,
+}
+
+impl OfflineOracle {
+    /// Precomputes the plan for an instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (none for well-formed instances).
+    pub fn new(instance: &Instance) -> Result<Self, mmd_core::SolveError> {
+        let out = solve_mmd(instance, &MmdConfig::default())?;
+        Ok(OfflineOracle {
+            plan: out.assignment,
+        })
+    }
+
+    /// The precomputed plan.
+    pub fn plan(&self) -> &Assignment {
+        &self.plan
+    }
+}
+
+impl AdmissionPolicy for OfflineOracle {
+    fn name(&self) -> &str {
+        "offline-oracle"
+    }
+
+    fn on_arrival(&mut self, state: &SimState<'_>, stream: StreamId) -> Vec<UserId> {
+        state
+            .instance
+            .users()
+            .filter(|&u| self.plan.contains(u, stream))
+            .collect()
+    }
+}
+
+/// Price-based admission: admit a stream iff its marginal capped utility
+/// per unit of *surrogate* cost (Σ_i c_i/B_i, the §4.1 normalization)
+/// clears a price `λ`. A classic revenue-management baseline sitting
+/// between the utility-blind threshold policy and the §5 exponential-cost
+/// algorithm (which effectively makes `λ` load-adaptive).
+#[derive(Clone, Debug)]
+pub struct PricePolicy {
+    /// Admission price: minimum utility per unit surrogate cost.
+    pub lambda: f64,
+}
+
+impl PricePolicy {
+    /// Auto-calibrates `λ` to the catalog's average utility per unit
+    /// surrogate cost (streams better than average are admitted).
+    pub fn calibrated(instance: &Instance) -> Self {
+        let mut value = 0.0;
+        let mut cost = 0.0;
+        for s in instance.streams() {
+            value += instance.singleton_utility(s);
+            cost += surrogate_cost(instance, s);
+        }
+        PricePolicy {
+            lambda: if cost > 0.0 { value / cost } else { 0.0 },
+        }
+    }
+}
+
+fn surrogate_cost(instance: &Instance, s: mmd_core::StreamId) -> f64 {
+    (0..instance.num_measures())
+        .filter(|&i| instance.budget(i).is_finite() && instance.budget(i) > 0.0)
+        .map(|i| instance.cost(s, i) / instance.budget(i))
+        .sum()
+}
+
+impl AdmissionPolicy for PricePolicy {
+    fn name(&self) -> &str {
+        "price"
+    }
+
+    fn on_arrival(&mut self, state: &SimState<'_>, stream: StreamId) -> Vec<UserId> {
+        let inst = state.instance;
+        // Takers: users with positive utility whose capacities still fit.
+        let mut takers = Vec::new();
+        let mut gain = 0.0;
+        for &(u, w) in inst.audience(stream) {
+            let spec = inst.user(u);
+            let Some(interest) = spec.interest(stream) else {
+                continue;
+            };
+            let fits = interest.loads().iter().enumerate().all(|(j, &k)| {
+                let cap = spec.capacities()[j];
+                !cap.is_finite() || num::approx_le(state.user_load[u.index()][j] + k, cap)
+            });
+            if fits {
+                takers.push(u);
+                gain += w.min(spec.utility_cap());
+            }
+        }
+        let cost = surrogate_cost(inst, stream);
+        let effective = if cost > 0.0 {
+            gain / cost
+        } else {
+            f64::INFINITY
+        };
+        if gain > 0.0 && effective >= self.lambda {
+            takers
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Convenience selector used by [`run`](crate::run) and the experiment
+/// binaries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PolicyKind {
+    /// [`ThresholdPolicy`] with the given margin.
+    Threshold {
+        /// Safety margin `θ ∈ (0, 1]`.
+        margin: f64,
+    },
+    /// [`OnlinePolicy`] (§5 with hard guard).
+    Online,
+    /// [`OfflineOracle`] (Theorem 1.1 plan).
+    OfflineOracle,
+    /// [`PricePolicy`]; `None` auto-calibrates λ from the catalog.
+    Price {
+        /// Fixed admission price, or `None` for calibration.
+        lambda: Option<f64>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Instance {
+        let mut b = Instance::builder("p").server_budgets(vec![10.0]);
+        let s0 = b.add_stream(vec![6.0]);
+        let s1 = b.add_stream(vec![6.0]);
+        let u = b.add_user(f64::INFINITY, vec![100.0]);
+        b.add_interest(u, s0, 5.0, vec![6.0]).unwrap();
+        b.add_interest(u, s1, 4.0, vec![6.0]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn state<'a>(
+        inst: &'a Instance,
+        server: &'a [f64],
+        loads: &'a [Vec<f64>],
+        active: &'a [bool],
+    ) -> SimState<'a> {
+        SimState {
+            instance: inst,
+            server_cost: server,
+            user_load: loads,
+            active,
+            now: 0.0,
+        }
+    }
+
+    #[test]
+    fn threshold_respects_margin() {
+        let inst = tiny();
+        let server = vec![6.0];
+        let loads = vec![vec![6.0]];
+        let active = vec![true, false];
+        let mut p = ThresholdPolicy { margin: 1.0 };
+        let st = state(&inst, &server, &loads, &active);
+        // Adding s1 would need 12 > 10: refused.
+        assert!(p.on_arrival(&st, StreamId::new(1)).is_empty());
+        let server = vec![0.0];
+        let loads = vec![vec![0.0]];
+        let st = state(&inst, &server, &loads, &active);
+        assert_eq!(p.on_arrival(&st, StreamId::new(1)).len(), 1);
+    }
+
+    #[test]
+    fn oracle_assigns_planned_users_only() {
+        let inst = tiny();
+        let mut oracle = OfflineOracle::new(&inst).unwrap();
+        let planned: Vec<StreamId> = oracle.plan().range().collect();
+        assert!(!planned.is_empty());
+        let server = vec![0.0];
+        let loads = vec![vec![0.0]];
+        let active = vec![false, false];
+        let st = state(&inst, &server, &loads, &active);
+        let users = oracle.on_arrival(&st, planned[0]);
+        assert!(!users.is_empty());
+    }
+
+    #[test]
+    fn price_policy_filters_by_effectiveness() {
+        // Two streams: a gem (utility 5, cost 6) and dross (utility 0.1,
+        // cost 6). With lambda between their effectiveness, only the gem
+        // is admitted.
+        let inst = tiny(); // s0: utility 5 cost 6; s1: utility 4 cost 6
+        let mut p = PricePolicy { lambda: 0.75 }; // s0 eff 5/0.6; s1 eff 4/0.6
+        let server = vec![0.0];
+        let loads = vec![vec![0.0]];
+        let active = vec![false, false];
+        let st = state(&inst, &server, &loads, &active);
+        assert!(!p.on_arrival(&st, StreamId::new(0)).is_empty());
+        // Raise the price above both.
+        let mut p = PricePolicy { lambda: 100.0 };
+        assert!(p.on_arrival(&st, StreamId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn price_calibration_is_reasonable() {
+        let inst = tiny();
+        let p = PricePolicy::calibrated(&inst);
+        // Average utility per unit surrogate cost: (5 + 4) / (0.6 + 0.6).
+        assert!((p.lambda - 9.0 / 1.2).abs() < 1e-9, "lambda = {}", p.lambda);
+    }
+
+    #[test]
+    fn online_policy_reports_mu() {
+        let inst = tiny();
+        let p = OnlinePolicy::new(&inst).unwrap();
+        assert!(p.mu() > 2.0);
+    }
+}

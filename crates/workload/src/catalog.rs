@@ -1,0 +1,193 @@
+//! Video stream catalogs: classes, bitrates and server-side costs.
+//!
+//! The paper's server cost measures (§1): outgoing communication bandwidth,
+//! processing bandwidth, number of input ports, and (our concretization of
+//! "etc.") licensing fees. A catalog samples per-stream costs for the first
+//! `m ≤ 4` of these measures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Video stream quality classes with typical transport bitrates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StreamClass {
+    /// Standard definition, ~2.5 Mb/s.
+    Sd,
+    /// High definition, ~8 Mb/s.
+    Hd,
+    /// Ultra-high definition, ~16 Mb/s.
+    Uhd,
+}
+
+impl StreamClass {
+    /// Nominal transport bitrate in Mb/s.
+    pub fn bitrate(self) -> f64 {
+        match self {
+            StreamClass::Sd => 2.5,
+            StreamClass::Hd => 8.0,
+            StreamClass::Uhd => 16.0,
+        }
+    }
+
+    /// Relative transcoding/processing weight.
+    pub fn processing(self) -> f64 {
+        match self {
+            StreamClass::Sd => 1.0,
+            StreamClass::Hd => 2.5,
+            StreamClass::Uhd => 6.0,
+        }
+    }
+}
+
+/// One generated stream: class, per-measure costs, and a popularity rank
+/// (0 = most popular).
+#[derive(Clone, Debug)]
+pub struct CatalogStream {
+    /// Quality class.
+    pub class: StreamClass,
+    /// Costs in the first `m` measures:
+    /// `[bandwidth Mb/s, processing, ports, license]` truncated to `m`.
+    pub costs: Vec<f64>,
+    /// Popularity rank (0-based).
+    pub rank: usize,
+}
+
+/// Configuration of a stream catalog.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CatalogConfig {
+    /// Number of streams.
+    pub streams: usize,
+    /// Number of server cost measures `m` (1..=4: bandwidth, processing,
+    /// ports, license).
+    pub measures: usize,
+    /// Fractions of SD/HD/UHD streams (normalized internally).
+    pub class_mix: [f64; 3],
+    /// Relative jitter applied to each cost (e.g. 0.1 = ±10 %).
+    pub jitter: f64,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            streams: 60,
+            measures: 2,
+            class_mix: [0.5, 0.4, 0.1],
+            jitter: 0.1,
+        }
+    }
+}
+
+impl CatalogConfig {
+    /// Generates the catalog deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measures` is not in `1..=4` or `streams == 0`.
+    pub fn generate(&self, seed: u64) -> Vec<CatalogStream> {
+        assert!(
+            (1..=4).contains(&self.measures),
+            "measures must be in 1..=4, got {}",
+            self.measures
+        );
+        assert!(self.streams > 0, "catalog must have at least one stream");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mix_total: f64 = self.class_mix.iter().sum();
+        let mut out = Vec::with_capacity(self.streams);
+        for rank in 0..self.streams {
+            let x: f64 = rng.gen_range(0.0..mix_total.max(1e-12));
+            let class = if x < self.class_mix[0] {
+                StreamClass::Sd
+            } else if x < self.class_mix[0] + self.class_mix[1] {
+                StreamClass::Hd
+            } else {
+                StreamClass::Uhd
+            };
+            let jitter = |rng: &mut StdRng, base: f64| -> f64 {
+                let j = rng.gen_range(-self.jitter..=self.jitter);
+                (base * (1.0 + j)).max(0.0)
+            };
+            let license_base = 1.0 + 4.0 * rng.gen_range(0.0..1.0f64);
+            let full = [
+                jitter(&mut rng, class.bitrate()),
+                jitter(&mut rng, class.processing()),
+                1.0, // one input port per stream
+                jitter(&mut rng, license_base),
+            ];
+            out.push(CatalogStream {
+                class,
+                costs: full[..self.measures].to_vec(),
+                rank,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let cfg = CatalogConfig {
+            streams: 25,
+            measures: 3,
+            ..CatalogConfig::default()
+        };
+        let cat = cfg.generate(1);
+        assert_eq!(cat.len(), 25);
+        for s in &cat {
+            assert_eq!(s.costs.len(), 3);
+            for &c in &s.costs {
+                assert!(c >= 0.0 && c.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = CatalogConfig::default();
+        let a = cfg.generate(9);
+        let b = cfg.generate(9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.costs, y.costs);
+        }
+        let c = cfg.generate(10);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.costs != y.costs),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn class_mix_is_respected_roughly() {
+        let cfg = CatalogConfig {
+            streams: 3000,
+            class_mix: [0.8, 0.2, 0.0],
+            ..CatalogConfig::default()
+        };
+        let cat = cfg.generate(3);
+        let sd = cat.iter().filter(|s| s.class == StreamClass::Sd).count();
+        let frac = sd as f64 / cat.len() as f64;
+        assert!((frac - 0.8).abs() < 0.05, "sd fraction {frac}");
+        assert!(!cat.iter().any(|s| s.class == StreamClass::Uhd));
+    }
+
+    #[test]
+    fn bitrates_order_by_class() {
+        assert!(StreamClass::Sd.bitrate() < StreamClass::Hd.bitrate());
+        assert!(StreamClass::Hd.bitrate() < StreamClass::Uhd.bitrate());
+    }
+
+    #[test]
+    #[should_panic(expected = "measures")]
+    fn rejects_bad_measures() {
+        CatalogConfig {
+            measures: 5,
+            ..CatalogConfig::default()
+        }
+        .generate(0);
+    }
+}

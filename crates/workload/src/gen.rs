@@ -1,0 +1,203 @@
+//! End-to-end instance generation: catalog × population × Zipf preferences
+//! → a valid [`Instance`].
+//!
+//! Utilities follow popularity: user `u`'s utility for a stream of
+//! popularity rank `r` is `utility_scale · zipf_weight(r) · affinity`, with
+//! a personal affinity factor. Loads on the user's primary capacity measure
+//! equal the stream's access bitrate; additional measures cost one unit
+//! (tuner slots). Server budgets are sized as a fraction of total demand so
+//! that the selection problem is genuinely contended.
+
+use crate::catalog::CatalogConfig;
+use crate::population::PopulationConfig;
+use crate::zipf::Zipf;
+use mmd_core::{Instance, StreamId, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Configuration of a full synthetic workload.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WorkloadConfig {
+    /// Stream catalog parameters.
+    pub catalog: CatalogConfig,
+    /// Client population parameters.
+    pub population: PopulationConfig,
+    /// Zipf exponent for stream popularity (≈1 for TV).
+    pub zipf_theta: f64,
+    /// Each server budget is `budget_fraction ×` the total catalog cost in
+    /// that measure (floored so the costliest single stream still fits).
+    pub budget_fraction: f64,
+    /// Scale of utilities relative to Zipf weights.
+    pub utility_scale: f64,
+    /// Guarantee every stream has at least one interested user (required by
+    /// the §5 normalization; see `skew::global_skew`).
+    pub ensure_audience: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            catalog: CatalogConfig::default(),
+            population: PopulationConfig::default(),
+            zipf_theta: 1.0,
+            budget_fraction: 0.3,
+            utility_scale: 6.0,
+            ensure_audience: true,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Generates an instance deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_fraction` is not in `(0, 1]` or the inner
+    /// generators' preconditions fail.
+    pub fn generate(&self, seed: u64) -> Instance {
+        assert!(
+            self.budget_fraction > 0.0 && self.budget_fraction <= 1.0,
+            "budget_fraction must be in (0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let catalog = self.catalog.generate(rng.gen());
+        let clients = self.population.generate(rng.gen());
+        let zipf = Zipf::new(catalog.len(), self.zipf_theta);
+
+        // Budgets: a fraction of total demand, but no stream may exceed its
+        // budget (model assumption c_i(S) <= B_i).
+        let m = self.catalog.measures;
+        let mut budgets = vec![0.0f64; m];
+        for s in &catalog {
+            for (i, b) in budgets.iter_mut().enumerate() {
+                *b += s.costs[i];
+            }
+        }
+        for (i, b) in budgets.iter_mut().enumerate() {
+            let max_single = catalog.iter().map(|s| s.costs[i]).fold(0.0f64, f64::max);
+            *b = (*b * self.budget_fraction).max(max_single);
+        }
+
+        let mut builder = Instance::builder(format!("workload#{seed}")).server_budgets(budgets);
+        let stream_ids: Vec<StreamId> = catalog
+            .iter()
+            .map(|s| builder.add_stream(s.costs.clone()))
+            .collect();
+        let user_ids: Vec<UserId> = clients
+            .iter()
+            .map(|c| builder.add_user(c.utility_cap, c.capacities.clone()))
+            .collect();
+
+        let mut covered = vec![false; catalog.len()];
+        for (ci, client) in clients.iter().enumerate() {
+            let mut picked = BTreeSet::new();
+            let want = client.degree.min(catalog.len());
+            let mut guard = 0;
+            while picked.len() < want && guard < want * 50 {
+                picked.insert(zipf.sample(&mut rng));
+                guard += 1;
+            }
+            for rank in picked {
+                let affinity = rng.gen_range(0.5..1.5f64);
+                let utility = self.utility_scale * zipf.weight(rank) * affinity;
+                let loads = user_loads(client.capacities.len(), &catalog[rank].costs);
+                builder
+                    .add_interest(user_ids[ci], stream_ids[rank], utility, loads)
+                    .expect("picked ranks are unique per user");
+                covered[rank] = true;
+            }
+        }
+
+        if self.ensure_audience && !clients.is_empty() {
+            for (rank, done) in covered.iter().enumerate().filter(|(_, &d)| !d) {
+                let _ = done;
+                let ci = rng.gen_range(0..clients.len());
+                let utility = self.utility_scale * self.catalog_weight_floor(&zipf, rank);
+                let loads = user_loads(clients[ci].capacities.len(), &catalog[rank].costs);
+                // The pair cannot already exist: the stream had no audience.
+                builder
+                    .add_interest(user_ids[ci], stream_ids[rank], utility, loads)
+                    .expect("uncovered stream has no existing interest");
+            }
+        }
+        builder.build().expect("generated workloads are valid")
+    }
+
+    fn catalog_weight_floor(&self, zipf: &Zipf, rank: usize) -> f64 {
+        zipf.weight(rank).max(1e-3)
+    }
+}
+
+fn user_loads(mc: usize, costs: &[f64]) -> Vec<f64> {
+    let mut loads = Vec::with_capacity(mc);
+    if mc >= 1 {
+        // Primary measure: access-link bandwidth = stream bitrate; further
+        // measures cost one tuner/decode slot per stream.
+        loads.push(costs[0]);
+        loads.extend(std::iter::repeat_n(1.0, mc - 1));
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmd_core::skew;
+
+    #[test]
+    fn generates_valid_contended_instance() {
+        let cfg = WorkloadConfig::default();
+        let inst = cfg.generate(42);
+        assert_eq!(inst.num_streams(), cfg.catalog.streams);
+        assert_eq!(inst.num_users(), cfg.population.users);
+        assert!(inst.num_interests() > 0);
+        // Budgets are tight: the whole catalog must not fit.
+        let total: f64 = inst.streams().map(|s| inst.cost(s, 0)).sum();
+        assert!(total > inst.budget(0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = WorkloadConfig::default();
+        assert_eq!(cfg.generate(7), cfg.generate(7));
+        assert_ne!(cfg.generate(7), cfg.generate(8));
+    }
+
+    #[test]
+    fn every_stream_has_audience_when_ensured() {
+        let cfg = WorkloadConfig::default();
+        let inst = cfg.generate(3);
+        for s in inst.streams() {
+            assert!(!inst.audience(s).is_empty(), "stream {s} has no audience");
+        }
+        // Therefore the §5 normalization succeeds.
+        assert!(skew::global_skew(&inst).is_ok());
+    }
+
+    #[test]
+    fn popular_streams_attract_more_users() {
+        let mut cfg = WorkloadConfig::default();
+        cfg.catalog.streams = 40;
+        cfg.population.users = 200;
+        let inst = cfg.generate(11);
+        let head: usize = (0..5).map(|r| inst.audience(StreamId::new(r)).len()).sum();
+        let tail: usize = (35..40)
+            .map(|r| inst.audience(StreamId::new(r)).len())
+            .sum();
+        assert!(head > tail, "head {head} should exceed tail {tail}");
+    }
+
+    #[test]
+    fn multi_measure_workload_is_well_formed() {
+        let mut cfg = WorkloadConfig::default();
+        cfg.catalog.measures = 4;
+        cfg.population.user_measures = 2;
+        let inst = cfg.generate(5);
+        assert_eq!(inst.num_measures(), 4);
+        assert_eq!(inst.max_user_measures(), 2);
+        // All loads within capacities (builder would have dropped others).
+        assert!(inst.num_interests() > 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Seeded synthetic workload generators for `mmd`.
+//!
+//! The paper evaluates nothing empirically (it is a theory paper), so this
+//! crate supplies the workloads its theorems quantify over:
+//!
+//! * [`catalog`] / [`population`] / [`gen`] — realistic cable-TV/IPTV
+//!   instances: SD/HD/UHD stream classes with bandwidth, processing, port
+//!   and licensing costs; household/gateway clients with access-link
+//!   capacities and revenue caps; Zipf-popular preferences.
+//! * [`special`] — the paper's own adversarial constructions: the §4.2
+//!   tightness instance, the §2.2 "greedy hole", unit-skew and
+//!   target-skew families, and small-streams families satisfying the
+//!   Theorem 1.2 hypothesis.
+//! * [`trace`] — Poisson arrival / heavy-tailed duration traces for the
+//!   online algorithm (§5) and the discrete-event simulator.
+//! * [`zipf`] — the Zipf sampler underlying stream popularity.
+//!
+//! All generators are deterministic given a `u64` seed.
+
+pub mod catalog;
+pub mod gen;
+pub mod population;
+pub mod special;
+pub mod trace;
+pub mod zipf;
+
+pub use catalog::{CatalogConfig, StreamClass};
+pub use gen::WorkloadConfig;
+pub use population::PopulationConfig;
+pub use trace::{ArrivalTrace, TraceConfig, TraceEvent, TraceEventKind};

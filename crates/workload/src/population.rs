@@ -1,0 +1,182 @@
+//! Client populations: households and neighborhood video gateways.
+//!
+//! Per §1, a client is "an individual household, or a neighborhood video
+//! gateway"; its utility cap models the revenue / satisfaction it can
+//! generate, and its capacity measures model limited resources — primarily
+//! the incoming access-link bandwidth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Archetype of a client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ClientKind {
+    /// A single household: modest access link, low utility cap, few
+    /// interests.
+    Household,
+    /// A neighborhood gateway aggregating many households: fat link, high
+    /// cap, many interests.
+    Gateway,
+}
+
+/// One generated client.
+#[derive(Clone, Debug)]
+pub struct Client {
+    /// Archetype.
+    pub kind: ClientKind,
+    /// Utility cap `W_u`.
+    pub utility_cap: f64,
+    /// Capacities `K^u_j` (length = configured user measures).
+    pub capacities: Vec<f64>,
+    /// Number of catalog streams this client is interested in.
+    pub degree: usize,
+}
+
+/// Configuration of a client population.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PopulationConfig {
+    /// Number of clients.
+    pub users: usize,
+    /// Fraction of gateways (the rest are households).
+    pub gateway_fraction: f64,
+    /// Number of capacity measures per user `m_c` (0 = utility-capped
+    /// only). Measure 0 is the access link in Mb/s; further measures are
+    /// set-top tuner counts etc.
+    pub user_measures: usize,
+    /// Household access link range in Mb/s.
+    pub household_link: (f64, f64),
+    /// Gateway access link range in Mb/s.
+    pub gateway_link: (f64, f64),
+    /// Household utility cap range.
+    pub household_cap: (f64, f64),
+    /// Gateway utility cap range.
+    pub gateway_cap: (f64, f64),
+    /// Interests per household (min, max).
+    pub household_degree: (usize, usize),
+    /// Interests per gateway (min, max).
+    pub gateway_degree: (usize, usize),
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            users: 40,
+            gateway_fraction: 0.1,
+            user_measures: 1,
+            household_link: (15.0, 50.0),
+            gateway_link: (100.0, 400.0),
+            household_cap: (3.0, 10.0),
+            gateway_cap: (30.0, 80.0),
+            household_degree: (3, 10),
+            gateway_degree: (10, 30),
+        }
+    }
+}
+
+impl PopulationConfig {
+    /// Generates the population deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users == 0` or `gateway_fraction ∉ [0, 1]`.
+    pub fn generate(&self, seed: u64) -> Vec<Client> {
+        assert!(self.users > 0, "population must have at least one user");
+        assert!(
+            (0.0..=1.0).contains(&self.gateway_fraction),
+            "gateway_fraction must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(self.users);
+        for _ in 0..self.users {
+            let kind = if rng.gen_range(0.0..1.0f64) < self.gateway_fraction {
+                ClientKind::Gateway
+            } else {
+                ClientKind::Household
+            };
+            let (link, cap, degree) = match kind {
+                ClientKind::Household => (
+                    self.household_link,
+                    self.household_cap,
+                    self.household_degree,
+                ),
+                ClientKind::Gateway => (self.gateway_link, self.gateway_cap, self.gateway_degree),
+            };
+            let mut capacities = Vec::with_capacity(self.user_measures);
+            if self.user_measures >= 1 {
+                capacities.push(rng.gen_range(link.0..=link.1));
+            }
+            for extra in 1..self.user_measures {
+                // Secondary resources (tuners, decode slots): small integers.
+                let tuners = rng.gen_range(2..=6) as f64 * extra as f64;
+                capacities.push(tuners);
+            }
+            out.push(Client {
+                kind,
+                utility_cap: rng.gen_range(cap.0..=cap.1),
+                capacities,
+                degree: rng.gen_range(degree.0..=degree.1.max(degree.0)),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_users() {
+        let cfg = PopulationConfig {
+            users: 17,
+            user_measures: 2,
+            ..PopulationConfig::default()
+        };
+        let pop = cfg.generate(0);
+        assert_eq!(pop.len(), 17);
+        for c in &pop {
+            assert_eq!(c.capacities.len(), 2);
+            assert!(c.utility_cap > 0.0);
+            assert!(c.degree >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = PopulationConfig::default();
+        let a = cfg.generate(5);
+        let b = cfg.generate(5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.capacities, y.capacities);
+            assert_eq!(x.utility_cap, y.utility_cap);
+        }
+    }
+
+    #[test]
+    fn gateways_are_bigger() {
+        let cfg = PopulationConfig {
+            users: 600,
+            gateway_fraction: 0.5,
+            ..PopulationConfig::default()
+        };
+        let pop = cfg.generate(2);
+        let avg = |k: ClientKind| {
+            let v: Vec<&Client> = pop.iter().filter(|c| c.kind == k).collect();
+            let s: f64 = v.iter().map(|c| c.capacities[0]).sum();
+            s / v.len() as f64
+        };
+        assert!(avg(ClientKind::Gateway) > avg(ClientKind::Household) * 2.0);
+    }
+
+    #[test]
+    fn zero_measures_means_cap_only() {
+        let cfg = PopulationConfig {
+            user_measures: 0,
+            ..PopulationConfig::default()
+        };
+        let pop = cfg.generate(1);
+        assert!(pop.iter().all(|c| c.capacities.is_empty()));
+    }
+}

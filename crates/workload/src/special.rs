@@ -1,0 +1,389 @@
+//! The paper's own adversarial constructions and theorem-targeted instance
+//! families.
+
+use mmd_core::{Instance, StreamId, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The §4.2 **tightness instance**: `m` server budgets, one user with `m_c`
+/// capacities, `m + m_c − 1` streams, on which the §4 reduction's output
+/// transformation can lose a full `m·m_c` factor (OPT = `m`, the transformed
+/// solution keeps only `1/m_c`).
+///
+/// Uses the paper's `ε = 1/m²`, `ε' = 1/m_c²`.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `mc == 0`.
+pub fn tightness_instance(m: usize, mc: usize) -> Instance {
+    tightness_instance_biased(m, mc, 0.0)
+}
+
+/// [`tightness_instance`] with the small streams' utilities raised by a
+/// relative `bias`, so the output transformation's tie between the
+/// singleton groups (utility 1) and the small-stream group (utility
+/// `1 + bias`) breaks the way the paper's §4.2 analysis assumes ("say that
+/// S₁² survives") — exhibiting the full `m·m_c` loss.
+///
+/// # Panics
+///
+/// Panics if `m == 0`, `mc == 0`, or `bias < 0`.
+pub fn tightness_instance_biased(m: usize, mc: usize, bias: f64) -> Instance {
+    assert!(m >= 1 && mc >= 1, "need m >= 1 and mc >= 1");
+    assert!(bias >= 0.0, "bias must be nonnegative");
+    // The paper's "small enough" eps = 1/m^2 (resp. 1/mc^2), capped so the
+    // degenerate m = 1 (mc = 1) cases still satisfy c_i(S) <= B_i.
+    let eps = (1.0 / (m * m) as f64).min(0.25);
+    let eps_p = (1.0 / (mc * mc) as f64).min(0.25);
+    let n_streams = m + mc - 1;
+
+    let mut b = Instance::builder(format!("tightness(m={m},mc={mc})")).server_budgets(vec![1.0; m]);
+    // Paper indices: streams S_1 .. S_{m-1} have c_i(S_j) = 1/2 + eps iff
+    // i == j; streams S_m .. S_{m+mc-1} have c_m(S_j) = (1/2 + eps)/mc.
+    // The Fig. 3 decomposition lays streams out "in arbitrary order" — the
+    // §4.2 analysis picks the adversarial order where the small streams sit
+    // together in one group, so we emit them first (ids 0..mc-1).
+    let mut paper_js: Vec<usize> = (m..=n_streams).collect();
+    paper_js.extend(1..m);
+    let mut streams = Vec::with_capacity(n_streams);
+    for &j in &paper_js {
+        let mut costs = vec![0.0; m];
+        if j < m {
+            costs[j - 1] = 0.5 + eps;
+        } else {
+            costs[m - 1] = (0.5 + eps) / mc as f64;
+        }
+        streams.push(b.add_stream(costs));
+    }
+    let user = b.add_user(f64::INFINITY, vec![1.0; mc]);
+    for (idx, &s) in streams.iter().enumerate() {
+        let j = paper_js[idx];
+        let mut loads = vec![0.0; mc];
+        if j >= m {
+            // k^u_i(S_j) = 1/2 + eps' iff j == m + i - 1.
+            loads[j - m] = 0.5 + eps_p;
+        }
+        let w = if j < m { 1.0 } else { (1.0 + bias) / mc as f64 };
+        b.add_interest(user, s, w, loads)
+            .expect("tightness pairs are unique");
+    }
+    b.build().expect("tightness instance is valid")
+}
+
+/// The §2.2 **greedy hole**: a tiny stream with the best cost effectiveness
+/// blocks a budget-filling stream of far larger absolute utility. Plain
+/// greedy scores `tiny_utility`; the fixed greedy (via `A_max`) scores
+/// `huge_utility`.
+pub fn greedy_hole() -> Instance {
+    let mut b = Instance::builder("greedy-hole").server_budgets(vec![100.0]);
+    let tiny = b.add_stream(vec![1.0]);
+    let huge = b.add_stream(vec![100.0]);
+    let u = b.add_user(f64::INFINITY, vec![]);
+    b.add_interest(u, tiny, 10.0, vec![]).unwrap();
+    b.add_interest(u, huge, 500.0, vec![]).unwrap();
+    b.build().expect("hole instance is valid")
+}
+
+/// A **decoy** family for the baseline experiments: the first
+/// `decoys` streams (low ids = early arrivals) are expensive and nearly
+/// worthless; the rest are cheap gems. First-come-first-served admission
+/// spends the budget on decoys; utility-aware algorithms skip them.
+pub fn decoy_smd(decoys: usize, gems: usize, users: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Instance::builder(format!("decoy#{seed}")).server_budgets(vec![100.0]);
+    let mut streams = Vec::new();
+    for _ in 0..decoys {
+        streams.push((b.add_stream(vec![rng.gen_range(6.0..10.0)]), true));
+    }
+    for _ in 0..gems {
+        streams.push((b.add_stream(vec![rng.gen_range(2.0..3.0)]), false));
+    }
+    for _ in 0..users {
+        let u = b.add_user(f64::INFINITY, vec![]);
+        for &(s, decoy) in &streams {
+            if rng.gen_range(0.0..1.0f64) < 0.3 {
+                let w = if decoy {
+                    rng.gen_range(0.05..0.2)
+                } else {
+                    rng.gen_range(3.0..8.0)
+                };
+                b.add_interest(u, s, w, vec![]).unwrap();
+            }
+        }
+    }
+    b.build().expect("decoy family is valid")
+}
+
+/// Parameters for the random smd families below.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SmdFamilyConfig {
+    /// Number of streams.
+    pub streams: usize,
+    /// Number of users.
+    pub users: usize,
+    /// Probability that a (user, stream) pair is an interest.
+    pub density: f64,
+    /// Server budget as a fraction of total stream cost.
+    pub budget_fraction: f64,
+}
+
+impl Default for SmdFamilyConfig {
+    fn default() -> Self {
+        SmdFamilyConfig {
+            streams: 10,
+            users: 6,
+            density: 0.6,
+            budget_fraction: 0.4,
+        }
+    }
+}
+
+/// Random **unit-skew** smd instance (the §2 setting): every user's load
+/// equals its utility and the capacity equals the utility cap, so the local
+/// skew is exactly 1.
+pub fn unit_skew_smd(cfg: &SmdFamilyConfig, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Instance::builder(format!("unit-skew#{seed}"));
+    let costs: Vec<f64> = (0..cfg.streams)
+        .map(|_| rng.gen_range(1.0..5.0f64))
+        .collect();
+    let budget = (costs.iter().sum::<f64>() * cfg.budget_fraction)
+        .max(costs.iter().fold(0.0f64, |a, &c| a.max(c)));
+    b = b.server_budgets(vec![budget]);
+    let streams: Vec<StreamId> = costs.iter().map(|&c| b.add_stream(vec![c])).collect();
+    for _ in 0..cfg.users {
+        let cap = rng.gen_range(2.0..8.0f64);
+        let u = b.add_user(cap, vec![cap]);
+        for &s in &streams {
+            if rng.gen_range(0.0..1.0f64) < cfg.density {
+                let w = rng.gen_range(0.5..3.0f64).min(cap);
+                b.add_interest(u, s, w, vec![w])
+                    .expect("unique pair per loop");
+            }
+        }
+    }
+    b.build().expect("unit-skew family is valid")
+}
+
+/// Random smd instance with local skew (approximately) equal to
+/// `target_alpha`: per-interest utility-per-load ratios are drawn
+/// log-uniformly from `[1, target_alpha]`, and the extreme ratios are pinned
+/// so the measured skew matches the target.
+pub fn target_skew_smd(cfg: &SmdFamilyConfig, target_alpha: f64, seed: u64) -> Instance {
+    assert!(target_alpha >= 1.0, "alpha must be >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Instance::builder(format!("skew{target_alpha}#{seed}"));
+    let costs: Vec<f64> = (0..cfg.streams)
+        .map(|_| rng.gen_range(1.0..5.0f64))
+        .collect();
+    let budget = (costs.iter().sum::<f64>() * cfg.budget_fraction)
+        .max(costs.iter().fold(0.0f64, |a, &c| a.max(c)));
+    b = b.server_budgets(vec![budget]);
+    let streams: Vec<StreamId> = costs.iter().map(|&c| b.add_stream(vec![c])).collect();
+    let log_a = target_alpha.log2();
+    for ui in 0..cfg.users {
+        let cap = rng.gen_range(4.0..12.0f64);
+        let u = b.add_user(f64::INFINITY, vec![cap]);
+        let mut pair_idx = 0usize;
+        for &s in &streams {
+            if rng.gen_range(0.0..1.0f64) < cfg.density {
+                // Pin the first user's first two pairs to the extremes so
+                // the instance's measured alpha hits the target.
+                let ratio = if ui == 0 && pair_idx == 0 {
+                    1.0
+                } else if ui == 0 && pair_idx == 1 {
+                    target_alpha
+                } else {
+                    2f64.powf(rng.gen_range(0.0..=log_a.max(f64::MIN_POSITIVE)))
+                };
+                let k = rng.gen_range(0.5..(cap / 2.0));
+                let w = k * ratio;
+                b.add_interest(u, s, w, vec![k])
+                    .expect("unique pair per loop");
+                pair_idx += 1;
+            }
+        }
+    }
+    b.build().expect("target-skew family is valid")
+}
+
+/// Random **small-streams** mmd instance satisfying the Theorem 1.2
+/// hypothesis `c_i(S) ≤ B_i / log µ` (and likewise for user capacities):
+/// budgets are sized after computing `µ` so the hypothesis holds by
+/// construction.
+pub fn small_streams(streams: usize, users: usize, measures: usize, seed: u64) -> Instance {
+    assert!(streams > 0 && users > 0 && (1..=4).contains(&measures));
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Raw material: costs, utilities, loads.
+    let costs: Vec<Vec<f64>> = (0..streams)
+        .map(|_| (0..measures).map(|_| rng.gen_range(0.5..2.0f64)).collect())
+        .collect();
+    // Interests: every user wants a random half of the streams.
+    let mut interests: Vec<Vec<(usize, f64, f64)>> = Vec::with_capacity(users);
+    for _ in 0..users {
+        let mut list = Vec::new();
+        for (si, _) in costs.iter().enumerate() {
+            if rng.gen_range(0.0..1.0f64) < 0.5 {
+                let w = rng.gen_range(0.5..4.0f64);
+                let k = rng.gen_range(0.5..2.0f64);
+                list.push((si, w, k));
+            }
+        }
+        if list.is_empty() {
+            let w = rng.gen_range(0.5..4.0f64);
+            list.push((0, w, rng.gen_range(0.5..2.0f64)));
+        }
+        interests.push(list);
+    }
+    // Ensure audiences (required by the eq.-(1) normalization).
+    for si in 0..streams {
+        if !interests.iter().any(|l| l.iter().any(|&(s, _, _)| s == si)) {
+            let w = rng.gen_range(0.5..4.0f64);
+            interests[0].push((si, w, rng.gen_range(0.5..2.0f64)));
+        }
+    }
+
+    // Phase 1: loose budgets/capacities, just to measure gamma.
+    let loose = build_small(&costs, &interests, None, seed);
+    let gskew = mmd_core::skew::global_skew(&loose).expect("audiences ensured");
+    let mu = 2.0 * gskew.gamma * gskew.budget_count as f64 + 2.0;
+    let log_mu = mu.log2();
+
+    // Phase 2: budgets B_i = margin · log µ · max_i cost so smallness holds.
+    build_small(&costs, &interests, Some(log_mu * 1.05), seed)
+}
+
+fn build_small(
+    costs: &[Vec<f64>],
+    interests: &[Vec<(usize, f64, f64)>],
+    budget_factor: Option<f64>,
+    seed: u64,
+) -> Instance {
+    let measures = costs[0].len();
+    let mut budgets = vec![0.0f64; measures];
+    for (i, budget) in budgets.iter_mut().enumerate() {
+        let max_c = costs.iter().map(|c| c[i]).fold(0.0f64, f64::max);
+        *budget = match budget_factor {
+            Some(f) => max_c * f,
+            // Loose: everything fits many times over.
+            None => max_c * costs.len() as f64 * 10.0,
+        };
+    }
+    let mut b = Instance::builder(format!("small-streams#{seed}")).server_budgets(budgets);
+    let stream_ids: Vec<StreamId> = costs.iter().map(|c| b.add_stream(c.clone())).collect();
+    let mut user_ids: Vec<UserId> = Vec::with_capacity(interests.len());
+    for list in interests {
+        let max_k = list.iter().map(|&(_, _, k)| k).fold(0.0f64, f64::max);
+        let cap = match budget_factor {
+            Some(f) => max_k * f,
+            None => max_k * costs.len() as f64 * 10.0,
+        };
+        user_ids.push(b.add_user(f64::INFINITY, vec![cap]));
+    }
+    for (ui, list) in interests.iter().enumerate() {
+        for &(si, w, k) in list {
+            b.add_interest(user_ids[ui], stream_ids[si], w, vec![k])
+                .expect("interest lists are deduplicated by construction");
+        }
+    }
+    b.build().expect("small-streams family is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmd_core::skew::local_skew;
+
+    #[test]
+    fn tightness_instance_matches_paper() {
+        let m = 3;
+        let mc = 2;
+        let inst = tightness_instance(m, mc);
+        assert_eq!(inst.num_streams(), m + mc - 1);
+        assert_eq!(inst.num_measures(), m);
+        assert_eq!(inst.max_user_measures(), mc);
+        // OPT assigns everything: total utility (m-1) + mc * (1/mc) = m.
+        let mut a = mmd_core::Assignment::for_instance(&inst);
+        let u = UserId::new(0);
+        for s in inst.streams() {
+            a.assign(u, s);
+        }
+        assert!(a.check_feasible(&inst).is_ok(), "OPT must be feasible");
+        assert!((a.utility(&inst) - m as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tightness_m1_mc1_degenerates() {
+        let inst = tightness_instance(1, 1);
+        assert_eq!(inst.num_streams(), 1);
+    }
+
+    #[test]
+    fn hole_shape() {
+        let inst = greedy_hole();
+        assert_eq!(inst.num_streams(), 2);
+        let g = mmd_core::algo::greedy(&inst).unwrap();
+        assert!((g.utility - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_skew_family_has_skew_one() {
+        for seed in 0..5 {
+            let inst = unit_skew_smd(&SmdFamilyConfig::default(), seed);
+            assert!(
+                (local_skew(&inst) - 1.0).abs() < 1e-9,
+                "seed {seed}: skew {}",
+                local_skew(&inst)
+            );
+            assert!(inst.is_single_budget());
+        }
+    }
+
+    #[test]
+    fn target_skew_family_hits_target() {
+        for &alpha in &[2.0, 8.0, 64.0] {
+            let inst = target_skew_smd(&SmdFamilyConfig::default(), alpha, 3);
+            let measured = local_skew(&inst);
+            assert!(
+                measured <= alpha * (1.0 + 1e-9) && measured >= alpha * 0.99,
+                "target {alpha}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_streams_satisfy_theorem_hypothesis() {
+        let inst = small_streams(40, 5, 2, 9);
+        let alloc = mmd_core::algo::OnlineAllocator::new(&inst).unwrap();
+        let rep = alloc.smallness();
+        assert!(rep.ok, "smallness violated {} times", rep.violations);
+    }
+
+    #[test]
+    fn decoy_family_punishes_fcfs() {
+        let inst = decoy_smd(20, 20, 10, 1);
+        let order: Vec<StreamId> = inst.streams().collect();
+        let fcfs = mmd_core::algo::baselines::threshold_admission(&inst, &order, 1.0);
+        let smart =
+            mmd_core::algo::solve_smd_unit(&inst, mmd_core::algo::Feasibility::SemiFeasible)
+                .unwrap();
+        assert!(
+            smart.utility > 3.0 * fcfs.utility(&inst),
+            "smart {} vs fcfs {}",
+            smart.utility,
+            fcfs.utility(&inst)
+        );
+    }
+
+    #[test]
+    fn families_are_deterministic() {
+        let cfg = SmdFamilyConfig::default();
+        assert_eq!(unit_skew_smd(&cfg, 1), unit_skew_smd(&cfg, 1));
+        assert_eq!(
+            target_skew_smd(&cfg, 16.0, 2),
+            target_skew_smd(&cfg, 16.0, 2)
+        );
+        assert_eq!(small_streams(10, 3, 2, 3), small_streams(10, 3, 2, 3));
+    }
+}

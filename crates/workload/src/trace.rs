@@ -1,0 +1,219 @@
+//! Online arrival/departure traces for the §5 algorithm and the simulator.
+//!
+//! Streams become available at Poisson arrival times and stay up for an
+//! exponential or Pareto (heavy-tailed) duration — the footnote-1 scenario
+//! of streams with finite durations whose requirements are known at
+//! arrival.
+
+use mmd_core::StreamId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// What happens at a trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// The stream becomes available and is offered to the policy.
+    Arrival,
+    /// The stream ends and frees its resources.
+    Departure,
+}
+
+/// One timestamped event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Event time (arbitrary units).
+    pub time: f64,
+    /// The stream concerned.
+    pub stream: StreamId,
+    /// Arrival or departure.
+    pub kind: TraceEventKind,
+}
+
+/// A time-ordered sequence of arrivals and departures over an instance's
+/// streams. Each stream arrives exactly once.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrivalTrace {
+    events: Vec<TraceEvent>,
+    horizon: f64,
+}
+
+impl ArrivalTrace {
+    /// All events in nondecreasing time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Time of the last event.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// The streams in arrival order (for batch-online algorithms).
+    pub fn arrival_order(&self) -> Vec<StreamId> {
+        self.events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Arrival)
+            .map(|e| e.stream)
+            .collect()
+    }
+}
+
+/// Configuration for trace generation.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TraceConfig {
+    /// Mean arrivals per time unit (Poisson process).
+    pub arrival_rate: f64,
+    /// Mean stream duration.
+    pub mean_duration: f64,
+    /// Draw durations from a Pareto(1.5) tail instead of an exponential.
+    pub heavy_tail: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            arrival_rate: 1.0,
+            mean_duration: 20.0,
+            heavy_tail: false,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Generates a trace over `n_streams` streams, deterministically from
+    /// `seed`. Streams arrive in a shuffled order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival_rate` or `mean_duration` is not positive.
+    pub fn generate(&self, n_streams: usize, seed: u64) -> ArrivalTrace {
+        assert!(self.arrival_rate > 0.0, "arrival_rate must be positive");
+        assert!(self.mean_duration > 0.0, "mean_duration must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<StreamId> = (0..n_streams).map(StreamId::new).collect();
+        order.shuffle(&mut rng);
+
+        let mut events = Vec::with_capacity(2 * n_streams);
+        let mut t = 0.0f64;
+        for s in order {
+            // Exponential interarrival via inverse transform.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            t += -u.ln() / self.arrival_rate;
+            let duration = if self.heavy_tail {
+                // Pareto(alpha = 1.5) with mean = alpha/(alpha-1) * xm = 3 xm.
+                let xm = self.mean_duration / 3.0;
+                let v: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                xm / v.powf(1.0 / 1.5)
+            } else {
+                let v: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -v.ln() * self.mean_duration
+            };
+            events.push(TraceEvent {
+                time: t,
+                stream: s,
+                kind: TraceEventKind::Arrival,
+            });
+            events.push(TraceEvent {
+                time: t + duration,
+                stream: s,
+                kind: TraceEventKind::Departure,
+            });
+        }
+        events.sort_by(|a, b| a.time.total_cmp(&b.time));
+        let horizon = events.last().map_or(0.0, |e| e.time);
+        ArrivalTrace { events, horizon }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_stream_arrives_once_and_departs_once() {
+        let trace = TraceConfig::default().generate(30, 4);
+        let mut arrivals = vec![0usize; 30];
+        let mut departures = vec![0usize; 30];
+        for e in trace.events() {
+            match e.kind {
+                TraceEventKind::Arrival => arrivals[e.stream.index()] += 1,
+                TraceEventKind::Departure => departures[e.stream.index()] += 1,
+            }
+        }
+        assert!(arrivals.iter().all(|&c| c == 1));
+        assert!(departures.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let trace = TraceConfig::default().generate(50, 5);
+        for pair in trace.events().windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+        assert!(trace.horizon() >= trace.events().last().unwrap().time);
+    }
+
+    #[test]
+    fn departure_follows_arrival_per_stream() {
+        let trace = TraceConfig::default().generate(20, 6);
+        let mut arrived = [false; 20];
+        for e in trace.events() {
+            match e.kind {
+                TraceEventKind::Arrival => arrived[e.stream.index()] = true,
+                TraceEventKind::Departure => {
+                    assert!(arrived[e.stream.index()], "departure before arrival")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = TraceConfig::default();
+        assert_eq!(cfg.generate(10, 1), cfg.generate(10, 1));
+        assert_ne!(cfg.generate(10, 1), cfg.generate(10, 2));
+    }
+
+    #[test]
+    fn arrival_order_lists_all_streams() {
+        let trace = TraceConfig::default().generate(12, 7);
+        let mut order = trace.arrival_order();
+        order.sort_unstable();
+        let expected: Vec<StreamId> = (0..12).map(StreamId::new).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn heavy_tail_durations_have_outliers() {
+        let cfg = TraceConfig {
+            heavy_tail: true,
+            mean_duration: 10.0,
+            ..TraceConfig::default()
+        };
+        let trace = cfg.generate(400, 8);
+        // Find the max duration: heavy tails should exceed several means.
+        let mut arrival_time = vec![0.0; 400];
+        let mut max_duration = 0.0f64;
+        for e in trace.events() {
+            match e.kind {
+                TraceEventKind::Arrival => arrival_time[e.stream.index()] = e.time,
+                TraceEventKind::Departure => {
+                    max_duration = max_duration.max(e.time - arrival_time[e.stream.index()]);
+                }
+            }
+        }
+        assert!(max_duration > 30.0, "max duration {max_duration}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival_rate")]
+    fn rejects_bad_rate() {
+        TraceConfig {
+            arrival_rate: 0.0,
+            ..TraceConfig::default()
+        }
+        .generate(1, 0);
+    }
+}

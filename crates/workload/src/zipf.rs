@@ -1,0 +1,142 @@
+//! A Zipf(θ) sampler over ranks `0..n` — the standard model for video
+//! popularity (a few channels draw most viewers).
+//!
+//! Rank `r` (0-based) has weight `1/(r+1)^θ`; `θ = 0` is uniform, `θ ≈ 1`
+//! matches measured TV channel popularity.
+
+use rand::Rng;
+
+/// Precomputed Zipf distribution supporting O(log n) sampling and O(1)
+/// weight queries.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative weights, `cumulative[r] = Σ_{i ≤ r} w_i`.
+    cumulative: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf(θ) distribution over `n` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(theta.is_finite() && theta >= 0.0, "invalid theta {theta}");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            let w = 1.0 / ((r + 1) as f64).powf(theta);
+            total += w;
+            weights.push(w);
+            cumulative.push(total);
+        }
+        Zipf {
+            cumulative,
+            weights,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` if there are no ranks (never; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The (unnormalized) weight of rank `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn weight(&self, r: usize) -> f64 {
+        self.weights[r]
+    }
+
+    /// The probability of rank `r`.
+    pub fn probability(&self, r: usize) -> f64 {
+        self.weights[r] / self.total()
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> f64 {
+        *self.cumulative.last().expect("non-empty")
+    }
+
+    /// Samples a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen_range(0.0..self.total());
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("no NaN"))
+        {
+            Ok(i) => (i + 1).min(self.len() - 1),
+            Err(i) => i.min(self.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_decay() {
+        let z = Zipf::new(10, 1.0);
+        for r in 1..10 {
+            assert!(z.weight(r) < z.weight(r - 1));
+        }
+        assert!((z.weight(0) - 1.0).abs() < 1e-12);
+        assert!((z.weight(9) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(5, 0.0);
+        for r in 0..5 {
+            assert!((z.probability(r) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let z = Zipf::new(4, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (r, &count) in counts.iter().enumerate() {
+            let observed = count as f64 / n as f64;
+            let expected = z.probability(r);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {r}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = Zipf::new(16, 0.8);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn rejects_empty() {
+        Zipf::new(0, 1.0);
+    }
+}

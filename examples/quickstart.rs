@@ -1,0 +1,66 @@
+//! Quickstart: model a tiny head-end, run the full Theorem 1.1 pipeline,
+//! and inspect the result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mmd::core::{algo, Instance};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A head-end with two cost measures: egress bandwidth (Mb/s) and
+    // processing units.
+    let mut b = Instance::builder("quickstart").server_budgets(vec![30.0, 10.0]);
+
+    // Four streams: news (SD), sports (HD), movie (HD), documentary (SD).
+    let news = b.add_stream(vec![2.5, 1.0]);
+    let sports = b.add_stream(vec![8.0, 2.5]);
+    let movie = b.add_stream(vec![8.0, 2.5]);
+    let docu = b.add_stream(vec![2.5, 1.0]);
+
+    // Three clients: two households (capped revenue, thin links) and one
+    // neighborhood gateway (fat link, high cap).
+    let alice = b.add_user(6.0, vec![12.0]);
+    let bob = b.add_user(5.0, vec![20.0]);
+    let gateway = b.add_user(25.0, vec![100.0]);
+
+    b.add_interest(alice, news, 2.0, vec![2.5])?;
+    b.add_interest(alice, sports, 5.0, vec![8.0])?;
+    b.add_interest(bob, movie, 4.0, vec![8.0])?;
+    b.add_interest(bob, docu, 1.5, vec![2.5])?;
+    b.add_interest(gateway, news, 6.0, vec![2.5])?;
+    b.add_interest(gateway, sports, 9.0, vec![8.0])?;
+    b.add_interest(gateway, movie, 8.0, vec![8.0])?;
+    b.add_interest(gateway, docu, 3.0, vec![2.5])?;
+
+    let inst = b.build()?;
+    println!("instance: {inst}");
+
+    // Solve with the paper's end-to-end algorithm (reduction -> classify ->
+    // fixed greedy).
+    let out = algo::solve_mmd(&inst, &algo::MmdConfig::default())?;
+    println!("total utility: {:.2}", out.utility);
+    println!("streams transmitted:");
+    for s in out.assignment.range() {
+        let receivers: Vec<String> = inst
+            .users()
+            .filter(|&u| out.assignment.contains(u, s))
+            .map(|u| u.to_string())
+            .collect();
+        println!(
+            "  {s}: costs {:?} -> {}",
+            inst.costs(s),
+            receivers.join(", ")
+        );
+    }
+    for i in 0..inst.num_measures() {
+        println!(
+            "measure {i}: used {:.1} of {:.1}",
+            out.assignment.server_cost(i, &inst),
+            inst.budget(i)
+        );
+    }
+    out.assignment
+        .check_feasible(&inst)
+        .expect("pipeline output is always feasible");
+    println!("feasible: yes");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! The §4 closing remark in action: maximizing an arbitrary submodular
+//! function — here, weighted sensor coverage — under multiple budget
+//! constraints, with the paper's reduction technique.
+//!
+//! Scenario: place relay sites (ground set) to cover neighborhoods
+//! (weighted elements), subject to a money budget and a power budget.
+//!
+//! Run with: `cargo run --release --example submodular_budgets`
+
+use mmd::core::algo::submodular::{
+    is_budget_feasible, maximize_multi, SetFunction, WeightedCoverage,
+};
+use std::collections::BTreeSet;
+
+fn main() {
+    // 8 candidate relay sites; 10 neighborhoods weighted by population.
+    let neighborhoods = vec![12.0, 8.0, 5.0, 20.0, 7.0, 3.0, 9.0, 14.0, 6.0, 11.0];
+    let coverage = vec![
+        vec![0, 1, 2], // site 0
+        vec![2, 3],    // site 1
+        vec![3, 4, 5], // site 2
+        vec![5, 6],    // site 3
+        vec![6, 7, 8], // site 4
+        vec![8, 9],    // site 5
+        vec![0, 9],    // site 6
+        vec![1, 4, 7], // site 7
+    ];
+    let f = WeightedCoverage::new(coverage, neighborhoods);
+
+    // Two budgets: money (units) and power (watts).
+    let costs: Vec<Vec<f64>> = vec![
+        vec![3.0, 2.0],
+        vec![2.0, 1.0],
+        vec![4.0, 2.5],
+        vec![1.5, 1.0],
+        vec![3.5, 2.0],
+        vec![2.0, 1.5],
+        vec![2.5, 1.0],
+        vec![3.0, 3.0],
+    ];
+    let budgets = [8.0, 5.0];
+
+    let sol = maximize_multi(&f, &costs, &budgets);
+    println!("selected sites: {:?}", sol.items);
+    println!("covered population: {:.0}", sol.value);
+    println!(
+        "total population: {:.0}",
+        f.eval(&(0..f.ground_size()).collect::<BTreeSet<_>>())
+    );
+    for (i, b) in budgets.iter().enumerate() {
+        let spent: f64 = sol.items.iter().map(|&x| costs[x][i]).sum();
+        println!("budget {i}: spent {spent:.1} of {b:.1}");
+    }
+    assert!(is_budget_feasible(&sol.items, &costs, &budgets));
+    println!("feasible: yes (O(m)-approximate, §4 closing remark)");
+}

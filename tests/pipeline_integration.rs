@@ -1,0 +1,185 @@
+//! Cross-crate integration: workload generators → core solvers → exact
+//! verification.
+
+use mmd::core::algo::classify::{ClassifyConfig, SmdSolverKind};
+use mmd::core::algo::reduction::{solve_mmd, to_single_budget, MmdConfig};
+use mmd::core::algo::{self, Feasibility, PartialEnumConfig};
+use mmd::exact::bounds::fractional_upper_bound;
+use mmd::exact::{solve, ExactConfig, Objective};
+use mmd::workload::special::{unit_skew_smd, SmdFamilyConfig};
+use mmd::workload::{CatalogConfig, PopulationConfig, WorkloadConfig};
+
+fn small_workload(seed: u64, m: usize, mc: usize) -> mmd::Instance {
+    WorkloadConfig {
+        catalog: CatalogConfig {
+            streams: 14,
+            measures: m,
+            ..CatalogConfig::default()
+        },
+        population: PopulationConfig {
+            users: 7,
+            user_measures: mc,
+            ..PopulationConfig::default()
+        },
+        budget_fraction: 0.35,
+        ..WorkloadConfig::default()
+    }
+    .generate(seed)
+}
+
+#[test]
+fn pipeline_feasible_on_many_shapes() {
+    for m in 1..=4usize {
+        for mc in 0..=2usize {
+            for seed in 0..5u64 {
+                let inst = small_workload(seed, m, mc);
+                let out = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+                out.assignment
+                    .check_feasible(&inst)
+                    .unwrap_or_else(|e| panic!("m={m} mc={mc} seed={seed}: {e:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn pipeline_never_exceeds_upper_bound() {
+    for seed in 0..10u64 {
+        let inst = small_workload(seed, 2, 1);
+        let out = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+        let ub = fractional_upper_bound(&inst);
+        assert!(
+            out.utility <= ub + 1e-6,
+            "seed {seed}: utility {} > bound {ub}",
+            out.utility
+        );
+    }
+}
+
+#[test]
+fn pipeline_matches_exact_within_theorem_bound() {
+    // Theorem 4.4 bound with our constants is loose; we assert the much
+    // tighter empirical envelope (ratio <= 4) to catch regressions, and the
+    // theorem bound as a hard backstop.
+    for seed in 0..10u64 {
+        let inst = small_workload(seed, 2, 1);
+        let opt = solve(
+            &inst,
+            &ExactConfig {
+                objective: Objective::Feasible,
+                max_user_degree: 30,
+                ..ExactConfig::default()
+            },
+        )
+        .unwrap()
+        .value;
+        if opt <= 0.0 {
+            continue;
+        }
+        let out = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+        let ratio = opt / out.utility.max(1e-12);
+        assert!(ratio <= 4.0, "seed {seed}: ratio {ratio}");
+    }
+}
+
+#[test]
+fn faithful_pipeline_still_sound() {
+    let cfg = MmdConfig {
+        residual_fill: false,
+        faithful_output_transform: true,
+        ..MmdConfig::default()
+    };
+    for seed in 0..10u64 {
+        let inst = small_workload(seed, 3, 2);
+        let out = solve_mmd(&inst, &cfg).unwrap();
+        out.assignment.check_feasible(&inst).unwrap();
+        // Default dominates faithful (refinements only add).
+        let default = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+        assert!(default.utility >= out.utility - 1e-9);
+    }
+}
+
+#[test]
+fn partial_enum_dominates_fixed_greedy_through_classify() {
+    for seed in 0..6u64 {
+        let inst = unit_skew_smd(
+            &SmdFamilyConfig {
+                streams: 10,
+                users: 5,
+                density: 0.5,
+                budget_fraction: 0.35,
+            },
+            seed,
+        );
+        let fg = algo::solve_smd_unit(&inst, Feasibility::SemiFeasible).unwrap();
+        let pe = algo::solve_smd_partial_enum(
+            &inst,
+            &PartialEnumConfig {
+                max_seed_size: 2,
+                seed_limit: None,
+            },
+            Feasibility::SemiFeasible,
+        )
+        .unwrap();
+        assert!(pe.utility >= fg.utility - 1e-9, "seed {seed}");
+    }
+}
+
+#[test]
+fn classify_solver_choice_is_wired_through_mmd() {
+    let inst = small_workload(3, 2, 1);
+    let fast = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+    let strong = solve_mmd(
+        &inst,
+        &MmdConfig {
+            classify: ClassifyConfig {
+                solver: SmdSolverKind::PartialEnum(PartialEnumConfig {
+                    max_seed_size: 1,
+                    seed_limit: Some(200),
+                }),
+                mode: Feasibility::Strict,
+            },
+            ..MmdConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(strong.assignment.check_feasible(&inst).is_ok());
+    assert!(fast.assignment.check_feasible(&inst).is_ok());
+}
+
+#[test]
+fn reduction_preserves_utilities_and_ids() {
+    let inst = small_workload(5, 3, 2);
+    let red = to_single_budget(&inst);
+    assert_eq!(red.num_streams(), inst.num_streams());
+    assert_eq!(red.num_users(), inst.num_users());
+    for u in inst.users() {
+        for s in inst.streams() {
+            assert_eq!(inst.utility(u, s), red.utility(u, s));
+        }
+    }
+}
+
+#[test]
+fn exact_semi_dominates_exact_feasible() {
+    for seed in 0..6u64 {
+        let inst = small_workload(seed, 1, 1);
+        let semi = solve(&inst, &ExactConfig::default()).unwrap().value;
+        let feas = solve(
+            &inst,
+            &ExactConfig {
+                objective: Objective::Feasible,
+                max_user_degree: 30,
+                ..ExactConfig::default()
+            },
+        )
+        .unwrap()
+        .value;
+        assert!(
+            semi >= feas - 1e-9,
+            "seed {seed}: semi {semi} < feas {feas}"
+        );
+        let ub = fractional_upper_bound(&inst);
+        assert!(ub >= semi - 1e-6, "seed {seed}: ub {ub} < semi {semi}");
+    }
+}

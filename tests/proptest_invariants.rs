@@ -1,0 +1,178 @@
+//! Property-based tests of the core invariants, over randomly generated
+//! instances.
+
+use mmd::core::algo::reduction::{interval_partition, residual_fill, solve_mmd, MmdConfig};
+use mmd::core::algo::{self, Feasibility};
+use mmd::core::coverage;
+use mmd::core::{Assignment, Instance, StreamId, UserId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Strategy: a small random smd (single-budget) instance.
+fn smd_instance() -> impl Strategy<Value = Instance> {
+    (
+        2usize..8,    // streams
+        1usize..5,    // users
+        0.2f64..0.9,  // budget fraction
+        any::<u64>(), // value seed
+    )
+        .prop_map(|(ns, nu, frac, seed)| {
+            // Derive all values deterministically from the seed.
+            let mut x = seed;
+            let mut next = move || {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 11) as f64 / (1u64 << 53) as f64).clamp(0.0, 1.0)
+            };
+            let costs: Vec<f64> = (0..ns).map(|_| 0.5 + 4.0 * next()).collect();
+            let total: f64 = costs.iter().sum();
+            let budget = (total * frac).max(costs.iter().cloned().fold(0.0, f64::max));
+            let mut b = Instance::builder("prop").server_budgets(vec![budget]);
+            let streams: Vec<StreamId> = costs.iter().map(|&c| b.add_stream(vec![c])).collect();
+            for _ in 0..nu {
+                let cap = 1.0 + 8.0 * next();
+                let u = b.add_user(cap, vec![cap]);
+                for &s in &streams {
+                    if next() < 0.6 {
+                        let w = (0.2 + 3.0 * next()).min(cap);
+                        b.add_interest(u, s, w, vec![w]).unwrap();
+                    }
+                }
+            }
+            b.build().unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 2.1: the capped utility set function is submodular and
+    /// nondecreasing on every instance.
+    #[test]
+    fn coverage_submodular(inst in smd_instance(), mask_t in any::<u32>(), mask_tp in any::<u32>()) {
+        let n = inst.num_streams();
+        let set = |mask: u32| -> BTreeSet<StreamId> {
+            (0..n).filter(|i| mask & (1 << (i % 32)) != 0).map(StreamId::new).collect()
+        };
+        let t = set(mask_t);
+        let tp = set(mask_tp);
+        let union: BTreeSet<_> = t.union(&tp).copied().collect();
+        let inter: BTreeSet<_> = t.intersection(&tp).copied().collect();
+        let lhs = coverage::eval_set(&inst, &t) + coverage::eval_set(&inst, &tp);
+        let rhs = coverage::eval_set(&inst, &union) + coverage::eval_set(&inst, &inter);
+        prop_assert!(lhs >= rhs - 1e-9);
+        // Monotone: w(T) <= w(T ∪ T').
+        prop_assert!(coverage::eval_set(&inst, &t) <= coverage::eval_set(&inst, &union) + 1e-9);
+    }
+
+    /// Greedy output is always server-feasible; strict mode output is fully
+    /// feasible; the semi-feasible utility dominates the strict one.
+    #[test]
+    fn greedy_feasibility(inst in smd_instance()) {
+        let semi = algo::solve_smd_unit(&inst, Feasibility::SemiFeasible).unwrap();
+        prop_assert!(semi.assignment.check_semi_feasible(&inst).is_ok());
+        let strict = algo::solve_smd_unit(&inst, Feasibility::Strict).unwrap();
+        prop_assert!(strict.assignment.check_feasible(&inst).is_ok());
+        prop_assert!(semi.utility >= strict.utility - 1e-9);
+        // Strict keeps at least 1/3 of semi (A1+A2+Amax argument).
+        prop_assert!(strict.utility * 3.0 >= semi.utility - 1e-9);
+    }
+
+    /// The full pipeline always returns a feasible assignment whose utility
+    /// matches its report.
+    #[test]
+    fn pipeline_report_consistent(inst in smd_instance()) {
+        let out = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+        prop_assert!(out.assignment.check_feasible(&inst).is_ok());
+        let recomputed = out.assignment.utility(&inst);
+        prop_assert!((out.utility - recomputed).abs() < 1e-9);
+    }
+
+    /// Residual fill never lowers utility and never breaks feasibility.
+    #[test]
+    fn residual_fill_monotone(inst in smd_instance()) {
+        let out = solve_mmd(&inst, &MmdConfig {
+            residual_fill: false,
+            ..MmdConfig::default()
+        }).unwrap();
+        let before = out.assignment.utility(&inst);
+        let mut filled = out.assignment.clone();
+        residual_fill(&inst, &mut filled);
+        prop_assert!(filled.utility(&inst) >= before - 1e-9);
+        prop_assert!(filled.check_feasible(&inst).is_ok());
+    }
+
+    /// Fig. 3 invariants: partition in order, non-singleton groups within
+    /// the threshold, group count bounded.
+    #[test]
+    fn interval_partition_invariants(
+        costs in proptest::collection::vec(0.0f64..2.0, 0..24),
+        threshold in 0.5f64..4.0,
+    ) {
+        let groups = interval_partition(&costs, threshold);
+        let flat: Vec<usize> = groups.iter().flatten().copied().collect();
+        prop_assert_eq!(flat, (0..costs.len()).collect::<Vec<_>>());
+        for g in &groups {
+            if g.len() > 1 {
+                let total: f64 = g.iter().map(|&i| costs[i]).sum();
+                prop_assert!(total <= threshold + 1e-6);
+            }
+        }
+        let total: f64 = costs.iter().sum();
+        let bound = 2 * (total / threshold).ceil() as usize + 1;
+        prop_assert!(groups.len() <= bound.max(1));
+    }
+
+    /// The online allocator (faithful, no guard) keeps every budget on any
+    /// instance whose streams satisfy the smallness hypothesis (Lemma 5.1),
+    /// regardless of arrival order.
+    #[test]
+    fn online_lemma_5_1_property(seed in any::<u64>(), order_seed in any::<u64>()) {
+        use mmd::core::algo::online::{OnlineAllocator, OnlineConfig};
+        use mmd::workload::special::small_streams;
+        let inst = small_streams(24, 4, 1, seed % 1000);
+        // Arbitrary deterministic permutation of the arrival order.
+        let mut order: Vec<StreamId> = inst.streams().collect();
+        let n = order.len();
+        let mut x = order_seed | 1;
+        for i in (1..n).rev() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (x >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let report = OnlineAllocator::run(&inst, order, OnlineConfig::default()).unwrap();
+        prop_assert!(report.smallness.ok);
+        prop_assert!(report.assignment.check_feasible(&inst).is_ok());
+    }
+
+    /// Assignment bookkeeping: range refcounts survive arbitrary assign /
+    /// unassign interleavings.
+    #[test]
+    fn assignment_refcounting(ops in proptest::collection::vec(
+        (0usize..4, 0usize..6, any::<bool>()), 0..60))
+    {
+        let mut a = Assignment::new(4);
+        let mut model: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); 4];
+        for (u, s, add) in ops {
+            let user = UserId::new(u);
+            let stream = StreamId::new(s);
+            if add {
+                a.assign(user, stream);
+                model[u].insert(s);
+            } else {
+                a.unassign(user, stream);
+                model[u].remove(&s);
+            }
+        }
+        for (u, set) in model.iter().enumerate() {
+            let got: BTreeSet<usize> =
+                a.streams_of(UserId::new(u)).map(StreamId::index).collect();
+            prop_assert_eq!(set, &got);
+        }
+        let expect_range: BTreeSet<usize> =
+            model.iter().flatten().copied().collect();
+        let got_range: BTreeSet<usize> = a.range().map(StreamId::index).collect();
+        prop_assert_eq!(expect_range, got_range);
+    }
+}
