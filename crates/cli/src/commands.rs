@@ -35,7 +35,15 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
         } => {
             let instance = generate(&kind, seed, streams, users, measures, user_measures, alpha)?;
             io::save(&instance, &out)?;
-            Ok(format!("wrote {instance}\n"))
+            let summary = format!("wrote {instance}\n");
+            if out == "-" {
+                // The JSON owns stdout; keep the summary off the pipe so
+                // `gen --out - | solve --input -` composes.
+                eprint!("{summary}");
+                Ok(String::new())
+            } else {
+                Ok(summary)
+            }
         }
         Command::Inspect { input } => {
             let instance = io::load(&input)?;

@@ -129,6 +129,49 @@ mod tests {
     }
 
     #[test]
+    fn out_of_order_interests_load_sorted() {
+        // A hand-edited file may list a user's interests in any order;
+        // loading must restore the sorted-by-stream invariant that
+        // `UserSpec::interest`'s binary search relies on.
+        use mmd_core::{StreamId, UserId};
+        let mut b = Instance::builder("unsorted").server_budgets(vec![10.0]);
+        let streams: Vec<_> = (0..3).map(|_| b.add_stream(vec![1.0])).collect();
+        let u = b.add_user(9.0, vec![]);
+        for &s in &streams {
+            b.add_interest(u, s, 1.0 + s.index() as f64, vec![])
+                .unwrap();
+        }
+        let inst = b.build().unwrap();
+
+        let mut value: serde_json::Value = serde_json::from_str(&to_json(&inst).unwrap()).unwrap();
+        let serde_json::Value::Object(fields) = &mut value else {
+            panic!("instance serializes as an object");
+        };
+        let interests = fields
+            .iter_mut()
+            .find(|(k, _)| k == "users")
+            .and_then(|(_, users)| match users {
+                serde_json::Value::Array(users) => users.first_mut(),
+                _ => None,
+            })
+            .and_then(|user| match user {
+                serde_json::Value::Object(fields) => {
+                    fields.iter_mut().find(|(k, _)| k == "interests")
+                }
+                _ => None,
+            })
+            .expect("user has interests");
+        let serde_json::Value::Array(items) = &mut interests.1 else {
+            panic!("interests serialize as an array");
+        };
+        items.reverse();
+
+        let back = from_json(&serde_json::to_string(&value).unwrap()).unwrap();
+        assert_eq!(back, inst);
+        assert_eq!(back.utility(UserId::new(0), StreamId::new(2)), 3.0);
+    }
+
+    #[test]
     fn rejects_model_violations_after_parse() {
         // Budget 1.0 but cost 2.0: parses, fails validation.
         let inst = demo();
@@ -155,8 +198,7 @@ mod tests {
     #[test]
     fn infinite_budgets_and_caps_roundtrip() {
         // JSON has no infinity; unbounded values must survive as null.
-        let mut b =
-            Instance::builder("inf").server_budgets(vec![10.0, f64::INFINITY]);
+        let mut b = Instance::builder("inf").server_budgets(vec![10.0, f64::INFINITY]);
         let s = b.add_stream(vec![2.0, 5.0]);
         let u = b.add_user(f64::INFINITY, vec![8.0, f64::INFINITY]);
         b.add_interest(u, s, 3.0, vec![2.0, 4.0]).unwrap();

@@ -18,7 +18,6 @@ use std::fmt;
 /// assert_eq!(s.to_string(), "S3");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StreamId(usize);
 
 impl StreamId {
@@ -56,7 +55,6 @@ impl From<StreamId> for usize {
 /// assert_eq!(u.to_string(), "u0");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct UserId(usize);
 
 impl UserId {
@@ -81,6 +79,31 @@ impl From<UserId> for usize {
     fn from(id: UserId) -> usize {
         id.0
     }
+}
+
+/// Ids (de)serialize as their bare dense index.
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::{StreamId, UserId};
+    use serde::{DeError, Deserialize, Serialize, Value};
+
+    macro_rules! impl_id_serde {
+        ($($t:ident),*) => {$(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    self.index().to_value()
+                }
+            }
+
+            impl Deserialize for $t {
+                fn from_value(value: &Value) -> Result<Self, DeError> {
+                    usize::from_value(value).map($t::new)
+                }
+            }
+        )*};
+    }
+
+    impl_id_serde!(StreamId, UserId);
 }
 
 #[cfg(test)]

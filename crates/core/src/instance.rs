@@ -16,56 +16,10 @@ use crate::num;
 use std::collections::HashSet;
 use std::fmt;
 
-/// JSON (and friends) cannot represent `f64::INFINITY`; serde_json writes
-/// `null`. These helpers round-trip unbounded budgets/capacities as `null`.
-#[cfg(feature = "serde")]
-mod serde_inf {
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
-        if v.is_finite() {
-            s.serialize_some(v)
-        } else {
-            s.serialize_none()
-        }
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
-        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::INFINITY))
-    }
-}
-
-/// Vector variant of [`serde_inf`].
-#[cfg(feature = "serde")]
-mod serde_inf_vec {
-    use serde::ser::SerializeSeq;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &[f64], s: S) -> Result<S::Ok, S::Error> {
-        let mut seq = s.serialize_seq(Some(v.len()))?;
-        for x in v {
-            if x.is_finite() {
-                seq.serialize_element(&Some(*x))?;
-            } else {
-                seq.serialize_element(&None::<f64>)?;
-            }
-        }
-        seq.end()
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
-        Ok(Vec::<Option<f64>>::deserialize(d)?
-            .into_iter()
-            .map(|x| x.unwrap_or(f64::INFINITY))
-            .collect())
-    }
-}
-
 /// A user's interest in one stream: the utility `w_u(S)` it derives and the
 /// loads `k^u_j(S)` the stream places on each of the user's capacity
 /// measures.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Interest {
     stream: StreamId,
     utility: f64,
@@ -92,11 +46,8 @@ impl Interest {
 /// One user (client): its utility cap `W_u`, capacities `K^u_j`, and sparse
 /// interests.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct UserSpec {
-    #[cfg_attr(feature = "serde", serde(with = "serde_inf"))]
     utility_cap: f64,
-    #[cfg_attr(feature = "serde", serde(with = "serde_inf_vec"))]
     capacities: Vec<f64>,
     interests: Vec<Interest>,
 }
@@ -153,10 +104,8 @@ pub struct InstanceStats {
 /// See the [module documentation](self) and the crate quick start for
 /// construction examples.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Instance {
     name: String,
-    #[cfg_attr(feature = "serde", serde(with = "serde_inf_vec"))]
     budgets: Vec<f64>,
     stream_costs: Vec<Vec<f64>>,
     users: Vec<UserSpec>,
@@ -581,6 +530,146 @@ impl InstanceBuilder {
             audiences,
             dropped_interests: dropped,
         })
+    }
+}
+
+/// JSON-compatible (de)serialization of the problem model, against the
+/// vendored `serde` stand-in's [`Value`](serde::Value) data model.
+///
+/// JSON cannot represent `f64::INFINITY`, so unbounded budgets and
+/// capacities round-trip as `null`. Only the primary fields are persisted;
+/// the derived `audiences` index is rebuilt on deserialization, and
+/// [`Instance::validate`] re-checks the model assumptions after a load
+/// (deserialization bypasses the builder).
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::{Instance, Interest, UserSpec};
+    use crate::ids::UserId;
+    use serde::{DeError, Deserialize, Serialize, Value};
+
+    /// `null` for unbounded values.
+    fn inf_to_value(x: f64) -> Value {
+        if x.is_finite() {
+            Value::Number(x)
+        } else {
+            Value::Null
+        }
+    }
+
+    fn inf_from_value(value: &Value) -> Result<f64, DeError> {
+        Ok(Option::<f64>::from_value(value)?.unwrap_or(f64::INFINITY))
+    }
+
+    fn field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, DeError> {
+        value.get(name).ok_or_else(|| DeError::missing(name))
+    }
+
+    impl Serialize for Interest {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("stream".into(), self.stream.to_value()),
+                ("utility".into(), self.utility.to_value()),
+                ("loads".into(), self.loads.to_value()),
+            ])
+        }
+    }
+
+    impl Deserialize for Interest {
+        fn from_value(value: &Value) -> Result<Self, DeError> {
+            Ok(Interest {
+                stream: Deserialize::from_value(field(value, "stream")?)?,
+                utility: Deserialize::from_value(field(value, "utility")?)?,
+                loads: Deserialize::from_value(field(value, "loads")?)?,
+            })
+        }
+    }
+
+    impl Serialize for UserSpec {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("utility_cap".into(), inf_to_value(self.utility_cap)),
+                (
+                    "capacities".into(),
+                    Value::Array(self.capacities.iter().copied().map(inf_to_value).collect()),
+                ),
+                ("interests".into(), self.interests.to_value()),
+            ])
+        }
+    }
+
+    impl Deserialize for UserSpec {
+        fn from_value(value: &Value) -> Result<Self, DeError> {
+            let capacities = match field(value, "capacities")? {
+                Value::Array(items) => items
+                    .iter()
+                    .map(inf_from_value)
+                    .collect::<Result<Vec<_>, _>>()?,
+                other => return Err(DeError::expected("array", other)),
+            };
+            let mut interests: Vec<Interest> = Deserialize::from_value(field(value, "interests")?)?;
+            // `UserSpec::interest` binary-searches by stream id; restore the
+            // builder's sorted-by-stream invariant rather than trusting the
+            // file's order. Duplicates are caught later by
+            // `Instance::validate`'s rebuild through the builder.
+            interests.sort_by_key(Interest::stream);
+            Ok(UserSpec {
+                utility_cap: inf_from_value(field(value, "utility_cap")?)?,
+                capacities,
+                interests,
+            })
+        }
+    }
+
+    impl Serialize for Instance {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("name".into(), self.name.to_value()),
+                (
+                    "budgets".into(),
+                    Value::Array(self.budgets.iter().copied().map(inf_to_value).collect()),
+                ),
+                ("stream_costs".into(), self.stream_costs.to_value()),
+                ("users".into(), self.users.to_value()),
+                (
+                    "dropped_interests".into(),
+                    self.dropped_interests.to_value(),
+                ),
+            ])
+        }
+    }
+
+    impl Deserialize for Instance {
+        fn from_value(value: &Value) -> Result<Self, DeError> {
+            let budgets = match field(value, "budgets")? {
+                Value::Array(items) => items
+                    .iter()
+                    .map(inf_from_value)
+                    .collect::<Result<Vec<_>, _>>()?,
+                other => return Err(DeError::expected("array", other)),
+            };
+            let stream_costs: Vec<Vec<f64>> =
+                Deserialize::from_value(field(value, "stream_costs")?)?;
+            let users: Vec<UserSpec> = Deserialize::from_value(field(value, "users")?)?;
+            // Rebuild the derived audience index instead of trusting the
+            // file to keep it consistent.
+            let mut audiences = vec![Vec::new(); stream_costs.len()];
+            for (ui, spec) in users.iter().enumerate() {
+                for interest in &spec.interests {
+                    let slot = audiences.get_mut(interest.stream.index()).ok_or_else(|| {
+                        DeError(format!("interest references unknown {}", interest.stream))
+                    })?;
+                    slot.push((UserId::new(ui), interest.utility));
+                }
+            }
+            Ok(Instance {
+                name: Deserialize::from_value(field(value, "name")?)?,
+                budgets,
+                stream_costs,
+                users,
+                audiences,
+                dropped_interests: Deserialize::from_value(field(value, "dropped_interests")?)?,
+            })
+        }
     }
 }
 

@@ -77,7 +77,7 @@ pub fn subinstance(
     }
     let map = IdMap {
         streams: streams.to_vec(),
-        users: users.iter().copied().collect(),
+        users: users.to_vec(),
     };
     (b.build().expect("sub-instance inherits validity"), map)
 }

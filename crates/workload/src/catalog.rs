@@ -54,7 +54,6 @@ pub struct CatalogStream {
 
 /// Configuration of a stream catalog.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CatalogConfig {
     /// Number of streams.
     pub streams: usize,

@@ -18,7 +18,6 @@ use std::collections::BTreeSet;
 
 /// Configuration of a full synthetic workload.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WorkloadConfig {
     /// Stream catalog parameters.
     pub catalog: CatalogConfig,

@@ -34,7 +34,6 @@ pub struct Client {
 
 /// Configuration of a client population.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PopulationConfig {
     /// Number of clients.
     pub users: usize,

@@ -116,7 +116,6 @@ pub fn decoy_smd(decoys: usize, gems: usize, users: usize, seed: u64) -> Instanc
 
 /// Parameters for the random smd families below.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SmdFamilyConfig {
     /// Number of streams.
     pub streams: usize,

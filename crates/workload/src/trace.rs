@@ -61,7 +61,6 @@ impl ArrivalTrace {
 
 /// Configuration for trace generation.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TraceConfig {
     /// Mean arrivals per time unit (Poisson process).
     pub arrival_rate: f64,

@@ -1,0 +1,425 @@
+//! Offline stand-in for the `serde_json` crate: a strict JSON parser and
+//! printer over the `serde` stand-in's [`Value`] data model.
+//!
+//! Entry points mirror the real crate: [`to_string`], [`to_string_pretty`],
+//! [`from_str`], with a structured [`Error`] type.
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// JSON (de)serialization error with byte-offset context for parse errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    offset: Option<usize>,
+}
+
+impl Error {
+    fn parse(message: impl Into<String>, offset: usize) -> Self {
+        Error {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    fn shape(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+            offset: None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(at) => write!(f, "{} at byte {at}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::shape(e.0)
+    }
+}
+
+/// Serializes a value as compact JSON.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the value contains a non-finite number outside a
+/// `null`-encoding wrapper (JSON cannot represent infinities or NaN).
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes a value as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// See [`to_string`].
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON (with a byte offset) or when the
+/// parsed tree does not match `T`'s expected shape.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+fn write_value(
+    out: &mut String,
+    value: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(x) => {
+            if !x.is_finite() {
+                return Err(Error::shape(format!("cannot serialize number {x}")));
+            }
+            // `{:?}` is the shortest representation that round-trips and
+            // always keeps a decimal point (10.0 → "10.0").
+            out.push_str(&format!("{x:?}"));
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1)?;
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1)?;
+            }
+            if !entries.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+}
+
+fn parse_value(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::parse("trailing characters", pos));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), Error> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(Error::parse(format!("expected `{token}`"), *pos))
+    }
+}
+
+fn parse_at(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    let Some(&first) = bytes.get(*pos) else {
+        return Err(Error::parse("unexpected end of input", *pos));
+    };
+    match first {
+        b'n' => expect(bytes, pos, "null").map(|()| Value::Null),
+        b't' => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+        b'f' => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+        b'"' => parse_string(bytes, pos).map(Value::String),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_at(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::parse("expected `,` or `]`", *pos)),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                entries.push((key, parse_at(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error::parse("expected `,` or `}`", *pos)),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        _ => Err(Error::parse("unexpected character", *pos)),
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| Error::parse("invalid number", start))?;
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|_| Error::parse(format!("invalid number `{text}`"), start))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error::parse("expected string", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(Error::parse("unterminated string", *pos));
+        };
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(Error::parse("unterminated escape", *pos));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let code = parse_hex4(bytes, pos)?;
+                        let scalar = if (0xd800..0xdc00).contains(&code) {
+                            // High surrogate: a low surrogate escape must
+                            // follow; combine them into one scalar value.
+                            if bytes.get(*pos..*pos + 2) != Some(b"\\u") {
+                                return Err(Error::parse("unpaired surrogate", *pos));
+                            }
+                            *pos += 2;
+                            let low = parse_hex4(bytes, pos)?;
+                            if !(0xdc00..0xe000).contains(&low) {
+                                return Err(Error::parse("unpaired surrogate", *pos));
+                            }
+                            0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00)
+                        } else {
+                            code
+                        };
+                        out.push(
+                            char::from_u32(scalar)
+                                .ok_or_else(|| Error::parse("bad \\u escape", *pos))?,
+                        );
+                    }
+                    _ => return Err(Error::parse("unknown escape", *pos)),
+                }
+            }
+            _ => {
+                // Collect the full UTF-8 sequence starting at b.
+                let len = match b {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let start = *pos - 1;
+                let chunk = bytes
+                    .get(start..start + len)
+                    .and_then(|c| std::str::from_utf8(c).ok())
+                    .ok_or_else(|| Error::parse("invalid utf-8", start))?;
+                out.push_str(chunk);
+                *pos = start + len;
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, Error> {
+    let hex = bytes
+        .get(*pos..*pos + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .ok_or_else(|| Error::parse("bad \\u escape", *pos))?;
+    let code = u32::from_str_radix(hex, 16).map_err(|_| Error::parse("bad \\u escape", *pos))?;
+    *pos += 4;
+    Ok(code)
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_nested_structure() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("a\"b\\c\nd".into())),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::Number(1.0), Value::Null, Value::Bool(true)]),
+            ),
+            ("empty".into(), Value::Array(vec![])),
+            ("obj".into(), Value::Object(vec![])),
+        ]);
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn floats_keep_decimal_point() {
+        assert_eq!(to_string(&Value::Number(10.0)).unwrap(), "10.0");
+        assert_eq!(to_string(&Value::Number(0.5)).unwrap(), "0.5");
+    }
+
+    #[test]
+    fn rejects_non_finite_numbers() {
+        assert!(to_string(&Value::Number(f64::INFINITY)).is_err());
+        assert!(to_string(&Value::Number(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn parses_numbers_and_escapes() {
+        assert_eq!(from_str::<Value>("-1.5e3").unwrap(), Value::Number(-1500.0));
+        assert_eq!(
+            from_str::<Value>(r#""aA\t""#).unwrap(),
+            Value::String("aA\t".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["{nope", "[1,", "\"unterminated", "1 2", "nulL", ""] {
+            assert!(from_str::<Value>(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_mentions_offset() {
+        let err = from_str::<Value>("[1,]").unwrap_err();
+        assert!(err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = Value::Object(vec![("a".into(), Value::Array(vec![Value::Number(1.0)]))]);
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(text, "{\n  \"a\": [\n    1.0\n  ]\n}");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // Python json.dumps writes U+1F600 as \ud83d\ude00.
+        assert_eq!(
+            from_str::<Value>(r#""\ud83d\ude00""#).unwrap(),
+            Value::String("\u{1f600}".into())
+        );
+        for bad in [r#""\ud83d""#, r#""\ud83dx""#, r#""\ud83d\u0041""#, r#""\udc00""#] {
+            assert!(from_str::<Value>(bad).is_err(), "accepted {bad}");
+        }
+    }
+}
