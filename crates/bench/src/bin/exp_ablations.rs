@@ -6,6 +6,7 @@
 //! (d) reduction stages: faithful transform / full-candidate refinement /
 //!     residual fill.
 
+use mmd_bench::outfile::ExpArgs;
 use mmd_bench::report::{f2, Table};
 use mmd_core::algo::online::{OnlineAllocator, OnlineConfig};
 use mmd_core::algo::reduction::{solve_mmd, MmdConfig};
@@ -14,14 +15,18 @@ use mmd_workload::special::{greedy_hole, small_streams, unit_skew_smd, SmdFamily
 use mmd_workload::{TraceConfig, WorkloadConfig};
 
 fn main() {
+    let args = ExpArgs::from_env();
+    let mut out = String::new();
     // (a) the fix.
     let inst = greedy_hole();
     let unfixed = algo::greedy(&inst).unwrap().utility;
     let fixed = algo::solve_smd_unit(&inst, Feasibility::SemiFeasible)
         .unwrap()
         .utility;
-    println!("### Ablation (a): §2.2 fix on the greedy hole\n");
-    println!("plain greedy = {unfixed:.0}, fixed greedy = {fixed:.0} (gap 50x)\n");
+    out.push_str("### Ablation (a): §2.2 fix on the greedy hole\n\n");
+    out.push_str(&format!(
+        "plain greedy = {unfixed:.0}, fixed greedy = {fixed:.0} (gap 50x)\n\n"
+    ));
 
     // (b) seed size.
     let mut t = Table::new(
@@ -42,6 +47,7 @@ fn main() {
             let pe = PartialEnumConfig {
                 max_seed_size: p,
                 seed_limit: None,
+                threads: 1,
             };
             sum += algo::solve_smd_partial_enum(&inst, &pe, Feasibility::SemiFeasible)
                 .unwrap()
@@ -56,7 +62,8 @@ fn main() {
             format!("{:+.2}%", (sum / base - 1.0) * 100.0),
         ]);
     }
-    t.print();
+    out.push_str(&t.to_markdown());
+    out.push('\n');
 
     // (c) mu sensitivity.
     let mut t = Table::new(
@@ -85,9 +92,9 @@ fn main() {
         }
         t.row(&[format!("{mu:.0}"), f2(sum / 10.0), (acc / 10).to_string()]);
     }
-    t.print();
-    println!(
-        "(paper's µ = 2γ(m+|U|)+2 lands in the plateau; tiny µ over-admits, huge µ over-rejects)\n"
+    out.push_str(&t.to_markdown());
+    out.push_str(
+        "\n(paper's µ = 2γ(m+|U|)+2 lands in the plateau; tiny µ over-admits, huge µ over-rejects)\n\n",
     );
 
     // (d) reduction stages.
@@ -125,5 +132,6 @@ fn main() {
         }
         t.row(&[name.to_string(), f2(sum / 10.0)]);
     }
-    t.print();
+    out.push_str(&t.to_markdown());
+    args.emit(&out).expect("writing --out");
 }

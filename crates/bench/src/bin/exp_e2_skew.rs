@@ -5,6 +5,7 @@
 //! number of buckets actually solved, and the theorem's `log₂(2α)`
 //! reference curve.
 
+use mmd_bench::outfile::ExpArgs;
 use mmd_bench::report::{f2, f3, Table};
 use mmd_core::algo::classify::{solve_smd, ClassifyConfig};
 use mmd_core::algo::reduction::{solve_mmd, MmdConfig};
@@ -12,6 +13,7 @@ use mmd_exact::{solve, ExactConfig, Objective};
 use mmd_workload::special::{target_skew_smd, SmdFamilyConfig};
 
 fn main() {
+    let args = ExpArgs::from_env();
     let mut table = Table::new(
         "E2: classify-and-select vs skew (20 seeds per row, streams=10, users=5)",
         &[
@@ -31,12 +33,10 @@ fn main() {
         budget_fraction: 0.4,
     };
     for &alpha in &[1.0f64, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0] {
-        let mut sum = 0.0;
-        let mut max: f64 = 0.0;
-        let mut sum_fill = 0.0;
-        let mut n = 0usize;
-        let mut buckets = 0usize;
-        for seed in 0..20u64 {
+        // Independent seeds: sweep in parallel, fold in seed order so the
+        // floating-point sums match the sequential loop exactly.
+        let seeds: Vec<u64> = (0..20).collect();
+        let per_seed = mmd_par::parallel_map(args.threads(), &seeds, |_, &seed| {
             let inst = target_skew_smd(&cfg, alpha, seed);
             let opt = solve(
                 &inst,
@@ -48,15 +48,26 @@ fn main() {
             .expect("within limits")
             .value;
             if opt <= 0.0 {
-                continue;
+                return None;
             }
             let out = solve_smd(&inst, &ClassifyConfig::default()).unwrap();
             let filled = solve_mmd(&inst, &MmdConfig::default()).unwrap();
-            let ratio = opt / out.utility.max(1e-12);
+            Some((
+                opt / out.utility.max(1e-12),
+                opt / filled.utility.max(1e-12),
+                out.num_buckets,
+            ))
+        });
+        let mut sum = 0.0;
+        let mut max: f64 = 0.0;
+        let mut sum_fill = 0.0;
+        let mut n = 0usize;
+        let mut buckets = 0usize;
+        for (ratio, ratio_fill, b) in per_seed.into_iter().flatten() {
             sum += ratio;
             max = max.max(ratio);
-            sum_fill += opt / filled.utility.max(1e-12);
-            buckets = buckets.max(out.num_buckets);
+            sum_fill += ratio_fill;
+            buckets = buckets.max(b);
             n += 1;
         }
         table.row(&[
@@ -68,6 +79,7 @@ fn main() {
             f3(sum_fill / n as f64),
         ]);
     }
-    table.print();
-    println!("theorem 3.1: ratio grows at most O(log 2a) (columns 4-5 vs column 2)");
+    let mut out = table.to_markdown();
+    out.push_str("\ntheorem 3.1: ratio grows at most O(log 2a) (columns 4-5 vs column 2)\n");
+    args.emit(&out).expect("writing --out");
 }

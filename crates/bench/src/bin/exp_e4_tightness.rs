@@ -7,6 +7,7 @@
 //!    assignment (exactly the §4.2 analysis) — loss `≈ m·m_c`;
 //! 2. the full pipeline, faithful vs default configuration.
 
+use mmd_bench::outfile::ExpArgs;
 use mmd_bench::report::{f2, Table};
 use mmd_core::algo::reduction::{
     interval_partition, output_transform, solve_mmd, to_single_budget, MmdConfig,
@@ -15,6 +16,7 @@ use mmd_core::{Assignment, UserId};
 use mmd_workload::special::tightness_instance_biased;
 
 fn main() {
+    let args = ExpArgs::from_env();
     let mut table = Table::new(
         "E4: §4.2 tightness instance, adversarial tie-break (OPT ≈ m by construction)",
         &[
@@ -73,14 +75,17 @@ fn main() {
             f2(default.utility),
         ]);
     }
-    table.print();
+    let mut out = table.to_markdown();
 
     // A worked Fig. 3 decomposition for the narrative.
     let costs = [0.4, 0.5, 0.3, 0.9, 0.2, 0.6];
     let groups = interval_partition(&costs, 1.0);
-    println!("fig. 3 worked example: costs {costs:?} -> groups {groups:?}");
-    println!(
+    out.push_str(&format!(
+        "\nfig. 3 worked example: costs {costs:?} -> groups {groups:?}\n"
+    ));
+    out.push_str(
         "(the transform alone, fed the optimal reduced solution, loses ~m*m_c as §4.2\n\
-         predicts; the default pipeline's refinements + residual fill recover OPT)"
+         predicts; the default pipeline's refinements + residual fill recover OPT)\n",
     );
+    args.emit(&out).expect("writing --out");
 }

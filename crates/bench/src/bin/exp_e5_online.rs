@@ -2,6 +2,7 @@
 //! (Theorem 5.4: `(1 + 2 log µ)`-competitive; Lemma 5.1: never violates a
 //! budget).
 
+use mmd_bench::outfile::ExpArgs;
 use mmd_bench::report::{f2, f3, Table};
 use mmd_core::algo::online::{OnlineAllocator, OnlineConfig};
 use mmd_exact::bounds::fractional_upper_bound;
@@ -10,6 +11,7 @@ use mmd_workload::special::small_streams;
 use mmd_workload::TraceConfig;
 
 fn main() {
+    let args = ExpArgs::from_env();
     let mut table = Table::new(
         "E5: online Allocate on small streams (10 seeds per row; OPT = exact when streams <= 22, else fractional UB)",
         &[
@@ -74,8 +76,9 @@ fn main() {
             },
         ]);
     }
-    table.print();
-    println!(
-        "lemma 5.1 verified: the faithful algorithm (no hard guard) stayed feasible on every run"
+    let mut out = table.to_markdown();
+    out.push_str(
+        "\nlemma 5.1 verified: the faithful algorithm (no hard guard) stayed feasible on every run\n",
     );
+    args.emit(&out).expect("writing --out");
 }

@@ -6,6 +6,7 @@
 //! everything is close, and *adversarial* (high utility variance, tight
 //! budgets, unlucky arrival order), where threshold collapses.
 
+use mmd_bench::outfile::ExpArgs;
 use mmd_bench::report::{f2, Table};
 use mmd_core::algo::baselines::{id_order, threshold_admission, utility_order_admission};
 use mmd_core::algo::reduction::{solve_mmd, MmdConfig};
@@ -55,6 +56,7 @@ fn contended(seed: u64, theta: f64, budget_fraction: f64) -> Instance {
 }
 
 fn main() {
+    let args = ExpArgs::from_env();
     let mut table = Table::new(
         "E7: utility-aware vs naive admission (mean over 10 seeds)",
         &[
@@ -95,7 +97,8 @@ fn main() {
             f2(sums[5] / n as f64),
         ]);
     }
-    table.print();
+    let mut out = table.to_markdown();
+    out.push('\n');
 
     // Decoy regime: early arrivals are expensive low-utility streams
     // (shopping channels at HD bitrate), late arrivals are cheap gems.
@@ -125,11 +128,12 @@ fn main() {
         f2(sums[2] / n as f64),
         f2(sums[3] / n as f64),
     ]);
-    decoy_table.print();
+    out.push_str(&decoy_table.to_markdown());
 
     // The §2.2 hole: unbounded gap for utility-blind admission.
     let inst = greedy_hole();
     let t = threshold_admission(&inst, &id_order(&inst), 1.0).utility(&inst);
     let p = solve_mmd(&inst, &MmdConfig::default()).unwrap().utility;
-    println!("greedy-hole instance: threshold (arrival order) = {t:.0}, pipeline = {p:.0} (gap 50x; grows unboundedly with the instance)");
+    out.push_str(&format!("\ngreedy-hole instance: threshold (arrival order) = {t:.0}, pipeline = {p:.0} (gap 50x; grows unboundedly with the instance)\n"));
+    args.emit(&out).expect("writing --out");
 }

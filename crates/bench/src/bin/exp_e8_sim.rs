@@ -3,11 +3,13 @@
 //! policy, threshold admission, and the offline Theorem 1.1 oracle on
 //! identical traces.
 
+use mmd_bench::outfile::ExpArgs;
 use mmd_bench::report::{f2, Table};
 use mmd_sim::{run, PolicyKind, SimConfig};
 use mmd_workload::{TraceConfig, WorkloadConfig};
 
 fn main() {
+    let args = ExpArgs::from_env();
     let mut table = Table::new(
         "E8: head-end simulation, time-averaged delivered utility (5 seeds per row)",
         &[
@@ -70,6 +72,9 @@ fn main() {
             ]);
         }
     }
-    table.print();
-    println!("peak utilization <= 1.0 for every policy (hard feasibility enforced by the engine)");
+    let mut out = table.to_markdown();
+    out.push_str(
+        "\npeak utilization <= 1.0 for every policy (hard feasibility enforced by the engine)\n",
+    );
+    args.emit(&out).expect("writing --out");
 }

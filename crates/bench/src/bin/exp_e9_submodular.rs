@@ -2,6 +2,7 @@
 //! submodular functions under `m` budgets with `O(m)` loss, demonstrated on
 //! weighted coverage functions against the exact optimum.
 
+use mmd_bench::outfile::ExpArgs;
 use mmd_bench::report::{f3, Table};
 use mmd_core::algo::submodular::{
     is_budget_feasible, maximize_multi, maximize_single, SetFunction, WeightedCoverage,
@@ -41,6 +42,7 @@ fn random_coverage(seed: u64, n_sets: usize, universe: usize) -> WeightedCoverag
 }
 
 fn main() {
+    let args = ExpArgs::from_env();
     let mut table = Table::new(
         "E9: budgeted submodular maximization under m budgets (20 seeds per row, 14 sets, universe 20)",
         &["m", "ratio mean", "ratio max", "theory O(m) reference"],
@@ -80,6 +82,7 @@ fn main() {
         }
         table.row(&[m.to_string(), f3(sum / n as f64), f3(max), m.to_string()]);
     }
-    table.print();
-    println!("remark (§4 end): ratio stays within O(m) of the optimum");
+    let mut out = table.to_markdown();
+    out.push_str("\nremark (§4 end): ratio stays within O(m) of the optimum\n");
+    args.emit(&out).expect("writing --out");
 }

@@ -1,0 +1,92 @@
+//! `perf` — the machine-readable performance harness.
+//!
+//! Runs the standardized instance-size ladder through the production
+//! solvers at 1 and `--threads` workers and writes `BENCH_perf.json`
+//! (see [`mmd_bench::perf`] for the schema). With `--baseline` it also
+//! enforces the CI regression gate; with `--write-baseline` it refreshes
+//! the committed baseline from this run.
+//!
+//! ```text
+//! perf [--ladder small|full|tiny] [--threads N] [--out BENCH_perf.json]
+//!      [--baseline bench/baseline.json] [--tolerance 0.30]
+//!      [--write-baseline bench/baseline.json]
+//! ```
+//!
+//! Exit codes: 0 ok, 1 regression against the baseline, 2 usage error.
+
+use mmd_bench::outfile::ExpArgs;
+use mmd_bench::perf::{check_baseline, run_ladder, Ladder};
+use serde_json::Value;
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args =
+        ExpArgs::from_env_also_allowing(&["ladder", "baseline", "write-baseline", "tolerance"]);
+    let ladder = match Ladder::parse(args.get("ladder").unwrap_or("full")) {
+        Ok(l) => l,
+        Err(e) => fail_usage(&e),
+    };
+    // 0 = all cores; the ladder itself raises the floor to 2 so the
+    // speedup column exists even on a single-core host.
+    let threads = args.threads();
+    let tolerance = match args.get("tolerance").map(str::parse::<f64>) {
+        None => None,
+        Some(Ok(t)) => Some(t),
+        Some(Err(_)) => fail_usage("--tolerance takes a number"),
+    };
+
+    eprintln!("perf: running {ladder:?} ladder at 1 vs {} threads", {
+        mmd_par::resolve(threads).max(2)
+    });
+    let report = run_ladder(ladder, threads);
+    eprint!("{}", report.to_table());
+
+    let out = args.get("out").unwrap_or("BENCH_perf.json");
+    if out == "-" {
+        print!("{}", report.to_json());
+    } else if let Err(e) = std::fs::write(out, report.to_json()) {
+        fail_usage(&format!("cannot write {out}: {e}"));
+    } else {
+        eprintln!("wrote {out}");
+    }
+
+    if let Some(path) = args.get("write-baseline") {
+        let mut text = serde_json::to_string_pretty(&report.to_baseline())
+            .expect("baselines contain only finite numbers");
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            fail_usage(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("wrote baseline {path}");
+    }
+
+    if let Some(path) = args.get("baseline") {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => fail_usage(&format!("cannot read baseline {path}: {e}")),
+        };
+        let baseline: Value = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => fail_usage(&format!("malformed baseline {path}: {e}")),
+        };
+        match check_baseline(&report, &baseline, tolerance) {
+            Ok(log) => {
+                for line in log {
+                    eprintln!("perf gate: {line}");
+                }
+                eprintln!("perf gate: PASS");
+            }
+            Err(regressions) => {
+                for line in regressions {
+                    eprintln!("perf gate: {line}");
+                }
+                eprintln!("perf gate: FAIL");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -5,6 +5,8 @@
 //! Criterion benches in `benches/` cover the running-time claims. Shared
 //! reporting utilities live here.
 
+pub mod outfile;
+pub mod perf;
 pub mod report;
 
 pub use report::Table;

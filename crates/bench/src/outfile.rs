@@ -1,0 +1,189 @@
+//! Output routing and flag parsing shared by the experiment binaries.
+//!
+//! Every `exp_*` binary accepts `--out <path>` (default `-` = stdout) so CI
+//! can collect the generated tables as artifacts instead of scraping logs,
+//! and `--threads <n>` so the per-seed sweeps can use the machine. The
+//! binaries have exactly these needs, so the parser is a few lines rather
+//! than a dependency.
+
+use std::collections::BTreeMap;
+
+/// The flags every experiment binary shares.
+pub const SHARED_FLAGS: [&str; 2] = ["out", "threads"];
+
+/// Parses `--flag value` pairs from an argument list (the program name must
+/// already be stripped). Flags outside `known` are rejected — an unknown
+/// flag silently ignored would make a CI invocation pass vacuously (e.g. a
+/// typo'd `--baseline` never arming the perf gate). Bare non-flag
+/// arguments are rejected too.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed or unknown argument.
+pub fn parse_flags(args: &[String], known: &[&str]) -> Result<BTreeMap<String, String>, String> {
+    let mut map = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(name) = args[i].strip_prefix("--") else {
+            return Err(format!("unexpected argument: {}", args[i]));
+        };
+        if !known.contains(&name) {
+            return Err(format!(
+                "unknown flag: --{name} (known: {})",
+                known.join(", ")
+            ));
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for --{name}"))?;
+        map.insert(name.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+/// The standard experiment-binary environment: flags parsed from
+/// [`std::env::args`], with accessors for the shared `--out` / `--threads`
+/// conventions.
+#[derive(Clone, Debug, Default)]
+pub struct ExpArgs {
+    flags: BTreeMap<String, String>,
+}
+
+impl ExpArgs {
+    /// Parses the process's own arguments, accepting only the shared
+    /// `--out` / `--threads` flags; exits with a usage message on
+    /// malformed or unknown input (binaries have no other error channel).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::from_env_also_allowing(&[])
+    }
+
+    /// Like [`ExpArgs::from_env`], but additionally accepting
+    /// binary-specific flags (the perf harness).
+    #[must_use]
+    pub fn from_env_also_allowing(extra: &[&str]) -> Self {
+        let known: Vec<&str> = SHARED_FLAGS.iter().chain(extra).copied().collect();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match parse_flags(&args, &known) {
+            Ok(flags) => ExpArgs { flags },
+            Err(e) => {
+                eprintln!("{e}\nusage: <exp binary> [--out FILE|-] [--threads N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Builds from an explicit flag map (tests).
+    #[must_use]
+    pub fn from_map(flags: BTreeMap<String, String>) -> Self {
+        ExpArgs { flags }
+    }
+
+    /// The raw value of `--flag`, if present.
+    #[must_use]
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// The `--out` destination: `None` means stdout.
+    #[must_use]
+    pub fn out(&self) -> Option<&str> {
+        match self.get("out") {
+            None | Some("-") => None,
+            Some(path) => Some(path),
+        }
+    }
+
+    /// The `--threads` worker count (default `0` = all cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-numeric value.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.get("threads")
+            .map_or(0, |v| v.parse().expect("--threads takes a number"))
+    }
+
+    /// Routes a finished report to `--out`: written to the file (with a
+    /// one-line note on stderr) or printed to stdout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error from writing the file.
+    pub fn emit(&self, content: &str) -> std::io::Result<()> {
+        match self.out() {
+            None => {
+                print!("{content}");
+                Ok(())
+            }
+            Some(path) => {
+                std::fs::write(path, content)?;
+                eprintln!("wrote {path}");
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let map = parse_flags(&argv("--out x.md --threads 4"), &SHARED_FLAGS).unwrap();
+        assert_eq!(map.get("out").unwrap(), "x.md");
+        assert_eq!(map.get("threads").unwrap(), "4");
+    }
+
+    #[test]
+    fn rejects_bare_arguments_and_missing_values() {
+        assert!(parse_flags(&argv("loose"), &SHARED_FLAGS).is_err());
+        assert!(parse_flags(&argv("--out"), &SHARED_FLAGS).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        // A typo'd flag must fail loudly, never pass vacuously.
+        let err = parse_flags(&argv("--base-line x.json"), &SHARED_FLAGS).unwrap_err();
+        assert!(err.contains("unknown flag: --base-line"), "{err}");
+    }
+
+    #[test]
+    fn out_dash_means_stdout() {
+        let a = ExpArgs::from_map(parse_flags(&argv("--out -"), &SHARED_FLAGS).unwrap());
+        assert_eq!(a.out(), None);
+        let b = ExpArgs::from_map(parse_flags(&argv("--out report.md"), &SHARED_FLAGS).unwrap());
+        assert_eq!(b.out(), Some("report.md"));
+        assert_eq!(ExpArgs::default().out(), None);
+    }
+
+    #[test]
+    fn threads_default_is_auto() {
+        assert_eq!(ExpArgs::default().threads(), 0);
+        let a = ExpArgs::from_map(parse_flags(&argv("--threads 3"), &SHARED_FLAGS).unwrap());
+        assert_eq!(a.threads(), 3);
+    }
+
+    #[test]
+    fn emit_writes_files() {
+        let dir = std::env::temp_dir().join("mmd-bench-outfile-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.md");
+        let a = ExpArgs::from_map(
+            parse_flags(
+                &argv(&format!("--out {}", path.to_str().unwrap())),
+                &SHARED_FLAGS,
+            )
+            .unwrap(),
+        );
+        a.emit("hello\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "hello\n");
+    }
+}

@@ -46,6 +46,8 @@ pub enum Command {
         faithful: bool,
         /// Threshold margin (threshold algorithm).
         margin: f64,
+        /// Worker threads (0 = all cores, 1 = sequential).
+        threads: usize,
     },
     /// `simulate`: run the DES on an instance file.
     Simulate {
@@ -61,6 +63,8 @@ pub enum Command {
         duration: f64,
         /// Trace seed.
         seed: u64,
+        /// Worker threads for offline planning (0 = all cores).
+        threads: usize,
     },
     /// `help`: usage text.
     Help,
@@ -87,9 +91,12 @@ USAGE:
               [--user-measures N] [--alpha X] [--out FILE]
   mmd-cli inspect --input FILE
   mmd-cli solve --input FILE [--algorithm pipeline|greedy|partial-enum|online|threshold|exact]
-              [--no-fill] [--faithful] [--margin X]
+              [--no-fill] [--faithful] [--margin X] [--threads N]
   mmd-cli simulate --input FILE [--policy online|threshold|oracle]
-              [--margin X] [--rate X] [--duration X] [--seed N]
+              [--margin X] [--rate X] [--duration X] [--seed N] [--threads N]
+
+  --threads N uses N worker threads (0 = all cores); results are
+  bit-identical at any thread count.
   mmd-cli help
 ";
 
@@ -180,6 +187,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 no_fill: map.contains_key("no-fill"),
                 faithful: map.contains_key("faithful"),
                 margin: get_num(&map, "margin", 1.0f64)?,
+                threads: get_num(&map, "threads", 1usize)?,
             })
         }
         "simulate" => {
@@ -198,6 +206,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 rate: get_num(&map, "rate", 1.0f64)?,
                 duration: get_num(&map, "duration", 20.0f64)?,
                 seed: get_num(&map, "seed", 0u64)?,
+                threads: get_num(&map, "threads", 1usize)?,
             })
         }
         other => Err(ArgError(format!("unknown subcommand: {other}"))),
@@ -270,6 +279,22 @@ mod tests {
                 assert_eq!(margin, 0.8);
                 assert_eq!(rate, 2.5);
             }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_threads_with_sequential_default() {
+        match parse(&argv("solve --input x.json --threads 4")).unwrap() {
+            Command::Solve { threads, .. } => assert_eq!(threads, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("solve --input x.json")).unwrap() {
+            Command::Solve { threads, .. } => assert_eq!(threads, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("simulate --input x.json --threads 0")).unwrap() {
+            Command::Simulate { threads, .. } => assert_eq!(threads, 0),
             other => panic!("unexpected {other:?}"),
         }
     }

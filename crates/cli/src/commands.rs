@@ -55,9 +55,10 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             no_fill,
             faithful,
             margin,
+            threads,
         } => {
             let instance = io::load(&input)?;
-            solve(&instance, &algorithm, no_fill, faithful, margin)
+            solve(&instance, &algorithm, no_fill, faithful, margin, threads)
         }
         Command::Simulate {
             input,
@@ -66,9 +67,10 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             rate,
             duration,
             seed,
+            threads,
         } => {
             let instance = io::load(&input)?;
-            simulate(&instance, &policy, margin, rate, duration, seed)
+            simulate(&instance, &policy, margin, rate, duration, seed, threads)
         }
     }
 }
@@ -171,6 +173,7 @@ fn solve(
     no_fill: bool,
     faithful: bool,
     margin: f64,
+    threads: usize,
 ) -> Result<String, Box<dyn Error>> {
     let (name, assignment): (&str, mmd_core::Assignment) = match algorithm {
         "pipeline" => {
@@ -178,7 +181,8 @@ fn solve(
                 residual_fill: !no_fill,
                 faithful_output_transform: faithful,
                 ..MmdConfig::default()
-            };
+            }
+            .with_threads(threads);
             ("pipeline (thm 1.1)", solve_mmd(instance, &cfg)?.assignment)
         }
         "greedy" => (
@@ -189,7 +193,10 @@ fn solve(
             "partial enumeration (§2.3)",
             algo::solve_smd_partial_enum(
                 instance,
-                &PartialEnumConfig::default(),
+                &PartialEnumConfig {
+                    threads,
+                    ..PartialEnumConfig::default()
+                },
                 Feasibility::Strict,
             )?
             .assignment,
@@ -211,6 +218,7 @@ fn solve(
                 instance,
                 &ExactConfig {
                     objective: Objective::Feasible,
+                    threads,
                     ..ExactConfig::default()
                 },
             )?
@@ -241,6 +249,7 @@ fn solve(
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn simulate(
     instance: &Instance,
     policy: &str,
@@ -248,6 +257,7 @@ fn simulate(
     rate: f64,
     duration: f64,
     seed: u64,
+    threads: usize,
 ) -> Result<String, Box<dyn Error>> {
     let kind = match policy {
         "online" => PolicyKind::Online,
@@ -261,7 +271,15 @@ fn simulate(
         heavy_tail: false,
     }
     .generate(instance.num_streams(), seed);
-    let rep = sim_run(instance, &trace, kind, &SimConfig::default());
+    let rep = sim_run(
+        instance,
+        &trace,
+        kind,
+        &SimConfig {
+            threads,
+            ..SimConfig::default()
+        },
+    );
     let mut out = String::new();
     let _ = writeln!(out, "policy: {}", rep.policy);
     let _ = writeln!(out, "horizon: {:.2}", rep.horizon);
@@ -363,6 +381,47 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{alg}: {e}"));
             assert!(out.contains("utility:"), "{alg}: {out}");
         }
+    }
+
+    #[test]
+    fn threads_flag_gives_identical_output() {
+        let path = tmpfile("thr.json");
+        run(parse(&argv(&format!(
+            "gen --kind unit-skew --seed 9 --streams 18 --users 9 --out {path}"
+        )))
+        .unwrap())
+        .unwrap();
+        for alg in ["pipeline", "partial-enum", "exact"] {
+            let one = run(parse(&argv(&format!(
+                "solve --input {path} --algorithm {alg} --threads 1"
+            )))
+            .unwrap())
+            .unwrap();
+            let four = run(parse(&argv(&format!(
+                "solve --input {path} --algorithm {alg} --threads 4"
+            )))
+            .unwrap())
+            .unwrap();
+            if alg == "exact" {
+                // The optimum *value* is thread-count independent; between
+                // tied optima the witness may differ, so compare the value.
+                let utility = |s: &str| {
+                    s.lines()
+                        .find(|l| l.starts_with("utility:"))
+                        .unwrap()
+                        .to_string()
+                };
+                assert_eq!(utility(&one), utility(&four), "{alg} value must match");
+            } else {
+                assert_eq!(one, four, "{alg} output must not depend on threads");
+            }
+        }
+        let sim = run(parse(&argv(&format!(
+            "simulate --input {path} --policy oracle --threads 4"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(sim.contains("policy: offline-oracle"), "{sim}");
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Batch solving: many independent instances solved concurrently.
+//!
+//! This is the throughput entry point the ROADMAP's "heavy traffic" goal
+//! needs: a distribution frontend that accumulates instances (one per
+//! region, per head-end, per planning epoch, …) and wants them solved as
+//! fast as the hardware allows. Instances are independent, so the batch
+//! parallelizes perfectly; results come back **in input order** and are
+//! bit-identical to solving each instance sequentially, at any thread
+//! count (see `tests/parallel_determinism.rs`).
+
+use crate::algo::reduction::{solve_mmd, MmdConfig, MmdOutcome};
+use crate::error::SolveError;
+use crate::instance::Instance;
+
+/// Solves every instance with [`solve_mmd`] on up to `threads` worker
+/// threads (`0` = all cores, `1` = sequential).
+///
+/// The `config` is applied to every instance as given — including its own
+/// `threads` fields, which default to 1 so that batch-level parallelism is
+/// not multiplied by intra-solve parallelism. Output order matches input
+/// order; per-instance errors are reported in place rather than aborting
+/// the batch.
+///
+/// ```
+/// use mmd_core::algo::{solve_batch, MmdConfig};
+/// use mmd_core::Instance;
+///
+/// let instances: Vec<Instance> = (0..4)
+///     .map(|i| {
+///         let mut b = Instance::builder(format!("b{i}")).server_budgets(vec![10.0]);
+///         let s = b.add_stream(vec![4.0]);
+///         let u = b.add_user(5.0, vec![]);
+///         b.add_interest(u, s, 3.0 + i as f64, vec![]).unwrap();
+///         b.build().unwrap()
+///     })
+///     .collect();
+/// let results = solve_batch(&instances, &MmdConfig::default(), 2);
+/// assert_eq!(results.len(), 4);
+/// assert!((results[3].as_ref().unwrap().utility - 5.0).abs() < 1e-9);
+/// ```
+pub fn solve_batch(
+    instances: &[Instance],
+    config: &MmdConfig,
+    threads: usize,
+) -> Vec<Result<MmdOutcome, SolveError>> {
+    mmd_par::parallel_map(threads, instances, |_, instance| {
+        solve_mmd(instance, config)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(n: usize) -> Vec<Instance> {
+        (0..n)
+            .map(|i| {
+                let mut b =
+                    Instance::builder(format!("inst{i}")).server_budgets(vec![8.0 + i as f64]);
+                let streams: Vec<_> = (0..5)
+                    .map(|j| b.add_stream(vec![1.0 + ((i + j) % 3) as f64]))
+                    .collect();
+                let users: Vec<_> = (0..3).map(|j| b.add_user(6.0 + j as f64, vec![])).collect();
+                for (si, &s) in streams.iter().enumerate() {
+                    for (ui, &u) in users.iter().enumerate() {
+                        let w = ((si * 5 + ui * 2 + i) % 4) as f64;
+                        if w > 0.0 {
+                            b.add_interest(u, s, w, vec![]).unwrap();
+                        }
+                    }
+                }
+                b.build().unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_solves() {
+        let instances = batch(12);
+        let config = MmdConfig::default();
+        let seq: Vec<_> = instances
+            .iter()
+            .map(|inst| solve_mmd(inst, &config).unwrap())
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let par = solve_batch(&instances, &config, threads);
+            assert_eq!(par.len(), seq.len());
+            for (p, s) in par.iter().zip(&seq) {
+                let p = p.as_ref().unwrap();
+                assert_eq!(p.utility, s.utility, "bit-identical utility");
+                assert_eq!(p.assignment, s.assignment, "bit-identical assignment");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(solve_batch(&[], &MmdConfig::default(), 4).is_empty());
+    }
+}

@@ -34,12 +34,27 @@ pub enum SmdSolverKind {
 }
 
 /// Configuration for [`solve_smd`].
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ClassifyConfig {
     /// Solver for each unit-skew sub-instance.
     pub solver: SmdSolverKind,
     /// Output feasibility mode (strict by default).
     pub mode: Feasibility,
+    /// Worker threads for the per-bucket solves (`0` = all cores, `1` =
+    /// sequential). Buckets are independent sub-instances and the winner is
+    /// selected in bucket order, so the outcome is bit-identical at any
+    /// thread count.
+    pub threads: usize,
+}
+
+impl Default for ClassifyConfig {
+    fn default() -> Self {
+        ClassifyConfig {
+            solver: SmdSolverKind::default(),
+            mode: Feasibility::default(),
+            threads: 1,
+        }
+    }
 }
 
 /// Result of [`solve_smd`].
@@ -139,18 +154,30 @@ pub fn solve_smd(
         }
     }
 
-    let mut best: Option<(Assignment, f64)> = None;
-    let mut per_bucket = Vec::new();
-    let mut solved = 0usize;
-    for (b, pairs) in buckets.iter().enumerate() {
-        if pairs.is_empty() {
-            continue;
-        }
-        solved += 1;
+    // Solve every non-empty bucket (independent sub-instances) in
+    // parallel, then select the winner in bucket order exactly as the
+    // sequential loop did.
+    type BucketRef<'a> = (usize, &'a [(usize, usize, f64)]);
+    let nonempty: Vec<BucketRef<'_>> = buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, pairs)| !pairs.is_empty())
+        .map(|(b, pairs)| (b, pairs.as_slice()))
+        .collect();
+    let solutions = mmd_par::parallel_map(config.threads, &nonempty, |_, &(b, pairs)| {
         let sub = build_bucket_instance(instance, b, pairs, &r_min);
         let (assignment, _) = solve_unit(&sub, config)?;
         // Evaluate in the ORIGINAL instance (same ids).
         let utility = assignment.utility(instance);
+        Ok::<_, SolveError>((assignment, utility))
+    });
+
+    let mut best: Option<(Assignment, f64)> = None;
+    let mut per_bucket = Vec::new();
+    let mut solved = 0usize;
+    for solution in solutions {
+        let (assignment, utility) = solution?;
+        solved += 1;
         per_bucket.push(utility);
         if best.as_ref().is_none_or(|&(_, bu)| utility > bu) {
             best = Some((assignment, utility));
@@ -352,6 +379,7 @@ mod tests {
         let cfg = ClassifyConfig {
             solver: SmdSolverKind::PartialEnum(PartialEnumConfig::default()),
             mode: Feasibility::Strict,
+            ..ClassifyConfig::default()
         };
         let out = solve_smd(&inst, &cfg).unwrap();
         assert!(out.assignment.check_feasible(&inst).is_ok());

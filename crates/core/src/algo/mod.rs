@@ -18,8 +18,12 @@
 //! 8. [`submodular`] — the §4 closing remark: budgeted maximization of
 //!    arbitrary nonnegative nondecreasing submodular set functions under
 //!    `m` budgets.
+//! 9. [`mod@batch`] — beyond the paper: [`solve_batch`] runs the Theorem
+//!    1.1 pipeline over many instances concurrently (via `mmd-par`) with
+//!    deterministic, input-ordered output.
 
 pub mod baselines;
+pub mod batch;
 pub mod classify;
 pub mod fixed_greedy;
 pub mod greedy;
@@ -28,6 +32,7 @@ pub mod partial_enum;
 pub mod reduction;
 pub mod submodular;
 
+pub use batch::solve_batch;
 pub use classify::{solve_smd, ClassifyOutcome};
 pub use fixed_greedy::{solve_smd_unit, Feasibility, SmdSolution};
 pub use greedy::{greedy, GreedyOutcome};

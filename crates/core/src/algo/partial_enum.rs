@@ -23,6 +23,12 @@ pub struct PartialEnumConfig {
     /// Safety cap on the number of seeds tried (the enumeration is
     /// `O(|S|^p)`); `None` means unlimited.
     pub seed_limit: Option<usize>,
+    /// Worker threads for the seed sweep (`0` = all cores, `1` =
+    /// sequential). Every seed's greedy completion is independent, so the
+    /// sweep parallelizes embarrassingly; the result is bit-identical to
+    /// the sequential sweep because candidates are reduced in enumeration
+    /// order.
+    pub threads: usize,
 }
 
 impl Default for PartialEnumConfig {
@@ -30,6 +36,7 @@ impl Default for PartialEnumConfig {
         PartialEnumConfig {
             max_seed_size: 3,
             seed_limit: None,
+            threads: 1,
         }
     }
 }
@@ -73,42 +80,88 @@ pub fn solve_smd_partial_enum(
             max_mc: instance.max_user_measures(),
         });
     }
-    let mut best: Option<SmdSolution> = None;
-    let mut tried = 0usize;
-    let mut consider =
-        |seed: &[StreamId], best: &mut Option<SmdSolution>| -> Result<bool, SolveError> {
-            if let Some(limit) = config.seed_limit {
-                if tried >= limit {
-                    return Ok(false);
-                }
-            }
-            tried += 1;
-            if let Some(outcome) = greedy_from_seed(instance, seed)? {
+    let seeds = enumerate_seeds(instance, config);
+    // Each seed's completion is independent. The sweep goes through
+    // par_chunks with a per-chunk fold, so at most one candidate solution
+    // per in-flight chunk is alive at a time (the sequential loop kept
+    // exactly one); winners come back in enumeration order, and the
+    // strict-improvement folds — within a chunk and then across chunks —
+    // pick the same first-maximum the sequential loop did.
+    let chunk_winners = mmd_par::par_chunks(config.threads, &seeds, SEED_CHUNK, |_, chunk| {
+        let mut best: Option<SmdSolution> = None;
+        for seed in chunk {
+            if let Some(outcome) = greedy_from_seed(instance, seed.as_slice())? {
                 let sol = pick_best(instance, &outcome, mode);
                 if best.as_ref().is_none_or(|b| sol.utility > b.utility) {
-                    *best = Some(sol);
+                    best = Some(sol);
                 }
             }
-            Ok(true)
-        };
+        }
+        Ok::<_, SolveError>(best)
+    });
+    let mut best: Option<SmdSolution> = None;
+    for winner in chunk_winners {
+        let Some(sol) = winner? else { continue };
+        if best.as_ref().is_none_or(|b| sol.utility > b.utility) {
+            best = Some(sol);
+        }
+    }
+    Ok(best.expect("the empty seed always yields a solution"))
+}
 
+/// Seeds per work unit: large enough to amortize scheduling, small enough
+/// that chunk winners stay negligible next to the solves themselves.
+const SEED_CHUNK: usize = 128;
+
+/// A candidate seed, stored inline (≤ 3 streams) so the enumeration costs
+/// no per-seed heap allocation.
+#[derive(Clone, Copy)]
+struct Seed {
+    ids: [StreamId; 3],
+    len: usize,
+}
+
+impl Seed {
+    fn new(ids: &[StreamId]) -> Self {
+        let mut seed = Seed {
+            ids: [StreamId::new(0); 3],
+            len: ids.len(),
+        };
+        seed.ids[..ids.len()].copy_from_slice(ids);
+        seed
+    }
+
+    fn as_slice(&self) -> &[StreamId] {
+        &self.ids[..self.len]
+    }
+}
+
+/// Enumerates the candidate seeds in the canonical order (empty seed, then
+/// singletons, pairs, and triples in lexicographic nesting), truncated at
+/// `seed_limit`.
+fn enumerate_seeds(instance: &Instance, config: &PartialEnumConfig) -> Vec<Seed> {
+    let limit = config.seed_limit.unwrap_or(usize::MAX);
     // Seed size 0: plain fixed greedy.
-    consider(&[], &mut best)?;
+    let mut seeds: Vec<Seed> = vec![Seed::new(&[])];
     let n = instance.num_streams();
     let ids: Vec<StreamId> = instance.streams().collect();
-    if config.max_seed_size >= 1 {
+    let full = |seeds: &Vec<Seed>| seeds.len() >= limit;
+    if config.max_seed_size >= 1 && !full(&seeds) {
         'outer: for a in 0..n {
-            if !consider(&[ids[a]], &mut best)? {
+            seeds.push(Seed::new(&[ids[a]]));
+            if full(&seeds) {
                 break 'outer;
             }
             if config.max_seed_size >= 2 {
                 for b in (a + 1)..n {
-                    if !consider(&[ids[a], ids[b]], &mut best)? {
+                    seeds.push(Seed::new(&[ids[a], ids[b]]));
+                    if full(&seeds) {
                         break 'outer;
                     }
                     if config.max_seed_size >= 3 {
                         for c in (b + 1)..n {
-                            if !consider(&[ids[a], ids[b], ids[c]], &mut best)? {
+                            seeds.push(Seed::new(&[ids[a], ids[b], ids[c]]));
+                            if full(&seeds) {
                                 break 'outer;
                             }
                         }
@@ -117,7 +170,7 @@ pub fn solve_smd_partial_enum(
             }
         }
     }
-    Ok(best.expect("the empty seed always yields a solution"))
+    seeds
 }
 
 #[cfg(test)]
@@ -165,6 +218,7 @@ mod tests {
         let cfg = PartialEnumConfig {
             max_seed_size: 0,
             seed_limit: None,
+            threads: 1,
         };
         let enumd = solve_smd_partial_enum(&inst, &cfg, Feasibility::SemiFeasible).unwrap();
         let plain = crate::algo::solve_smd_unit(&inst, Feasibility::SemiFeasible).unwrap();
@@ -179,6 +233,7 @@ mod tests {
             let cfg = PartialEnumConfig {
                 max_seed_size: p,
                 seed_limit: None,
+                threads: 1,
             };
             let sol = solve_smd_partial_enum(&inst, &cfg, Feasibility::SemiFeasible).unwrap();
             assert!(sol.utility >= last - 1e-9);
@@ -192,6 +247,7 @@ mod tests {
         let cfg = PartialEnumConfig {
             max_seed_size: 3,
             seed_limit: Some(1), // only the empty seed
+            threads: 1,
         };
         let sol = solve_smd_partial_enum(&inst, &cfg, Feasibility::SemiFeasible).unwrap();
         assert!(approx_eq(sol.utility, 13.0));

@@ -43,6 +43,11 @@ pub struct MmdConfig {
     /// is already feasible" refinement. Used by the §4.2 tightness
     /// experiment; off by default.
     pub faithful_output_transform: bool,
+    /// Worker threads for the pipeline's own parallel stages (the §4
+    /// per-user decomposition; `0` = all cores, `1` = sequential). Inner
+    /// layers have their own knobs — use [`MmdConfig::with_threads`] to set
+    /// them all at once. Any thread count produces bit-identical output.
+    pub threads: usize,
 }
 
 impl Default for MmdConfig {
@@ -52,7 +57,24 @@ impl Default for MmdConfig {
             skip_user_stage: false,
             residual_fill: true,
             faithful_output_transform: false,
+            threads: 1,
         }
+    }
+}
+
+impl MmdConfig {
+    /// Sets one thread count across every parallel stage of the pipeline:
+    /// the §4 per-user decomposition, the §3 per-bucket solves, and (when
+    /// the configured §2 solver is partial enumeration) the seed sweep.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self.classify.threads = threads;
+        if let crate::algo::classify::SmdSolverKind::PartialEnum(ref mut pe) = self.classify.solver
+        {
+            pe.threads = threads;
+        }
+        self
     }
 }
 
@@ -393,66 +415,87 @@ pub fn output_transform(
     let (mut assignment, _) = best.expect("at least one candidate exists");
 
     // ---- User side. ----
+    // Each user's decomposition only reads the server-side assignment, so
+    // the choices are computed in parallel and applied in user order.
     if !config.skip_user_stage {
-        for u in instance.users() {
-            let spec = instance.user(u);
-            let fin: Vec<usize> = (0..spec.num_capacities())
-                .filter(|&j| spec.capacities()[j].is_finite() && spec.capacities()[j] > 0.0)
-                .collect();
-            if fin.is_empty() {
-                continue;
+        let users: Vec<crate::ids::UserId> = instance.users().collect();
+        let choices = mmd_par::parallel_map(config.threads, &users, |_, &u| {
+            best_user_subset(instance, &assignment, u, config)
+        });
+        for (u, choice) in users.into_iter().zip(choices) {
+            if let Some(best_subset) = choice {
+                assignment.set_user_streams(u, best_subset.into_iter().collect());
             }
-            let streams: Vec<StreamId> = assignment.streams_of(u).collect();
-            if streams.is_empty() {
-                continue;
-            }
-            let load_of = |s: StreamId| -> f64 {
-                let interest = spec.interest(s);
-                fin.iter()
-                    .map(|&j| interest.map_or(0.0, |i| i.loads()[j] / spec.capacities()[j]))
-                    .sum()
-            };
-            let mut subsets: Vec<Vec<StreamId>> = Vec::new();
-            let mut small_u: Vec<StreamId> = Vec::new();
-            for &s in &streams {
-                if num::approx_ge(load_of(s), 1.0) {
-                    subsets.push(vec![s]);
-                } else {
-                    small_u.push(s);
-                }
-            }
-            let costs_u: Vec<f64> = small_u.iter().map(|&s| load_of(s)).collect();
-            for group in interval_partition(&costs_u, 1.0) {
-                subsets.push(group.into_iter().map(|i| small_u[i]).collect());
-            }
-            // Same refinement as the server side: keep the user's full set
-            // when it already satisfies every capacity.
-            if !config.faithful_output_transform {
-                let full_feasible = (0..spec.num_capacities()).all(|j| {
-                    let total: f64 = streams
-                        .iter()
-                        .map(|&s| spec.interest(s).map_or(0.0, |i| i.loads()[j]))
-                        .sum();
-                    num::approx_le(total, spec.capacities()[j])
-                });
-                if full_feasible {
-                    subsets.push(streams.clone());
-                }
-            }
-            let best_subset = subsets
-                .into_iter()
-                .max_by(|a, b| {
-                    let wa: f64 = a.iter().map(|&s| instance.utility(u, s)).sum::<f64>();
-                    let wb: f64 = b.iter().map(|&s| instance.utility(u, s)).sum::<f64>();
-                    let ca = wa.min(spec.utility_cap());
-                    let cb = wb.min(spec.utility_cap());
-                    ca.total_cmp(&cb)
-                })
-                .unwrap_or_default();
-            assignment.set_user_streams(u, best_subset.into_iter().collect());
         }
     }
     (assignment, server_groups)
+}
+
+/// The per-user half of the §4 output transformation: the best capacity-
+/// feasible subset of the streams `assignment` currently gives `u` (by
+/// interval decomposition plus the full-set refinement), or `None` when the
+/// user needs no decomposition.
+fn best_user_subset(
+    instance: &Instance,
+    assignment: &Assignment,
+    u: crate::ids::UserId,
+    config: &MmdConfig,
+) -> Option<Vec<StreamId>> {
+    let spec = instance.user(u);
+    let fin: Vec<usize> = (0..spec.num_capacities())
+        .filter(|&j| spec.capacities()[j].is_finite() && spec.capacities()[j] > 0.0)
+        .collect();
+    if fin.is_empty() {
+        return None;
+    }
+    let streams: Vec<StreamId> = assignment.streams_of(u).collect();
+    if streams.is_empty() {
+        return None;
+    }
+    let load_of = |s: StreamId| -> f64 {
+        let interest = spec.interest(s);
+        fin.iter()
+            .map(|&j| interest.map_or(0.0, |i| i.loads()[j] / spec.capacities()[j]))
+            .sum()
+    };
+    let mut subsets: Vec<Vec<StreamId>> = Vec::new();
+    let mut small_u: Vec<StreamId> = Vec::new();
+    for &s in &streams {
+        if num::approx_ge(load_of(s), 1.0) {
+            subsets.push(vec![s]);
+        } else {
+            small_u.push(s);
+        }
+    }
+    let costs_u: Vec<f64> = small_u.iter().map(|&s| load_of(s)).collect();
+    for group in interval_partition(&costs_u, 1.0) {
+        subsets.push(group.into_iter().map(|i| small_u[i]).collect());
+    }
+    // Same refinement as the server side: keep the user's full set
+    // when it already satisfies every capacity.
+    if !config.faithful_output_transform {
+        let full_feasible = (0..spec.num_capacities()).all(|j| {
+            let total: f64 = streams
+                .iter()
+                .map(|&s| spec.interest(s).map_or(0.0, |i| i.loads()[j]))
+                .sum();
+            num::approx_le(total, spec.capacities()[j])
+        });
+        if full_feasible {
+            subsets.push(streams.clone());
+        }
+    }
+    let best_subset = subsets
+        .into_iter()
+        .max_by(|a, b| {
+            let wa: f64 = a.iter().map(|&s| instance.utility(u, s)).sum::<f64>();
+            let wb: f64 = b.iter().map(|&s| instance.utility(u, s)).sum::<f64>();
+            let ca = wa.min(spec.utility_cap());
+            let cb = wb.min(spec.utility_cap());
+            ca.total_cmp(&cb)
+        })
+        .unwrap_or_default();
+    Some(best_subset)
 }
 
 #[cfg(test)]

@@ -5,6 +5,18 @@
 //! [`CoverageState`]; nodes are pruned by multi-budget feasibility and the
 //! fractional completion bound of [`crate::bounds`]. At each node the
 //! current set is evaluated under the chosen [`Objective`].
+//!
+//! With `threads > 1` the search tree is split at a shallow frontier: every
+//! feasible include/exclude pattern over the first `d` streams becomes an
+//! independent subtree, explored concurrently while all workers prune
+//! against one shared incumbent bound ([`mmd_par::SharedMax`]). Every
+//! stream set the sequential search evaluates is evaluated by exactly one
+//! subtree, and cross-thread pruning only cuts subtrees whose best is
+//! already matched elsewhere — so the optimum *value* matches the
+//! sequential one up to floating-point accumulation (pruning uses a 1e-12
+//! epsilon, so near-ties can shift the reported value by ULPs). The
+//! explored-node count — and, between (near-)tied optima, the witness set —
+//! may vary run to run.
 
 use crate::bounds::fractional_completion_bound;
 use crate::user_alloc::best_user_allocation;
@@ -13,6 +25,7 @@ use mmd_core::coverage::CoverageState;
 use mmd_core::ids::StreamId;
 use mmd_core::num;
 use mmd_core::Instance;
+use mmd_par::SharedMax;
 use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
@@ -44,6 +57,11 @@ pub struct ExactConfig {
     /// Prune with the fractional completion bound (disable to get plain
     /// exhaustive search — used to validate the bound itself).
     pub use_bound: bool,
+    /// Worker threads for node exploration (`0` = all cores, `1` =
+    /// sequential). The optimum value matches the sequential search up to
+    /// floating-point accumulation; see the module docs for what may
+    /// legitimately vary.
+    pub threads: usize,
 }
 
 impl Default for ExactConfig {
@@ -53,6 +71,7 @@ impl Default for ExactConfig {
             max_streams: 26,
             max_user_degree: 20,
             use_bound: true,
+            threads: 1,
         }
     }
 }
@@ -111,11 +130,14 @@ struct Search<'a> {
     instance: &'a Instance,
     config: ExactConfig,
     /// Streams in branch order with surrogate costs.
-    order: Vec<(StreamId, f64)>,
+    order: &'a [(StreamId, f64)],
     budgets: Vec<f64>,
     best_value: f64,
     best_set: BTreeSet<StreamId>,
     nodes: u64,
+    /// Shared incumbent bound for parallel exploration: improvements are
+    /// published, and pruning uses the best value any worker has found.
+    shared: Option<&'a SharedMax>,
 }
 
 impl Search<'_> {
@@ -131,7 +153,18 @@ impl Search<'_> {
         if value > self.best_value {
             self.best_value = value;
             self.best_set = state.set().clone();
+            if let Some(shared) = self.shared {
+                shared.offer(value);
+            }
         }
+    }
+
+    /// The best value known to this worker or (in parallel mode) any other.
+    /// Stale reads of the shared register are safe: it only ever rises, so
+    /// a stale value can under-prune, never over-prune.
+    fn incumbent(&self) -> f64 {
+        self.shared
+            .map_or(self.best_value, |s| s.get().max(self.best_value))
     }
 
     fn dfs(&mut self, idx: usize, costs: &mut Vec<f64>, state: &mut CoverageState<'_>) {
@@ -160,7 +193,7 @@ impl Search<'_> {
             };
             let bound = fractional_completion_bound(state, &self.order[idx..], surrogate_remaining);
             // The coverage bound is valid for both objectives (feasible <= semi).
-            if bound <= self.best_value + 1e-12 {
+            if bound <= self.incumbent() + 1e-12 {
                 return;
             }
         }
@@ -229,27 +262,127 @@ pub fn solve(instance: &Instance, config: &ExactConfig) -> Result<ExactResult, E
         eb.total_cmp(&ea).then(a.0.cmp(&b.0))
     });
 
-    let mut search = Search {
-        instance,
-        config: *config,
-        order,
-        budgets: instance.budgets().to_vec(),
-        best_value: 0.0,
-        best_set: BTreeSet::new(),
-        nodes: 0,
+    let threads = mmd_par::resolve(config.threads);
+    let (_search_best, best_set, nodes) = if threads > 1 && order.len() >= 2 {
+        explore_parallel(instance, config, &order, threads)
+    } else {
+        let mut search = Search {
+            instance,
+            config: *config,
+            order: &order,
+            budgets: instance.budgets().to_vec(),
+            best_value: 0.0,
+            best_set: BTreeSet::new(),
+            nodes: 0,
+            shared: None,
+        };
+        let mut costs = vec![0.0; instance.num_measures()];
+        let mut state = CoverageState::new(instance);
+        search.dfs(0, &mut costs, &mut state);
+        (search.best_value, search.best_set, search.nodes)
     };
-    let mut costs = vec![0.0; instance.num_measures()];
-    let mut state = CoverageState::new(instance);
-    search.dfs(0, &mut costs, &mut state);
 
-    // Reconstruct the witness assignment for the winning set.
-    let assignment = witness(instance, &search.best_set, config.objective);
+    // Reconstruct the witness assignment for the winning set, and report
+    // the set's canonical value: the search's incremental accumulator can
+    // drift by ULPs depending on the exploration path, so recomputing from
+    // the set keeps the reported optimum path-independent.
+    let assignment = witness(instance, &best_set, config.objective);
+    let value = canonical_value(instance, &best_set, config.objective);
     Ok(ExactResult {
-        value: search.best_value,
-        server_set: search.best_set,
+        value,
+        server_set: best_set,
         assignment,
-        nodes: search.nodes,
+        nodes,
     })
+}
+
+/// The value of a stream set computed fresh (no incremental accumulation):
+/// identical for a given set no matter which search path found it.
+fn canonical_value(instance: &Instance, set: &BTreeSet<StreamId>, objective: Objective) -> f64 {
+    match objective {
+        Objective::SemiFeasible => {
+            let mut state = CoverageState::new(instance);
+            for &s in set {
+                state.add(s);
+            }
+            state.value()
+        }
+        Objective::Feasible => instance
+            .users()
+            .map(|u| best_user_allocation(instance, u, set).1)
+            .sum(),
+    }
+}
+
+/// Parallel node exploration: the include/exclude decisions for the first
+/// `d` streams are enumerated as bitmasks, and each budget-feasible prefix
+/// becomes an independent DFS task. Tasks prune against a [`SharedMax`]
+/// incumbent that every worker publishes improvements to.
+///
+/// Every stream set the sequential search visits lies in exactly one
+/// prefix's subtree, so the maximum over tasks is the same optimum; the
+/// winner is folded in mask order to keep the result as stable as possible.
+fn explore_parallel(
+    instance: &Instance,
+    config: &ExactConfig,
+    order: &[(StreamId, f64)],
+    threads: usize,
+) -> (f64, BTreeSet<StreamId>, u64) {
+    // Enough tasks that dynamic stealing evens out lopsided subtrees, but
+    // shallow enough that prefix replay stays negligible.
+    let mut depth = 0usize;
+    while (1usize << depth) < threads * 8 && depth < order.len().min(12) {
+        depth += 1;
+    }
+    let masks: Vec<u32> = (0..(1u32 << depth)).collect();
+    let budgets = instance.budgets().to_vec();
+    let shared = SharedMax::new(0.0);
+
+    let results = mmd_par::parallel_map(threads, &masks, |_, &mask| {
+        let mut costs = vec![0.0; instance.num_measures()];
+        let mut state = CoverageState::new(instance);
+        for (i, &(s, _)) in order.iter().enumerate().take(depth) {
+            if mask & (1 << i) != 0 {
+                for (j, c) in costs.iter_mut().enumerate() {
+                    *c += instance.cost(s, j);
+                }
+                state.add(s);
+            }
+        }
+        // Infeasible prefixes are states the sequential search never
+        // enters; skip them.
+        if costs
+            .iter()
+            .zip(&budgets)
+            .any(|(&c, &b)| !num::approx_le(c, b))
+        {
+            return None;
+        }
+        let mut search = Search {
+            instance,
+            config: *config,
+            order,
+            budgets: budgets.clone(),
+            best_value: 0.0,
+            best_set: BTreeSet::new(),
+            nodes: 0,
+            shared: Some(&shared),
+        };
+        search.dfs(depth, &mut costs, &mut state);
+        Some((search.best_value, search.best_set, search.nodes))
+    });
+
+    let mut best_value = 0.0f64;
+    let mut best_set = BTreeSet::new();
+    let mut nodes = 0u64;
+    for (value, set, task_nodes) in results.into_iter().flatten() {
+        nodes += task_nodes;
+        if value > best_value {
+            best_value = value;
+            best_set = set;
+        }
+    }
+    (best_value, best_set, nodes)
 }
 
 fn density(instance: &Instance, s: StreamId, surrogate: f64) -> f64 {
@@ -420,6 +553,87 @@ mod tests {
                 exact.value
             );
         }
+    }
+
+    #[test]
+    fn parallel_exploration_finds_same_optimum() {
+        for seedish in 0..6u64 {
+            let mut b = Instance::builder("par").server_budgets(vec![9.0, 7.0]);
+            let streams: Vec<StreamId> = (0..10)
+                .map(|i| {
+                    b.add_stream(vec![
+                        1.0 + ((i as u64 + seedish) % 4) as f64,
+                        1.0 + ((i as u64 * 3 + seedish) % 3) as f64,
+                    ])
+                })
+                .collect();
+            let users: Vec<_> = (0..4).map(|j| b.add_user(8.0 + j as f64, vec![])).collect();
+            for (si, &s) in streams.iter().enumerate() {
+                for (ui, &u) in users.iter().enumerate() {
+                    let w = ((si * 7 + ui * 5 + seedish as usize) % 6) as f64;
+                    if w > 0.0 {
+                        b.add_interest(u, s, w, vec![]).unwrap();
+                    }
+                }
+            }
+            let inst = b.build().unwrap();
+            for objective in [Objective::SemiFeasible, Objective::Feasible] {
+                let seq = solve(
+                    &inst,
+                    &ExactConfig {
+                        objective,
+                        ..ExactConfig::default()
+                    },
+                )
+                .unwrap();
+                for threads in [2usize, 4, 8] {
+                    let par = solve(
+                        &inst,
+                        &ExactConfig {
+                            objective,
+                            threads,
+                            ..ExactConfig::default()
+                        },
+                    )
+                    .unwrap();
+                    // ULP-scale tolerance: near-tied optima plus the
+                    // 1e-12 pruning epsilon can shift the reported value
+                    // by floating-point accumulation (see module docs).
+                    let tol = 1e-9 * seq.value.abs().max(1.0);
+                    assert!(
+                        (seq.value - par.value).abs() <= tol,
+                        "seed {seedish} {objective:?} threads {threads}: {} vs {}",
+                        seq.value,
+                        par.value
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_exploration_without_bound_matches_too() {
+        let inst = knapsackish();
+        let seq = solve(
+            &inst,
+            &ExactConfig {
+                use_bound: false,
+                ..ExactConfig::default()
+            },
+        )
+        .unwrap();
+        let par = solve(
+            &inst,
+            &ExactConfig {
+                use_bound: false,
+                threads: 4,
+                ..ExactConfig::default()
+            },
+        )
+        .unwrap();
+        // Same ULP-scale tolerance as above (near-tied optima).
+        assert!((seq.value - par.value).abs() <= 1e-9 * seq.value.abs().max(1.0));
+        assert!(par.assignment.check_semi_feasible(&inst).is_ok());
     }
 
     #[test]

@@ -10,10 +10,24 @@ use mmd_core::{Assignment, Instance, UserId};
 use mmd_workload::{ArrivalTrace, TraceEventKind};
 
 /// Engine configuration.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimConfig {
     /// Stop the simulation at this time (defaults to the trace horizon).
     pub horizon: Option<f64>,
+    /// Worker threads for policies that precompute an offline plan (the
+    /// Theorem 1.1 oracle): `0` = all cores, `1` (the default) =
+    /// sequential, as everywhere in the workspace. The event loop itself
+    /// is inherently sequential.
+    pub threads: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon: None,
+            threads: 1,
+        }
+    }
 }
 
 /// Result of one simulated run.
@@ -66,7 +80,8 @@ pub fn run(
             run_with(instance, trace, &mut p, config)
         }
         PolicyKind::OfflineOracle => {
-            let mut p = OfflineOracle::new(instance).expect("oracle construction");
+            let mut p =
+                OfflineOracle::with_threads(instance, config.threads).expect("oracle construction");
             run_with(instance, trace, &mut p, config)
         }
         PolicyKind::Price { lambda } => {
@@ -353,6 +368,7 @@ mod tests {
             PolicyKind::Threshold { margin: 1.0 },
             &SimConfig {
                 horizon: Some(trace.horizon() / 2.0),
+                ..SimConfig::default()
             },
         );
         assert!(half.horizon < full.horizon);

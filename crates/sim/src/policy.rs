@@ -137,7 +137,17 @@ impl OfflineOracle {
     ///
     /// Propagates solver errors (none for well-formed instances).
     pub fn new(instance: &Instance) -> Result<Self, mmd_core::SolveError> {
-        let out = solve_mmd(instance, &MmdConfig::default())?;
+        Self::with_threads(instance, 1)
+    }
+
+    /// Precomputes the plan on `threads` workers (`0` = all cores); the
+    /// plan is bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (none for well-formed instances).
+    pub fn with_threads(instance: &Instance, threads: usize) -> Result<Self, mmd_core::SolveError> {
+        let out = solve_mmd(instance, &MmdConfig::default().with_threads(threads))?;
         Ok(OfflineOracle {
             plan: out.assignment,
         })

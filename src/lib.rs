@@ -20,6 +20,9 @@
 //! * [`sim`] ([`mmd_sim`]) — a deterministic discrete-event simulation of
 //!   the Fig. 1 distribution system (multicast head-end + clients) driving
 //!   pluggable admission policies.
+//! * [`par`] ([`mmd_par`]) — the dependency-free scoped parallel runtime
+//!   behind `solve_batch`, the parallel branch-and-bound, and every
+//!   `--threads` flag; results are bit-identical at any thread count.
 //!
 //! # Quick start
 //!
@@ -46,6 +49,7 @@
 
 pub use mmd_core as core;
 pub use mmd_exact as exact;
+pub use mmd_par as par;
 pub use mmd_sim as sim;
 pub use mmd_workload as workload;
 

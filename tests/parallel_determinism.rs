@@ -1,0 +1,213 @@
+//! Determinism of the parallel runtime: every parallel entry point must
+//! produce **bit-identical** results to its sequential counterpart, at any
+//! thread count, on arbitrary instances.
+//!
+//! This is the contract that makes `--threads` safe to turn on in
+//! production: parallelism buys wall time and nothing else. The one
+//! documented exception is `exact::solve`'s *witness* between tied optima
+//! (the value is still exact and thread-count independent).
+
+use mmd::core::algo::classify::{ClassifyConfig, SmdSolverKind};
+use mmd::core::algo::reduction::{solve_mmd, MmdConfig};
+use mmd::core::algo::{self, solve_batch, Feasibility, PartialEnumConfig};
+use mmd::core::{Instance, StreamId};
+use mmd::exact::{solve as exact_solve, ExactConfig, Objective};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Strategy: a small random multi-budget mmd instance (m budgets, up to
+/// one user capacity measure each).
+fn mmd_instance() -> impl Strategy<Value = Instance> {
+    (
+        2usize..9,    // streams
+        1usize..6,    // users
+        1usize..4,    // server measures
+        0.25f64..0.9, // budget fraction
+        any::<u64>(), // value seed
+    )
+        .prop_map(|(ns, nu, m, frac, seed)| {
+            // Derive all values deterministically from the seed.
+            let mut x = seed;
+            let mut next = move || {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 11) as f64 / (1u64 << 53) as f64).clamp(0.0, 1.0)
+            };
+            let costs: Vec<Vec<f64>> = (0..ns)
+                .map(|_| (0..m).map(|_| 0.5 + 4.0 * next()).collect())
+                .collect();
+            let budgets: Vec<f64> = (0..m)
+                .map(|i| {
+                    let total: f64 = costs.iter().map(|c| c[i]).sum();
+                    let max_single = costs.iter().map(|c| c[i]).fold(0.0, f64::max);
+                    (total * frac).max(max_single)
+                })
+                .collect();
+            let mut b = Instance::builder("par-prop").server_budgets(budgets);
+            let streams: Vec<StreamId> = costs.iter().map(|c| b.add_stream(c.clone())).collect();
+            for _ in 0..nu {
+                let cap = 1.0 + 8.0 * next();
+                let constrained = next() < 0.7;
+                let u = b.add_user(cap, if constrained { vec![cap] } else { vec![] });
+                for &s in &streams {
+                    if next() < 0.6 {
+                        let w = (0.2 + 3.0 * next()).min(cap);
+                        let loads = if constrained { vec![w] } else { vec![] };
+                        b.add_interest(u, s, w, loads).unwrap();
+                    }
+                }
+            }
+            b.build().unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `solve_batch` at any thread count is bit-identical to solving each
+    /// instance sequentially, in input order.
+    #[test]
+    fn solve_batch_is_thread_count_invariant(instances in collection::vec(mmd_instance(), 2..6)) {
+        let config = MmdConfig::default();
+        let reference: Vec<_> = instances
+            .iter()
+            .map(|inst| solve_mmd(inst, &config).unwrap())
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let batch = solve_batch(&instances, &config, threads);
+            prop_assert_eq!(batch.len(), reference.len());
+            for (got, want) in batch.iter().zip(&reference) {
+                let got = got.as_ref().unwrap();
+                // Bit-identical: exact f64 equality and assignment equality.
+                prop_assert_eq!(got.utility, want.utility);
+                prop_assert_eq!(&got.assignment, &want.assignment);
+                prop_assert_eq!(got.num_buckets, want.num_buckets);
+                prop_assert_eq!(got.server_groups, want.server_groups);
+            }
+        }
+    }
+
+    /// Intra-solve parallelism (classify buckets + §4 user stage) is
+    /// bit-identical to the sequential pipeline.
+    #[test]
+    fn solve_mmd_with_threads_is_bit_identical(inst in mmd_instance()) {
+        let seq = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+        for threads in [2usize, 4] {
+            let par = solve_mmd(&inst, &MmdConfig::default().with_threads(threads)).unwrap();
+            prop_assert_eq!(par.utility, seq.utility);
+            prop_assert_eq!(&par.assignment, &seq.assignment);
+        }
+    }
+
+    /// The partial-enumeration seed sweep picks the same winner in
+    /// parallel as sequentially (reduction is in enumeration order).
+    #[test]
+    fn partial_enum_sweep_is_bit_identical(inst in mmd_instance()) {
+        // Reduce to single-budget first: §2.3 requires it.
+        let smd = mmd::core::algo::reduction::to_single_budget(&inst);
+        let seq_cfg = PartialEnumConfig { max_seed_size: 2, seed_limit: None, threads: 1 };
+        let seq = algo::solve_smd_partial_enum(&smd, &seq_cfg, Feasibility::SemiFeasible).unwrap();
+        for threads in [2usize, 4] {
+            let par_cfg = PartialEnumConfig { threads, ..seq_cfg };
+            let par =
+                algo::solve_smd_partial_enum(&smd, &par_cfg, Feasibility::SemiFeasible).unwrap();
+            prop_assert_eq!(par.utility, seq.utility);
+            prop_assert_eq!(&par.assignment, &seq.assignment);
+        }
+    }
+
+    /// Parallel branch-and-bound finds the sequential optimum, for both
+    /// objectives, with and without the completion bound. Tolerance is a
+    /// relative ULP-scale epsilon: between *tied* optimal sets the two
+    /// searches may legitimately pick witnesses whose canonical values
+    /// differ in the last floating-point bits.
+    #[test]
+    fn exact_parallel_finds_same_optimum(inst in mmd_instance(), use_bound in any::<bool>()) {
+        for objective in [Objective::SemiFeasible, Objective::Feasible] {
+            let seq = exact_solve(
+                &inst,
+                &ExactConfig { objective, use_bound, ..ExactConfig::default() },
+            )
+            .unwrap();
+            for threads in [2usize, 4] {
+                let par = exact_solve(
+                    &inst,
+                    &ExactConfig { objective, use_bound, threads, ..ExactConfig::default() },
+                )
+                .unwrap();
+                let tol = 1e-9 * seq.value.abs().max(1.0);
+                prop_assert!(
+                    (par.value - seq.value).abs() <= tol,
+                    "threads {}: {} vs {}", threads, par.value, seq.value
+                );
+            }
+        }
+    }
+}
+
+/// The classify layer's per-bucket parallelism alone (through `solve_smd`)
+/// is bit-identical on a fixed high-skew instance, where several buckets
+/// are actually populated.
+#[test]
+fn classify_buckets_parallel_bit_identical() {
+    let mut b = Instance::builder("skewed-par").server_budgets(vec![40.0]);
+    let streams: Vec<StreamId> = (0..12).map(|_| b.add_stream(vec![2.0])).collect();
+    for ui in 0..6 {
+        let u = b.add_user(f64::INFINITY, vec![12.0 + ui as f64]);
+        for (si, &s) in streams.iter().enumerate() {
+            let k = 2.0 + ((si + ui) % 3) as f64;
+            let ratio = (1 << ((si + 2 * ui) % 5)) as f64;
+            b.add_interest(u, s, k * ratio, vec![k]).unwrap();
+        }
+    }
+    let inst = b.build().unwrap();
+    let seq = mmd::core::algo::solve_smd(&inst, &ClassifyConfig::default()).unwrap();
+    assert!(seq.num_buckets > 1, "test needs several buckets");
+    for threads in [2usize, 4, 8] {
+        let cfg = ClassifyConfig {
+            solver: SmdSolverKind::FixedGreedy,
+            mode: Feasibility::Strict,
+            threads,
+        };
+        let par = mmd::core::algo::solve_smd(&inst, &cfg).unwrap();
+        assert_eq!(par.utility, seq.utility);
+        assert_eq!(par.assignment, seq.assignment);
+        assert_eq!(par.per_bucket_utilities, seq.per_bucket_utilities);
+    }
+}
+
+/// A larger smoke batch through `solve_batch`, mirroring what the perf
+/// harness runs, pinned for bit-identity across a spread of thread counts.
+#[test]
+fn workload_batch_thread_sweep() {
+    use mmd::workload::{CatalogConfig, PopulationConfig, WorkloadConfig};
+    let instances: Vec<Instance> = (0..6)
+        .map(|seed| {
+            WorkloadConfig {
+                catalog: CatalogConfig {
+                    streams: 24,
+                    measures: 2,
+                    ..CatalogConfig::default()
+                },
+                population: PopulationConfig {
+                    users: 14,
+                    user_measures: 1,
+                    ..PopulationConfig::default()
+                },
+                budget_fraction: 0.3,
+                ..WorkloadConfig::default()
+            }
+            .generate(seed)
+        })
+        .collect();
+    let reference = solve_batch(&instances, &MmdConfig::default(), 1);
+    for threads in [0usize, 2, 3, 4, 7] {
+        let got = solve_batch(&instances, &MmdConfig::default(), threads);
+        for (g, w) in got.iter().zip(&reference) {
+            let (g, w) = (g.as_ref().unwrap(), w.as_ref().unwrap());
+            assert_eq!(g.utility, w.utility);
+            assert_eq!(g.assignment, w.assignment);
+        }
+    }
+}

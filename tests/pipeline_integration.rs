@@ -117,6 +117,7 @@ fn partial_enum_dominates_fixed_greedy_through_classify() {
             &PartialEnumConfig {
                 max_seed_size: 2,
                 seed_limit: None,
+                threads: 1,
             },
             Feasibility::SemiFeasible,
         )
@@ -136,8 +137,10 @@ fn classify_solver_choice_is_wired_through_mmd() {
                 solver: SmdSolverKind::PartialEnum(PartialEnumConfig {
                     max_seed_size: 1,
                     seed_limit: Some(200),
+                    threads: 1,
                 }),
                 mode: Feasibility::Strict,
+                ..ClassifyConfig::default()
             },
             ..MmdConfig::default()
         },

@@ -119,6 +119,7 @@ fn utility_integral_scales_with_horizon() {
         PolicyKind::Threshold { margin: 1.0 },
         &SimConfig {
             horizon: Some(trace.horizon() * 2.0),
+            ..SimConfig::default()
         },
     );
     // With no departures, the tail doubles the integral contribution.
