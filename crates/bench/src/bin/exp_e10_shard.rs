@@ -1,0 +1,101 @@
+//! **E10** — sharded solving of one huge clustered instance: quality and
+//! certificate vs shard granularity.
+//!
+//! A contended planted-community instance (12 communities) is solved
+//! monolithically and sharded at decreasing shard-size caps. The table
+//! reports, per cap (mean over seeds): shard count, cut interests and
+//! their mass, sharded utility relative to the monolithic pipeline, the
+//! certified optimality gap, and wall time. The expected shape: at
+//! community granularity the ratio stays ≈ 1 with a small cut mass; caps
+//! below the community size force real cuts and the certificate widens
+//! accordingly.
+
+use mmd_bench::outfile::ExpArgs;
+use mmd_bench::report::{f2, f3, Table};
+use mmd_core::algo::reduction::{solve_mmd, MmdConfig};
+use mmd_core::algo::shard::{solve_sharded, ShardConfig};
+use mmd_workload::ClusteredConfig;
+use std::time::Instant;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let seeds: Vec<u64> = (0..5).collect();
+    let mut table = Table::new(
+        "E10: sharded vs monolithic on clustered instances \
+         (12 communities x 20 streams, 5 seeds per row)",
+        &[
+            "shard cap",
+            "shards",
+            "cut edges",
+            "cut mass",
+            "utility/mono",
+            "gap %",
+            "wall ms",
+        ],
+    );
+
+    // Generation and the monolithic yardstick parallelize across seeds;
+    // the *timed* sharded solves run sequentially afterwards so the wall
+    // column measures uncontended solver cost, not core contention.
+    let setups = mmd_par::parallel_map(args.threads(), &seeds, |_, &seed| {
+        let inst = ClusteredConfig::contended(12, 20, 12).generate(seed);
+        let mono = solve_mmd(&inst, &MmdConfig::default()).unwrap().utility;
+        (inst, mono)
+    });
+
+    for &cap in &[0usize, 40, 20, 10, 5] {
+        let rows: Vec<_> = setups
+            .iter()
+            .map(|(inst, mono)| {
+                let start = Instant::now();
+                let out = solve_sharded(
+                    inst,
+                    &ShardConfig {
+                        max_streams: cap,
+                        ..ShardConfig::default()
+                    },
+                )
+                .unwrap();
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                assert!(out.assignment.check_feasible(inst).is_ok());
+                (
+                    out.num_shards as f64,
+                    out.cut_edges as f64,
+                    out.cut_mass,
+                    out.utility / mono.max(1e-12),
+                    100.0 * out.gap_fraction,
+                    wall_ms,
+                )
+            })
+            .collect();
+        let n = rows.len() as f64;
+        let sum = rows.iter().fold([0.0f64; 6], |mut acc, r| {
+            for (a, v) in acc.iter_mut().zip([r.0, r.1, r.2, r.3, r.4, r.5]) {
+                *a += v;
+            }
+            acc
+        });
+        table.row(&[
+            if cap == 0 {
+                "component".to_string()
+            } else {
+                cap.to_string()
+            },
+            format!("{:.1}", sum[0] / n),
+            format!("{:.1}", sum[1] / n),
+            f2(sum[2] / n),
+            f3(sum[3] / n),
+            f2(sum[4] / n),
+            f2(sum[5] / n),
+        ]);
+    }
+
+    let mut out = table.to_markdown();
+    out.push_str(
+        "\nutility/mono ~ 1 at community granularity; smaller caps cut more\n\
+         interest mass and the certified gap widens with it. The gap column\n\
+         is certified: the true optimum lies within it of the sharded\n\
+         utility (Lemma 2.1 subadditivity + cut mass).\n",
+    );
+    args.emit(&out).expect("writing --out");
+}

@@ -11,7 +11,7 @@ pub enum Command {
     /// `gen`: generate an instance to JSON.
     Gen {
         /// Family: `workload`, `unit-skew`, `tightness`, `small-streams`,
-        /// `hole`.
+        /// `hole`, `clustered`.
         kind: String,
         /// RNG seed.
         seed: u64,
@@ -25,6 +25,9 @@ pub enum Command {
         user_measures: usize,
         /// Target skew (target-skew family).
         alpha: f64,
+        /// Planted communities (clustered family; streams/users are split
+        /// evenly across them).
+        clusters: usize,
         /// Output path (`-` = stdout).
         out: String,
     },
@@ -48,6 +51,9 @@ pub enum Command {
         margin: f64,
         /// Worker threads (0 = all cores, 1 = sequential).
         threads: usize,
+        /// Target shard size in streams for the sharded pipeline
+        /// (0 = solve monolithically; pipeline algorithm only).
+        shard_size: usize,
     },
     /// `simulate`: run the DES on an instance file.
     Simulate {
@@ -86,17 +92,22 @@ pub const USAGE: &str = "\
 mmd-cli — video distribution under multiple constraints
 
 USAGE:
-  mmd-cli gen --kind <workload|unit-skew|tightness|small-streams|hole>
+  mmd-cli gen --kind <workload|unit-skew|tightness|small-streams|hole|clustered>
               [--seed N] [--streams N] [--users N] [--measures N]
-              [--user-measures N] [--alpha X] [--out FILE]
+              [--user-measures N] [--alpha X] [--clusters N] [--out FILE]
   mmd-cli inspect --input FILE
   mmd-cli solve --input FILE [--algorithm pipeline|greedy|partial-enum|online|threshold|exact]
               [--no-fill] [--faithful] [--margin X] [--threads N]
+              [--shard-size N]
   mmd-cli simulate --input FILE [--policy online|threshold|oracle]
               [--margin X] [--rate X] [--duration X] [--seed N] [--threads N]
 
   --threads N uses N worker threads (0 = all cores); results are
   bit-identical at any thread count.
+  --shard-size N solves the pipeline sharded: the instance is split along
+  stream-audience connectivity into shards of at most N streams, shards
+  are solved concurrently, and the shared budgets are reconciled; the
+  report includes the certified optimality gap.
   mmd-cli help
 ";
 
@@ -161,6 +172,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 measures: get_num(&map, "measures", 2usize)?,
                 user_measures: get_num(&map, "user-measures", 1usize)?,
                 alpha: get_num(&map, "alpha", 8.0f64)?,
+                clusters: get_num(&map, "clusters", 4usize)?,
                 out: map.get("out").cloned().unwrap_or_else(|| "-".into()),
             })
         }
@@ -188,6 +200,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 faithful: map.contains_key("faithful"),
                 margin: get_num(&map, "margin", 1.0f64)?,
                 threads: get_num(&map, "threads", 1usize)?,
+                shard_size: get_num(&map, "shard-size", 0usize)?,
             })
         }
         "simulate" => {
@@ -278,6 +291,25 @@ mod tests {
                 assert_eq!(policy, "threshold");
                 assert_eq!(margin, 0.8);
                 assert_eq!(rate, 2.5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_shard_size_and_clusters() {
+        match parse(&argv("solve --input x.json --shard-size 64")).unwrap() {
+            Command::Solve { shard_size, .. } => assert_eq!(shard_size, 64),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("solve --input x.json")).unwrap() {
+            Command::Solve { shard_size, .. } => assert_eq!(shard_size, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("gen --kind clustered --clusters 6")).unwrap() {
+            Command::Gen { kind, clusters, .. } => {
+                assert_eq!(kind, "clustered");
+                assert_eq!(clusters, 6);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -5,6 +5,7 @@ use crate::args::{Command, USAGE};
 use crate::io;
 use mmd_core::algo::online::{OnlineAllocator, OnlineConfig};
 use mmd_core::algo::reduction::{solve_mmd, MmdConfig};
+use mmd_core::algo::shard::{solve_sharded, ShardConfig};
 use mmd_core::algo::{self, baselines, Feasibility, PartialEnumConfig};
 use mmd_core::skew;
 use mmd_core::Instance;
@@ -31,9 +32,19 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             measures,
             user_measures,
             alpha,
+            clusters,
             out,
         } => {
-            let instance = generate(&kind, seed, streams, users, measures, user_measures, alpha)?;
+            let instance = generate(
+                &kind,
+                seed,
+                streams,
+                users,
+                measures,
+                user_measures,
+                alpha,
+                clusters,
+            )?;
             io::save(&instance, &out)?;
             let summary = format!("wrote {instance}\n");
             if out == "-" {
@@ -56,8 +67,14 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             faithful,
             margin,
             threads,
+            shard_size,
         } => {
             let instance = io::load(&input)?;
+            if shard_size > 0 {
+                return solve_sharded_cmd(
+                    &instance, &algorithm, no_fill, faithful, threads, shard_size,
+                );
+            }
             solve(&instance, &algorithm, no_fill, faithful, margin, threads)
         }
         Command::Simulate {
@@ -75,6 +92,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn generate(
     kind: &str,
     seed: u64,
@@ -83,6 +101,7 @@ fn generate(
     measures: usize,
     user_measures: usize,
     alpha: f64,
+    clusters: usize,
 ) -> Result<Instance, Box<dyn Error>> {
     Ok(match kind {
         "workload" => WorkloadConfig {
@@ -119,6 +138,15 @@ fn generate(
         "tightness" => special::tightness_instance(measures.max(1), user_measures.max(1)),
         "small-streams" => special::small_streams(streams, users, measures.clamp(1, 4), seed),
         "hole" => special::greedy_hole(),
+        "clustered" => {
+            let clusters = clusters.max(1);
+            mmd_workload::ClusteredConfig::contended(
+                clusters,
+                (streams / clusters).max(1),
+                (users / clusters).max(1),
+            )
+            .generate(seed)
+        }
         other => return Err(format!("unknown instance kind: {other}").into()),
     })
 }
@@ -249,6 +277,71 @@ fn solve(
     Ok(out)
 }
 
+/// `solve --shard-size N`: the sharded pipeline with its gap certificate.
+fn solve_sharded_cmd(
+    instance: &Instance,
+    algorithm: &str,
+    no_fill: bool,
+    faithful: bool,
+    threads: usize,
+    shard_size: usize,
+) -> Result<String, Box<dyn Error>> {
+    if algorithm != "pipeline" {
+        return Err(
+            format!("--shard-size applies to the pipeline algorithm, not {algorithm}").into(),
+        );
+    }
+    let config = ShardConfig {
+        max_streams: shard_size,
+        threads,
+        mmd: MmdConfig {
+            residual_fill: !no_fill,
+            faithful_output_transform: faithful,
+            ..MmdConfig::default()
+        },
+        ..ShardConfig::default()
+    };
+    let out = solve_sharded(instance, &config)?;
+    let mut text = String::new();
+    let _ = writeln!(text, "algorithm: sharded pipeline (thm 1.1 per shard)");
+    let _ = writeln!(text, "utility: {:.4}", out.utility);
+    let _ = writeln!(
+        text,
+        "shards: {} (largest {} streams, target {})",
+        out.num_shards, out.largest_shard, shard_size
+    );
+    let _ = writeln!(
+        text,
+        "cut interests: {} (mass {:.4})",
+        out.cut_edges, out.cut_mass
+    );
+    let _ = writeln!(text, "repaired streams: {}", out.repaired_streams);
+    let _ = writeln!(
+        text,
+        "certified optimum in [{:.4}, {:.4}] (gap {:.2}%)",
+        out.utility,
+        out.upper_bound,
+        100.0 * out.gap_fraction
+    );
+    let _ = writeln!(
+        text,
+        "streams transmitted: {} / {}",
+        out.assignment.range_len(),
+        instance.num_streams()
+    );
+    for i in 0..instance.num_measures() {
+        let _ = writeln!(
+            text,
+            "measure {i}: {:.2} of {:.2}",
+            out.assignment.server_cost(i, instance),
+            instance.budget(i)
+        );
+    }
+    let feasible = out.assignment.check_feasible(instance).is_ok();
+    let _ = writeln!(text, "feasible: {}", if feasible { "yes" } else { "NO" });
+    Ok(text)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn simulate(
     instance: &Instance,
@@ -350,6 +443,7 @@ mod tests {
             "tightness",
             "small-streams",
             "hole",
+            "clustered",
         ] {
             let path = tmpfile(&format!("{kind}.json"));
             let cmd = parse(&argv(&format!(
@@ -422,6 +516,37 @@ mod tests {
         .unwrap())
         .unwrap();
         assert!(sim.contains("policy: offline-oracle"), "{sim}");
+    }
+
+    #[test]
+    fn sharded_solve_reports_certificate() {
+        let path = tmpfile("shard.json");
+        run(parse(&argv(&format!(
+            "gen --kind clustered --seed 4 --streams 24 --users 12 --clusters 4 --out {path}"
+        )))
+        .unwrap())
+        .unwrap();
+        let out = run(parse(&argv(&format!(
+            "solve --input {path} --shard-size 6 --threads 2"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("sharded pipeline"), "{out}");
+        assert!(out.contains("certified optimum in"), "{out}");
+        assert!(out.contains("feasible: yes"), "{out}");
+        // Identical at any thread count.
+        let four = run(parse(&argv(&format!(
+            "solve --input {path} --shard-size 6 --threads 4"
+        )))
+        .unwrap())
+        .unwrap();
+        assert_eq!(out, four);
+        // Sharding a non-pipeline algorithm is rejected.
+        assert!(run(parse(&argv(&format!(
+            "solve --input {path} --algorithm greedy --shard-size 6"
+        )))
+        .unwrap())
+        .is_err());
     }
 
     #[test]

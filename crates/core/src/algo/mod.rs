@@ -21,6 +21,10 @@
 //! 9. [`mod@batch`] — beyond the paper: [`solve_batch`] runs the Theorem
 //!    1.1 pipeline over many instances concurrently (via `mmd-par`) with
 //!    deterministic, input-ordered output.
+//! 10. [`mod@shard`] — beyond the paper: [`solve_sharded`] splits one huge
+//!     instance into near-independent shards along stream–audience
+//!     connectivity, solves them concurrently, and reconciles the shared
+//!     budgets, returning a certified optimality gap.
 
 pub mod baselines;
 pub mod batch;
@@ -30,6 +34,7 @@ pub mod greedy;
 pub mod online;
 pub mod partial_enum;
 pub mod reduction;
+pub mod shard;
 pub mod submodular;
 
 pub use batch::solve_batch;
@@ -39,3 +44,4 @@ pub use greedy::{greedy, GreedyOutcome};
 pub use online::{OnlineAllocator, OnlineReport};
 pub use partial_enum::{solve_smd_partial_enum, PartialEnumConfig};
 pub use reduction::{solve_mmd, MmdConfig, MmdOutcome};
+pub use shard::{shard_instance, solve_sharded, ShardConfig, ShardedOutcome, Sharding};

@@ -111,61 +111,41 @@ pub fn residual_fill(instance: &Instance, assignment: &mut Assignment) {
             .sum()
     };
 
-    loop {
-        let mut best: Option<(StreamId, Vec<crate::ids::UserId>, f64, f64)> = None;
-        for s in instance.streams() {
-            let transmitted = assignment.in_range(s);
-            if !transmitted {
-                let fits_server = (0..m).all(|i| {
-                    num::approx_le(server_cost[i] + instance.cost(s, i), instance.budget(i))
-                });
-                if !fits_server {
-                    continue;
-                }
-            }
-            let mut gain = 0.0;
-            let mut takers = Vec::new();
-            for &(u, w) in instance.audience(s) {
-                if assignment.contains(u, s) {
-                    continue;
-                }
-                let spec = instance.user(u);
-                let head = (spec.utility_cap() - user_raw[u.index()]).max(0.0);
-                if head <= 0.0 {
-                    continue;
-                }
-                let interest = spec.interest(s).expect("audience implies interest");
-                let fits = interest.loads().iter().enumerate().all(|(j, &k)| {
-                    num::approx_le(user_load[u.index()][j] + k, spec.capacities()[j])
-                });
-                if fits {
-                    gain += w.min(head);
-                    takers.push(u);
-                }
-            }
-            if gain <= num::EPS || takers.is_empty() {
+    // The eligible receivers of `s` at the current state, with their total
+    // marginal capped gain (the round-based greedy's per-stream evaluation).
+    let takers_of = |s: StreamId,
+                     assignment: &Assignment,
+                     user_raw: &[f64],
+                     user_load: &[Vec<f64>]|
+     -> (f64, Vec<crate::ids::UserId>) {
+        let mut gain = 0.0;
+        let mut takers = Vec::new();
+        for &(u, w) in instance.audience(s) {
+            if assignment.contains(u, s) {
                 continue;
             }
-            let cost = if transmitted { 0.0 } else { surrogate(s) };
-            let eff = if cost <= 0.0 {
-                f64::INFINITY
-            } else {
-                gain / cost
-            };
-            let better = match &best {
-                None => true,
-                Some((_, _, _, be)) => eff > *be,
-            };
-            if better {
-                best = Some((s, takers, gain, eff));
+            let spec = instance.user(u);
+            let head = (spec.utility_cap() - user_raw[u.index()]).max(0.0);
+            if head <= 0.0 {
+                continue;
+            }
+            let interest = spec.interest(s).expect("audience implies interest");
+            let fits =
+                interest.loads().iter().enumerate().all(|(j, &k)| {
+                    num::approx_le(user_load[u.index()][j] + k, spec.capacities()[j])
+                });
+            if fits {
+                gain += w.min(head);
+                takers.push(u);
             }
         }
-        let Some((s, takers, _, _)) = best else { break };
-        if !assignment.in_range(s) {
-            for (i, c) in server_cost.iter_mut().enumerate() {
-                *c += instance.cost(s, i);
-            }
-        }
+        (gain, takers)
+    };
+    let apply = |s: StreamId,
+                 takers: Vec<crate::ids::UserId>,
+                 assignment: &mut Assignment,
+                 user_raw: &mut [f64],
+                 user_load: &mut [Vec<f64>]| {
         for u in takers {
             assignment.assign(u, s);
             user_raw[u.index()] += instance.utility(u, s);
@@ -176,6 +156,78 @@ pub fn residual_fill(instance: &Instance, assignment: &mut Assignment) {
                 }
             }
         }
+    };
+
+    // Zero-cost fast path: streams already transmitted (or free under
+    // every finite budget) have infinite cost effectiveness, so the
+    // round-based greedy takes them in ascending id order anyway; and
+    // since heads only shrink and loads only grow, no earlier stream can
+    // regain receivers after a later one is processed. One ascending
+    // sweep therefore reaches the same fixed point as one full rescan per
+    // addition — the difference is O(E) versus O(additions · E), which is
+    // what keeps the global fill after a sharded merge (many cross-shard
+    // receivers to reattach) linear.
+    for s in instance.streams() {
+        let transmitted = assignment.in_range(s);
+        if !transmitted {
+            if surrogate(s) > 0.0 {
+                continue;
+            }
+            let fits_server = (0..m)
+                .all(|i| num::approx_le(server_cost[i] + instance.cost(s, i), instance.budget(i)));
+            if !fits_server {
+                continue;
+            }
+        }
+        let (gain, takers) = takers_of(s, assignment, &user_raw, &user_load);
+        if gain <= num::EPS || takers.is_empty() {
+            continue;
+        }
+        if !transmitted {
+            for (i, c) in server_cost.iter_mut().enumerate() {
+                *c += instance.cost(s, i);
+            }
+        }
+        apply(s, takers, assignment, &mut user_raw, &mut user_load);
+    }
+
+    // Paid additions: the round-based greedy proper. Transmitted streams
+    // are already at their fixed point (above), so every round admits at
+    // most the not-yet-transmitted streams that still fit the budgets.
+    loop {
+        let mut best: Option<(StreamId, Vec<crate::ids::UserId>, f64)> = None;
+        for s in instance.streams() {
+            if assignment.in_range(s) {
+                continue;
+            }
+            let fits_server = (0..m)
+                .all(|i| num::approx_le(server_cost[i] + instance.cost(s, i), instance.budget(i)));
+            if !fits_server {
+                continue;
+            }
+            let (gain, takers) = takers_of(s, assignment, &user_raw, &user_load);
+            if gain <= num::EPS || takers.is_empty() {
+                continue;
+            }
+            let cost = surrogate(s);
+            let eff = if cost <= 0.0 {
+                f64::INFINITY
+            } else {
+                gain / cost
+            };
+            let better = match &best {
+                None => true,
+                Some((_, _, be)) => eff > *be,
+            };
+            if better {
+                best = Some((s, takers, eff));
+            }
+        }
+        let Some((s, takers, _)) = best else { break };
+        for (i, c) in server_cost.iter_mut().enumerate() {
+            *c += instance.cost(s, i);
+        }
+        apply(s, takers, assignment, &mut user_raw, &mut user_load);
     }
 }
 

@@ -1,0 +1,976 @@
+//! **Sharded solving** of instances too big for one core: partition the
+//! stream–audience graph into near-independent shards, solve the shards
+//! concurrently with [`solve_batch`], and reconcile the shared server
+//! budgets.
+//!
+//! Streams interact in two ways only: through shared users (captured by the
+//! bipartite connectivity of [`crate::graph`]) and through the shared server
+//! budgets `B_i`. [`shard_instance`] makes the first interaction vanish by
+//! splitting along connected components — and, when a component exceeds the
+//! configured size cap, by cutting its *lowest-utility* interests first
+//! (heaviest edges are merged first under a component-size cap, Kruskal
+//! style) while recording the total utility of the cut interests as
+//! `cut_mass`. [`solve_sharded`] then handles the second interaction with a
+//! budget reconciler: each finite budget is water-filled across shards in
+//! proportion to their utility upper bounds, capped at demand (uncontended
+//! measures fund every shard fully), slightly over-provisioned
+//! ([`ShardConfig::budget_slack`]) and floored so every stream still fits
+//! its own shard's budget; the shards are solved concurrently, one global
+//! repair pass restores feasibility where the slack or the floors
+//! oversubscribed a budget, and a global [`residual_fill`] re-adds cut
+//! interests and spends leftover budget.
+//!
+//! # The gap certificate
+//!
+//! The returned [`ShardedOutcome`] is *certified*: its assignment is
+//! feasible in the original instance, so `utility` is a true lower bound on
+//! the optimum, and `upper_bound` is a true upper bound, by Lemma 2.1's
+//! submodularity/subadditivity of the capped utility `w(T)`. Concretely,
+//! restricting an optimal assignment to one shard keeps it feasible for the
+//! *full* budgets, every cross-shard (user, stream) pair is one of the cut
+//! interests, and `min(W_u, a + b) ≤ min(W_u, a) + min(W_u, b)`, so
+//!
+//! ```text
+//! OPT ≤ Σ_k ub(shard_k) + cut_mass,
+//! ```
+//!
+//! where `ub(shard)` is the cheap per-shard bound of
+//! [`utility_upper_bound`]: the smaller of the cap-sum bound
+//! `Σ_u min(W_u, Σ_S w_u(S))` and, per finite budget measure, a fractional
+//! knapsack over singleton utilities. `tests/theorem_bounds.rs` checks the
+//! certificate against `mmd-exact`; `tests/shard_equivalence.rs` pins the
+//! shard-vs-monolithic differential behaviour.
+
+use crate::algo::batch::solve_batch;
+use crate::algo::reduction::{residual_fill, MmdConfig};
+use crate::assignment::Assignment;
+use crate::error::SolveError;
+use crate::graph::{collect_components, UnionFind};
+use crate::ids::{StreamId, UserId};
+use crate::instance::Instance;
+use crate::num;
+
+/// Configuration for [`solve_sharded`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardConfig {
+    /// Target maximum number of streams per shard. Components larger than
+    /// this are split by cutting their lowest-utility interests. `0` means
+    /// "component granularity": no cap, nothing is ever cut.
+    pub max_streams: usize,
+    /// Worker threads across shard solves (`0` = all cores, `1` =
+    /// sequential). Shards are independent sub-instances solved through
+    /// [`solve_batch`], so the outcome is bit-identical at any thread
+    /// count.
+    pub threads: usize,
+    /// The Theorem 1.1 pipeline configuration applied to every shard. Its
+    /// own `threads` knobs default to 1 so shard-level parallelism is not
+    /// multiplied by intra-solve parallelism.
+    pub mmd: MmdConfig,
+    /// Run a global [`residual_fill`] over the *original* instance after
+    /// reconciliation: recovers cut interests and leftover budget. On by
+    /// default; disable to measure the raw shard/reconcile loss.
+    pub global_fill: bool,
+    /// Resource-augmentation factor on contended budget shares: each shard
+    /// receives `(1 + budget_slack) ×` its water-filled share (still capped
+    /// at its demand), deliberately oversubscribing the budget so that the
+    /// *global* repair pass — not the local split — arbitrates the marginal
+    /// streams across shards. `0.0` disables the augmentation. Uncontended
+    /// measures are never inflated, so exactly-decomposable instances stay
+    /// bit-identical to the monolithic solve.
+    pub budget_slack: f64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            max_streams: 0,
+            threads: 1,
+            mmd: MmdConfig::default(),
+            global_fill: true,
+            budget_slack: 0.2,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Sets the shard-level worker thread count (the [`solve_batch`]
+    /// fan-out). Per-shard solves stay sequential, mirroring the batch
+    /// convention.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// One shard: a subset of streams and users (original ids, ascending).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// Streams in the shard, ascending.
+    pub streams: Vec<StreamId>,
+    /// Users in the shard, ascending.
+    pub users: Vec<UserId>,
+}
+
+/// An interest removed by the size-capped splitter: its user and stream
+/// ended up in different shards.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CutInterest {
+    /// The user side of the cut interest.
+    pub user: UserId,
+    /// The stream side of the cut interest.
+    pub stream: StreamId,
+    /// The utility `w_u(S)` lost if nothing re-adds the pair.
+    pub utility: f64,
+}
+
+/// The result of [`shard_instance`]: a partition of all streams and users
+/// into shards, plus the interests cut to enforce the size cap.
+#[derive(Clone, Debug)]
+pub struct Sharding {
+    /// The shards; every stream and every user appears in exactly one.
+    pub shards: Vec<Shard>,
+    /// Interests whose endpoints landed in different shards.
+    pub cut: Vec<CutInterest>,
+    /// Total utility of the cut interests (`Σ w_u(S)` over [`Self::cut`]).
+    pub cut_mass: f64,
+    /// For each stream (by index), the shard it belongs to.
+    pub shard_of_stream: Vec<usize>,
+    /// For each user (by index), the shard it belongs to.
+    pub shard_of_user: Vec<usize>,
+}
+
+impl Sharding {
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Stream count of the largest shard (0 when there are no shards).
+    #[must_use]
+    pub fn largest_shard_streams(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.streams.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Partitions an instance into shards along stream–audience connectivity.
+///
+/// With `max_streams == 0` the shards are exactly the connected components
+/// of the bipartite graph (no interest is ever cut). With a cap, interests
+/// are processed in decreasing utility order and merged Kruskal-style under
+/// the constraint that no shard exceeds `max_streams` streams; interests
+/// whose endpoints cannot be merged are *cut* and reported with their total
+/// utility (`cut_mass`). Streams that end up without any user (no audience,
+/// or all their interests cut) are packed into cap-sized residual shards;
+/// users without any surviving interest ride along in the first residual
+/// shard so that the shards always partition the full instance.
+#[must_use]
+pub fn shard_instance(instance: &Instance, max_streams: usize) -> Sharding {
+    let ns = instance.num_streams();
+    let nu = instance.num_users();
+    // Node layout: streams 0..ns (weight 1), users ns..ns+nu (weight 0),
+    // so a component's weight is its stream count.
+    let mut weights = vec![1usize; ns];
+    weights.extend(std::iter::repeat_n(0usize, nu));
+    let mut uf = UnionFind::new(weights);
+
+    let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(instance.num_interests());
+    for u in instance.users() {
+        for interest in instance.user(u).interests() {
+            edges.push((interest.utility(), u.index(), interest.stream().index()));
+        }
+    }
+    if max_streams > 0 {
+        // Heaviest interests merge first, so the cap cuts low-weight edges.
+        // Ties break by (user, stream) for determinism.
+        edges.sort_by(|a, b| {
+            b.0.total_cmp(&a.0)
+                .then_with(|| a.1.cmp(&b.1))
+                .then_with(|| a.2.cmp(&b.2))
+        });
+    }
+    for &(_, u, s) in &edges {
+        uf.union_capped(s, ns + u, max_streams);
+    }
+
+    // Interests whose endpoints did not end up connected are cut. (An edge
+    // refused earlier can still be connected through later merges, so this
+    // is a second pass over the final forest.)
+    let mut cut = Vec::new();
+    let mut cut_mass = 0.0f64;
+    for &(w, u, s) in &edges {
+        if !uf.connected(s, ns + u) {
+            cut.push(CutInterest {
+                user: UserId::new(u),
+                stream: StreamId::new(s),
+                utility: w,
+            });
+            cut_mass += w;
+        }
+    }
+    cut.sort_by_key(|c| (c.user, c.stream));
+
+    // Components with both sides populated become shards; the rest are
+    // packed into residual shards (streams chunked to the cap).
+    let mut shards: Vec<Shard> = Vec::new();
+    let mut residual_streams: Vec<StreamId> = Vec::new();
+    let mut residual_users: Vec<UserId> = Vec::new();
+    for comp in collect_components(&mut uf, ns, nu) {
+        if !comp.streams.is_empty() && !comp.users.is_empty() {
+            shards.push(Shard {
+                streams: comp.streams,
+                users: comp.users,
+            });
+        } else {
+            residual_streams.extend(comp.streams);
+            residual_users.extend(comp.users);
+        }
+    }
+    if !residual_streams.is_empty() {
+        let chunk = if max_streams > 0 {
+            max_streams
+        } else {
+            residual_streams.len()
+        };
+        let mut first = true;
+        for streams in residual_streams.chunks(chunk) {
+            shards.push(Shard {
+                streams: streams.to_vec(),
+                users: if first {
+                    std::mem::take(&mut residual_users)
+                } else {
+                    Vec::new()
+                },
+            });
+            first = false;
+        }
+    } else if !residual_users.is_empty() {
+        shards.push(Shard {
+            streams: Vec::new(),
+            users: residual_users,
+        });
+    }
+
+    let mut shard_of_stream = vec![usize::MAX; ns];
+    let mut shard_of_user = vec![usize::MAX; nu];
+    for (k, shard) in shards.iter().enumerate() {
+        for &s in &shard.streams {
+            shard_of_stream[s.index()] = k;
+        }
+        for &u in &shard.users {
+            shard_of_user[u.index()] = k;
+        }
+    }
+    debug_assert!(shard_of_stream.iter().all(|&k| k != usize::MAX));
+    debug_assert!(shard_of_user.iter().all(|&k| k != usize::MAX));
+
+    Sharding {
+        shards,
+        cut,
+        cut_mass,
+        shard_of_stream,
+        shard_of_user,
+    }
+}
+
+/// Water-fills each finite server budget across the shards.
+///
+/// Shares are proportional to `weights` (the caller's estimate of each
+/// shard's utility potential — [`solve_sharded`] uses the per-shard
+/// [`utility_upper_bound`]), but capped at the shard's *demand* in that
+/// measure: a shard never receives more budget than its streams can spend,
+/// and the freed remainder is re-filled across the still-unsaturated
+/// shards. When a measure is uncontended every shard is simply fully
+/// funded, so the split is demand-exact regardless of the weights — the
+/// property the exactly-decomposable differential test relies on.
+///
+/// On contended measures each share is additionally inflated by
+/// `(1 + slack)` (capped at the shard's demand): the deliberate
+/// oversubscription of [`ShardConfig::budget_slack`], resolved by the
+/// global repair pass. Every share is floored at the shard's costliest
+/// single stream so the shard instance satisfies the model assumption
+/// `c_i(S) ≤ B_i`; the floors too can oversubscribe a contended budget,
+/// which the repair pass of [`solve_sharded`] undoes globally.
+///
+/// # Panics
+///
+/// Panics if `weights.len()` differs from the number of shards.
+#[must_use]
+pub fn split_budgets(
+    instance: &Instance,
+    sharding: &Sharding,
+    weights: &[f64],
+    slack: f64,
+) -> Vec<Vec<f64>> {
+    assert_eq!(weights.len(), sharding.shards.len(), "one weight per shard");
+    let m = instance.num_measures();
+    let n = sharding.shards.len();
+    let mut out = vec![vec![0.0f64; m]; n];
+    for i in 0..m {
+        let budget = instance.budget(i);
+        if budget.is_infinite() {
+            for share in &mut out {
+                share[i] = f64::INFINITY;
+            }
+            continue;
+        }
+        let demands: Vec<f64> = sharding
+            .shards
+            .iter()
+            .map(|sh| sh.streams.iter().map(|&s| instance.cost(s, i)).sum())
+            .collect();
+        let total: f64 = demands.iter().sum();
+        let shares = if num::approx_le(total, budget) {
+            demands.clone()
+        } else {
+            let mut filled = waterfill(budget, &demands, weights);
+            for (share, &demand) in filled.iter_mut().zip(&demands) {
+                *share = (*share * (1.0 + slack.max(0.0))).min(demand);
+            }
+            filled
+        };
+        for (k, share) in out.iter_mut().enumerate() {
+            let floor = sharding.shards[k]
+                .streams
+                .iter()
+                .map(|&s| instance.cost(s, i))
+                .fold(0.0f64, f64::max);
+            share[i] = shares[k].max(floor);
+        }
+    }
+    out
+}
+
+/// Splits `budget` across shards proportionally to `weights`, capping each
+/// share at the shard's `demand` and re-filling the freed remainder among
+/// the unsaturated shards until no cap is newly hit (classic water-filling;
+/// terminates in at most one round per shard).
+fn waterfill(budget: f64, demands: &[f64], weights: &[f64]) -> Vec<f64> {
+    let n = demands.len();
+    let mut shares = vec![0.0f64; n];
+    let mut saturated = vec![false; n];
+    let mut remaining = budget;
+    loop {
+        let active_weight: f64 = weights
+            .iter()
+            .zip(&saturated)
+            .filter(|&(_, &s)| !s)
+            .map(|(&w, _)| w.max(0.0))
+            .sum();
+        if remaining <= 0.0 || active_weight <= 0.0 {
+            // Degenerate weights: fall back to demand-proportional shares
+            // among whatever is still unsaturated.
+            let active_demand: f64 = demands
+                .iter()
+                .zip(&saturated)
+                .filter(|&(_, &s)| !s)
+                .map(|(&d, _)| d)
+                .sum();
+            if remaining > 0.0 && active_demand > 0.0 {
+                for k in 0..n {
+                    if !saturated[k] {
+                        shares[k] = remaining * demands[k] / active_demand;
+                    }
+                }
+            }
+            return shares;
+        }
+        let mut hit_cap = false;
+        for k in 0..n {
+            if saturated[k] {
+                continue;
+            }
+            let offer = remaining * weights[k].max(0.0) / active_weight;
+            if num::approx_ge(offer, demands[k]) {
+                shares[k] = demands[k];
+                saturated[k] = true;
+                hit_cap = true;
+            }
+        }
+        if hit_cap {
+            remaining = budget
+                - shares
+                    .iter()
+                    .zip(&saturated)
+                    .fold(0.0, |acc, (&s, &sat)| if sat { acc + s } else { acc });
+            continue;
+        }
+        for k in 0..n {
+            if !saturated[k] {
+                shares[k] = remaining * weights[k].max(0.0) / active_weight;
+            }
+        }
+        return shares;
+    }
+}
+
+/// Builds the standalone [`Instance`] of one shard: same costs, caps and
+/// capacities, only the shard's streams/users, only intra-shard interests,
+/// and the given per-measure budgets. Local ids are dense in the order of
+/// `shard.streams` / `shard.users`.
+#[must_use]
+pub fn build_shard_instance(
+    instance: &Instance,
+    shard: &Shard,
+    budgets: &[f64],
+    name: &str,
+) -> Instance {
+    let mut local_stream = vec![usize::MAX; instance.num_streams()];
+    for (li, &s) in shard.streams.iter().enumerate() {
+        local_stream[s.index()] = li;
+    }
+    build_shard_instance_with(instance, shard, budgets, name, &|s| {
+        let li = local_stream[s.index()];
+        (li != usize::MAX).then_some(li)
+    })
+}
+
+/// The membership-parameterized core of [`build_shard_instance`]:
+/// `local_of` maps a global stream id to its dense local index within the
+/// shard, or `None` for streams outside it. [`solve_sharded`] passes a
+/// lookup backed by [`Sharding`]'s precomputed maps so that building every
+/// shard costs O(shard), not O(instance) each.
+fn build_shard_instance_with(
+    instance: &Instance,
+    shard: &Shard,
+    budgets: &[f64],
+    name: &str,
+    local_of: &dyn Fn(StreamId) -> Option<usize>,
+) -> Instance {
+    let mut b = Instance::builder(name).server_budgets(budgets.to_vec());
+    for &s in &shard.streams {
+        b.add_stream(instance.costs(s).to_vec());
+    }
+    for &gu in &shard.users {
+        let spec = instance.user(gu);
+        b.add_user(spec.utility_cap(), spec.capacities().to_vec());
+    }
+    for (lu, &gu) in shard.users.iter().enumerate() {
+        for interest in instance.user(gu).interests() {
+            let Some(ls) = local_of(interest.stream()) else {
+                continue; // cut interest: stream lives in another shard
+            };
+            b.add_interest(
+                UserId::new(lu),
+                StreamId::new(ls),
+                interest.utility(),
+                interest.loads().to_vec(),
+            )
+            .expect("shard interests are unique and ids valid");
+        }
+    }
+    b.build().expect("shard instances inherit validity")
+}
+
+/// A cheap, certified upper bound on the capped utility achievable using
+/// only `streams` and `users` of `instance` under its full server budgets:
+/// the smaller of the cap-sum bound `Σ_u min(W_u, Σ_S w_u(S))` and, for
+/// every finite positive budget measure, a fractional knapsack over the
+/// streams' singleton utilities (valid since `w(T) ≤ Σ_{S∈T} w({S})` by
+/// subadditivity). Interests crossing the boundary of the given sets are
+/// ignored — account for them separately (see the module docs).
+#[must_use]
+pub fn utility_upper_bound(instance: &Instance, streams: &[StreamId], users: &[UserId]) -> f64 {
+    let mut member = vec![false; instance.num_users()];
+    for &u in users {
+        member[u.index()] = true;
+    }
+    let mut stream_member = vec![false; instance.num_streams()];
+    for &s in streams {
+        stream_member[s.index()] = true;
+    }
+    utility_upper_bound_with(instance, streams, users, &|u| member[u.index()], &|s| {
+        stream_member[s.index()]
+    })
+}
+
+/// The membership-parameterized core of [`utility_upper_bound`].
+/// [`solve_sharded`] passes lookups backed by [`Sharding`]'s precomputed
+/// maps so that bounding every shard costs O(shard), not O(instance) each.
+fn utility_upper_bound_with(
+    instance: &Instance,
+    streams: &[StreamId],
+    users: &[UserId],
+    user_in: &dyn Fn(UserId) -> bool,
+    stream_in: &dyn Fn(StreamId) -> bool,
+) -> f64 {
+    // Cap-sum bound.
+    let mut cap_sum = 0.0f64;
+    for &u in users {
+        let spec = instance.user(u);
+        let total: f64 = spec
+            .interests()
+            .iter()
+            .filter(|i| stream_in(i.stream()))
+            .map(|i| i.utility())
+            .sum();
+        cap_sum += total.min(spec.utility_cap());
+    }
+
+    // Per-measure fractional knapsack over singleton utilities.
+    let singleton = |s: StreamId| -> f64 {
+        instance
+            .audience(s)
+            .iter()
+            .filter(|&&(u, _)| user_in(u))
+            .map(|&(u, w)| w.min(instance.user(u).utility_cap()))
+            .sum()
+    };
+    let values: Vec<f64> = streams.iter().map(|&s| singleton(s)).collect();
+    let mut best = cap_sum;
+    for i in 0..instance.num_measures() {
+        let budget = instance.budget(i);
+        if !budget.is_finite() {
+            continue;
+        }
+        let mut items: Vec<(f64, f64)> = streams
+            .iter()
+            .zip(&values)
+            .map(|(&s, &v)| (v, instance.cost(s, i)))
+            .filter(|&(v, _)| v > 0.0)
+            .collect();
+        // Densest first; free items are infinitely dense.
+        items.sort_by(|a, b| {
+            let da = if a.1 <= 0.0 { f64::INFINITY } else { a.0 / a.1 };
+            let db = if b.1 <= 0.0 { f64::INFINITY } else { b.0 / b.1 };
+            db.total_cmp(&da)
+        });
+        let mut room = budget;
+        let mut bound = 0.0f64;
+        for (v, c) in items {
+            if c <= 0.0 {
+                bound += v;
+            } else if c <= room {
+                bound += v;
+                room -= c;
+            } else {
+                bound += v * (room / c).max(0.0);
+                break;
+            }
+        }
+        best = best.min(bound);
+    }
+    best
+}
+
+/// Result of [`solve_sharded`]: a feasible assignment plus the certificate
+/// bracketing the optimum (`utility ≤ OPT ≤ upper_bound`).
+#[derive(Clone, Debug)]
+pub struct ShardedOutcome {
+    /// The final merged, repaired, feasible assignment.
+    pub assignment: Assignment,
+    /// Capped utility of [`Self::assignment`] — the certified lower bound.
+    pub utility: f64,
+    /// Certified upper bound on the optimum:
+    /// `Σ_k ub(shard_k) + cut_mass` (see the module docs).
+    pub upper_bound: f64,
+    /// Relative optimality gap `(upper_bound − utility) / upper_bound`
+    /// (0 when the upper bound is 0).
+    pub gap_fraction: f64,
+    /// Number of shards solved.
+    pub num_shards: usize,
+    /// Stream count of the largest shard.
+    pub largest_shard: usize,
+    /// Number of interests cut by the size-capped splitter.
+    pub cut_edges: usize,
+    /// Total utility of the cut interests.
+    pub cut_mass: f64,
+    /// Streams dropped by the budget repair pass.
+    pub repaired_streams: usize,
+}
+
+/// Solves one instance by sharding: partition ([`shard_instance`]), solve
+/// shards concurrently ([`solve_batch`] at `config.threads` workers over
+/// water-filled budget splits), merge, repair the shared budgets, and
+/// optionally run a global [`residual_fill`].
+///
+/// The outcome is deterministic and bit-identical at any thread count. On
+/// an instance whose components are disjoint and whose budgets are
+/// uncontended, the result is bit-identical to [`solve_mmd`]
+/// (`tests/shard_equivalence.rs` pins this).
+///
+/// [`solve_mmd`]: crate::algo::reduction::solve_mmd
+///
+/// # Errors
+///
+/// Propagates [`SolveError`]s from the per-shard pipeline (none occur for
+/// well-formed instances).
+pub fn solve_sharded(
+    instance: &Instance,
+    config: &ShardConfig,
+) -> Result<ShardedOutcome, SolveError> {
+    let sharding = shard_instance(instance, config.max_streams);
+    // One O(instance) pass for all per-shard membership lookups: the dense
+    // local index of every stream within its own shard. Together with the
+    // sharding's shard_of_* maps this keeps every per-shard step at
+    // O(shard) instead of O(instance) — the difference between linear and
+    // quadratic total work at 10⁵–10⁶ streams.
+    let mut local_of_stream = vec![0usize; instance.num_streams()];
+    for shard in &sharding.shards {
+        for (li, &s) in shard.streams.iter().enumerate() {
+            local_of_stream[s.index()] = li;
+        }
+    }
+    // Per-shard upper bounds double as the water-filling weights: budget
+    // flows to the shards whose streams can actually produce utility.
+    let shard_bounds: Vec<f64> = sharding
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(k, sh)| {
+            utility_upper_bound_with(
+                instance,
+                &sh.streams,
+                &sh.users,
+                &|u| sharding.shard_of_user[u.index()] == k,
+                &|s| sharding.shard_of_stream[s.index()] == k,
+            )
+        })
+        .collect();
+    let budgets = split_budgets(instance, &sharding, &shard_bounds, config.budget_slack);
+    // Builds are independent per shard: fan them out on the same worker
+    // budget as the solves (input-ordered, so fully deterministic).
+    let pairs: Vec<(&Shard, &Vec<f64>)> = sharding.shards.iter().zip(&budgets).collect();
+    let sub_instances: Vec<Instance> =
+        mmd_par::parallel_map(config.threads, &pairs, |k, &(shard, share)| {
+            build_shard_instance_with(
+                instance,
+                shard,
+                share,
+                &format!("{}#shard{k}", instance.name()),
+                &|s| (sharding.shard_of_stream[s.index()] == k).then(|| local_of_stream[s.index()]),
+            )
+        });
+
+    let results = solve_batch(&sub_instances, &config.mmd, config.threads);
+
+    let mut merged = Assignment::for_instance(instance);
+    for (shard, result) in sharding.shards.iter().zip(results) {
+        let outcome = result?;
+        for (lu, &gu) in shard.users.iter().enumerate() {
+            for ls in outcome.assignment.streams_of(UserId::new(lu)) {
+                merged.assign(gu, shard.streams[ls.index()]);
+            }
+        }
+    }
+
+    let repaired_streams = repair_budgets(instance, &mut merged);
+    if config.global_fill && merged.check_feasible(instance).is_ok() {
+        residual_fill(instance, &mut merged);
+    }
+
+    let utility = merged.utility(instance);
+    let upper_bound = shard_bounds.iter().sum::<f64>() + sharding.cut_mass;
+    let gap_fraction = if upper_bound > 0.0 {
+        ((upper_bound - utility) / upper_bound).max(0.0)
+    } else {
+        0.0
+    };
+    debug_assert!(
+        merged.check_feasible(instance).is_ok(),
+        "sharded output must be feasible: {:?}",
+        merged.check_feasible(instance)
+    );
+    Ok(ShardedOutcome {
+        assignment: merged,
+        utility,
+        upper_bound,
+        gap_fraction,
+        num_shards: sharding.num_shards(),
+        largest_shard: sharding.largest_shard_streams(),
+        cut_edges: sharding.cut.len(),
+        cut_mass: sharding.cut_mass,
+        repaired_streams,
+    })
+}
+
+/// The global repair pass: while some server budget is violated, drop the
+/// transmitted stream with the smallest capped-utility loss per unit of
+/// violating (budget-normalized) cost, deterministically (ties by id).
+/// Returns the number of streams dropped. User capacities are never
+/// violated by shard merges (users are never split across shards), so only
+/// the server side needs repair.
+pub fn repair_budgets(instance: &Instance, assignment: &mut Assignment) -> usize {
+    let m = instance.num_measures();
+    let mut dropped = 0usize;
+    loop {
+        let violated: Vec<usize> = (0..m)
+            .filter(|&i| !num::approx_le(assignment.server_cost(i, instance), instance.budget(i)))
+            .collect();
+        if violated.is_empty() {
+            return dropped;
+        }
+        let raw: Vec<f64> = instance
+            .users()
+            .map(|u| assignment.user_raw_utility(u, instance))
+            .collect();
+        // Two-tier selection: streams costing into a zero budget must go
+        // regardless of loss (tier 0, ordered by loss), everything else is
+        // ordered by loss per unit of violating pressure (tier 1). Ties go
+        // to the smallest id via the ascending range iteration.
+        let mut best: Option<((u8, f64), StreamId)> = None;
+        for s in assignment.range().collect::<Vec<_>>() {
+            let pressure: f64 = violated
+                .iter()
+                .map(|&i| {
+                    let b = instance.budget(i);
+                    if b > 0.0 {
+                        instance.cost(s, i) / b
+                    } else if instance.cost(s, i) > 0.0 {
+                        f64::INFINITY
+                    } else {
+                        0.0
+                    }
+                })
+                .sum();
+            if pressure <= 0.0 {
+                continue; // dropping this stream cannot relieve any violation
+            }
+            let mut loss = 0.0f64;
+            for &(u, w) in instance.audience(s) {
+                if assignment.contains(u, s) {
+                    let cap = instance.user(u).utility_cap();
+                    let r = raw[u.index()];
+                    loss += r.min(cap) - (r - w).min(cap);
+                }
+            }
+            let score = if pressure.is_infinite() {
+                (0u8, loss)
+            } else {
+                (1u8, loss / pressure)
+            };
+            let better =
+                best.is_none_or(|(bs, _)| score.0 < bs.0 || (score.0 == bs.0 && score.1 < bs.1));
+            if better {
+                best = Some((score, s));
+            }
+        }
+        let Some((_, s)) = best else {
+            // No stream can relieve the violation (cannot happen for
+            // instances built through the validating builder).
+            return dropped;
+        };
+        for &(u, _) in instance.audience(s) {
+            assignment.unassign(u, s);
+        }
+        dropped += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::reduction::solve_mmd;
+    use crate::num::approx_eq;
+
+    fn sid(i: usize) -> StreamId {
+        StreamId::new(i)
+    }
+    fn uid(i: usize) -> UserId {
+        UserId::new(i)
+    }
+
+    /// Two disjoint components (2 streams + 1 user each) with an
+    /// uncontended budget.
+    fn two_components() -> Instance {
+        let mut b = Instance::builder("2c").server_budgets(vec![100.0]);
+        let s: Vec<_> = (0..4).map(|i| b.add_stream(vec![2.0 + i as f64])).collect();
+        let u0 = b.add_user(f64::INFINITY, vec![]);
+        let u1 = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u0, s[0], 4.0, vec![]).unwrap();
+        b.add_interest(u0, s[1], 3.0, vec![]).unwrap();
+        b.add_interest(u1, s[2], 5.0, vec![]).unwrap();
+        b.add_interest(u1, s[3], 2.0, vec![]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn components_become_shards() {
+        let inst = two_components();
+        let sharding = shard_instance(&inst, 0);
+        assert_eq!(sharding.num_shards(), 2);
+        assert!(sharding.cut.is_empty());
+        assert_eq!(sharding.cut_mass, 0.0);
+        assert_eq!(sharding.shards[0].streams, vec![sid(0), sid(1)]);
+        assert_eq!(sharding.shards[0].users, vec![uid(0)]);
+        assert_eq!(sharding.shards[1].streams, vec![sid(2), sid(3)]);
+        assert_eq!(sharding.shards[1].users, vec![uid(1)]);
+        assert_eq!(sharding.shard_of_stream, vec![0, 0, 1, 1]);
+        assert_eq!(sharding.shard_of_user, vec![0, 1]);
+        assert_eq!(sharding.largest_shard_streams(), 2);
+    }
+
+    #[test]
+    fn cap_cuts_lowest_utility_edges() {
+        // Chain s0 -u0- s1 -u1- s2, with the u1–s2 edge the lightest.
+        let mut b = Instance::builder("chain").server_budgets(vec![100.0]);
+        let s: Vec<_> = (0..3).map(|_| b.add_stream(vec![1.0])).collect();
+        let u0 = b.add_user(f64::INFINITY, vec![]);
+        let u1 = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u0, s[0], 5.0, vec![]).unwrap();
+        b.add_interest(u0, s[1], 4.0, vec![]).unwrap();
+        b.add_interest(u1, s[1], 0.5, vec![]).unwrap();
+        b.add_interest(u1, s[2], 0.4, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let sharding = shard_instance(&inst, 2);
+        // The heavy pair {s0, s1} fills the cap; u1 joins it via its 0.5
+        // edge; the 0.4 edge to s2 is cut and s2 becomes a residual shard.
+        assert_eq!(sharding.cut.len(), 1);
+        assert_eq!(sharding.cut[0].user, uid(1));
+        assert_eq!(sharding.cut[0].stream, sid(2));
+        assert!(approx_eq(sharding.cut_mass, 0.4));
+        assert_eq!(sharding.num_shards(), 2);
+        assert_eq!(sharding.shards[0].streams, vec![sid(0), sid(1)]);
+        assert_eq!(sharding.shards[0].users, vec![uid(0), uid(1)]);
+        assert_eq!(sharding.shards[1].streams, vec![sid(2)]);
+        assert!(sharding.shards[1].users.is_empty());
+        // Cap respected everywhere.
+        assert!(sharding.largest_shard_streams() <= 2);
+    }
+
+    #[test]
+    fn sharded_matches_monolithic_on_disjoint_components() {
+        let inst = two_components();
+        let mono = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+        for threads in [1usize, 2, 4] {
+            let out = solve_sharded(&inst, &ShardConfig::default().with_threads(threads)).unwrap();
+            assert_eq!(out.assignment, mono.assignment, "threads {threads}");
+            assert_eq!(out.utility.to_bits(), mono.utility.to_bits());
+            assert_eq!(out.num_shards, 2);
+            assert_eq!(out.cut_edges, 0);
+            assert_eq!(out.repaired_streams, 0);
+        }
+    }
+
+    #[test]
+    fn repair_restores_shared_budget_feasibility() {
+        // Two components, each one stream of cost 10, budget 10: the floors
+        // fund both shards fully, so the merge oversubscribes and repair
+        // must drop the weaker stream.
+        let mut b = Instance::builder("repair").server_budgets(vec![10.0]);
+        let s0 = b.add_stream(vec![10.0]);
+        let s1 = b.add_stream(vec![10.0]);
+        let u0 = b.add_user(f64::INFINITY, vec![]);
+        let u1 = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u0, s0, 7.0, vec![]).unwrap();
+        b.add_interest(u1, s1, 3.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let out = solve_sharded(&inst, &ShardConfig::default()).unwrap();
+        assert!(out.assignment.check_feasible(&inst).is_ok());
+        assert_eq!(out.repaired_streams, 1);
+        // The higher-utility stream survives.
+        assert!(out.assignment.contains(u0, s0));
+        assert!(!out.assignment.in_range(s1));
+        assert!(approx_eq(out.utility, 7.0));
+    }
+
+    #[test]
+    fn certificate_brackets_the_optimum() {
+        let inst = two_components();
+        let out = solve_sharded(&inst, &ShardConfig::default()).unwrap();
+        // Uncontended: everything is served; the cap-sum bound is tight.
+        assert!(approx_eq(out.utility, 14.0));
+        assert!(out.upper_bound >= out.utility - 1e-9);
+        assert!((0.0..=1.0).contains(&out.gap_fraction));
+    }
+
+    #[test]
+    fn upper_bound_respects_budget_knapsack() {
+        // Budget 5, two streams cost 5 each, utilities 8 and 6: OPT = 8,
+        // knapsack bound = 8 (take the denser fully), cap-sum would say 14.
+        let mut b = Instance::builder("knap").server_budgets(vec![5.0]);
+        let s0 = b.add_stream(vec![5.0]);
+        let s1 = b.add_stream(vec![5.0]);
+        let u = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u, s0, 8.0, vec![]).unwrap();
+        b.add_interest(u, s1, 6.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let streams: Vec<_> = inst.streams().collect();
+        let users: Vec<_> = inst.users().collect();
+        let ub = utility_upper_bound(&inst, &streams, &users);
+        assert!(approx_eq(ub, 8.0), "ub = {ub}");
+    }
+
+    #[test]
+    fn empty_instance_yields_empty_outcome() {
+        let inst = Instance::builder("e")
+            .server_budgets(vec![1.0])
+            .build()
+            .unwrap();
+        let out = solve_sharded(&inst, &ShardConfig::default()).unwrap();
+        assert_eq!(out.num_shards, 0);
+        assert_eq!(out.utility, 0.0);
+        assert_eq!(out.upper_bound, 0.0);
+        assert_eq!(out.gap_fraction, 0.0);
+    }
+
+    #[test]
+    fn coverless_streams_and_idle_users_are_partitioned() {
+        let mut b = Instance::builder("res").server_budgets(vec![10.0]);
+        for _ in 0..5 {
+            b.add_stream(vec![1.0]); // no audience
+        }
+        b.add_user(1.0, vec![]); // no interests
+        let inst = b.build().unwrap();
+        let sharding = shard_instance(&inst, 2);
+        // 5 coverless streams chunked to cap 2 → shards of 2, 2, 1; the
+        // idle user rides in the first.
+        assert_eq!(sharding.num_shards(), 3);
+        assert!(sharding.shards.iter().all(|s| s.streams.len() <= 2));
+        assert_eq!(sharding.shards[0].users, vec![uid(0)]);
+        let total: usize = sharding.shards.iter().map(|s| s.streams.len()).sum();
+        assert_eq!(total, 5);
+        // Solving it is a no-op but must not fail.
+        let out = solve_sharded(
+            &inst,
+            &ShardConfig {
+                max_streams: 2,
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.utility, 0.0);
+    }
+
+    #[test]
+    fn split_budgets_waterfills_contended_measures() {
+        // Contended: budget 6, demands 9 and 3, equal weights → 3 and 3;
+        // the second shard saturates at its demand and the floors kick in.
+        let mut b = Instance::builder("wf").server_budgets(vec![6.0]);
+        let s: Vec<_> = [4.5, 4.5, 3.0]
+            .iter()
+            .map(|&c| b.add_stream(vec![c]))
+            .collect();
+        let u0 = b.add_user(10.0, vec![]);
+        let u1 = b.add_user(10.0, vec![]);
+        b.add_interest(u0, s[0], 1.0, vec![]).unwrap();
+        b.add_interest(u0, s[1], 1.0, vec![]).unwrap();
+        b.add_interest(u1, s[2], 1.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let sharding = shard_instance(&inst, 0);
+        let budgets = split_budgets(&inst, &sharding, &[1.0, 1.0], 0.0);
+        // Shard 1's offer (3.0) saturates its demand; shard 0 takes the
+        // remaining 3.0, floored up to its costliest stream (4.5).
+        assert!(approx_eq(budgets[0][0], 4.5));
+        assert!(approx_eq(budgets[1][0], 3.0));
+        // A value-heavy shard 0 pulls the whole remainder.
+        let weighted = split_budgets(&inst, &sharding, &[5.0, 0.0], 0.0);
+        assert!(approx_eq(weighted[0][0], 6.0));
+        assert!(approx_eq(weighted[1][0], 3.0), "floored at its stream");
+        // Uncontended measure: full demand regardless of weights.
+        let mut b2 = Instance::builder("wf2").server_budgets(vec![100.0]);
+        let t0 = b2.add_stream(vec![4.0]);
+        let u = b2.add_user(10.0, vec![]);
+        b2.add_interest(u, t0, 1.0, vec![]).unwrap();
+        let inst2 = b2.build().unwrap();
+        let sh2 = shard_instance(&inst2, 0);
+        // Uncontended: slack must not inflate anything.
+        let bd2 = split_budgets(&inst2, &sh2, &[0.0], 0.5);
+        assert!(approx_eq(bd2[0][0], 4.0));
+    }
+}

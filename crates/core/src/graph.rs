@@ -1,0 +1,278 @@
+//! Connectivity over the stream–audience bipartite graph.
+//!
+//! An instance induces a bipartite graph whose nodes are the streams and
+//! users, with one edge per positive-utility interest. Two streams are
+//! *coupled* only if some user is interested in both (they compete for that
+//! user's capacity and utility cap) or, transitively, through a chain of
+//! such users. Connected components of this graph are therefore
+//! sub-instances that interact **only** through the shared server budgets —
+//! the structural fact the sharded solver
+//! ([`algo::shard`](crate::algo::shard)) exploits.
+//!
+//! The module provides a weighted union-find ([`UnionFind`]) with an
+//! optional *capacity cap* on component weight (used by the size-capped
+//! shard splitter), and [`bipartite_components`], the plain
+//! connected-component decomposition of an instance.
+
+use crate::ids::{StreamId, UserId};
+use crate::instance::Instance;
+
+/// Disjoint-set forest with per-component integer weights.
+///
+/// Weights are arbitrary nonnegative integers supplied at construction
+/// (the shard splitter uses weight 1 for streams and 0 for users, so a
+/// component's weight is its stream count). Union by weight-then-index with
+/// path compression; all operations are deterministic.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    weight: Vec<usize>,
+}
+
+impl UnionFind {
+    /// Creates `weights.len()` singleton components with the given weights.
+    #[must_use]
+    pub fn new(weights: Vec<usize>) -> Self {
+        UnionFind {
+            parent: (0..weights.len()).collect(),
+            weight: weights,
+        }
+    }
+
+    /// Creates `n` singleton components of weight 1 each.
+    #[must_use]
+    pub fn unit(n: usize) -> Self {
+        Self::new(vec![1; n])
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when there are no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The representative of `x`'s component (with path compression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Total weight of the component containing `x`.
+    pub fn component_weight(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.weight[r]
+    }
+
+    /// Merges the components of `a` and `b`. Returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        self.union_capped(a, b, 0)
+    }
+
+    /// Merges the components of `a` and `b` **unless** the merged weight
+    /// would exceed `cap` (`0` = no cap). Returns `true` iff a merge
+    /// happened.
+    ///
+    /// The heavier root wins (ties to the smaller index), so the forest
+    /// shape — and therefore every downstream iteration order — is
+    /// deterministic.
+    pub fn union_capped(&mut self, a: usize, b: usize, cap: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let merged = self.weight[ra] + self.weight[rb];
+        if cap > 0 && merged > cap {
+            return false;
+        }
+        let (big, small) = if (self.weight[ra], rb) < (self.weight[rb], ra) {
+            (rb, ra)
+        } else {
+            (ra, rb)
+        };
+        self.parent[small] = big;
+        self.weight[big] = merged;
+        true
+    }
+
+    /// `true` iff `a` and `b` are currently in the same component.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// One connected component of the stream–audience graph: the streams and
+/// users it contains, each sorted ascending.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Component {
+    /// Streams in the component, ascending.
+    pub streams: Vec<StreamId>,
+    /// Users in the component, ascending.
+    pub users: Vec<UserId>,
+}
+
+/// Decomposes an instance into the connected components of its
+/// stream–audience bipartite graph.
+///
+/// Every stream and every user appears in exactly one component; streams
+/// with no audience and users with no interests form singleton components.
+/// Components are returned sorted by their smallest node (streams first),
+/// so the output is deterministic.
+#[must_use]
+pub fn bipartite_components(instance: &Instance) -> Vec<Component> {
+    let ns = instance.num_streams();
+    let nu = instance.num_users();
+    // Node layout: streams 0..ns, users ns..ns+nu. Weights are irrelevant
+    // here (no cap), so use units.
+    let mut uf = UnionFind::unit(ns + nu);
+    for u in instance.users() {
+        for interest in instance.user(u).interests() {
+            uf.union(interest.stream().index(), ns + u.index());
+        }
+    }
+    collect_components(&mut uf, ns, nu)
+}
+
+/// Groups nodes of a finished union-find (streams `0..ns`, users
+/// `ns..ns + nu`) into [`Component`]s, ordered by smallest member node.
+pub(crate) fn collect_components(uf: &mut UnionFind, ns: usize, nu: usize) -> Vec<Component> {
+    let mut by_root: std::collections::BTreeMap<usize, Component> =
+        std::collections::BTreeMap::new();
+    for node in 0..ns + nu {
+        let root = uf.find(node);
+        let entry = by_root.entry(root).or_insert_with(|| Component {
+            streams: Vec::new(),
+            users: Vec::new(),
+        });
+        if node < ns {
+            entry.streams.push(StreamId::new(node));
+        } else {
+            entry.users.push(UserId::new(node - ns));
+        }
+    }
+    // BTreeMap iterates in root order, which is not "smallest member"
+    // order; re-sort so callers see a stable, intuitive layout.
+    let mut components: Vec<Component> = by_root.into_values().collect();
+    components.sort_by_key(|c| {
+        c.streams
+            .first()
+            .map(|s| s.index())
+            .unwrap_or_else(|| ns + c.users.first().map_or(0, |u| u.index()))
+    });
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(i: usize) -> StreamId {
+        StreamId::new(i)
+    }
+    fn uid(i: usize) -> UserId {
+        UserId::new(i)
+    }
+
+    /// Two 2-stream clusters plus an isolated stream and an isolated user.
+    fn clustered() -> Instance {
+        let mut b = Instance::builder("g").server_budgets(vec![100.0]);
+        let streams: Vec<_> = (0..5).map(|_| b.add_stream(vec![1.0])).collect();
+        let u0 = b.add_user(10.0, vec![]);
+        let u1 = b.add_user(10.0, vec![]);
+        let u2 = b.add_user(10.0, vec![]);
+        b.add_interest(u0, streams[0], 1.0, vec![]).unwrap();
+        b.add_interest(u0, streams[1], 1.0, vec![]).unwrap();
+        b.add_interest(u1, streams[2], 1.0, vec![]).unwrap();
+        b.add_interest(u1, streams[3], 1.0, vec![]).unwrap();
+        let _ = u2; // no interests: isolated user
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn union_find_basic() {
+        let mut uf = UnionFind::unit(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert_eq!(uf.component_weight(1), 2);
+        assert_eq!(uf.len(), 4);
+        assert!(!uf.is_empty());
+    }
+
+    #[test]
+    fn union_capped_refuses_overweight_merges() {
+        let mut uf = UnionFind::new(vec![1, 1, 1, 0]);
+        assert!(uf.union_capped(0, 1, 2));
+        // 2 + 1 > 2: refused.
+        assert!(!uf.union_capped(0, 2, 2));
+        assert!(!uf.connected(0, 2));
+        // Weight-0 nodes always fit.
+        assert!(uf.union_capped(0, 3, 2));
+        assert_eq!(uf.component_weight(3), 2);
+    }
+
+    #[test]
+    fn components_partition_streams_and_users() {
+        let inst = clustered();
+        let comps = bipartite_components(&inst);
+        assert_eq!(comps.len(), 4);
+        assert_eq!(comps[0].streams, vec![sid(0), sid(1)]);
+        assert_eq!(comps[0].users, vec![uid(0)]);
+        assert_eq!(comps[1].streams, vec![sid(2), sid(3)]);
+        assert_eq!(comps[1].users, vec![uid(1)]);
+        // Isolated stream and isolated user form singleton components.
+        assert_eq!(comps[2].streams, vec![sid(4)]);
+        assert!(comps[2].users.is_empty());
+        assert!(comps[3].streams.is_empty());
+        assert_eq!(comps[3].users, vec![uid(2)]);
+        // Exact partition.
+        let total_streams: usize = comps.iter().map(|c| c.streams.len()).sum();
+        let total_users: usize = comps.iter().map(|c| c.users.len()).sum();
+        assert_eq!(total_streams, inst.num_streams());
+        assert_eq!(total_users, inst.num_users());
+    }
+
+    #[test]
+    fn empty_instance_has_no_components() {
+        let inst = Instance::builder("e")
+            .server_budgets(vec![1.0])
+            .build()
+            .unwrap();
+        assert!(bipartite_components(&inst).is_empty());
+    }
+
+    #[test]
+    fn determinism_under_tie_weights() {
+        // All-unit weights, a chain of unions: roots must be reproducible.
+        let mut a = UnionFind::unit(6);
+        let mut b = UnionFind::unit(6);
+        for &(x, y) in &[(0, 1), (2, 3), (1, 2), (4, 5)] {
+            a.union(x, y);
+            b.union(x, y);
+        }
+        for i in 0..6 {
+            assert_eq!(a.find(i), b.find(i));
+        }
+    }
+}

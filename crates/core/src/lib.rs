@@ -40,6 +40,9 @@
 //! * [`instance`] — the problem input ([`Instance`], [`InstanceBuilder`]).
 //! * [`assignment`] — solutions ([`Assignment`]) and feasibility checking.
 //! * [`skew`] — local skew `α` (§3) and global skew `γ` (§5) of an instance.
+//! * [`graph`] — connectivity over the stream–audience bipartite graph
+//!   (weighted union-find, component decomposition) behind the sharded
+//!   solver.
 //! * [`coverage`] — the capped-utility set function and its submodularity
 //!   (Lemma 2.1).
 //! * [`algo`] — every algorithm from the paper: `Greedy` (Alg. 1), the fixed
@@ -50,6 +53,7 @@
 pub mod assignment;
 pub mod coverage;
 pub mod error;
+pub mod graph;
 pub mod ids;
 pub mod instance;
 pub mod num;

@@ -1,0 +1,286 @@
+//! Clustered workloads: instances whose stream–audience graph has planted
+//! community structure.
+//!
+//! Real catalogs cluster — regional channels and their regional audiences,
+//! language groups, genre silos — which is exactly the structure the
+//! sharded solver (`mmd_core::algo::shard`) exploits. This generator plants
+//! `clusters` communities of streams and users with dense in-cluster
+//! interest, optional *low-utility* cross-cluster interests (the edges a
+//! size-capped shard splitter should cut), and a tunable budget contention
+//! level. Two presets bracket the differential test suite:
+//!
+//! * [`ClusteredConfig::decomposable`] — no cross interests, uncontended
+//!   budget, non-binding caps: sharded and monolithic solves are
+//!   bit-identical (`tests/shard_equivalence.rs`).
+//! * [`ClusteredConfig::contended`] — weak cross links and a tight budget:
+//!   sharding genuinely loses cut mass and budget flexibility, which the
+//!   certificate must bound.
+//!
+//! Instances are single-measure with utility-capped users (no capacity
+//! vectors), so every solver family accepts them.
+
+use mmd_core::Instance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a clustered workload.
+#[derive(Clone, Debug)]
+pub struct ClusteredConfig {
+    /// Number of planted communities.
+    pub clusters: usize,
+    /// Streams per community.
+    pub streams_per_cluster: usize,
+    /// Users per community.
+    pub users_per_cluster: usize,
+    /// Probability of each in-cluster (user, stream) interest; every user
+    /// gets at least two in-cluster interests regardless.
+    pub density: f64,
+    /// Cross-cluster interests per user (0 = exactly decomposable).
+    pub cross_interests: usize,
+    /// Utility scale of cross-cluster interests relative to the in-cluster
+    /// base (small = "low-weight edges").
+    pub cross_utility: f64,
+    /// Server budget as a fraction of total catalog cost. Values ≥ 1 make
+    /// the budget uncontended; the budget is always floored so the
+    /// costliest stream fits.
+    pub budget_fraction: f64,
+    /// Utility cap slack: `W_u = cap_slack ×` the user's total interest
+    /// utility (> 1 makes caps non-binding); `≤ 0` means unbounded caps.
+    pub cap_slack: f64,
+}
+
+impl Default for ClusteredConfig {
+    fn default() -> Self {
+        ClusteredConfig {
+            clusters: 4,
+            streams_per_cluster: 8,
+            users_per_cluster: 6,
+            density: 0.5,
+            cross_interests: 0,
+            cross_utility: 0.1,
+            budget_fraction: 1.25,
+            cap_slack: 1.5,
+        }
+    }
+}
+
+impl ClusteredConfig {
+    /// Exactly-decomposable preset: disjoint communities, uncontended
+    /// budget, non-binding caps. On these instances a sharded solve is
+    /// bit-identical to the monolithic pipeline.
+    #[must_use]
+    pub fn decomposable(
+        clusters: usize,
+        streams_per_cluster: usize,
+        users_per_cluster: usize,
+    ) -> Self {
+        ClusteredConfig {
+            clusters,
+            streams_per_cluster,
+            users_per_cluster,
+            ..ClusteredConfig::default()
+        }
+    }
+
+    /// Contended preset: weak cross-cluster interests and a tight budget,
+    /// so sharding has a genuine (bounded) cost.
+    #[must_use]
+    pub fn contended(
+        clusters: usize,
+        streams_per_cluster: usize,
+        users_per_cluster: usize,
+    ) -> Self {
+        ClusteredConfig {
+            clusters,
+            streams_per_cluster,
+            users_per_cluster,
+            cross_interests: 2,
+            cross_utility: 0.15,
+            budget_fraction: 0.45,
+            cap_slack: 0.8,
+            ..ClusteredConfig::default()
+        }
+    }
+
+    /// Generates an instance deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `budget_fraction` is not
+    /// positive.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Instance {
+        assert!(
+            self.clusters > 0 && self.streams_per_cluster > 0 && self.users_per_cluster > 0,
+            "clustered workloads need at least one cluster, stream and user"
+        );
+        assert!(
+            self.budget_fraction > 0.0,
+            "budget_fraction must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spc = self.streams_per_cluster;
+        let upc = self.users_per_cluster;
+        let num_streams = self.clusters * spc;
+        let num_users = self.clusters * upc;
+
+        let costs: Vec<f64> = (0..num_streams)
+            .map(|_| 1.0 + 3.0 * rng.gen::<f64>())
+            .collect();
+
+        // Sample interests first (caps depend on each user's total).
+        // interests[u] = (stream index, utility), in stream order for the
+        // in-cluster part, cross links appended.
+        let mut interests: Vec<Vec<(usize, f64)>> = vec![Vec::new(); num_users];
+        let mut covered = vec![false; num_streams];
+        for c in 0..self.clusters {
+            for lu in 0..upc {
+                let u = c * upc + lu;
+                let mut picked = Vec::new();
+                for ls in 0..spc {
+                    if rng.gen::<f64>() < self.density {
+                        picked.push(ls);
+                    }
+                }
+                // Everyone watches at least two community streams, so no
+                // community degenerates to a single-stream audience.
+                let mut fill = 0usize;
+                while picked.len() < 2.min(spc) {
+                    let ls = (lu + fill) % spc;
+                    if !picked.contains(&ls) {
+                        picked.push(ls);
+                    }
+                    fill += 1;
+                }
+                picked.sort_unstable();
+                for ls in picked {
+                    let s = c * spc + ls;
+                    interests[u].push((s, 0.5 + 4.0 * rng.gen::<f64>()));
+                    covered[s] = true;
+                }
+            }
+        }
+        // Orphan streams get one in-cluster viewer so every stream matters.
+        for (s, _) in covered.iter().enumerate().filter(|&(_, &done)| !done) {
+            let c = s / spc;
+            let u = c * upc + rng.gen_range(0..upc);
+            interests[u].push((s, 0.5 + 4.0 * rng.gen::<f64>()));
+            interests[u].sort_unstable_by_key(|&(si, _)| si);
+        }
+        // Weak cross-cluster interests (the shard splitter's cut fodder).
+        if self.clusters > 1 {
+            for (u, per_user) in interests.iter_mut().enumerate() {
+                let home = u / upc;
+                for _ in 0..self.cross_interests {
+                    let mut other = rng.gen_range(0..self.clusters - 1);
+                    if other >= home {
+                        other += 1;
+                    }
+                    let s = other * spc + rng.gen_range(0..spc);
+                    if per_user.iter().any(|&(si, _)| si == s) {
+                        continue;
+                    }
+                    let w = self.cross_utility * (0.5 + rng.gen::<f64>());
+                    per_user.push((s, w));
+                }
+            }
+        }
+
+        let total_cost: f64 = costs.iter().sum();
+        let max_cost = costs.iter().copied().fold(0.0f64, f64::max);
+        let budget = (total_cost * self.budget_fraction).max(max_cost);
+
+        let mut b = Instance::builder(format!("clustered#{seed}")).server_budgets(vec![budget]);
+        for &c in &costs {
+            b.add_stream(vec![c]);
+        }
+        for per_user in &interests {
+            let total: f64 = per_user.iter().map(|&(_, w)| w).sum();
+            let cap = if self.cap_slack > 0.0 {
+                self.cap_slack * total
+            } else {
+                f64::INFINITY
+            };
+            b.add_user(cap, vec![]);
+        }
+        for (u, per_user) in interests.iter().enumerate() {
+            for &(s, w) in per_user {
+                b.add_interest(
+                    mmd_core::UserId::new(u),
+                    mmd_core::StreamId::new(s),
+                    w,
+                    vec![],
+                )
+                .expect("clustered interests are unique");
+            }
+        }
+        b.build().expect("clustered workloads are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmd_core::graph::bipartite_components;
+
+    #[test]
+    fn decomposable_instances_have_cluster_components() {
+        let cfg = ClusteredConfig::decomposable(5, 6, 4);
+        let inst = cfg.generate(7);
+        assert_eq!(inst.num_streams(), 30);
+        assert_eq!(inst.num_users(), 20);
+        let comps = bipartite_components(&inst);
+        assert_eq!(comps.len(), 5);
+        for comp in comps {
+            assert_eq!(comp.streams.len(), 6);
+            assert_eq!(comp.users.len(), 4);
+            // All nodes from the same cluster.
+            let c = comp.streams[0].index() / 6;
+            assert!(comp.streams.iter().all(|s| s.index() / 6 == c));
+            assert!(comp.users.iter().all(|u| u.index() / 4 == c));
+        }
+    }
+
+    #[test]
+    fn decomposable_budget_is_uncontended() {
+        let inst = ClusteredConfig::decomposable(3, 8, 5).generate(11);
+        let demand: f64 = inst.streams().map(|s| inst.cost(s, 0)).sum();
+        assert!(demand <= inst.budget(0));
+    }
+
+    #[test]
+    fn contended_instances_cross_link_and_contend() {
+        let cfg = ClusteredConfig::contended(4, 8, 6);
+        let inst = cfg.generate(3);
+        let comps = bipartite_components(&inst);
+        assert!(comps.len() < 4, "cross links should connect clusters");
+        let demand: f64 = inst.streams().map(|s| inst.cost(s, 0)).sum();
+        assert!(demand > inst.budget(0), "budget should be contended");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ClusteredConfig::contended(3, 5, 4);
+        assert_eq!(cfg.generate(9), cfg.generate(9));
+        assert_ne!(cfg.generate(9), cfg.generate(10));
+    }
+
+    #[test]
+    fn every_stream_has_an_audience() {
+        let inst = ClusteredConfig::decomposable(4, 7, 3).generate(21);
+        for s in inst.streams() {
+            assert!(!inst.audience(s).is_empty(), "stream {s} unwatched");
+        }
+        // Every user has at least two interests.
+        for u in inst.users() {
+            assert!(inst.user(u).interests().len() >= 2);
+        }
+    }
+
+    #[test]
+    fn single_measure_and_capped_users_only() {
+        let inst = ClusteredConfig::contended(2, 4, 3).generate(1);
+        assert!(inst.is_single_budget());
+        assert_eq!(inst.max_user_measures(), 0);
+    }
+}

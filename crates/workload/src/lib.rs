@@ -11,6 +11,10 @@
 //!   tightness instance, the §2.2 "greedy hole", unit-skew and
 //!   target-skew families, and small-streams families satisfying the
 //!   Theorem 1.2 hypothesis.
+//! * [`clustered`] — planted-community instances (regional catalogs and
+//!   their audiences) with tunable cross-links and contention, the workload
+//!   family behind the sharded solver's differential tests and the `xl`
+//!   perf rung.
 //! * [`trace`] — Poisson arrival / heavy-tailed duration traces for the
 //!   online algorithm (§5) and the discrete-event simulator.
 //! * [`zipf`] — the Zipf sampler underlying stream popularity.
@@ -18,6 +22,7 @@
 //! All generators are deterministic given a `u64` seed.
 
 pub mod catalog;
+pub mod clustered;
 pub mod gen;
 pub mod population;
 pub mod special;
@@ -25,6 +30,7 @@ pub mod trace;
 pub mod zipf;
 
 pub use catalog::{CatalogConfig, StreamClass};
+pub use clustered::ClusteredConfig;
 pub use gen::WorkloadConfig;
 pub use population::PopulationConfig;
 pub use trace::{ArrivalTrace, TraceConfig, TraceEvent, TraceEventKind};

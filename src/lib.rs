@@ -11,7 +11,9 @@
 //! * [`core`] ([`mmd_core`]) — the problem model and every algorithm from
 //!   the paper (greedy, fixed greedy, partial enumeration,
 //!   classify-and-select, the multi-budget reduction, the online `Allocate`,
-//!   baselines, and generic budgeted submodular maximization).
+//!   baselines, and generic budgeted submodular maximization), plus the
+//!   scaling layers beyond it: batch solving and the sharded solver with
+//!   its certified optimality gap (`algo::shard`, `graph`).
 //! * [`exact`] ([`mmd_exact`]) — exact optima (branch-and-bound) and
 //!   fractional upper bounds for measuring approximation ratios.
 //! * [`workload`] ([`mmd_workload`]) — seeded synthetic workload generators:

@@ -2,6 +2,7 @@
 //! instances.
 
 use mmd::core::algo::reduction::{interval_partition, residual_fill, solve_mmd, MmdConfig};
+use mmd::core::algo::shard::{shard_instance, solve_sharded, ShardConfig};
 use mmd::core::algo::{self, Feasibility};
 use mmd::core::coverage;
 use mmd::core::{Assignment, Instance, StreamId, UserId};
@@ -144,6 +145,91 @@ proptest! {
         let report = OnlineAllocator::run(&inst, order, OnlineConfig::default()).unwrap();
         prop_assert!(report.smallness.ok);
         prop_assert!(report.assignment.check_feasible(&inst).is_ok());
+    }
+
+    /// Shard partitioner invariants (any instance, any cap): every stream
+    /// and every user lands in exactly one shard; no shard exceeds the
+    /// stream cap; the shard interests plus the cut interests reassemble
+    /// the original instance's interests exactly; `cut_mass` is their
+    /// utility sum; and an uncapped sharding never cuts anything.
+    #[test]
+    fn shard_partition_invariants(inst in smd_instance(), cap in 0usize..6) {
+        let sharding = shard_instance(&inst, cap);
+
+        // Exact partition of streams and users.
+        let mut stream_seen = vec![0usize; inst.num_streams()];
+        let mut user_seen = vec![0usize; inst.num_users()];
+        for shard in &sharding.shards {
+            for s in &shard.streams {
+                stream_seen[s.index()] += 1;
+            }
+            for u in &shard.users {
+                user_seen[u.index()] += 1;
+            }
+            if cap > 0 {
+                prop_assert!(shard.streams.len() <= cap.max(1));
+            }
+        }
+        prop_assert!(stream_seen.iter().all(|&n| n == 1));
+        prop_assert!(user_seen.iter().all(|&n| n == 1));
+
+        // The membership maps agree with the shard lists.
+        for (k, shard) in sharding.shards.iter().enumerate() {
+            for s in &shard.streams {
+                prop_assert_eq!(sharding.shard_of_stream[s.index()], k);
+            }
+            for u in &shard.users {
+                prop_assert_eq!(sharding.shard_of_user[u.index()], k);
+            }
+        }
+
+        // Reassembly: intra-shard interests + cut interests = original.
+        let mut original: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for u in inst.users() {
+            for interest in inst.user(u).interests() {
+                original.insert((u.index(), interest.stream().index()));
+            }
+        }
+        let mut reassembled: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut mass = 0.0f64;
+        for u in inst.users() {
+            let k = sharding.shard_of_user[u.index()];
+            for interest in inst.user(u).interests() {
+                if sharding.shard_of_stream[interest.stream().index()] == k {
+                    prop_assert!(reassembled.insert((u.index(), interest.stream().index())));
+                }
+            }
+        }
+        for cut in &sharding.cut {
+            prop_assert_ne!(
+                sharding.shard_of_user[cut.user.index()],
+                sharding.shard_of_stream[cut.stream.index()]
+            );
+            prop_assert!(reassembled.insert((cut.user.index(), cut.stream.index())));
+            mass += cut.utility;
+        }
+        prop_assert_eq!(&reassembled, &original);
+        prop_assert!((mass - sharding.cut_mass).abs() < 1e-9);
+
+        if cap == 0 {
+            prop_assert!(sharding.cut.is_empty());
+            prop_assert_eq!(sharding.cut_mass, 0.0);
+        }
+    }
+
+    /// The sharded solver always returns a feasible assignment whose
+    /// utility matches its report and sits inside its own certificate.
+    #[test]
+    fn sharded_outcome_certified(inst in smd_instance(), cap in 0usize..6) {
+        let out = solve_sharded(&inst, &ShardConfig {
+            max_streams: cap,
+            ..ShardConfig::default()
+        }).unwrap();
+        prop_assert!(out.assignment.check_feasible(&inst).is_ok());
+        let recomputed = out.assignment.utility(&inst);
+        prop_assert!((out.utility - recomputed).abs() < 1e-9);
+        prop_assert!(out.utility <= out.upper_bound + 1e-9 * out.upper_bound.max(1.0));
+        prop_assert!((0.0..=1.0).contains(&out.gap_fraction));
     }
 
     /// Assignment bookkeeping: range refcounts survive arbitrary assign /

@@ -1,0 +1,144 @@
+//! Differential shard-vs-monolithic suite: the sharded solver is pinned
+//! against the monolithic Theorem 1.1 pipeline.
+//!
+//! * On **exactly-decomposable** instances (disjoint components,
+//!   uncontended budget — any budget split then funds every shard fully)
+//!   the sharded solve must be **bit-identical** to [`solve_mmd`], at every
+//!   thread count and at every shard cap that respects component
+//!   boundaries.
+//! * On **connected, contended** instances the sharded solve genuinely
+//!   cuts interests and splits budgets; its utility must stay within the
+//!   certificate's cut-mass bound of the monolithic utility, and the
+//!   outcome must be bit-identical across 1–8 threads.
+
+use mmd::core::algo::reduction::{solve_mmd, MmdConfig};
+use mmd::core::algo::shard::{solve_sharded, ShardConfig};
+use mmd::workload::ClusteredConfig;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn sharded(cap: usize) -> ShardConfig {
+    ShardConfig {
+        max_streams: cap,
+        ..ShardConfig::default()
+    }
+}
+
+#[test]
+fn decomposable_is_bit_identical_to_monolithic() {
+    for seed in 0..6u64 {
+        let inst = ClusteredConfig::decomposable(5, 6, 4).generate(seed);
+        let mono = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+        // cap 0 = component granularity; cap 6 = exactly the component
+        // size; cap 64 = far above it. None may cut anything, and all must
+        // reproduce the monolithic solve bit for bit.
+        for cap in [0usize, 6, 64] {
+            for threads in THREADS {
+                let out = solve_sharded(&inst, &sharded(cap).with_threads(threads)).unwrap();
+                assert_eq!(out.cut_edges, 0, "seed {seed} cap {cap}");
+                assert_eq!(out.cut_mass, 0.0, "seed {seed} cap {cap}");
+                assert_eq!(out.num_shards, 5, "seed {seed} cap {cap}");
+                assert_eq!(out.repaired_streams, 0, "seed {seed} cap {cap}");
+                assert_eq!(
+                    out.assignment, mono.assignment,
+                    "seed {seed} cap {cap} threads {threads}: assignments diverge"
+                );
+                assert_eq!(
+                    out.utility.to_bits(),
+                    mono.utility.to_bits(),
+                    "seed {seed} cap {cap} threads {threads}: utility not bit-identical"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn connected_sharded_utility_within_cut_mass_bound() {
+    for seed in 0..6u64 {
+        let inst = ClusteredConfig::contended(4, 8, 6).generate(seed);
+        let mono = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+        let out = solve_sharded(&inst, &sharded(8)).unwrap();
+        assert!(out.assignment.check_feasible(&inst).is_ok(), "seed {seed}");
+        assert!(out.cut_edges > 0, "seed {seed}: cross links must be cut");
+        assert!(out.num_shards >= 4, "seed {seed}");
+        // The certificate brackets both solves: monolithic utility is a
+        // lower bound on OPT, so it must sit under the upper bound...
+        assert!(
+            mono.utility <= out.upper_bound + 1e-9,
+            "seed {seed}: mono {} above certificate {}",
+            mono.utility,
+            out.upper_bound
+        );
+        assert!(out.utility <= out.upper_bound + 1e-9, "seed {seed}");
+        // ...and the sharded utility stays within the relative cut-mass
+        // bound of the monolithic solve.
+        let cut_fraction = out.cut_mass / out.upper_bound;
+        assert!(
+            out.utility >= (1.0 - cut_fraction) * mono.utility - 1e-9,
+            "seed {seed}: sharded {} < (1 - {cut_fraction:.4}) * mono {}",
+            out.utility,
+            mono.utility
+        );
+    }
+}
+
+#[test]
+fn connected_sharded_is_deterministic_across_threads() {
+    for seed in 0..4u64 {
+        let inst = ClusteredConfig::contended(4, 8, 6).generate(seed);
+        let base = solve_sharded(&inst, &sharded(8)).unwrap();
+        for threads in THREADS {
+            let out = solve_sharded(&inst, &sharded(8).with_threads(threads)).unwrap();
+            assert_eq!(
+                out.assignment, base.assignment,
+                "seed {seed} threads {threads}"
+            );
+            assert_eq!(out.utility.to_bits(), base.utility.to_bits());
+            assert_eq!(out.upper_bound.to_bits(), base.upper_bound.to_bits());
+            assert_eq!(out.cut_edges, base.cut_edges);
+        }
+    }
+}
+
+#[test]
+fn uncapped_sharding_of_connected_instance_is_one_shard() {
+    // With no size cap a connected instance stays whole: one shard, no
+    // cuts, and the sharded path reduces to the monolithic pipeline plus a
+    // (possibly improving) residual fill.
+    let inst = ClusteredConfig::contended(3, 6, 4).generate(42);
+    let mono = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+    let out = solve_sharded(&inst, &sharded(0)).unwrap();
+    assert_eq!(out.cut_edges, 0);
+    assert!(out.num_shards <= 3);
+    assert!(out.utility >= mono.utility - 1e-9);
+    assert!(out.assignment.check_feasible(&inst).is_ok());
+}
+
+#[test]
+fn gap_certificate_fields_are_consistent() {
+    for seed in [1u64, 5, 9] {
+        let inst = ClusteredConfig::contended(4, 6, 5).generate(seed);
+        for cap in [0usize, 6, 12] {
+            let out = solve_sharded(&inst, &sharded(cap)).unwrap();
+            assert!(
+                out.upper_bound >= out.utility - 1e-9,
+                "seed {seed} cap {cap}"
+            );
+            assert!(
+                (0.0..=1.0).contains(&out.gap_fraction),
+                "seed {seed} cap {cap}: gap {}",
+                out.gap_fraction
+            );
+            let recomputed = if out.upper_bound > 0.0 {
+                ((out.upper_bound - out.utility) / out.upper_bound).max(0.0)
+            } else {
+                0.0
+            };
+            assert!((out.gap_fraction - recomputed).abs() < 1e-12);
+            if cap > 0 {
+                assert!(out.largest_shard <= cap.max(1), "seed {seed} cap {cap}");
+            }
+        }
+    }
+}

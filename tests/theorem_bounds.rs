@@ -5,6 +5,7 @@
 use mmd::core::algo::classify::{solve_smd, ClassifyConfig};
 use mmd::core::algo::online::{OnlineAllocator, OnlineConfig};
 use mmd::core::algo::reduction::{solve_mmd, MmdConfig};
+use mmd::core::algo::shard::{solve_sharded, ShardConfig};
 use mmd::core::algo::{self, Feasibility};
 use mmd::core::skew::local_skew;
 use mmd::exact::{solve, ExactConfig, Objective};
@@ -188,6 +189,75 @@ fn semi_feasible_fits_augmented_capacities() {
             "seed {seed}: semi-feasible output exceeds K + k̄"
         );
     }
+}
+
+/// The sharded outcome's certificate is a valid bracket of the true
+/// optimum: `utility ≤ OPT ≤ upper_bound`, at every shard cap — including
+/// caps that force cuts, whose mass enters the upper bound. Checked
+/// against `mmd-exact` on instances small enough to solve exactly
+/// (≤ 12 streams).
+#[test]
+fn sharded_gap_is_valid_versus_exact() {
+    use mmd::workload::{CatalogConfig, ClusteredConfig, PopulationConfig, WorkloadConfig};
+    let exact_cfg = ExactConfig {
+        objective: Objective::Feasible,
+        max_user_degree: 30,
+        ..ExactConfig::default()
+    };
+    // Connected contended workloads and clustered ones, several seeds.
+    let mut instances = Vec::new();
+    for seed in 0..6u64 {
+        instances.push(
+            WorkloadConfig {
+                catalog: CatalogConfig {
+                    streams: 12,
+                    measures: 1,
+                    ..CatalogConfig::default()
+                },
+                population: PopulationConfig {
+                    users: 6,
+                    user_measures: 1,
+                    ..PopulationConfig::default()
+                },
+                budget_fraction: 0.4,
+                ..WorkloadConfig::default()
+            }
+            .generate(seed),
+        );
+        instances.push(ClusteredConfig::contended(3, 4, 3).generate(seed));
+    }
+    let mut forced_cuts = 0usize;
+    for (idx, inst) in instances.iter().enumerate() {
+        let opt = solve(inst, &exact_cfg).unwrap().value;
+        for cap in [0usize, 3, 6] {
+            let out = solve_sharded(
+                inst,
+                &ShardConfig {
+                    max_streams: cap,
+                    ..ShardConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                out.assignment.check_feasible(inst).is_ok(),
+                "inst {idx} cap {cap}"
+            );
+            assert!(
+                out.utility <= opt + 1e-6 * opt.max(1.0),
+                "inst {idx} cap {cap}: lower bound {} above OPT {opt}",
+                out.utility
+            );
+            assert!(
+                opt <= out.upper_bound + 1e-6 * opt.max(1.0),
+                "inst {idx} cap {cap}: OPT {opt} above certificate {} (cut mass {})",
+                out.upper_bound,
+                out.cut_mass
+            );
+            forced_cuts += out.cut_edges;
+        }
+    }
+    // The sweep must actually have exercised the cut-mass term.
+    assert!(forced_cuts > 0, "no cap forced any cut: weak test");
 }
 
 /// §2.2 hole: the fix is worth an unbounded factor over plain greedy.
