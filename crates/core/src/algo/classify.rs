@@ -133,8 +133,10 @@ pub fn solve_smd(
 
     // Bucket every pair: bucket 0 is the "free" bucket, 1..=t the ratio
     // buckets. Each pair lands in exactly one bucket.
-    // buckets[b] = list of (user, stream, normalized load).
-    let mut buckets: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); t + 1];
+    // buckets[b] = list of (user, stream, normalized load, utility) — the
+    // utility rides along so building the sub-instances never has to
+    // re-search the interest lists for it.
+    let mut buckets: Vec<Vec<(usize, usize, f64, f64)>> = vec![Vec::new(); t + 1];
     for u in instance.users() {
         let spec = instance.user(u);
         let binding = spec.num_capacities() == 1 && spec.capacities()[0].is_finite();
@@ -143,13 +145,18 @@ pub fn solve_smd(
             let free =
                 !binding || !num::is_positive(interest.loads()[0]) || !r_min[u.index()].is_finite();
             if free {
-                buckets[0].push((u.index(), s.index(), 0.0));
+                buckets[0].push((u.index(), s.index(), 0.0, interest.utility()));
             } else {
                 let k = interest.loads()[0];
                 let rn = (interest.utility() / k) / r_min[u.index()];
                 let b = (num::log2(rn.max(1.0)).floor() as usize + 1).min(t);
                 // Normalized load: k' = k * r_min(u), so ratios w/k' >= 1.
-                buckets[b].push((u.index(), s.index(), k * r_min[u.index()]));
+                buckets[b].push((
+                    u.index(),
+                    s.index(),
+                    k * r_min[u.index()],
+                    interest.utility(),
+                ));
             }
         }
     }
@@ -157,7 +164,7 @@ pub fn solve_smd(
     // Solve every non-empty bucket (independent sub-instances) in
     // parallel, then select the winner in bucket order exactly as the
     // sequential loop did.
-    type BucketRef<'a> = (usize, &'a [(usize, usize, f64)]);
+    type BucketRef<'a> = (usize, &'a [(usize, usize, f64, f64)]);
     let nonempty: Vec<BucketRef<'_>> = buckets
         .iter()
         .enumerate()
@@ -201,7 +208,7 @@ pub fn solve_smd(
 fn build_bucket_instance(
     instance: &Instance,
     bucket: usize,
-    pairs: &[(usize, usize, f64)],
+    pairs: &[(usize, usize, f64, f64)],
     r_min: &[f64],
 ) -> Instance {
     let mut b = Instance::builder(format!("{}#bucket{}", instance.name(), bucket))
@@ -219,11 +226,11 @@ fn build_bucket_instance(
             b.add_user(cap, vec![cap]);
         }
     }
-    for &(ui, si, k_norm) in pairs {
+    for &(ui, si, k_norm, utility) in pairs {
         let u = crate::ids::UserId::new(ui);
         let s = crate::ids::StreamId::new(si);
         if bucket == 0 {
-            b.add_interest(u, s, instance.utility(u, s), vec![])
+            b.add_interest(u, s, utility, vec![])
                 .expect("bucket pairs are unique and ids valid");
         } else {
             b.add_interest(u, s, k_norm, vec![k_norm])

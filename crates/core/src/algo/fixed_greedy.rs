@@ -53,8 +53,8 @@ pub fn best_singleton(instance: &Instance) -> Option<SmdSolution> {
     }
     let (s, v) = best?;
     let mut a = Assignment::for_instance(instance);
-    for &(u, _) in instance.audience(s) {
-        a.assign(u, s);
+    for &u in instance.audience_users(s) {
+        a.assign(crate::ids::UserId::new(u as usize), s);
     }
     Some(SmdSolution {
         assignment: a,

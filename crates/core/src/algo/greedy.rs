@@ -256,12 +256,13 @@ fn add_via(
     last_added: &mut [Option<StreamId>],
 ) {
     // Assign to every user with positive fractional residual utility
-    // (line 6 of Algorithm 1).
-    for &(u, _) in instance.audience(s) {
-        let cap = instance.user(u).utility_cap();
-        if coverage.user_raw(u) < cap {
-            assignment.assign(u, s);
-            last_added[u.index()] = Some(s);
+    // (line 6 of Algorithm 1) — a sweep over the CSR user lane against the
+    // kernel's headroom lane.
+    for &u in instance.audience_users(s) {
+        let user = crate::ids::UserId::new(u as usize);
+        if coverage.headroom(user) > 0.0 {
+            assignment.assign(user, s);
+            last_added[u as usize] = Some(s);
         }
     }
     coverage.add(s);

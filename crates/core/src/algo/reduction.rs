@@ -23,6 +23,10 @@ use crate::instance::Instance;
 use crate::num;
 use std::collections::BTreeSet;
 
+/// Eligible receivers of one stream with the utility each would realize
+/// (see `residual_fill`'s `takers_of`).
+type Takers = Vec<(crate::ids::UserId, f64)>;
+
 /// Configuration for [`solve_mmd`] (passed through to the §3/§2 layers).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MmdConfig {
@@ -112,43 +116,50 @@ pub fn residual_fill(instance: &Instance, assignment: &mut Assignment) {
     };
 
     // The eligible receivers of `s` at the current state, with their total
-    // marginal capped gain (the round-based greedy's per-stream evaluation).
+    // marginal capped gain (the round-based greedy's per-stream
+    // evaluation). Sweeps the CSR audience lanes against the contiguous
+    // cap lane; each taker carries its utility so `apply` never re-searches
+    // the interest list for it.
+    let caps = instance.user_caps();
     let takers_of = |s: StreamId,
                      assignment: &Assignment,
                      user_raw: &[f64],
                      user_load: &[Vec<f64>]|
-     -> (f64, Vec<crate::ids::UserId>) {
+     -> (f64, Takers) {
         let mut gain = 0.0;
         let mut takers = Vec::new();
-        for &(u, w) in instance.audience(s) {
+        let users = instance.audience_users(s);
+        let weights = instance.audience_weights(s);
+        for (&ui, &w) in users.iter().zip(weights) {
+            let u = crate::ids::UserId::new(ui as usize);
             if assignment.contains(u, s) {
                 continue;
             }
-            let spec = instance.user(u);
-            let head = (spec.utility_cap() - user_raw[u.index()]).max(0.0);
+            let head = (caps[ui as usize] - user_raw[ui as usize]).max(0.0);
             if head <= 0.0 {
                 continue;
             }
+            let spec = instance.user(u);
             let interest = spec.interest(s).expect("audience implies interest");
             let fits =
                 interest.loads().iter().enumerate().all(|(j, &k)| {
-                    num::approx_le(user_load[u.index()][j] + k, spec.capacities()[j])
+                    num::approx_le(user_load[ui as usize][j] + k, spec.capacities()[j])
                 });
             if fits {
                 gain += w.min(head);
-                takers.push(u);
+                takers.push((u, w));
             }
         }
         (gain, takers)
     };
     let apply = |s: StreamId,
-                 takers: Vec<crate::ids::UserId>,
+                 takers: Takers,
                  assignment: &mut Assignment,
                  user_raw: &mut [f64],
                  user_load: &mut [Vec<f64>]| {
-        for u in takers {
+        for (u, w) in takers {
             assignment.assign(u, s);
-            user_raw[u.index()] += instance.utility(u, s);
+            user_raw[u.index()] += w;
             let spec = instance.user(u);
             if let Some(interest) = spec.interest(s) {
                 for (j, &k) in interest.loads().iter().enumerate() {
@@ -195,7 +206,7 @@ pub fn residual_fill(instance: &Instance, assignment: &mut Assignment) {
     // are already at their fixed point (above), so every round admits at
     // most the not-yet-transmitted streams that still fit the budgets.
     loop {
-        let mut best: Option<(StreamId, Vec<crate::ids::UserId>, f64)> = None;
+        let mut best: Option<(StreamId, Takers, f64)> = None;
         for s in instance.streams() {
             if assignment.in_range(s) {
                 continue;

@@ -363,18 +363,30 @@ fn waterfill(budget: f64, demands: &[f64], weights: &[f64]) -> Vec<f64> {
             .map(|(&w, _)| w.max(0.0))
             .sum();
         if remaining <= 0.0 || active_weight <= 0.0 {
-            // Degenerate weights: fall back to demand-proportional shares
-            // among whatever is still unsaturated.
-            let active_demand: f64 = demands
-                .iter()
-                .zip(&saturated)
-                .filter(|&(_, &s)| !s)
-                .map(|(&d, _)| d)
-                .sum();
-            if remaining > 0.0 && active_demand > 0.0 {
+            // Degenerate weights (e.g. every shard's utility potential is
+            // 0): never divide by the zero weight total — fall back to
+            // demand-proportional shares among whatever is still
+            // unsaturated, and when the demands are degenerate too, to an
+            // equal split capped at demand (the function's share ≤ demand
+            // contract; all-zero demands therefore get all-zero shares).
+            // No division below ever has a zero denominator.
+            if remaining > 0.0 {
+                let active_demand: f64 = demands
+                    .iter()
+                    .zip(&saturated)
+                    .filter(|&(_, &s)| !s)
+                    .map(|(&d, _)| d)
+                    .sum();
+                let active_n = saturated.iter().filter(|&&s| !s).count();
                 for k in 0..n {
                     if !saturated[k] {
-                        shares[k] = remaining * demands[k] / active_demand;
+                        shares[k] = if active_demand > 0.0 {
+                            remaining * demands[k] / active_demand
+                        } else if active_n > 0 {
+                            (remaining / active_n as f64).min(demands[k])
+                        } else {
+                            0.0
+                        };
                     }
                 }
             }
@@ -512,13 +524,16 @@ fn utility_upper_bound_with(
         cap_sum += total.min(spec.utility_cap());
     }
 
-    // Per-measure fractional knapsack over singleton utilities.
+    // Per-measure fractional knapsack over singleton utilities (a sweep
+    // over the CSR audience lanes against the contiguous cap lane).
+    let caps = instance.user_caps();
     let singleton = |s: StreamId| -> f64 {
         instance
-            .audience(s)
+            .audience_users(s)
             .iter()
-            .filter(|&&(u, _)| user_in(u))
-            .map(|&(u, w)| w.min(instance.user(u).utility_cap()))
+            .zip(instance.audience_weights(s))
+            .filter(|&(&u, _)| user_in(UserId::new(u as usize)))
+            .map(|(&u, &w)| w.min(caps[u as usize]))
             .sum()
     };
     let values: Vec<f64> = streams.iter().map(|&s| singleton(s)).collect();
@@ -666,8 +681,12 @@ pub fn solve_sharded(
 
     let utility = merged.utility(instance);
     let upper_bound = shard_bounds.iter().sum::<f64>() + sharding.cut_mass;
-    let gap_fraction = if upper_bound > 0.0 {
-        ((upper_bound - utility) / upper_bound).max(0.0)
+    // 0 when the upper bound is 0 (nothing can produce utility, so the
+    // bracket is trivially tight) — and the `> 0` predicate plus the clamp
+    // keep the fraction in [0, 1] and NaN-free even if a bound were ever
+    // non-finite.
+    let gap_fraction = if upper_bound.is_finite() && upper_bound > 0.0 {
+        ((upper_bound - utility) / upper_bound).clamp(0.0, 1.0)
     } else {
         0.0
     };
@@ -732,10 +751,16 @@ pub fn repair_budgets(instance: &Instance, assignment: &mut Assignment) -> usize
                 continue; // dropping this stream cannot relieve any violation
             }
             let mut loss = 0.0f64;
-            for &(u, w) in instance.audience(s) {
+            let caps = instance.user_caps();
+            for (&ui, &w) in instance
+                .audience_users(s)
+                .iter()
+                .zip(instance.audience_weights(s))
+            {
+                let u = UserId::new(ui as usize);
                 if assignment.contains(u, s) {
-                    let cap = instance.user(u).utility_cap();
-                    let r = raw[u.index()];
+                    let cap = caps[ui as usize];
+                    let r = raw[ui as usize];
                     loss += r.min(cap) - (r - w).min(cap);
                 }
             }
@@ -755,8 +780,8 @@ pub fn repair_budgets(instance: &Instance, assignment: &mut Assignment) -> usize
             // instances built through the validating builder).
             return dropped;
         };
-        for &(u, _) in instance.audience(s) {
-            assignment.unassign(u, s);
+        for &u in instance.audience_users(s) {
+            assignment.unassign(UserId::new(u as usize), s);
         }
         dropped += 1;
     }
@@ -935,6 +960,107 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.utility, 0.0);
+    }
+
+    #[test]
+    fn waterfill_zero_weights_fall_back_to_demand_split() {
+        // Every shard's utility potential is 0: instead of 0/0 = NaN
+        // shares, the fill must degrade to a demand-proportional split.
+        let shares = waterfill(6.0, &[9.0, 3.0], &[0.0, 0.0]);
+        assert!(shares.iter().all(|s| s.is_finite()), "{shares:?}");
+        assert!(approx_eq(shares[0], 4.5));
+        assert!(approx_eq(shares[1], 1.5));
+    }
+
+    #[test]
+    fn waterfill_fully_degenerate_stays_finite_and_demand_capped() {
+        // Zero weights AND zero demands with budget left: the equal-split
+        // fallback is capped at the (zero) demands — finite zero shares,
+        // never NaN, never exceeding what a shard can spend.
+        let shares = waterfill(6.0, &[0.0, 0.0, 0.0], &[0.0, 0.0, 0.0]);
+        assert!(shares.iter().all(|s| s.is_finite()), "{shares:?}");
+        assert_eq!(shares, vec![0.0, 0.0, 0.0]);
+        // Zero weights, mixed demands: demand-proportional, still capped.
+        let mixed = waterfill(6.0, &[9.0, 0.0], &[0.0, 0.0]);
+        assert!(approx_eq(mixed[0], 6.0), "{mixed:?}");
+        assert_eq!(mixed[1], 0.0);
+        // And with no budget at all: all-zero shares.
+        let none = waterfill(0.0, &[1.0, 2.0], &[0.0, 0.0]);
+        assert_eq!(none, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn all_zero_utility_instance_is_nan_free() {
+        // Streams with real costs on a contended budget, but every
+        // interest has zero utility (the builder drops them): all shard
+        // potentials are 0, the splitter sees only coverless streams, and
+        // every reported number must still be finite with gap 0.
+        let mut b = Instance::builder("zero").server_budgets(vec![5.0]);
+        for i in 0..6 {
+            let s = b.add_stream(vec![2.0 + (i % 3) as f64]);
+            let _ = s;
+        }
+        let u = b.add_user(10.0, vec![]);
+        let _ = u;
+        let inst = b.build().unwrap();
+        let sharding = shard_instance(&inst, 2);
+        let weights = vec![0.0; sharding.num_shards()];
+        let budgets = split_budgets(&inst, &sharding, &weights, 0.2);
+        for share in &budgets {
+            assert!(share.iter().all(|s| s.is_finite()), "{share:?}");
+        }
+        let out = solve_sharded(
+            &inst,
+            &ShardConfig {
+                max_streams: 2,
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.utility, 0.0);
+        assert_eq!(out.upper_bound, 0.0);
+        assert_eq!(out.gap_fraction, 0.0, "doc claim: 0 when ub is 0");
+        assert!(!out.gap_fraction.is_nan());
+    }
+
+    #[test]
+    fn upper_bound_zero_budget_counts_only_free_streams() {
+        // Budget 0 forces every stream's cost to 0 (model assumption), so
+        // the knapsack's "free items are infinitely dense" arm is the only
+        // one taken — no division by the zero cost, no NaN.
+        let mut b = Instance::builder("zb").server_budgets(vec![0.0]);
+        let s0 = b.add_stream(vec![0.0]);
+        let s1 = b.add_stream(vec![0.0]);
+        let u = b.add_user(5.0, vec![]);
+        b.add_interest(u, s0, 3.0, vec![]).unwrap();
+        b.add_interest(u, s1, 4.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let streams: Vec<_> = inst.streams().collect();
+        let users: Vec<_> = inst.users().collect();
+        let ub = utility_upper_bound(&inst, &streams, &users);
+        assert!(ub.is_finite());
+        // Cap-sum bound: min(5, 7) = 5; knapsack bound: both free = 7.
+        assert!(approx_eq(ub, 5.0), "ub = {ub}");
+    }
+
+    #[test]
+    fn upper_bound_mixes_free_and_paid_items() {
+        // A free stream plus paid ones under a tight budget: the free item
+        // is always counted in full, the paid ones fractionally.
+        let mut b = Instance::builder("mix").server_budgets(vec![4.0]);
+        let free = b.add_stream(vec![0.0]);
+        let paid = b.add_stream(vec![4.0]);
+        let big = b.add_stream(vec![4.0]);
+        let u = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u, free, 2.0, vec![]).unwrap();
+        b.add_interest(u, paid, 6.0, vec![]).unwrap();
+        b.add_interest(u, big, 3.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let streams: Vec<_> = inst.streams().collect();
+        let users: Vec<_> = inst.users().collect();
+        let ub = utility_upper_bound(&inst, &streams, &users);
+        // free (2) + densest paid fully (6), budget exhausted: 8.
+        assert!(approx_eq(ub, 8.0), "ub = {ub}");
     }
 
     #[test]

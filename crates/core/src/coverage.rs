@@ -7,10 +7,64 @@
 //! of the best *semi-feasible* assignment with range `T` — and is
 //! nonnegative, nondecreasing and submodular (Lemma 2.1), which powers the
 //! greedy analysis and the exact solvers.
+//!
+//! # The struct-of-arrays kernel
+//!
+//! [`CoverageState`] is the inner loop of every solver in the workspace
+//! (greedy, fixed greedy, classify buckets, partial-enumeration sweeps, the
+//! exact solver's branch-and-bound and its completion bound, shard repair).
+//! It therefore works over flat lanes instead of nested structures: the
+//! instance provides CSR audience lanes ([`Instance::audience_users`] /
+//! [`Instance::audience_weights`]) and a contiguous cap lane
+//! ([`Instance::user_caps`]), and the state keeps flat `raw` / `headroom`
+//! arrays per user. `gain`, `add` and `remove` are branch-light linear
+//! sweeps over those lanes (one `min` and one gather per element), which
+//! autovectorize where the scalar pair-of-pointer-chases layout cannot. The
+//! old array-of-structs walk is preserved as [`ScalarCoverageState`] — the
+//! differential reference for the proptests and the perf ladder's
+//! coverage-kernel rung.
+//!
+//! # Numerical hygiene
+//!
+//! Long add/remove interleavings (partial-enumeration sweeps, shard repair,
+//! branch-and-bound) must not drift: a heavy stream whose weight dwarfs the
+//! light ones would otherwise absorb their low-order bits in the plain
+//! `f64` accumulators. The kernel uses Neumaier-compensated accumulation
+//! for both the per-user raw sums and the global `value`, and re-derives
+//! everything exactly from the set every [`RESYNC_INTERVAL`] mutations, so
+//! `value()` tracks [`eval_set`] to ULP-scale error regardless of the
+//! operation history (`tests/proptest_invariants.rs` pins this).
 
 use crate::ids::{StreamId, UserId};
 use crate::instance::Instance;
 use std::collections::BTreeSet;
+
+/// Mutating operations between two exact re-derivations of the state from
+/// its stream set. Compensated accumulation already bounds the drift to
+/// ULP scale; the periodic re-sync additionally caps the worst case
+/// independently of the operation mix, at amortized `O(Σ audience / 4096)`
+/// per mutation.
+pub const RESYNC_INTERVAL: u32 = 4096;
+
+/// Neumaier-compensated add: accumulates `x` into `sum`, banking the
+/// rounding error into `comp` so that `sum + comp` carries the bits a plain
+/// `+=` would discard (the magnitude-cliff drift of the pre-SoA kernel).
+#[inline]
+fn comp_add(sum: &mut f64, comp: &mut f64, x: f64) {
+    let t = *sum + x;
+    *comp += if sum.abs() >= x.abs() {
+        (*sum - t) + x
+    } else {
+        (x - t) + *sum
+    };
+    *sum = t;
+}
+
+/// Headroom `max(0, W_u − raw_u)`; infinite caps stay infinite.
+#[inline]
+fn headroom_of(cap: f64, raw: f64) -> f64 {
+    (cap - raw).max(0.0)
+}
 
 /// Evaluates `w(T) = Σ_u min(W_u, Σ_{S ∈ T} w_u(S))` for a stream set `T`.
 ///
@@ -36,30 +90,230 @@ use std::collections::BTreeSet;
 pub fn eval_set(instance: &Instance, set: &BTreeSet<StreamId>) -> f64 {
     let mut raw = vec![0.0f64; instance.num_users()];
     for &s in set {
-        for &(u, w) in instance.audience(s) {
-            raw[u.index()] += w;
+        for (&u, &w) in instance
+            .audience_users(s)
+            .iter()
+            .zip(instance.audience_weights(s))
+        {
+            raw[u as usize] += w;
         }
     }
     raw.iter()
-        .enumerate()
-        .map(|(ui, &r)| r.min(instance.user(UserId::new(ui)).utility_cap()))
+        .zip(instance.user_caps())
+        .map(|(&r, &cap)| r.min(cap))
         .sum()
 }
 
 /// Incremental evaluator for `w(T)` supporting `O(|audience(S)|)` marginal
 /// gains — the workhorse of the greedy and exact solvers.
+///
+/// This is the struct-of-arrays kernel described in the
+/// [module documentation](self): flat `raw` / `headroom` lanes per user,
+/// CSR audience sweeps, compensated accumulators with periodic exact
+/// re-sync.
 #[derive(Clone, Debug)]
 pub struct CoverageState<'a> {
     instance: &'a Instance,
+    /// Per-user raw (uncapped) utility `Σ_{S ∈ T} w_u(S)` (primary sums).
     raw: Vec<f64>,
+    /// Neumaier compensation lane for `raw`: the effective raw utility is
+    /// `raw + raw_comp`.
+    raw_comp: Vec<f64>,
+    /// Per-user headroom `max(0, W_u − raw_u)` — the lane `gain` sweeps.
+    headroom: Vec<f64>,
     value: f64,
+    value_comp: f64,
+    ops_since_sync: u32,
+    /// Flat membership lane (`in_set[s]`), the hot-path check; the
+    /// `BTreeSet` below mirrors it for the ordered [`set`](Self::set) view.
+    in_set: Vec<bool>,
     set: BTreeSet<StreamId>,
 }
 
 impl<'a> CoverageState<'a> {
     /// Starts from the empty stream set.
     pub fn new(instance: &'a Instance) -> Self {
+        let n = instance.num_users();
         CoverageState {
+            instance,
+            raw: vec![0.0; n],
+            raw_comp: vec![0.0; n],
+            headroom: instance.user_caps().to_vec(),
+            value: 0.0,
+            value_comp: 0.0,
+            ops_since_sync: 0,
+            in_set: vec![false; instance.num_streams()],
+            set: BTreeSet::new(),
+        }
+    }
+
+    /// The current set `T`.
+    pub fn set(&self) -> &BTreeSet<StreamId> {
+        &self.set
+    }
+
+    /// The current value `w(T)`.
+    pub fn value(&self) -> f64 {
+        self.value + self.value_comp
+    }
+
+    /// One user's current raw (uncapped) utility `Σ_{S ∈ T} w_u(S)`.
+    pub fn user_raw(&self, user: UserId) -> f64 {
+        self.raw[user.index()] + self.raw_comp[user.index()]
+    }
+
+    /// One user's current headroom `max(0, W_u − raw_u)`: how much capped
+    /// utility the user can still absorb. Positive exactly when the user is
+    /// below its cap.
+    pub fn headroom(&self, user: UserId) -> f64 {
+        self.headroom[user.index()]
+    }
+
+    /// The marginal gain `w(T ∪ {S}) − w(T)` — the *fractional residual
+    /// utility* `w̄(S)` of §2.1 when `T = S(A)`.
+    pub fn gain(&self, stream: StreamId) -> f64 {
+        if self.in_set[stream.index()] {
+            return 0.0;
+        }
+        let users = self.instance.audience_users(stream);
+        let weights = self.instance.audience_weights(stream);
+        let mut g = 0.0;
+        for (&u, &w) in users.iter().zip(weights) {
+            g += w.min(self.headroom[u as usize]);
+        }
+        g
+    }
+
+    /// Adds a stream to `T`, returning the realized marginal gain.
+    pub fn add(&mut self, stream: StreamId) -> f64 {
+        if self.in_set[stream.index()] || !self.set.insert(stream) {
+            return 0.0;
+        }
+        self.in_set[stream.index()] = true;
+        let users = self.instance.audience_users(stream);
+        let weights = self.instance.audience_weights(stream);
+        let caps = self.instance.user_caps();
+        // The realized gain is itself a mixed-magnitude sum (one audience
+        // can span many orders of magnitude), so it gets its own
+        // compensation term.
+        let mut g = 0.0;
+        let mut gc = 0.0;
+        for (&u, &w) in users.iter().zip(weights) {
+            let ui = u as usize;
+            comp_add(&mut g, &mut gc, w.min(self.headroom[ui]));
+            comp_add(&mut self.raw[ui], &mut self.raw_comp[ui], w);
+            self.headroom[ui] = headroom_of(caps[ui], self.raw[ui] + self.raw_comp[ui]);
+        }
+        comp_add(&mut self.value, &mut self.value_comp, g);
+        comp_add(&mut self.value, &mut self.value_comp, gc);
+        self.tick();
+        g + gc
+    }
+
+    /// Removes a stream from `T`, subtracting the affected users' capped
+    /// contributions exactly as they were added (compensated, periodically
+    /// re-synced).
+    pub fn remove(&mut self, stream: StreamId) {
+        if !self.in_set[stream.index()] || !self.set.remove(&stream) {
+            return;
+        }
+        self.in_set[stream.index()] = false;
+        let users = self.instance.audience_users(stream);
+        let weights = self.instance.audience_weights(stream);
+        let caps = self.instance.user_caps();
+        let mut d = 0.0;
+        let mut dc = 0.0;
+        for (&u, &w) in users.iter().zip(weights) {
+            let ui = u as usize;
+            let cap = caps[ui];
+            // Case-split on the cap instead of evaluating
+            // `min(before, cap) − min(after, cap)` on collapsed sums: next
+            // to a huge raw utility that difference would quantize at
+            // `ulp(raw)` and re-introduce exactly the drift the
+            // compensation lanes exist to prevent.
+            let head_before = self.headroom[ui];
+            comp_add(&mut self.raw[ui], &mut self.raw_comp[ui], -w);
+            let after = self.raw[ui] + self.raw_comp[ui];
+            let head_after = headroom_of(cap, after);
+            if head_before > 0.0 {
+                // Below the cap before (hence also after): the covered
+                // contribution shrinks by exactly `w`.
+                comp_add(&mut d, &mut dc, w);
+            } else if head_after > 0.0 {
+                // Crossed the cap downward: from `cap` to `after` — and
+                // `after < cap`, so the evaluation is at small magnitude.
+                comp_add(&mut d, &mut dc, cap - after);
+            }
+            self.headroom[ui] = head_after;
+        }
+        comp_add(&mut self.value, &mut self.value_comp, -d);
+        comp_add(&mut self.value, &mut self.value_comp, -dc);
+        self.tick();
+    }
+
+    fn tick(&mut self) {
+        self.ops_since_sync += 1;
+        if self.ops_since_sync >= RESYNC_INTERVAL {
+            self.resync();
+        }
+    }
+
+    /// Re-derives `raw`, `headroom` and `value` exactly from the current
+    /// set, zeroing every compensation term.
+    fn resync(&mut self) {
+        self.raw.fill(0.0);
+        self.raw_comp.fill(0.0);
+        for &s in &self.set {
+            for (&u, &w) in self
+                .instance
+                .audience_users(s)
+                .iter()
+                .zip(self.instance.audience_weights(s))
+            {
+                let ui = u as usize;
+                comp_add(&mut self.raw[ui], &mut self.raw_comp[ui], w);
+            }
+        }
+        let caps = self.instance.user_caps();
+        let mut value = 0.0;
+        let mut value_comp = 0.0;
+        let lanes = self.raw.iter().zip(&self.raw_comp).zip(caps);
+        for (((&r, &rc), &cap), head) in lanes.zip(&mut self.headroom) {
+            *head = headroom_of(cap, r + rc);
+            if *head > 0.0 {
+                // Below the cap: feed the primary sum and its compensation
+                // separately, so a huge raw utility cannot swallow the
+                // compensation bits in the collapsed effective sum.
+                comp_add(&mut value, &mut value_comp, r);
+                comp_add(&mut value, &mut value_comp, rc);
+            } else {
+                comp_add(&mut value, &mut value_comp, cap);
+            }
+        }
+        self.value = value;
+        self.value_comp = value_comp;
+        self.ops_since_sync = 0;
+    }
+}
+
+/// The pre-SoA array-of-structs coverage evaluator, preserved verbatim as
+/// the differential reference: the proptests compare the kernels
+/// operation-by-operation, and the perf ladder's coverage-kernel rung
+/// measures the struct-of-arrays speedup against this walk (pair tuples via
+/// [`Instance::audience`], a [`crate::instance::UserSpec`] chase per
+/// element, plain uncompensated accumulators).
+#[derive(Clone, Debug)]
+pub struct ScalarCoverageState<'a> {
+    instance: &'a Instance,
+    raw: Vec<f64>,
+    value: f64,
+    set: BTreeSet<StreamId>,
+}
+
+impl<'a> ScalarCoverageState<'a> {
+    /// Starts from the empty stream set.
+    pub fn new(instance: &'a Instance) -> Self {
+        ScalarCoverageState {
             instance,
             raw: vec![0.0; instance.num_users()],
             value: 0.0,
@@ -77,13 +331,12 @@ impl<'a> CoverageState<'a> {
         self.value
     }
 
-    /// One user's current raw (uncapped) utility `Σ_{S ∈ T} w_u(S)`.
+    /// One user's current raw (uncapped) utility.
     pub fn user_raw(&self, user: UserId) -> f64 {
         self.raw[user.index()]
     }
 
-    /// The marginal gain `w(T ∪ {S}) − w(T)` — the *fractional residual
-    /// utility* `w̄(S)` of §2.1 when `T = S(A)`.
+    /// The marginal gain `w(T ∪ {S}) − w(T)`.
     pub fn gain(&self, stream: StreamId) -> f64 {
         if self.set.contains(&stream) {
             return 0.0;
@@ -114,7 +367,7 @@ impl<'a> CoverageState<'a> {
         g
     }
 
-    /// Removes a stream from `T` (recomputes affected users exactly).
+    /// Removes a stream from `T`.
     pub fn remove(&mut self, stream: StreamId) {
         if !self.set.remove(&stream) {
             return;
@@ -206,6 +459,20 @@ mod tests {
     }
 
     #[test]
+    fn headroom_tracks_caps() {
+        let inst = inst();
+        let mut state = CoverageState::new(&inst);
+        let u0 = UserId::new(0);
+        assert_eq!(state.headroom(u0), 4.0);
+        state.add(sid(0)); // raw(u0) = 3
+        assert!(approx_eq(state.headroom(u0), 1.0));
+        state.add(sid(1)); // raw(u0) = 6 > cap 4
+        assert_eq!(state.headroom(u0), 0.0);
+        state.remove(sid(0));
+        assert!(approx_eq(state.headroom(u0), 1.0));
+    }
+
+    #[test]
     fn monotone_nondecreasing() {
         let inst = inst();
         let mut state = CoverageState::new(&inst);
@@ -214,6 +481,66 @@ mod tests {
             state.add(s);
             assert!(state.value() >= last - 1e-12);
             last = state.value();
+        }
+    }
+
+    #[test]
+    fn infinite_caps_are_handled() {
+        let mut b = Instance::builder("inf").server_budgets(vec![10.0]);
+        let s = b.add_stream(vec![1.0]);
+        let u = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u, s, 7.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let mut state = CoverageState::new(&inst);
+        assert_eq!(state.headroom(u), f64::INFINITY);
+        assert_eq!(state.gain(s), 7.0);
+        state.add(s);
+        assert_eq!(state.value(), 7.0);
+        assert_eq!(state.headroom(u), f64::INFINITY);
+        state.remove(s);
+        assert_eq!(state.value(), 0.0);
+    }
+
+    #[test]
+    fn resync_is_transparent() {
+        // Drive well past RESYNC_INTERVAL mutations; every intermediate
+        // value must agree with the exact recomputation.
+        let inst = inst();
+        let mut state = CoverageState::new(&inst);
+        for round in 0..(RESYNC_INTERVAL as usize + 50) {
+            let s = sid(round % 3);
+            if state.set().contains(&s) {
+                state.remove(s);
+            } else {
+                state.add(s);
+            }
+            if round % 97 == 0 {
+                assert!(approx_eq(state.value(), eval_set(&inst, state.set())));
+            }
+        }
+        assert!(approx_eq(state.value(), eval_set(&inst, state.set())));
+    }
+
+    #[test]
+    fn scalar_reference_agrees_with_soa() {
+        let inst = inst();
+        let mut soa = CoverageState::new(&inst);
+        let mut scalar = ScalarCoverageState::new(&inst);
+        for s in [sid(1), sid(0), sid(2), sid(1), sid(0)] {
+            assert!(approx_eq(soa.gain(s), scalar.gain(s)));
+            if soa.set().contains(&s) {
+                soa.remove(s);
+                scalar.remove(s);
+            } else {
+                let a = soa.add(s);
+                let b = scalar.add(s);
+                assert!(approx_eq(a, b));
+            }
+            assert!(approx_eq(soa.value(), scalar.value()));
+            assert_eq!(soa.set(), scalar.set());
+            for u in inst.users() {
+                assert!(approx_eq(soa.user_raw(u), scalar.user_raw(u)));
+            }
         }
     }
 

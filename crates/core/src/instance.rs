@@ -99,6 +99,63 @@ pub struct InstanceStats {
     pub input_length: usize,
 }
 
+/// Struct-of-arrays (CSR) view of the per-stream audiences: one contiguous
+/// `u32` user-index lane and one contiguous `f64` weight lane, with row
+/// pointers per stream. This is the memory layout the coverage kernel's
+/// inner loops sweep (see [`crate::coverage`]): the scalar layout pays two
+/// pointer chases per audience element (`Vec<Vec<(UserId, f64)>>` plus a
+/// [`UserSpec`] lookup for the cap), the lanes pay none.
+#[derive(Clone, Debug, PartialEq, Default)]
+struct AudienceLanes {
+    /// CSR row pointers, length `num_streams + 1`.
+    offsets: Vec<u32>,
+    /// User indices, concatenated per stream in ascending user order.
+    users: Vec<u32>,
+    /// Utilities `w_u(S)`, parallel to `users`.
+    weights: Vec<f64>,
+}
+
+impl AudienceLanes {
+    /// Builds the lanes. Errors (instead of panicking — the construction
+    /// paths are fallible) when the interest count or a user index exceeds
+    /// the `u32` lane limit; user indices are bounded by the interest
+    /// count's predecessor, so the single total check covers both.
+    fn build(
+        audiences: &[Vec<(UserId, f64)>],
+        num_users: usize,
+    ) -> Result<AudienceLanes, BuildError> {
+        let total: usize = audiences.iter().map(Vec::len).sum();
+        if u32::try_from(total).is_err() || u32::try_from(num_users).is_err() {
+            return Err(BuildError::InvalidValue {
+                what: "interest or user count (exceeds the u32 audience-lane limit)",
+                value: total.max(num_users) as f64,
+            });
+        }
+        let mut offsets = Vec::with_capacity(audiences.len() + 1);
+        let mut users = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for audience in audiences {
+            for &(u, w) in audience {
+                users.push(u.index() as u32);
+                weights.push(w);
+            }
+            offsets.push(users.len() as u32);
+        }
+        Ok(AudienceLanes {
+            offsets,
+            users,
+            weights,
+        })
+    }
+
+    fn range(&self, stream: StreamId) -> std::ops::Range<usize> {
+        let lo = self.offsets[stream.index()] as usize;
+        let hi = self.offsets[stream.index() + 1] as usize;
+        lo..hi
+    }
+}
+
 /// An immutable `mmd` problem instance.
 ///
 /// See the [module documentation](self) and the crate quick start for
@@ -112,6 +169,11 @@ pub struct Instance {
     /// Per stream: the users that derive positive utility from it, with that
     /// utility. Kept sorted by user id.
     audiences: Vec<Vec<(UserId, f64)>>,
+    /// The same audiences as contiguous CSR lanes (derived, rebuilt on
+    /// deserialization).
+    lanes: AudienceLanes,
+    /// Contiguous lane of `W_u` utility caps (derived from `users`).
+    user_caps: Vec<f64>,
     dropped_interests: usize,
 }
 
@@ -224,18 +286,40 @@ impl Instance {
         &self.audiences[stream.index()]
     }
 
+    /// The audience of `stream` as a contiguous lane of user indices
+    /// (ascending), parallel to [`audience_weights`](Self::audience_weights).
+    /// This is the struct-of-arrays view the coverage kernel and the solver
+    /// hot loops sweep; it carries the same pairs as
+    /// [`audience`](Self::audience).
+    pub fn audience_users(&self, stream: StreamId) -> &[u32] {
+        &self.lanes.users[self.lanes.range(stream)]
+    }
+
+    /// The utilities `w_u(S)` of the audience of `stream`, parallel to
+    /// [`audience_users`](Self::audience_users).
+    pub fn audience_weights(&self, stream: StreamId) -> &[f64] {
+        &self.lanes.weights[self.lanes.range(stream)]
+    }
+
+    /// Contiguous lane of utility caps `W_u`, indexed by user index — the
+    /// `cap` lane of the coverage kernel.
+    pub fn user_caps(&self) -> &[f64] {
+        &self.user_caps
+    }
+
     /// Total raw utility `w(S) = Σ_u w_u(S)` of one stream (Fig. 2).
     pub fn stream_total_utility(&self, stream: StreamId) -> f64 {
-        self.audiences[stream.index()].iter().map(|&(_, w)| w).sum()
+        self.audience_weights(stream).iter().sum()
     }
 
     /// Capped utility of transmitting only `stream`:
     /// `Σ_u min(W_u, w_u(S))` — the value of the `A_max` single-stream
     /// assignment of §2.2.
     pub fn singleton_utility(&self, stream: StreamId) -> f64 {
-        self.audiences[stream.index()]
+        self.audience_users(stream)
             .iter()
-            .map(|&(u, w)| w.min(self.users[u.index()].utility_cap))
+            .zip(self.audience_weights(stream))
+            .map(|(&u, &w)| w.min(self.user_caps[u as usize]))
             .sum()
     }
 
@@ -522,12 +606,16 @@ impl InstanceBuilder {
                 audiences[interest.stream.index()].push((UserId::new(ui), interest.utility));
             }
         }
+        let lanes = AudienceLanes::build(&audiences, users.len())?;
+        let user_caps = users.iter().map(|u| u.utility_cap).collect();
         Ok(Instance {
             name: self.name,
             budgets: self.budgets,
             stream_costs: self.stream_costs,
             users,
             audiences,
+            lanes,
+            user_caps,
             dropped_interests: dropped,
         })
     }
@@ -650,8 +738,8 @@ mod serde_impls {
             let stream_costs: Vec<Vec<f64>> =
                 Deserialize::from_value(field(value, "stream_costs")?)?;
             let users: Vec<UserSpec> = Deserialize::from_value(field(value, "users")?)?;
-            // Rebuild the derived audience index instead of trusting the
-            // file to keep it consistent.
+            // Rebuild the derived audience index (and its CSR lanes) instead
+            // of trusting the file to keep them consistent.
             let mut audiences = vec![Vec::new(); stream_costs.len()];
             for (ui, spec) in users.iter().enumerate() {
                 for interest in &spec.interests {
@@ -661,12 +749,17 @@ mod serde_impls {
                     slot.push((UserId::new(ui), interest.utility));
                 }
             }
+            let lanes = super::AudienceLanes::build(&audiences, users.len())
+                .map_err(|e| DeError(e.to_string()))?;
+            let user_caps = users.iter().map(|u| u.utility_cap()).collect();
             Ok(Instance {
                 name: Deserialize::from_value(field(value, "name")?)?,
                 budgets,
                 stream_costs,
                 users,
                 audiences,
+                lanes,
+                user_caps,
                 dropped_interests: Deserialize::from_value(field(value, "dropped_interests")?)?,
             })
         }
@@ -711,6 +804,26 @@ mod tests {
         let aud = inst.audience(StreamId::new(1));
         assert_eq!(aud.len(), 2);
         assert!(aud[0].0 < aud[1].0);
+    }
+
+    #[test]
+    fn csr_lanes_mirror_audiences() {
+        let inst = tiny();
+        for s in inst.streams() {
+            let aud = inst.audience(s);
+            let us = inst.audience_users(s);
+            let ws = inst.audience_weights(s);
+            assert_eq!(aud.len(), us.len());
+            assert_eq!(aud.len(), ws.len());
+            for ((&(u, w), &lu), &lw) in aud.iter().zip(us).zip(ws) {
+                assert_eq!(u.index(), lu as usize);
+                assert_eq!(w, lw);
+            }
+        }
+        assert_eq!(inst.user_caps().len(), inst.num_users());
+        for u in inst.users() {
+            assert_eq!(inst.user_caps()[u.index()], inst.user(u).utility_cap());
+        }
     }
 
     #[test]

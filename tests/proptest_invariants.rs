@@ -232,6 +232,123 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&out.gap_fraction));
     }
 
+    /// Differential: on random instances and random gain/add/remove
+    /// sequences, the struct-of-arrays kernel, the preserved scalar
+    /// reference kernel and a from-scratch [`eval_set`] recomputation agree
+    /// on every intermediate `gain`, realized delta, `user_raw` and
+    /// `value` (to ULP-scale tolerance; the kernels differ only in
+    /// accumulation order and compensation). The solver-level 1–8 thread
+    /// determinism suite (`tests/parallel_determinism.rs`) pins the same
+    /// kernel underneath every solver family at every thread count.
+    #[test]
+    fn coverage_kernels_differentially_equal(inst in smd_instance(), seed in any::<u64>()) {
+        let mut soa = coverage::CoverageState::new(&inst);
+        let mut scalar = coverage::ScalarCoverageState::new(&inst);
+        let n = inst.num_streams();
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let tol = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+        for _ in 0..200 {
+            let s = StreamId::new(next() as usize % n);
+            let g_soa = soa.gain(s);
+            let g_scalar = scalar.gain(s);
+            prop_assert!(tol(g_soa, g_scalar), "gain {} vs {}", g_soa, g_scalar);
+            if soa.set().contains(&s) && next() % 4 != 0 {
+                soa.remove(s);
+                scalar.remove(s);
+            } else {
+                let a = soa.add(s);
+                let b = scalar.add(s);
+                prop_assert!(tol(a, b), "add {} vs {}", a, b);
+            }
+            prop_assert_eq!(soa.set(), scalar.set());
+            prop_assert!(tol(soa.value(), scalar.value()));
+            let exact = coverage::eval_set(&inst, soa.set());
+            prop_assert!(tol(soa.value(), exact), "soa {} vs eval {}", soa.value(), exact);
+            for u in inst.users() {
+                prop_assert!(tol(soa.user_raw(u), scalar.user_raw(u)));
+                let head = soa.headroom(u);
+                let cap = inst.user(u).utility_cap();
+                prop_assert!(tol(head, (cap - soa.user_raw(u)).max(0.0)));
+            }
+        }
+    }
+
+    /// Regression (float drift): long add/remove interleavings must keep the
+    /// incremental `value` in tight agreement with an exact [`eval_set`]
+    /// recomputation. The pre-SoA kernel accumulated `+=`/`-=` deltas into
+    /// plain `f64` accumulators, so a heavy stream whose weight dwarfs the
+    /// light ones systematically absorbed their low-order bits (both in the
+    /// per-user raw sums and in `value`), and sweeps like partial
+    /// enumeration or shard repair drifted away from `eval_set`.
+    #[test]
+    fn coverage_value_no_drift_under_interleaving(seed in any::<u64>()) {
+        let mut b = Instance::builder("drift").server_budgets(vec![f64::INFINITY]);
+        // One heavy stream (utility 1e16) and two dozen light ones (O(1))
+        // sharing two users: an uncapped user (value-accumulator drift) and
+        // a finite-cap user (raw-accumulator drift through the cap clamp).
+        let heavy = b.add_stream(vec![1.0]);
+        let light: Vec<StreamId> = (0..24).map(|_| b.add_stream(vec![1.0])).collect();
+        let u_free = b.add_user(f64::INFINITY, vec![]);
+        let u_capped = b.add_user(8.0, vec![]);
+        b.add_interest(u_free, heavy, 1e16, vec![]).unwrap();
+        b.add_interest(u_capped, heavy, 1e16, vec![]).unwrap();
+        for (i, &s) in light.iter().enumerate() {
+            let w = 0.1 + (i as f64) * 0.017 + 1.0 / 3.0;
+            b.add_interest(u_free, s, w, vec![]).unwrap();
+            b.add_interest(u_capped, s, w * 0.25, vec![]).unwrap();
+        }
+        let inst = b.build().unwrap();
+
+        let mut state = coverage::CoverageState::new(&inst);
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for step in 0..10_000u32 {
+            // Toggle a random stream, with the heavy one toggled often so
+            // light contributions keep crossing the 1e16 magnitude cliff.
+            let r = next();
+            let s = if r % 3 == 0 {
+                heavy
+            } else {
+                light[(r / 3) as usize % light.len()]
+            };
+            if state.set().contains(&s) {
+                state.remove(s);
+            } else {
+                let predicted = state.gain(s);
+                let realized = state.add(s);
+                prop_assert!(
+                    (predicted - realized).abs() <= 1e-9 * predicted.abs().max(1.0),
+                    "step {}: gain {} != add {}", step, predicted, realized
+                );
+            }
+            if step % 499 == 0 {
+                let exact = coverage::eval_set(&inst, state.set());
+                prop_assert!(
+                    (state.value() - exact).abs() <= 1e-6 * exact.abs().max(1.0),
+                    "step {}: incremental {} drifted from exact {}",
+                    step, state.value(), exact
+                );
+            }
+        }
+        // Final check at full precision of the recomputation.
+        let exact = coverage::eval_set(&inst, state.set());
+        prop_assert!(
+            (state.value() - exact).abs() <= 1e-6 * exact.abs().max(1.0),
+            "final: incremental {} drifted from exact {}", state.value(), exact
+        );
+    }
+
     /// Assignment bookkeeping: range refcounts survive arbitrary assign /
     /// unassign interleavings.
     #[test]
