@@ -1,0 +1,147 @@
+//! **E11** — incremental ingest under churn: utility retention and
+//! re-solve cost vs churn rate.
+//!
+//! Planted-community instances (12 communities, uncontended and contended
+//! budget variants) are taken through fixed-seed churn traces of increasing
+//! toggle (arrival/departure) rate. Each trace is replayed twice through
+//! the ingest engine — incrementally, and with a twin forced to re-solve
+//! every shard on every batch — and the table reports, per row (mean over
+//! seeds): the re-solved shard fraction, trigger escalations, utility
+//! retention, the mean certified gap, and the wall time of both paths. The
+//! expected shape: on uncontended instances low churn stays localized and
+//! the incremental path wins roughly by the inverse dirty fraction; on
+//! contended instances any bound change ripples through the budget
+//! water-fill, the dirty fraction approaches 1, and the two paths converge
+//! (the trigger then skips the pointless bookkeeping). Value equivalence
+//! between the two paths is asserted, not sampled.
+
+use mmd_bench::outfile::ExpArgs;
+use mmd_bench::report::{f2, f3, Table};
+use mmd_core::algo::shard::ShardConfig;
+use mmd_core::ingest::{IngestConfig, IngestEngine};
+use mmd_sim::replay_churn_with;
+use mmd_workload::{ChurnConfig, ClusteredConfig};
+use std::time::Instant;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let seeds: Vec<u64> = (0..3).collect();
+    let updates = 160usize;
+    let batch = 4usize;
+    let mut table = Table::new(
+        "E11: incremental ingest vs full re-solve under churn \
+         (12 communities x 20 streams, 160 updates in batches of 4, 3 seeds per row)",
+        &[
+            "budget",
+            "toggle rate",
+            "resolved frac",
+            "full resolves",
+            "retention",
+            "mean gap %",
+            "incr ms",
+            "full ms",
+            "speedup",
+        ],
+    );
+
+    // Instance generation parallelizes across (family, seed); the timed
+    // replays run sequentially so the wall columns measure solver cost,
+    // not core contention.
+    let setups: Vec<(bool, u64)> = [false, true]
+        .iter()
+        .flat_map(|&contended| seeds.iter().map(move |&s| (contended, s)))
+        .collect();
+    let instances = mmd_par::parallel_map(args.threads(), &setups, |_, &(contended, seed)| {
+        if contended {
+            ClusteredConfig::contended(12, 20, 12).generate(seed)
+        } else {
+            ClusteredConfig::decomposable(12, 20, 12).generate(seed)
+        }
+    });
+
+    let config = IngestConfig {
+        shard: ShardConfig {
+            max_streams: 20,
+            ..ShardConfig::default()
+        },
+        ..IngestConfig::default()
+    };
+    let full_config = IngestConfig {
+        max_dirty_fraction: 0.0,
+        ..config
+    };
+
+    for (contended, label) in [(false, "open"), (true, "tight")] {
+        for &toggle in &[0.0f64, 0.1, 0.3] {
+            let rows: Vec<_> = instances
+                .iter()
+                .zip(&setups)
+                .filter(|&(_, &(c, _))| c == contended)
+                .map(|(inst, &(_, seed))| {
+                    let trace = ChurnConfig {
+                        updates,
+                        toggle_fraction: toggle,
+                        budget_fraction: 0.0,
+                        ..ChurnConfig::default()
+                    }
+                    .generate(inst, 100 + seed);
+                    // Engine construction (the identical initial full
+                    // solve) stays outside both clocks, mirroring the perf
+                    // rung's methodology: the columns isolate steady-state
+                    // batch cost.
+                    let mut incr_engine = IngestEngine::new(inst.clone(), config).unwrap();
+                    let start = Instant::now();
+                    let incr = replay_churn_with(&mut incr_engine, &trace, batch).unwrap();
+                    let incr_ms = start.elapsed().as_secs_f64() * 1e3;
+                    let mut full_engine = IngestEngine::new(inst.clone(), full_config).unwrap();
+                    let start = Instant::now();
+                    let full = replay_churn_with(&mut full_engine, &trace, batch).unwrap();
+                    let full_ms = start.elapsed().as_secs_f64() * 1e3;
+                    assert_eq!(
+                        incr.final_utility.to_bits(),
+                        full.final_utility.to_bits(),
+                        "equivalence contract"
+                    );
+                    (
+                        incr.resolved_shard_fraction,
+                        incr.full_resolves as f64,
+                        incr.utility_retention,
+                        100.0 * incr.mean_gap_fraction,
+                        incr_ms,
+                        full_ms,
+                    )
+                })
+                .collect();
+            let n = rows.len() as f64;
+            let sum = rows.iter().fold([0.0f64; 6], |mut acc, r| {
+                for (a, v) in acc.iter_mut().zip([r.0, r.1, r.2, r.3, r.4, r.5]) {
+                    *a += v;
+                }
+                acc
+            });
+            table.row(&[
+                label.to_string(),
+                f2(toggle),
+                f3(sum[0] / n),
+                format!("{:.1}", sum[1] / n),
+                f3(sum[2] / n),
+                f2(sum[3] / n),
+                f2(sum[4] / n),
+                f2(sum[5] / n),
+                format!("{:.2}x", (sum[5] / n) / (sum[4] / n).max(1e-9)),
+            ]);
+        }
+    }
+
+    let mut out = table.to_markdown();
+    out.push_str(
+        "\nOn open (uncontended) budgets low churn stays localized: few\n\
+         shards re-solve per batch and the incremental path wins by about\n\
+         the inverse dirty fraction. On tight budgets any bound change\n\
+         ripples through the water-fill, the dirty fraction approaches 1,\n\
+         and the trigger escalates to full re-solves — the paths converge.\n\
+         Retention tracks how much planned utility survives the churn; the\n\
+         gap column is the certified bracket after each batch.\n",
+    );
+    args.emit(&out).expect("writing --out");
+}

@@ -9,8 +9,13 @@
 //! ```text
 //! perf [--ladder small|full|tiny] [--threads N] [--out BENCH_perf.json]
 //!      [--baseline bench/baseline.json] [--tolerance 0.30]
-//!      [--write-baseline bench/baseline.json]
+//!      [--write-baseline bench/baseline.json] [--summary FILE]
 //! ```
+//!
+//! `--summary FILE` additionally writes the human-readable ladder table as
+//! markdown — the file CI appends to the GitHub Actions step summary so
+//! the per-commit perf trajectory is readable without downloading
+//! artifacts.
 //!
 //! Exit codes: 0 ok, 1 regression against the baseline, 2 usage error.
 
@@ -24,8 +29,13 @@ fn fail_usage(msg: &str) -> ! {
 }
 
 fn main() {
-    let args =
-        ExpArgs::from_env_also_allowing(&["ladder", "baseline", "write-baseline", "tolerance"]);
+    let args = ExpArgs::from_env_also_allowing(&[
+        "ladder",
+        "baseline",
+        "write-baseline",
+        "tolerance",
+        "summary",
+    ]);
     let ladder = match Ladder::parse(args.get("ladder").unwrap_or("full")) {
         Ok(l) => l,
         Err(e) => fail_usage(&e),
@@ -52,6 +62,13 @@ fn main() {
         fail_usage(&format!("cannot write {out}: {e}"));
     } else {
         eprintln!("wrote {out}");
+    }
+
+    if let Some(path) = args.get("summary") {
+        if let Err(e) = std::fs::write(path, report.to_table()) {
+            fail_usage(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("wrote summary {path}");
     }
 
     if let Some(path) = args.get("write-baseline") {

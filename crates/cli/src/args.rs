@@ -55,6 +55,27 @@ pub enum Command {
         /// (0 = solve monolithically; pipeline algorithm only).
         shard_size: usize,
     },
+    /// `ingest`: replay a seeded churn trace through the incremental
+    /// ingest engine.
+    Ingest {
+        /// Input path.
+        input: String,
+        /// Total updates to generate and apply.
+        updates: usize,
+        /// Updates per applied batch.
+        batch: usize,
+        /// Churn trace seed.
+        seed: u64,
+        /// Churn mix: `low` (drift only) or `mixed` (full update language).
+        churn: String,
+        /// Target shard size in streams (0 = component granularity).
+        shard_size: usize,
+        /// Worker threads (0 = all cores, 1 = sequential).
+        threads: usize,
+        /// Differentially verify the final state against a from-scratch
+        /// sharded solve.
+        verify: bool,
+    },
     /// `simulate`: run the DES on an instance file.
     Simulate {
         /// Input path.
@@ -101,6 +122,8 @@ USAGE:
               [--shard-size N]
   mmd-cli simulate --input FILE [--policy online|threshold|oracle]
               [--margin X] [--rate X] [--duration X] [--seed N] [--threads N]
+  mmd-cli ingest --input FILE [--updates N] [--batch N] [--seed N]
+              [--churn low|mixed] [--shard-size N] [--threads N] [--verify]
 
   --threads N uses N worker threads (0 = all cores); results are
   bit-identical at any thread count.
@@ -108,6 +131,12 @@ USAGE:
   stream-audience connectivity into shards of at most N streams, shards
   are solved concurrently, and the shared budgets are reconciled; the
   report includes the certified optimality gap.
+  ingest generates a seeded churn trace (arrivals/departures, interest
+  drift, budget changes) and applies it in batches through the incremental
+  ingest engine, which re-solves only the dirty shards; every batch
+  refreshes the certified utility <= OPT <= upper-bound bracket.
+  --verify additionally checks the final state against a from-scratch
+  sharded solve of the updated instance (bit-identical by contract).
   mmd-cli help
 ";
 
@@ -117,7 +146,7 @@ fn flags_to_map(args: &[String]) -> Result<BTreeMap<String, String>, ArgError> {
     while i < args.len() {
         let key = &args[i];
         if let Some(name) = key.strip_prefix("--") {
-            if name == "no-fill" || name == "faithful" {
+            if name == "no-fill" || name == "faithful" || name == "verify" {
                 map.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else {
@@ -201,6 +230,23 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 margin: get_num(&map, "margin", 1.0f64)?,
                 threads: get_num(&map, "threads", 1usize)?,
                 shard_size: get_num(&map, "shard-size", 0usize)?,
+            })
+        }
+        "ingest" => {
+            let map = flags_to_map(rest)?;
+            let input = map
+                .get("input")
+                .cloned()
+                .ok_or_else(|| ArgError("ingest requires --input FILE".into()))?;
+            Ok(Command::Ingest {
+                input,
+                updates: get_num(&map, "updates", 200usize)?,
+                batch: get_num(&map, "batch", 16usize)?,
+                seed: get_num(&map, "seed", 0u64)?,
+                churn: map.get("churn").cloned().unwrap_or_else(|| "mixed".into()),
+                shard_size: get_num(&map, "shard-size", 0usize)?,
+                threads: get_num(&map, "threads", 1usize)?,
+                verify: map.contains_key("verify"),
             })
         }
         "simulate" => {
@@ -329,6 +375,37 @@ mod tests {
             Command::Simulate { threads, .. } => assert_eq!(threads, 0),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_ingest_flags() {
+        let cmd = parse(&argv(
+            "ingest --input x.json --updates 500 --batch 25 --churn low --verify",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Ingest {
+                input,
+                updates,
+                batch,
+                churn,
+                verify,
+                threads,
+                ..
+            } => {
+                assert_eq!(input, "x.json");
+                assert_eq!(updates, 500);
+                assert_eq!(batch, 25);
+                assert_eq!(churn, "low");
+                assert!(verify);
+                assert_eq!(threads, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(
+            parse(&argv("ingest --updates 5")).is_err(),
+            "input required"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@ use mmd_core::algo::online::{OnlineAllocator, OnlineConfig};
 use mmd_core::algo::reduction::{solve_mmd, MmdConfig};
 use mmd_core::algo::shard::{solve_sharded, ShardConfig};
 use mmd_core::algo::{self, baselines, Feasibility, PartialEnumConfig};
+use mmd_core::ingest::{IngestConfig, IngestEngine};
 use mmd_core::skew;
 use mmd_core::Instance;
 use mmd_exact::{solve as exact_solve, ExactConfig, Objective};
@@ -88,6 +89,21 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
         } => {
             let instance = io::load(&input)?;
             simulate(&instance, &policy, margin, rate, duration, seed, threads)
+        }
+        Command::Ingest {
+            input,
+            updates,
+            batch,
+            seed,
+            churn,
+            shard_size,
+            threads,
+            verify,
+        } => {
+            let instance = io::load(&input)?;
+            ingest(
+                &instance, updates, batch, seed, &churn, shard_size, threads, verify,
+            )
         }
     }
 }
@@ -342,6 +358,93 @@ fn solve_sharded_cmd(
     Ok(text)
 }
 
+/// `ingest`: seeded churn replay through the incremental engine.
+#[allow(clippy::too_many_arguments)]
+fn ingest(
+    instance: &Instance,
+    updates: usize,
+    batch: usize,
+    seed: u64,
+    churn: &str,
+    shard_size: usize,
+    threads: usize,
+    verify: bool,
+) -> Result<String, Box<dyn Error>> {
+    let churn_config = match churn {
+        "low" => mmd_workload::ChurnConfig::low(updates),
+        "mixed" => mmd_workload::ChurnConfig::mixed(updates),
+        other => return Err(format!("unknown churn mix: {other} (low|mixed)").into()),
+    };
+    let trace = churn_config.generate(instance, seed);
+    let config = IngestConfig {
+        shard: ShardConfig {
+            max_streams: shard_size,
+            threads,
+            ..ShardConfig::default()
+        },
+        ..IngestConfig::default()
+    };
+    let mut engine = IngestEngine::new(instance.clone(), config)?;
+    let report = mmd_sim::replay_churn_with(&mut engine, &trace, batch.max(1))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ingest: {churn} churn, {} updates in {} batches",
+        report.updates, report.batches
+    );
+    let _ = writeln!(
+        out,
+        "utility: {:.4} -> {:.4} (retention {:.3})",
+        report.initial_utility, report.final_utility, report.utility_retention
+    );
+    let final_outcome = report.final_outcome;
+    let _ = writeln!(
+        out,
+        "certified optimum in [{:.4}, {:.4}] (gap {:.2}%, mean {:.2}%)",
+        final_outcome.utility,
+        final_outcome.upper_bound,
+        100.0 * final_outcome.gap_fraction,
+        100.0 * report.mean_gap_fraction
+    );
+    let _ = writeln!(
+        out,
+        "re-solved shard fraction: {:.3} ({} full re-solves)",
+        report.resolved_shard_fraction, report.full_resolves
+    );
+    let _ = writeln!(
+        out,
+        "live streams: {} / {}",
+        report.final_live,
+        instance.num_streams()
+    );
+    if verify {
+        // Differential check: the replayed engine's final state against a
+        // from-scratch sharded solve of the final instance.
+        let scratch = solve_sharded(engine.current_instance(), &config.shard)?;
+        let identical = engine.assignment() == &scratch.assignment
+            && engine.utility().to_bits() == scratch.utility.to_bits()
+            && engine.last_outcome().upper_bound.to_bits() == scratch.upper_bound.to_bits();
+        let _ = writeln!(
+            out,
+            "verify vs from-scratch sharded solve: {}",
+            if identical {
+                "bit-identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+        if !identical {
+            return Err(format!(
+                "ingest state diverged from scratch: {} vs {}",
+                engine.utility(),
+                scratch.utility
+            )
+            .into());
+        }
+    }
+    Ok(out)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn simulate(
     instance: &Instance,
@@ -547,6 +650,40 @@ mod tests {
         )))
         .unwrap())
         .is_err());
+    }
+
+    #[test]
+    fn ingest_replays_churn_and_verifies() {
+        let path = tmpfile("ingest.json");
+        run(parse(&argv(&format!(
+            "gen --kind clustered --seed 6 --streams 18 --users 9 --clusters 3 --out {path}"
+        )))
+        .unwrap())
+        .unwrap();
+        let out = run(parse(&argv(&format!(
+            "ingest --input {path} --updates 60 --batch 10 --churn mixed --verify"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("certified optimum in"), "{out}");
+        assert!(out.contains("re-solved shard fraction"), "{out}");
+        assert!(out.contains("bit-identical"), "{out}");
+        // Identical at any thread count.
+        let two = run(parse(&argv(&format!(
+            "ingest --input {path} --updates 60 --batch 10 --churn mixed --threads 2"
+        )))
+        .unwrap())
+        .unwrap();
+        let one = run(parse(&argv(&format!(
+            "ingest --input {path} --updates 60 --batch 10 --churn mixed --threads 1"
+        )))
+        .unwrap())
+        .unwrap();
+        assert_eq!(one, two);
+        // Unknown churn mix is rejected.
+        assert!(
+            run(parse(&argv(&format!("ingest --input {path} --churn wild"))).unwrap()).is_err()
+        );
     }
 
     #[test]

@@ -85,6 +85,15 @@ pub struct OnlineReport {
 
 /// Incremental online allocator (Algorithm 2). Create once per instance,
 /// then [`offer`](Self::offer) streams in arrival order.
+///
+/// Loads are tracked as Neumaier-compensated *raw* cost sums (normalized on
+/// read): under churn an allocator sees arbitrarily long
+/// [`offer`](Self::offer)/[`release`](Self::release) interleavings, and the
+/// plain `+=`/`-=` accumulators of the original implementation let a heavy
+/// stream absorb the light streams' low-order load bits — after a release
+/// the freed headroom was not restored exactly, silently shifting later
+/// admission decisions (the same magnitude-cliff drift the coverage kernel
+/// fixes; `drift_free_offer_release_interleaving` pins the repair).
 #[derive(Clone, Debug)]
 pub struct OnlineAllocator<'a> {
     instance: &'a Instance,
@@ -92,11 +101,15 @@ pub struct OnlineAllocator<'a> {
     skew: GlobalSkew,
     mu: f64,
     log_mu: f64,
-    /// Normalized server loads `L(i) = c_i(S(A))/B_i` (finite measures; 0.0
-    /// kept for skipped ones).
-    server_load: Vec<f64>,
-    /// Normalized user loads per capacity measure.
-    user_load: Vec<Vec<f64>>,
+    /// Raw server cost sums `c_i(S(A))` per measure (primary lanes;
+    /// normalized load `L(i)` is derived on read).
+    server_cost: Vec<f64>,
+    /// Compensation lane for `server_cost`.
+    server_comp: Vec<f64>,
+    /// Raw user load sums per capacity measure (primary lanes).
+    user_cost: Vec<Vec<f64>>,
+    /// Compensation lanes for `user_cost`.
+    user_comp: Vec<Vec<f64>>,
     assignment: Assignment,
     offered: Vec<bool>,
     accepted: usize,
@@ -126,22 +139,47 @@ impl<'a> OnlineAllocator<'a> {
             .unwrap_or(2.0 * skew.gamma * skew.budget_count as f64 + 2.0)
             .max(2.0 + num::EPS);
         let log_mu = num::log2(mu);
+        let user_cost: Vec<Vec<f64>> = instance
+            .users()
+            .map(|u| vec![0.0; instance.user(u).num_capacities()])
+            .collect();
         Ok(OnlineAllocator {
             instance,
             config,
             skew,
             mu,
             log_mu,
-            server_load: vec![0.0; instance.num_measures()],
-            user_load: instance
-                .users()
-                .map(|u| vec![0.0; instance.user(u).num_capacities()])
-                .collect(),
+            server_cost: vec![0.0; instance.num_measures()],
+            server_comp: vec![0.0; instance.num_measures()],
+            user_comp: user_cost.clone(),
+            user_cost,
             assignment: Assignment::for_instance(instance),
             offered: vec![false; instance.num_streams()],
             accepted: 0,
             rejected: 0,
         })
+    }
+
+    /// The current normalized server load `L(i) = c_i(S(A))/B_i` (0 for
+    /// infinite or zero budgets).
+    pub fn server_load(&self, measure: usize) -> f64 {
+        let b = self.instance.budget(measure);
+        if b.is_finite() && b > 0.0 {
+            (self.server_cost[measure] + self.server_comp[measure]) / b
+        } else {
+            0.0
+        }
+    }
+
+    /// The current normalized load of one user capacity measure (0 for
+    /// infinite or zero capacities).
+    pub fn user_load(&self, user: UserId, measure: usize) -> f64 {
+        let cap = self.instance.user(user).capacities()[measure];
+        if cap.is_finite() && cap > 0.0 {
+            (self.user_cost[user.index()][measure] + self.user_comp[user.index()][measure]) / cap
+        } else {
+            0.0
+        }
     }
 
     /// The exponent base `µ`.
@@ -213,7 +251,7 @@ impl<'a> OnlineAllocator<'a> {
                     return 0.0;
                 }
                 let scaled = inst.cost(s, i) * self.skew.server_scales[i];
-                scaled * (self.mu.powf(self.server_load[i]) - 1.0)
+                scaled * (self.mu.powf(self.server_load(i)) - 1.0)
             })
             .sum()
     }
@@ -234,7 +272,7 @@ impl<'a> OnlineAllocator<'a> {
                     return 0.0;
                 }
                 let scaled = k * self.skew.user_scales[u.index()][j];
-                scaled * (self.mu.powf(self.user_load[u.index()][j]) - 1.0)
+                scaled * (self.mu.powf(self.user_load(u, j)) - 1.0)
             })
             .sum()
     }
@@ -250,7 +288,10 @@ impl<'a> OnlineAllocator<'a> {
             let cap = spec.capacities()[j];
             cap.is_finite()
                 && cap >= 0.0
-                && !num::approx_le(self.user_load[u.index()][j] * cap + k, cap)
+                && !num::approx_le(
+                    self.user_cost[u.index()][j] + self.user_comp[u.index()][j] + k,
+                    cap,
+                )
         })
     }
 
@@ -258,8 +299,78 @@ impl<'a> OnlineAllocator<'a> {
         let inst = self.instance;
         (0..inst.num_measures()).any(|i| {
             let b = inst.budget(i);
-            b.is_finite() && !num::approx_le(self.server_load[i] * b + inst.cost(s, i), b)
+            b.is_finite()
+                && !num::approx_le(
+                    self.server_cost[i] + self.server_comp[i] + inst.cost(s, i),
+                    b,
+                )
         })
+    }
+
+    /// Adds one accepted stream's raw costs and loads to the compensated
+    /// lanes (shared by [`offer`](Self::offer) and
+    /// [`preload`](Self::preload)).
+    fn charge(&mut self, s: StreamId, users: &[UserId]) {
+        for &u in users {
+            let spec = self.instance.user(u);
+            if let Some(interest) = spec.interest(s) {
+                for (j, &k) in interest.loads().iter().enumerate() {
+                    num::comp_add(
+                        &mut self.user_cost[u.index()][j],
+                        &mut self.user_comp[u.index()][j],
+                        k,
+                    );
+                }
+            }
+        }
+        for i in 0..self.instance.num_measures() {
+            num::comp_add(
+                &mut self.server_cost[i],
+                &mut self.server_comp[i],
+                self.instance.cost(s, i),
+            );
+        }
+    }
+
+    /// Installs an existing assignment as the allocator's starting state —
+    /// loads charged through the compensated lanes, every installed stream
+    /// marked offered — without running any admission decision. The warm
+    /// start the ingest engine uses to let Algorithm 2 admit arrivals
+    /// *between* incremental re-solves, on top of the committed solution.
+    ///
+    /// Streams of the assignment with no interest left in the instance
+    /// (e.g. departed since the assignment was computed) are skipped
+    /// entirely: their capacity is already free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after an offer was already made (the competitive
+    /// analysis assumes the preload precedes all decisions).
+    pub fn preload(&mut self, assignment: &Assignment) {
+        assert!(
+            self.assignment.is_empty() && self.accepted == 0 && self.rejected == 0,
+            "preload must precede all offers"
+        );
+        for s in assignment.range() {
+            if s.index() >= self.instance.num_streams() {
+                continue;
+            }
+            let users: Vec<UserId> = self
+                .instance
+                .audience(s)
+                .iter()
+                .map(|&(u, _)| u)
+                .filter(|&u| assignment.contains(u, s))
+                .collect();
+            if users.is_empty() {
+                continue;
+            }
+            for &u in &users {
+                self.assignment.assign(u, s);
+            }
+            self.charge(s, &users);
+            self.offered[s.index()] = true;
+        }
     }
 
     /// Offers one arriving stream (line 4 of Algorithm 2): finds the
@@ -315,22 +426,8 @@ impl<'a> OnlineAllocator<'a> {
             self.assignment.assign(u, s);
             gained += w;
             assigned.push(u);
-            let spec = self.instance.user(u);
-            if let Some(interest) = spec.interest(s) {
-                for (j, &k) in interest.loads().iter().enumerate() {
-                    let cap = spec.capacities()[j];
-                    if cap.is_finite() && cap > 0.0 {
-                        self.user_load[u.index()][j] += k / cap;
-                    }
-                }
-            }
         }
-        for i in 0..self.instance.num_measures() {
-            let b = self.instance.budget(i);
-            if b.is_finite() && b > 0.0 {
-                self.server_load[i] += self.instance.cost(s, i) / b;
-            }
-        }
+        self.charge(s, &assigned);
         self.accepted += 1;
         OfferOutcome {
             stream: s,
@@ -343,7 +440,19 @@ impl<'a> OnlineAllocator<'a> {
     /// footnote-1 extension for streams of finite duration. (The
     /// competitive analysis covers known-at-arrival requirements; release
     /// simply frees capacity for future arrivals.)
+    ///
+    /// The offered flag is cleared even for streams that were offered and
+    /// *rejected*: under churn a departure followed by a re-arrival must be
+    /// decidable afresh, and the original early return on `!in_range` left
+    /// rejected streams permanently unofferable (the stale-membership path
+    /// `rejected_stream_is_reofferable_after_release` pins).
     pub fn release(&mut self, s: StreamId) {
+        if s.index() >= self.instance.num_streams() {
+            return; // out-of-universe ids are a no-op, as in preload
+        }
+        // Allow the stream to be offered again after release, whether or
+        // not the earlier offer was accepted.
+        self.offered[s.index()] = false;
         if !self.assignment.in_range(s) {
             return;
         }
@@ -354,27 +463,26 @@ impl<'a> OnlineAllocator<'a> {
             .map(|&(u, _)| u)
             .filter(|&u| self.assignment.contains(u, s))
             .collect();
-        for u in users {
+        for &u in &users {
             self.assignment.unassign(u, s);
             let spec = self.instance.user(u);
             if let Some(interest) = spec.interest(s) {
                 for (j, &k) in interest.loads().iter().enumerate() {
-                    let cap = spec.capacities()[j];
-                    if cap.is_finite() && cap > 0.0 {
-                        self.user_load[u.index()][j] =
-                            (self.user_load[u.index()][j] - k / cap).max(0.0);
-                    }
+                    num::comp_add(
+                        &mut self.user_cost[u.index()][j],
+                        &mut self.user_comp[u.index()][j],
+                        -k,
+                    );
                 }
             }
         }
         for i in 0..self.instance.num_measures() {
-            let b = self.instance.budget(i);
-            if b.is_finite() && b > 0.0 {
-                self.server_load[i] = (self.server_load[i] - self.instance.cost(s, i) / b).max(0.0);
-            }
+            num::comp_add(
+                &mut self.server_cost[i],
+                &mut self.server_comp[i],
+                -self.instance.cost(s, i),
+            );
         }
-        // Allow the stream to be offered again after release.
-        self.offered[s.index()] = false;
     }
 
     /// Runs the allocator over a full arrival order and reports.
@@ -527,6 +635,209 @@ mod tests {
         // Re-offer after release succeeds again.
         let out = alloc.offer(s0);
         assert!(!out.assigned.is_empty());
+    }
+
+    /// Heavy and light streams whose costs and loads span ~16 orders of
+    /// magnitude: the workload under which plain `+=`/`-=` load accumulators
+    /// drift (a heavy term absorbs the light terms' low bits).
+    fn heavy_light_instance() -> Instance {
+        let mut b = Instance::builder("hl").server_budgets(vec![1e9]);
+        let mut streams = Vec::new();
+        for i in 0..24 {
+            let cost = if i % 4 == 0 { 3e7 } else { 7e-9 };
+            streams.push(b.add_stream(vec![cost]));
+        }
+        let u = b.add_user(f64::INFINITY, vec![1e9]);
+        for (i, &s) in streams.iter().enumerate() {
+            let load = if i % 4 == 0 { 2e7 } else { 5e-9 };
+            b.add_interest(u, s, 1.0, vec![load]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// The permissive configuration the drift tests run under: a fixed
+    /// small `µ` keeps the exponential costs mild so the heavy/light offers
+    /// are actually admitted and the accumulators genuinely exercised.
+    fn permissive() -> OnlineConfig {
+        OnlineConfig {
+            mu_override: Some(4.0),
+            ..OnlineConfig::default()
+        }
+    }
+
+    #[test]
+    fn drift_free_offer_release_interleaving() {
+        // Regression (PR 5): 1k offers/releases of interleaved heavy/light
+        // streams, then release of every heavy stream. The surviving state
+        // holds only light (~1e-8-scale) terms, so any low-order bits the
+        // heavy (~1e7-scale) terms absorbed during the interleaving stand
+        // out absolutely. The pre-fix plain `+=`/`-=` accumulators leave
+        // ~1e-7 of heavy-term residue here — orders of magnitude more than
+        // the entire surviving load — and fail this tolerance.
+        let inst = heavy_light_instance();
+        let mut alloc = OnlineAllocator::with_config(&inst, permissive()).unwrap();
+        let n = inst.num_streams();
+        for round in 0..1000usize {
+            let s = StreamId::new((round * 7 + round / n) % n);
+            if alloc.assignment().in_range(s) {
+                alloc.release(s);
+            } else {
+                alloc.offer(s);
+            }
+        }
+        for s in inst.streams() {
+            if inst.cost(s, 0) > 1.0 {
+                alloc.release(s);
+            }
+        }
+        // Exact recomputation from the surviving (light-only) membership.
+        let u = UserId::new(0);
+        let mut exact_cost = 0.0f64;
+        let mut exact_load = 0.0f64;
+        for s in inst.streams() {
+            if alloc.assignment().in_range(s) {
+                exact_cost += inst.cost(s, 0);
+                exact_load += inst.load(u, s, 0);
+            }
+        }
+        let tol = 1e-15;
+        let got_cost = alloc.server_load(0) * inst.budget(0);
+        let got_load = alloc.user_load(u, 0) * inst.user(u).capacities()[0];
+        assert!(
+            (got_cost - exact_cost).abs() <= tol * exact_cost.abs().max(1.0),
+            "server cost drifted: {got_cost} vs exact {exact_cost}"
+        );
+        assert!(
+            (got_load - exact_load).abs() <= tol * exact_load.abs().max(1.0),
+            "user load drifted: {got_load} vs exact {exact_load}"
+        );
+        // And the reported utility agrees with the set-function evaluation.
+        let set: std::collections::BTreeSet<StreamId> = inst
+            .streams()
+            .filter(|&s| alloc.assignment().in_range(s))
+            .collect();
+        let eval = crate::coverage::eval_set(&inst, &set);
+        assert!(
+            (alloc.utility() - eval).abs() <= 1e-12 * eval.abs().max(1.0),
+            "utility {} vs eval_set {eval}",
+            alloc.utility()
+        );
+    }
+
+    #[test]
+    fn release_then_reoffer_keeps_admitting() {
+        // Offer/release the same heavy stream many times against a light
+        // background: the restored headroom must keep the re-offer decision
+        // stable, and the load must return to its pre-cycle value.
+        let inst = heavy_light_instance();
+        let mut alloc = OnlineAllocator::with_config(&inst, permissive()).unwrap();
+        for s in inst.streams().skip(1) {
+            alloc.offer(s);
+        }
+        let heavy = StreamId::new(0);
+        let before = alloc.server_load(0);
+        for cycle in 0..500 {
+            let out = alloc.offer(heavy);
+            assert!(
+                !out.assigned.is_empty(),
+                "heavy stream must stay admissible (cycle {cycle})"
+            );
+            alloc.release(heavy);
+        }
+        let after = alloc.server_load(0);
+        assert!(
+            (after - before).abs() <= 1e-15 * before.abs().max(1e-15),
+            "500 offer/release cycles must restore the load: {before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn rejected_stream_is_reofferable_after_release() {
+        // A stream rejected under load must become offerable again once
+        // release frees capacity — the stale-membership path: the pre-fix
+        // release() returned early for out-of-range streams and never
+        // cleared the offered flag.
+        let mut b = Instance::builder("stale").server_budgets(vec![10.0]);
+        let mut streams = Vec::new();
+        for _ in 0..40 {
+            streams.push(b.add_stream(vec![1.0]));
+        }
+        let u = b.add_user(f64::INFINITY, vec![1000.0]);
+        for &s in &streams {
+            b.add_interest(u, s, 1.0, vec![1.0]).unwrap();
+        }
+        let inst = b.build().unwrap();
+        let mut alloc = OnlineAllocator::new(&inst).unwrap();
+        let mut rejected_stream = None;
+        for s in inst.streams() {
+            if alloc.offer(s).assigned.is_empty() {
+                rejected_stream = Some(s);
+                break;
+            }
+        }
+        let rejected = rejected_stream.expect("tight budget must reject something");
+        // Free everything that was admitted, and the rejected stream too.
+        for s in inst.streams() {
+            alloc.release(s);
+        }
+        let out = alloc.offer(rejected);
+        assert!(
+            !out.assigned.is_empty(),
+            "rejected stream must be decidable afresh after release"
+        );
+    }
+
+    #[test]
+    fn release_of_out_of_universe_stream_is_a_noop() {
+        // Ingest callers can hold ids from a larger universe (preload
+        // tolerates them); release must stay a graceful no-op, not index
+        // past the offered lane.
+        let inst = small_instance(5, 2);
+        let mut alloc = OnlineAllocator::new(&inst).unwrap();
+        alloc.offer(StreamId::new(0));
+        let before = alloc.assignment().clone();
+        alloc.release(StreamId::new(99));
+        assert_eq!(alloc.assignment(), &before);
+    }
+
+    #[test]
+    fn preload_warm_starts_the_allocator() {
+        let inst = small_instance(10, 2);
+        // Build a committed assignment by running an allocator over a
+        // prefix of the streams.
+        let mut first = OnlineAllocator::new(&inst).unwrap();
+        for s in inst.streams().take(4) {
+            first.offer(s);
+        }
+        let committed = first.assignment().clone();
+        // A preloaded allocator starts from that state...
+        let mut warm = OnlineAllocator::new(&inst).unwrap();
+        warm.preload(&committed);
+        assert_eq!(warm.assignment(), &committed);
+        for i in 0..inst.num_measures() {
+            assert_eq!(
+                warm.server_load(i).to_bits(),
+                first.server_load(i).to_bits()
+            );
+        }
+        // ...refuses to re-offer preloaded streams...
+        let s0 = StreamId::new(0);
+        assert!(warm.offer(s0).assigned.is_empty());
+        // ...and admits fresh arrivals with the loads accounted for.
+        let fresh = StreamId::new(7);
+        let out = warm.offer(fresh);
+        assert!(!out.assigned.is_empty());
+        assert!(warm.assignment().in_range(fresh));
+    }
+
+    #[test]
+    #[should_panic(expected = "preload must precede all offers")]
+    fn preload_after_offer_panics() {
+        let inst = small_instance(5, 2);
+        let mut alloc = OnlineAllocator::new(&inst).unwrap();
+        alloc.offer(StreamId::new(0));
+        let other = Assignment::for_instance(&inst);
+        alloc.preload(&other);
     }
 
     #[test]

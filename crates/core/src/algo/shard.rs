@@ -446,8 +446,10 @@ pub fn build_shard_instance(
 /// `local_of` maps a global stream id to its dense local index within the
 /// shard, or `None` for streams outside it. [`solve_sharded`] passes a
 /// lookup backed by [`Sharding`]'s precomputed maps so that building every
-/// shard costs O(shard), not O(instance) each.
-fn build_shard_instance_with(
+/// shard costs O(shard), not O(instance) each. Crate-visible so the ingest
+/// engine builds its dirty shards through the identical path (bit-for-bit
+/// equivalence with a from-scratch [`solve_sharded`] depends on it).
+pub(crate) fn build_shard_instance_with(
     instance: &Instance,
     shard: &Shard,
     budgets: &[f64],
@@ -573,6 +575,27 @@ fn utility_upper_bound_with(
     best
 }
 
+/// The per-shard upper bound of [`utility_upper_bound`], computed through a
+/// [`Sharding`]'s precomputed membership maps so that bounding one shard
+/// costs O(shard), not O(instance). This is the bound [`solve_sharded`]
+/// derives internally for every shard; the ingest engine calls it per
+/// *dirty* shard to refresh its cached certificate terms incrementally.
+///
+/// # Panics
+///
+/// Panics if `k` is not a valid shard index of `sharding`.
+#[must_use]
+pub fn shard_utility_bound(instance: &Instance, sharding: &Sharding, k: usize) -> f64 {
+    let shard = &sharding.shards[k];
+    utility_upper_bound_with(
+        instance,
+        &shard.streams,
+        &shard.users,
+        &|u| sharding.shard_of_user[u.index()] == k,
+        &|s| sharding.shard_of_stream[s.index()] == k,
+    )
+}
+
 /// Result of [`solve_sharded`]: a feasible assignment plus the certificate
 /// bracketing the optimum (`utility ≤ OPT ≤ upper_bound`).
 #[derive(Clone, Debug)]
@@ -633,19 +656,8 @@ pub fn solve_sharded(
     }
     // Per-shard upper bounds double as the water-filling weights: budget
     // flows to the shards whose streams can actually produce utility.
-    let shard_bounds: Vec<f64> = sharding
-        .shards
-        .iter()
-        .enumerate()
-        .map(|(k, sh)| {
-            utility_upper_bound_with(
-                instance,
-                &sh.streams,
-                &sh.users,
-                &|u| sharding.shard_of_user[u.index()] == k,
-                &|s| sharding.shard_of_stream[s.index()] == k,
-            )
-        })
+    let shard_bounds: Vec<f64> = (0..sharding.num_shards())
+        .map(|k| shard_utility_bound(instance, &sharding, k))
         .collect();
     let budgets = split_budgets(instance, &sharding, &shard_bounds, config.budget_slack);
     // Builds are independent per shard: fan them out on the same worker
@@ -987,6 +999,86 @@ mod tests {
         // And with no budget at all: all-zero shares.
         let none = waterfill(0.0, &[1.0, 2.0], &[0.0, 0.0]);
         assert_eq!(none, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn repair_is_a_noop_on_feasible_assignments() {
+        // Hot path under ingest: every applied batch runs the global repair
+        // pass, and on low-churn batches the merged assignment is already
+        // feasible — repair must return 0 and leave it untouched.
+        let inst = two_components();
+        let solved = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+        let mut assignment = solved.assignment.clone();
+        assert!(assignment.check_feasible(&inst).is_ok());
+        assert_eq!(repair_budgets(&inst, &mut assignment), 0);
+        assert_eq!(assignment, solved.assignment);
+        // Same for the trivial empty assignment.
+        let mut empty = Assignment::for_instance(&inst);
+        assert_eq!(repair_budgets(&inst, &mut empty), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn split_budgets_with_a_zero_demand_shard() {
+        // Mid-churn a shard can lose all its live streams (every one
+        // departed, costs zeroed): its demand in every measure is 0. The
+        // split must give it a zero share (never negative, never NaN) and
+        // hand the full budget to the shards that can spend it.
+        let mut b = Instance::builder("zd").server_budgets(vec![6.0]);
+        let s: Vec<_> = [4.0, 4.0, 0.0, 0.0]
+            .iter()
+            .map(|&c| b.add_stream(vec![c]))
+            .collect();
+        let u0 = b.add_user(10.0, vec![]);
+        let u1 = b.add_user(10.0, vec![]);
+        b.add_interest(u0, s[0], 1.0, vec![]).unwrap();
+        b.add_interest(u0, s[1], 1.0, vec![]).unwrap();
+        // Shard 1: only zero-cost (departed-like) streams.
+        b.add_interest(u1, s[2], 1.0, vec![]).unwrap();
+        b.add_interest(u1, s[3], 1.0, vec![]).unwrap();
+        let inst = b.build().unwrap();
+        let sharding = shard_instance(&inst, 0);
+        assert_eq!(sharding.num_shards(), 2);
+        let zero_shard = (0..2)
+            .find(|&k| {
+                sharding.shards[k]
+                    .streams
+                    .iter()
+                    .all(|&st| inst.cost(st, 0) == 0.0)
+            })
+            .expect("one shard has only zero-cost streams");
+        let budgets = split_budgets(&inst, &sharding, &[1.0, 1.0], 0.2);
+        for share in &budgets {
+            assert!(
+                share.iter().all(|v| v.is_finite() && *v >= 0.0),
+                "{share:?}"
+            );
+        }
+        assert_eq!(budgets[zero_shard][0], 0.0, "zero demand gets zero share");
+        // The demanding shard takes the whole budget, inflated by the 0.2
+        // slack (resolved later by the global repair pass), capped at its
+        // demand: min(6.0 × 1.2, 8.0) = 7.2.
+        let other = 1 - zero_shard;
+        assert!(approx_eq(budgets[other][0], 7.2), "{budgets:?}");
+        // The full sharded solve over this shape stays well-formed.
+        let out = solve_sharded(&inst, &ShardConfig::default()).unwrap();
+        assert!(out.assignment.check_feasible(&inst).is_ok());
+        assert!(out.utility > 0.0);
+    }
+
+    #[test]
+    fn shard_bound_helper_matches_direct_bound() {
+        let inst = two_components();
+        let sharding = shard_instance(&inst, 0);
+        for k in 0..sharding.num_shards() {
+            let direct = utility_upper_bound(
+                &inst,
+                &sharding.shards[k].streams,
+                &sharding.shards[k].users,
+            );
+            let via_maps = shard_utility_bound(&inst, &sharding, k);
+            assert_eq!(direct.to_bits(), via_maps.to_bits(), "shard {k}");
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@
 
 use crate::ids::{StreamId, UserId};
 use crate::instance::Instance;
+use crate::num::comp_add;
 use std::collections::BTreeSet;
 
 /// Mutating operations between two exact re-derivations of the state from
@@ -45,20 +46,6 @@ use std::collections::BTreeSet;
 /// independently of the operation mix, at amortized `O(Σ audience / 4096)`
 /// per mutation.
 pub const RESYNC_INTERVAL: u32 = 4096;
-
-/// Neumaier-compensated add: accumulates `x` into `sum`, banking the
-/// rounding error into `comp` so that `sum + comp` carries the bits a plain
-/// `+=` would discard (the magnitude-cliff drift of the pre-SoA kernel).
-#[inline]
-fn comp_add(sum: &mut f64, comp: &mut f64, x: f64) {
-    let t = *sum + x;
-    *comp += if sum.abs() >= x.abs() {
-        (*sum - t) + x
-    } else {
-        (x - t) + *sum
-    };
-    *sum = t;
-}
 
 /// Headroom `max(0, W_u − raw_u)`; infinite caps stay infinite.
 #[inline]
@@ -145,6 +132,20 @@ impl<'a> CoverageState<'a> {
             in_set: vec![false; instance.num_streams()],
             set: BTreeSet::new(),
         }
+    }
+
+    /// Starts from a given stream set, derived exactly (the resync path):
+    /// the incremental entry point for long-lived consumers — the ingest
+    /// engine and churn replays re-anchor a kernel on a committed
+    /// assignment's range instead of replaying its add history.
+    pub fn with_set(instance: &'a Instance, set: impl IntoIterator<Item = StreamId>) -> Self {
+        let mut state = CoverageState::new(instance);
+        state.set = set.into_iter().collect();
+        for &s in &state.set {
+            state.in_set[s.index()] = true;
+        }
+        state.resync();
+        state
     }
 
     /// The current set `T`.
@@ -444,6 +445,25 @@ mod tests {
         // Re-adding yields zero gain.
         assert_eq!(state.gain(sid(0)), 0.0);
         assert_eq!(state.add(sid(0)), 0.0);
+    }
+
+    #[test]
+    fn with_set_matches_incremental_build() {
+        let inst = inst();
+        let mut built = CoverageState::new(&inst);
+        for s in [sid(0), sid(2)] {
+            built.add(s);
+        }
+        let anchored = CoverageState::with_set(&inst, [sid(0), sid(2)]);
+        assert_eq!(anchored.set(), built.set());
+        assert!(approx_eq(anchored.value(), built.value()));
+        assert!(approx_eq(anchored.value(), eval_set(&inst, anchored.set())));
+        // The anchored state keeps working incrementally.
+        let mut anchored = anchored;
+        let predicted = anchored.gain(sid(1));
+        let realized = anchored.add(sid(1));
+        assert!(approx_eq(predicted, realized));
+        assert!(approx_eq(anchored.value(), eval_set(&inst, anchored.set())));
     }
 
     #[test]

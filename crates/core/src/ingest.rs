@@ -1,0 +1,1164 @@
+//! **Async ingest**: a streaming update frontend with incremental
+//! shard-local re-solve.
+//!
+//! The paper's §5 setting is a system under churn — streams arrive and
+//! depart continuously, interests drift, budgets get re-provisioned. The
+//! offline pipeline answers every change by regenerating and re-solving the
+//! whole instance; this module answers it incrementally. An
+//! [`IngestEngine`] owns a live problem model and its committed solution,
+//! accepts a typed update stream ([`Update`]), maps each applied batch to
+//! the minimal set of *dirty* shards through the stream–audience graph of
+//! [`crate::algo::shard`], and re-solves only those shards — the clean
+//! shards' solutions, upper bounds and budget shares are reused from cache.
+//!
+//! # Equivalence contract
+//!
+//! After every [`apply`](IngestEngine::apply) the engine's state is
+//! **bit-identical** to a from-scratch [`solve_sharded`] of the updated
+//! instance at the same [`ShardConfig`] — the property
+//! `tests/ingest_churn.rs` pins differentially across thread counts. The
+//! engine guarantees it by construction rather than by approximation:
+//!
+//! * the shard *partition* is refreshed on every apply (a cheap
+//!   near-linear pass), so structural drift cannot accumulate;
+//! * a cached per-shard solution is reused only when the shard's
+//!   membership, its intra-shard content (no touched stream or user) *and*
+//!   its water-filled budget share are unchanged — anything else re-solves
+//!   through the identical [`solve_batch`] path;
+//! * the global passes (budget water-fill, repair, residual fill) are
+//!   re-run on every apply, exactly as [`solve_sharded`] runs them. The
+//!   water-fill is re-derived from per-shard upper bounds that are
+//!   recomputed for dirty shards (and for all shards when a shared budget
+//!   was touched) and reused verbatim otherwise.
+//!
+//! The expensive part of a sharded solve is the per-shard pipeline solves;
+//! everything reused or re-run above is linear-ish bookkeeping. On
+//! low-churn batches over many shards the incremental path therefore beats
+//! the full re-solve by roughly the inverse dirty fraction (the `ingest`
+//! rungs of the perf ladder gate this).
+//!
+//! # Certificate semantics
+//!
+//! Every applied batch returns an [`IngestOutcome`] with a refreshed
+//! *certified* bracket `utility ≤ OPT ≤ upper_bound` for the updated
+//! instance (same Lemma 2.1 argument as the sharded solver: per-shard
+//! bounds plus cut mass). Between applies the committed certificate keeps
+//! referring to the last applied state; pending updates are provisional
+//! until the next apply.
+//!
+//! # Re-shard trigger
+//!
+//! When a batch dirties more than [`IngestConfig::max_dirty_fraction`] of
+//! the shards, or the cut mass exceeds [`IngestConfig::max_cut_fraction`]
+//! of the upper bound, the engine escalates to a full re-solve of every
+//! shard (the partition itself is always fresh). Incremental bookkeeping
+//! buys nothing once most of the solution is stale — the trigger keeps the
+//! engine from paying cache-maintenance overhead on top of a full solve's
+//! work.
+//!
+//! # Admission between re-solves
+//!
+//! [`provisional_admissions`](IngestEngine::provisional_admissions) runs
+//! the §5 [`OnlineAllocator`] (Algorithm 2) over the pending updates:
+//! warm-started from the committed assignment via
+//! [`preload`](OnlineAllocator::preload), it decides each pending arrival
+//! by the exponential-cost rule, giving an immediate, feasibility-safe
+//! admission verdict without waiting for the batch re-solve (which later
+//! supersedes it).
+//!
+//! [`solve_sharded`]: crate::algo::shard::solve_sharded
+
+use crate::algo::batch::solve_batch;
+use crate::algo::online::{OfferOutcome, OnlineAllocator, OnlineConfig};
+use crate::algo::reduction::residual_fill;
+use crate::algo::shard::{
+    build_shard_instance_with, repair_budgets, shard_instance, shard_utility_bound, split_budgets,
+    ShardConfig,
+};
+use crate::assignment::Assignment;
+use crate::error::{BuildError, SolveError};
+use crate::ids::{StreamId, UserId};
+use crate::instance::Instance;
+use crate::num;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One update of the streaming frontend.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Update {
+    /// The stream becomes available: its costs and its current interests
+    /// re-enter the instance. A no-op if the stream is already live.
+    StreamArrival(StreamId),
+    /// The stream leaves: its costs and interests leave the instance (its
+    /// interest weights are retained for a later re-arrival). A no-op if
+    /// the stream is already departed.
+    StreamDeparture(StreamId),
+    /// Sets the utility `w_u(S)` to `weight`. `0` removes the interest;
+    /// a weight for a previously unknown (user, stream) pair creates one
+    /// (with zero capacity loads). Weights of departed streams are updated
+    /// in the retained model and take effect on re-arrival.
+    InterestChange {
+        /// The user whose interest changes.
+        user: UserId,
+        /// The stream concerned.
+        stream: StreamId,
+        /// The new utility (finite, nonnegative; `0` removes).
+        weight: f64,
+    },
+    /// Re-provisions server budget `B_i`. Must remain at least the cost of
+    /// every currently live stream in that measure (model assumption
+    /// `c_i(S) ≤ B_i`).
+    BudgetChange {
+        /// The server measure.
+        measure: usize,
+        /// The new budget (nonnegative; `f64::INFINITY` = unconstrained).
+        budget: f64,
+    },
+}
+
+/// Errors raised by [`IngestEngine`] operations.
+#[derive(Debug)]
+pub enum IngestError {
+    /// An update referenced a stream outside the engine's universe.
+    UnknownStream(StreamId),
+    /// An update referenced an unknown user.
+    UnknownUser(UserId),
+    /// An update referenced an unknown server measure.
+    UnknownMeasure(usize),
+    /// An interest weight was negative, infinite or NaN.
+    InvalidWeight {
+        /// The offending update's user.
+        user: UserId,
+        /// The offending update's stream.
+        stream: StreamId,
+        /// The rejected weight.
+        weight: f64,
+    },
+    /// A budget was negative or NaN.
+    InvalidBudget {
+        /// The measure concerned.
+        measure: usize,
+        /// The rejected budget.
+        budget: f64,
+    },
+    /// Applying the update would violate `c_i(S) ≤ B_i` for a live stream.
+    CostExceedsBudget {
+        /// The stream whose cost no longer fits.
+        stream: StreamId,
+        /// The measure concerned.
+        measure: usize,
+        /// The stream's cost in that measure.
+        cost: f64,
+        /// The budget it exceeds.
+        budget: f64,
+    },
+    /// Materializing the updated instance failed (internal invariant).
+    Build(BuildError),
+    /// A shard solve failed.
+    Solve(SolveError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::UnknownStream(s) => write!(f, "update references unknown {s}"),
+            IngestError::UnknownUser(u) => write!(f, "update references unknown {u}"),
+            IngestError::UnknownMeasure(i) => write!(f, "update references unknown measure {i}"),
+            IngestError::InvalidWeight {
+                user,
+                stream,
+                weight,
+            } => write!(f, "invalid weight {weight} for ({user}, {stream})"),
+            IngestError::InvalidBudget { measure, budget } => {
+                write!(f, "invalid budget {budget} for measure {measure}")
+            }
+            IngestError::CostExceedsBudget {
+                stream,
+                measure,
+                cost,
+                budget,
+            } => write!(
+                f,
+                "{stream} costs {cost} in measure {measure}, above budget {budget}"
+            ),
+            IngestError::Build(e) => write!(f, "materializing updated instance: {e}"),
+            IngestError::Solve(e) => write!(f, "re-solving dirty shards: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<BuildError> for IngestError {
+    fn from(e: BuildError) -> Self {
+        IngestError::Build(e)
+    }
+}
+
+impl From<SolveError> for IngestError {
+    fn from(e: SolveError) -> Self {
+        IngestError::Solve(e)
+    }
+}
+
+/// Configuration for [`IngestEngine`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IngestConfig {
+    /// The sharded-solver configuration every state is solved under (shard
+    /// size cap, thread count, per-shard pipeline, budget slack). The
+    /// engine's equivalence contract is against [`solve_sharded`] at
+    /// exactly this configuration.
+    ///
+    /// [`solve_sharded`]: crate::algo::shard::solve_sharded
+    pub shard: ShardConfig,
+    /// Full re-solve when a batch dirties more than this fraction of the
+    /// shards (see the module docs). `1.0` never escalates; `0.0`
+    /// escalates on any dirt at all (a batch that touched nothing still
+    /// re-solves nothing — there is nothing stale to refresh).
+    pub max_dirty_fraction: f64,
+    /// Full re-solve when `cut_mass / upper_bound` exceeds this fraction —
+    /// the partition has degraded enough that cached locality is suspect.
+    pub max_cut_fraction: f64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            shard: ShardConfig::default(),
+            max_dirty_fraction: 0.5,
+            max_cut_fraction: 0.25,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// Sets the worker thread count of the shard fan-out.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.shard.threads = threads;
+        self
+    }
+}
+
+/// The result of one applied batch: how much work the batch caused, and
+/// the refreshed certificate for the updated instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IngestOutcome {
+    /// Updates applied in this batch.
+    pub updates_applied: usize,
+    /// Shards of the refreshed partition.
+    pub num_shards: usize,
+    /// Shards the updates dirtied (before any trigger escalation).
+    pub dirty_shards: usize,
+    /// Shards actually re-solved (equals `num_shards` on a full re-solve).
+    pub resolved_shards: usize,
+    /// Whether a re-shard trigger escalated this batch to a full re-solve.
+    pub full_resolve: bool,
+    /// Capped utility of the committed assignment — certified lower bound.
+    pub utility: f64,
+    /// Certified upper bound on the updated instance's optimum.
+    pub upper_bound: f64,
+    /// Relative gap `(upper_bound − utility) / upper_bound`, clamped to
+    /// `[0, 1]`, `0` when the upper bound is `0`.
+    pub gap_fraction: f64,
+    /// Interests cut by the size-capped splitter in the fresh partition.
+    pub cut_edges: usize,
+    /// Total utility of the cut interests.
+    pub cut_mass: f64,
+    /// Streams dropped by the global budget repair pass.
+    pub repaired_streams: usize,
+}
+
+/// One user's current interest state in the mutable model.
+#[derive(Clone, Debug)]
+struct InterestState {
+    weight: f64,
+    loads: Vec<f64>,
+}
+
+/// Per-element touch flags accumulated while a batch is applied to the
+/// model: the inputs of the dirty-shard computation.
+struct Touched {
+    streams: Vec<bool>,
+    users: Vec<bool>,
+    budgets: bool,
+}
+
+impl Touched {
+    fn new(ns: usize, nu: usize) -> Self {
+        Touched {
+            streams: vec![false; ns],
+            users: vec![false; nu],
+            budgets: false,
+        }
+    }
+
+    fn everything(ns: usize, nu: usize) -> Self {
+        Touched {
+            streams: vec![true; ns],
+            users: vec![true; nu],
+            budgets: true,
+        }
+    }
+}
+
+/// The mutable problem model behind the immutable [`Instance`] snapshots.
+#[derive(Clone, Debug)]
+struct Model {
+    live: Vec<bool>,
+    budgets: Vec<f64>,
+    /// Per user: current interests (weight + capacity loads), keyed by
+    /// stream. Retained across departures so re-arrivals restore them.
+    interests: Vec<BTreeMap<StreamId, InterestState>>,
+}
+
+impl Model {
+    fn from_instance(base: &Instance) -> Self {
+        Model {
+            live: vec![true; base.num_streams()],
+            budgets: base.budgets().to_vec(),
+            interests: base
+                .users()
+                .map(|u| {
+                    base.user(u)
+                        .interests()
+                        .iter()
+                        .map(|i| {
+                            (
+                                i.stream(),
+                                InterestState {
+                                    weight: i.utility(),
+                                    loads: i.loads().to_vec(),
+                                },
+                            )
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Applies one update, recording what it touched. Errors leave the
+    /// model in the state reached so far — callers apply batches to a
+    /// scratch clone and commit on success.
+    fn apply(
+        &mut self,
+        base: &Instance,
+        update: &Update,
+        touched: &mut Touched,
+    ) -> Result<(), IngestError> {
+        match *update {
+            Update::StreamArrival(s) => {
+                if s.index() >= base.num_streams() {
+                    return Err(IngestError::UnknownStream(s));
+                }
+                for (i, &b) in self.budgets.iter().enumerate() {
+                    let cost = base.cost(s, i);
+                    if !num::approx_le(cost, b) {
+                        return Err(IngestError::CostExceedsBudget {
+                            stream: s,
+                            measure: i,
+                            cost,
+                            budget: b,
+                        });
+                    }
+                }
+                if !self.live[s.index()] {
+                    self.live[s.index()] = true;
+                    touched.streams[s.index()] = true;
+                }
+            }
+            Update::StreamDeparture(s) => {
+                if s.index() >= base.num_streams() {
+                    return Err(IngestError::UnknownStream(s));
+                }
+                if self.live[s.index()] {
+                    self.live[s.index()] = false;
+                    touched.streams[s.index()] = true;
+                }
+            }
+            Update::InterestChange {
+                user,
+                stream,
+                weight,
+            } => {
+                if stream.index() >= base.num_streams() {
+                    return Err(IngestError::UnknownStream(stream));
+                }
+                if user.index() >= base.num_users() {
+                    return Err(IngestError::UnknownUser(user));
+                }
+                if !weight.is_finite() || weight < 0.0 {
+                    return Err(IngestError::InvalidWeight {
+                        user,
+                        stream,
+                        weight,
+                    });
+                }
+                let per_user = &mut self.interests[user.index()];
+                if weight == 0.0 {
+                    per_user.remove(&stream);
+                } else {
+                    let m_c = base.user(user).num_capacities();
+                    per_user
+                        .entry(stream)
+                        .and_modify(|i| i.weight = weight)
+                        .or_insert_with(|| InterestState {
+                            weight,
+                            loads: vec![0.0; m_c],
+                        });
+                }
+                // Weight edits of departed streams change nothing
+                // materialized; the eventual re-arrival touches the stream.
+                if self.live[stream.index()] {
+                    touched.streams[stream.index()] = true;
+                    touched.users[user.index()] = true;
+                }
+            }
+            Update::BudgetChange { measure, budget } => {
+                if measure >= self.budgets.len() {
+                    return Err(IngestError::UnknownMeasure(measure));
+                }
+                if budget.is_nan() || budget < 0.0 {
+                    return Err(IngestError::InvalidBudget { measure, budget });
+                }
+                for (si, &live) in self.live.iter().enumerate() {
+                    let s = StreamId::new(si);
+                    let cost = base.cost(s, measure);
+                    if live && !num::approx_le(cost, budget) {
+                        return Err(IngestError::CostExceedsBudget {
+                            stream: s,
+                            measure,
+                            cost,
+                            budget,
+                        });
+                    }
+                }
+                if self.budgets[measure] != budget {
+                    self.budgets[measure] = budget;
+                    touched.budgets = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the immutable [`Instance`] snapshot of the current model:
+    /// departed streams stay in the universe (stable ids) with zero costs
+    /// and no interests.
+    fn materialize(&self, base: &Instance) -> Result<Instance, BuildError> {
+        let m = base.num_measures();
+        let mut b = Instance::builder(base.name()).server_budgets(self.budgets.clone());
+        for s in base.streams() {
+            b.add_stream(if self.live[s.index()] {
+                base.costs(s).to_vec()
+            } else {
+                vec![0.0; m]
+            });
+        }
+        for u in base.users() {
+            let spec = base.user(u);
+            b.add_user(spec.utility_cap(), spec.capacities().to_vec());
+        }
+        for (ui, per_user) in self.interests.iter().enumerate() {
+            for (&s, interest) in per_user {
+                if self.live[s.index()] && interest.weight > 0.0 {
+                    b.add_interest(UserId::new(ui), s, interest.weight, interest.loads.clone())?;
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// Everything cached about one solved shard, keyed by its membership.
+#[derive(Clone, Debug)]
+struct ShardCacheEntry {
+    streams: Vec<StreamId>,
+    users: Vec<UserId>,
+    /// The budget share the cached solution was solved under.
+    budgets: Vec<f64>,
+    /// The shard's certified utility upper bound under the full budgets.
+    bound: f64,
+    /// The cached local-id solution of the shard.
+    local: Assignment,
+}
+
+/// The stateful streaming frontend (see the [module docs](self)).
+#[derive(Clone, Debug)]
+pub struct IngestEngine {
+    base: Instance,
+    config: IngestConfig,
+    model: Model,
+    pending: Vec<Update>,
+    current: Instance,
+    assignment: Assignment,
+    cache: Vec<ShardCacheEntry>,
+    cached_shard_of_stream: Vec<usize>,
+    cached_shard_of_user: Vec<usize>,
+    last: IngestOutcome,
+}
+
+impl IngestEngine {
+    /// Creates an engine over `base` — every stream initially live — and
+    /// solves the initial state fully.
+    ///
+    /// # Errors
+    ///
+    /// Propagates materialization or solve failures ([`IngestError::Build`]
+    /// / [`IngestError::Solve`]; neither occurs for well-formed instances).
+    pub fn new(base: Instance, config: IngestConfig) -> Result<Self, IngestError> {
+        let model = Model::from_instance(&base);
+        let touched = Touched::everything(base.num_streams(), base.num_users());
+        let mut engine = IngestEngine {
+            current: base.clone(),
+            assignment: Assignment::for_instance(&base),
+            cache: Vec::new(),
+            cached_shard_of_stream: vec![usize::MAX; base.num_streams()],
+            cached_shard_of_user: vec![usize::MAX; base.num_users()],
+            model,
+            pending: Vec::new(),
+            last: IngestOutcome {
+                updates_applied: 0,
+                num_shards: 0,
+                dirty_shards: 0,
+                resolved_shards: 0,
+                full_resolve: true,
+                utility: 0.0,
+                upper_bound: 0.0,
+                gap_fraction: 0.0,
+                cut_edges: 0,
+                cut_mass: 0.0,
+                repaired_streams: 0,
+            },
+            base,
+            config,
+        };
+        engine.resolve(touched, 0)?;
+        Ok(engine)
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &IngestConfig {
+        &self.config
+    }
+
+    /// The committed instance snapshot (the last applied state).
+    pub fn current_instance(&self) -> &Instance {
+        &self.current
+    }
+
+    /// The committed assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Capped utility of the committed assignment.
+    pub fn utility(&self) -> f64 {
+        self.last.utility
+    }
+
+    /// The last applied batch's outcome (the current certificate).
+    pub fn last_outcome(&self) -> &IngestOutcome {
+        &self.last
+    }
+
+    /// Updates queued but not yet applied.
+    pub fn pending(&self) -> &[Update] {
+        &self.pending
+    }
+
+    /// Number of currently live streams (committed model).
+    pub fn num_live(&self) -> usize {
+        self.model.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Queues one update for the next [`apply`](Self::apply). Structural
+    /// validation (unknown ids, invalid numbers) happens immediately;
+    /// stateful validation (budget coverage) happens at apply time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the structural [`IngestError`] without queuing anything.
+    pub fn push(&mut self, update: Update) -> Result<(), IngestError> {
+        match update {
+            Update::StreamArrival(s) | Update::StreamDeparture(s) => {
+                if s.index() >= self.base.num_streams() {
+                    return Err(IngestError::UnknownStream(s));
+                }
+            }
+            Update::InterestChange {
+                user,
+                stream,
+                weight,
+            } => {
+                if stream.index() >= self.base.num_streams() {
+                    return Err(IngestError::UnknownStream(stream));
+                }
+                if user.index() >= self.base.num_users() {
+                    return Err(IngestError::UnknownUser(user));
+                }
+                if !weight.is_finite() || weight < 0.0 {
+                    return Err(IngestError::InvalidWeight {
+                        user,
+                        stream,
+                        weight,
+                    });
+                }
+            }
+            Update::BudgetChange { measure, budget } => {
+                if measure >= self.base.num_measures() {
+                    return Err(IngestError::UnknownMeasure(measure));
+                }
+                if budget.is_nan() || budget < 0.0 {
+                    return Err(IngestError::InvalidBudget { measure, budget });
+                }
+            }
+        }
+        self.pending.push(update);
+        Ok(())
+    }
+
+    /// Drops all pending updates without applying them.
+    pub fn clear_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Applies every pending update as one batch: mutates the model,
+    /// refreshes the shard partition, re-solves the dirty shards, re-runs
+    /// the global reconciliation passes, and returns the refreshed
+    /// certificate.
+    ///
+    /// On error (stateful validation or a solve failure) the committed
+    /// state is unchanged and the pending queue is retained for
+    /// inspection; [`clear_pending`](Self::clear_pending) discards it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IngestError`] encountered.
+    pub fn apply(&mut self) -> Result<IngestOutcome, IngestError> {
+        let mut scratch = self.model.clone();
+        let mut touched = Touched::new(self.base.num_streams(), self.base.num_users());
+        for update in &self.pending {
+            scratch.apply(&self.base, update, &mut touched)?;
+        }
+        let applied = self.pending.len();
+        let committed_model = std::mem::replace(&mut self.model, scratch);
+        match self.resolve(touched, applied) {
+            Ok(outcome) => {
+                self.pending.clear();
+                Ok(outcome)
+            }
+            Err(e) => {
+                self.model = committed_model;
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs the §5 online allocator over the pending updates: warm-started
+    /// from the committed assignment, each pending [`Update::StreamArrival`]
+    /// is offered (in queue order) and decided by the exponential-cost
+    /// rule. Purely advisory — the committed state is untouched, and the
+    /// next [`apply`](Self::apply) supersedes the provisional decisions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stateful validation errors from the pending batch and
+    /// [`SolveError`]s from the allocator's normalization.
+    pub fn provisional_admissions(
+        &self,
+        config: OnlineConfig,
+    ) -> Result<Vec<OfferOutcome>, IngestError> {
+        let mut scratch = self.model.clone();
+        let mut touched = Touched::new(self.base.num_streams(), self.base.num_users());
+        let mut arrivals = Vec::new();
+        for update in &self.pending {
+            scratch.apply(&self.base, update, &mut touched)?;
+            if let Update::StreamArrival(s) = *update {
+                arrivals.push(s);
+            }
+        }
+        let mut preview = scratch.materialize(&self.base)?;
+        // Audience-less live streams (every interest churned away) would
+        // fail the eq.-(1) normalization; they can never be assigned, so
+        // zeroing their costs changes no decision.
+        let orphans: Vec<StreamId> = preview
+            .streams()
+            .filter(|&s| {
+                preview.audience(s).is_empty() && preview.costs(s).iter().any(|&c| c > 0.0)
+            })
+            .collect();
+        if !orphans.is_empty() {
+            let mut no_cost = scratch.clone();
+            for s in &orphans {
+                no_cost.live[s.index()] = false;
+            }
+            preview = no_cost.materialize(&self.base)?;
+        }
+        let mut allocator =
+            OnlineAllocator::with_config(&preview, config).map_err(IngestError::Solve)?;
+        allocator.preload(&self.assignment);
+        Ok(arrivals.into_iter().map(|s| allocator.offer(s)).collect())
+    }
+
+    /// The incremental core: refreshes the partition, determines dirty
+    /// shards from `touched`, re-solves them, and re-runs the global
+    /// passes. Commits `current`, `assignment`, the cache and `last` on
+    /// success (see the module docs for the equivalence argument).
+    fn resolve(
+        &mut self,
+        touched: Touched,
+        updates_applied: usize,
+    ) -> Result<IngestOutcome, IngestError> {
+        let threads = self.config.shard.threads;
+        let current = self.model.materialize(&self.base)?;
+        let fresh = shard_instance(&current, self.config.shard.max_streams);
+        let n = fresh.num_shards();
+
+        // Match every fresh shard against the cached partition and decide
+        // content cleanliness: identical membership and nothing touched.
+        let mut matched: Vec<Option<usize>> = Vec::with_capacity(n);
+        for shard in &fresh.shards {
+            let j = shard
+                .streams
+                .first()
+                .map(|s| self.cached_shard_of_stream[s.index()])
+                .or_else(|| {
+                    shard
+                        .users
+                        .first()
+                        .map(|u| self.cached_shard_of_user[u.index()])
+                });
+            let j = match j {
+                Some(j) if j < self.cache.len() => j,
+                _ => {
+                    matched.push(None);
+                    continue;
+                }
+            };
+            let entry = &self.cache[j];
+            let clean = entry.streams == shard.streams
+                && entry.users == shard.users
+                && !shard.streams.iter().any(|s| touched.streams[s.index()])
+                && !shard.users.iter().any(|u| touched.users[u.index()]);
+            matched.push(clean.then_some(j));
+        }
+
+        // Per-shard upper bounds: reused for clean shards unless a shared
+        // budget was touched (the bound depends on the full budgets).
+        let bounds: Vec<f64> = (0..n)
+            .map(|k| match matched[k] {
+                Some(j) if !touched.budgets => self.cache[j].bound,
+                _ => shard_utility_bound(&current, &fresh, k),
+            })
+            .collect();
+        let shares = split_budgets(&current, &fresh, &bounds, self.config.shard.budget_slack);
+
+        // Dirty = content changed, or the water-fill moved the shard's
+        // budget share (ripple from a touched shard or budget).
+        let mut dirty: Vec<bool> = (0..n)
+            .map(|k| match matched[k] {
+                Some(j) => self.cache[j].budgets != shares[k],
+                None => true,
+            })
+            .collect();
+        let dirty_shards = dirty.iter().filter(|&&d| d).count();
+
+        let cut_mass = fresh.cut_mass;
+        let upper_bound = bounds.iter().sum::<f64>() + cut_mass;
+        let dirty_fraction = if n > 0 {
+            dirty_shards as f64 / n as f64
+        } else {
+            0.0
+        };
+        let cut_fraction = if upper_bound.is_finite() && upper_bound > 0.0 {
+            cut_mass / upper_bound
+        } else {
+            0.0
+        };
+        let full_resolve = dirty_fraction > self.config.max_dirty_fraction
+            || cut_fraction > self.config.max_cut_fraction;
+        if full_resolve {
+            dirty.iter_mut().for_each(|d| *d = true);
+        }
+        let resolved_shards = dirty.iter().filter(|&&d| d).count();
+
+        // Build and solve the dirty shards through the exact path
+        // solve_sharded uses (same sub-instances, same batch solver).
+        let mut local_of_stream = vec![0usize; current.num_streams()];
+        for shard in &fresh.shards {
+            for (li, &s) in shard.streams.iter().enumerate() {
+                local_of_stream[s.index()] = li;
+            }
+        }
+        let dirty_idx: Vec<usize> = (0..n).filter(|&k| dirty[k]).collect();
+        let subs: Vec<Instance> = mmd_par::parallel_map(threads, &dirty_idx, |_, &k| {
+            build_shard_instance_with(
+                &current,
+                &fresh.shards[k],
+                &shares[k],
+                &format!("{}#shard{k}", current.name()),
+                &|s| (fresh.shard_of_stream[s.index()] == k).then(|| local_of_stream[s.index()]),
+            )
+        });
+        let results = solve_batch(&subs, &self.config.shard.mmd, threads);
+
+        let mut locals: Vec<Assignment> = Vec::with_capacity(n);
+        let mut fresh_results = results.into_iter();
+        for k in 0..n {
+            if dirty[k] {
+                let outcome = fresh_results
+                    .next()
+                    .expect("one solve result per dirty shard")
+                    .map_err(IngestError::Solve)?;
+                locals.push(outcome.assignment);
+            } else {
+                let j = matched[k].expect("clean shards are matched");
+                locals.push(self.cache[j].local.clone());
+            }
+        }
+
+        // Merge, then the global reconciliation passes — identical to
+        // solve_sharded's tail.
+        let mut merged = Assignment::for_instance(&current);
+        for (shard, local) in fresh.shards.iter().zip(&locals) {
+            for (lu, &gu) in shard.users.iter().enumerate() {
+                for ls in local.streams_of(UserId::new(lu)) {
+                    merged.assign(gu, shard.streams[ls.index()]);
+                }
+            }
+        }
+        let repaired_streams = repair_budgets(&current, &mut merged);
+        if self.config.shard.global_fill && merged.check_feasible(&current).is_ok() {
+            residual_fill(&current, &mut merged);
+        }
+
+        let utility = merged.utility(&current);
+        let gap_fraction = if upper_bound.is_finite() && upper_bound > 0.0 {
+            ((upper_bound - utility) / upper_bound).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+
+        // Commit.
+        self.cache = (0..n)
+            .map(|k| ShardCacheEntry {
+                streams: fresh.shards[k].streams.clone(),
+                users: fresh.shards[k].users.clone(),
+                budgets: shares[k].clone(),
+                bound: bounds[k],
+                local: locals[k].clone(),
+            })
+            .collect();
+        self.cached_shard_of_stream = fresh.shard_of_stream.clone();
+        self.cached_shard_of_user = fresh.shard_of_user.clone();
+        let outcome = IngestOutcome {
+            updates_applied,
+            num_shards: n,
+            dirty_shards,
+            resolved_shards,
+            full_resolve,
+            utility,
+            upper_bound,
+            gap_fraction,
+            cut_edges: fresh.cut.len(),
+            cut_mass,
+            repaired_streams,
+        };
+        self.current = current;
+        self.assignment = merged;
+        self.last = outcome;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::shard::solve_sharded;
+    use crate::num::approx_eq;
+
+    fn sid(i: usize) -> StreamId {
+        StreamId::new(i)
+    }
+    fn uid(i: usize) -> UserId {
+        UserId::new(i)
+    }
+
+    /// Three disjoint communities (2 streams + 1 user each), uncontended.
+    fn three_components() -> Instance {
+        let mut b = Instance::builder("3c").server_budgets(vec![100.0]);
+        let s: Vec<_> = (0..6).map(|i| b.add_stream(vec![2.0 + i as f64])).collect();
+        for c in 0..3 {
+            let u = b.add_user(f64::INFINITY, vec![]);
+            b.add_interest(u, s[2 * c], 4.0 + c as f64, vec![]).unwrap();
+            b.add_interest(u, s[2 * c + 1], 3.0, vec![]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn engine(inst: Instance) -> IngestEngine {
+        IngestEngine::new(inst, IngestConfig::default()).unwrap()
+    }
+
+    /// The differential yardstick: the committed state must equal a
+    /// from-scratch sharded solve of the committed instance, bit for bit.
+    fn assert_matches_scratch(engine: &IngestEngine) {
+        let scratch = solve_sharded(engine.current_instance(), &engine.config().shard).unwrap();
+        assert_eq!(engine.assignment(), &scratch.assignment);
+        assert_eq!(engine.utility().to_bits(), scratch.utility.to_bits());
+        assert_eq!(
+            engine.last_outcome().upper_bound.to_bits(),
+            scratch.upper_bound.to_bits()
+        );
+    }
+
+    #[test]
+    fn initial_solve_matches_scratch() {
+        let eng = engine(three_components());
+        assert_eq!(eng.last_outcome().num_shards, 3);
+        assert!(eng.last_outcome().utility > 0.0);
+        assert_matches_scratch(&eng);
+    }
+
+    #[test]
+    fn departure_dirties_only_the_touched_shards() {
+        let mut eng = engine(three_components());
+        eng.push(Update::StreamDeparture(sid(0))).unwrap();
+        let out = eng.apply().unwrap();
+        assert_eq!(out.updates_applied, 1);
+        // The departed stream's community shrinks and the stream itself
+        // moves to a new residual shard: exactly those two shards (of the
+        // fresh partition's four) are dirty; the other communities reuse
+        // their cached solves.
+        assert_eq!(out.num_shards, 4);
+        assert_eq!(out.dirty_shards, 2, "only the touched shards");
+        assert_eq!(out.resolved_shards, 2);
+        assert!(!out.full_resolve, "2/4 dirty is at, not above, the trigger");
+        assert!(!eng.assignment().in_range(sid(0)));
+        assert_matches_scratch(&eng);
+    }
+
+    #[test]
+    fn arrival_restores_departed_stream() {
+        let mut eng = engine(three_components());
+        let before = eng.utility();
+        eng.push(Update::StreamDeparture(sid(0))).unwrap();
+        eng.apply().unwrap();
+        assert!(eng.utility() < before);
+        eng.push(Update::StreamArrival(sid(0))).unwrap();
+        let out = eng.apply().unwrap();
+        assert_eq!(out.dirty_shards, 1);
+        assert!(approx_eq(eng.utility(), before));
+        assert_matches_scratch(&eng);
+    }
+
+    #[test]
+    fn interest_change_retargets_utility() {
+        let mut eng = engine(three_components());
+        eng.push(Update::InterestChange {
+            user: uid(0),
+            stream: sid(0),
+            weight: 40.0,
+        })
+        .unwrap();
+        let out = eng.apply().unwrap();
+        assert_eq!(out.dirty_shards, 1);
+        assert!(eng.utility() > 40.0);
+        assert_matches_scratch(&eng);
+        // Removing it again (weight 0) drops the stream's audience.
+        eng.push(Update::InterestChange {
+            user: uid(0),
+            stream: sid(0),
+            weight: 0.0,
+        })
+        .unwrap();
+        eng.apply().unwrap();
+        assert_eq!(eng.current_instance().audience(sid(0)).len(), 0);
+        assert_matches_scratch(&eng);
+    }
+
+    #[test]
+    fn new_interest_creates_cross_community_edge() {
+        let mut eng = engine(three_components());
+        // u0 takes an interest in community 1's stream: two communities
+        // merge, both old shards are dirty.
+        eng.push(Update::InterestChange {
+            user: uid(0),
+            stream: sid(2),
+            weight: 1.5,
+        })
+        .unwrap();
+        let out = eng.apply().unwrap();
+        assert_eq!(out.num_shards, 2, "two communities merged");
+        assert_matches_scratch(&eng);
+    }
+
+    #[test]
+    fn budget_change_recomputes_bounds_and_stays_equivalent() {
+        let mut eng = engine(three_components());
+        // Tighten the budget into contention: every share moves.
+        eng.push(Update::BudgetChange {
+            measure: 0,
+            budget: 12.0,
+        })
+        .unwrap();
+        let out = eng.apply().unwrap();
+        assert!(out.repaired_streams > 0 || out.utility > 0.0);
+        assert_matches_scratch(&eng);
+        // And relax it again.
+        eng.push(Update::BudgetChange {
+            measure: 0,
+            budget: 100.0,
+        })
+        .unwrap();
+        eng.apply().unwrap();
+        assert_matches_scratch(&eng);
+    }
+
+    #[test]
+    fn untouched_batches_are_noop_and_cheap() {
+        let mut eng = engine(three_components());
+        let before = *eng.last_outcome();
+        let out = eng.apply().unwrap();
+        assert_eq!(out.updates_applied, 0);
+        assert_eq!(out.dirty_shards, 0);
+        assert_eq!(out.resolved_shards, 0);
+        assert!(!out.full_resolve);
+        assert_eq!(out.utility.to_bits(), before.utility.to_bits());
+        assert_matches_scratch(&eng);
+    }
+
+    #[test]
+    fn dirty_fraction_trigger_escalates_to_full_resolve() {
+        let inst = three_components();
+        let config = IngestConfig {
+            max_dirty_fraction: 0.0,
+            ..IngestConfig::default()
+        };
+        let mut eng = IngestEngine::new(inst, config).unwrap();
+        eng.push(Update::StreamDeparture(sid(0))).unwrap();
+        let out = eng.apply().unwrap();
+        assert!(out.full_resolve);
+        assert_eq!(out.dirty_shards, 2, "shrunk community + residual shard");
+        assert_eq!(out.resolved_shards, out.num_shards);
+        assert_matches_scratch(&eng);
+    }
+
+    #[test]
+    fn push_validates_structurally() {
+        let mut eng = engine(three_components());
+        assert!(matches!(
+            eng.push(Update::StreamArrival(sid(99))),
+            Err(IngestError::UnknownStream(_))
+        ));
+        assert!(matches!(
+            eng.push(Update::InterestChange {
+                user: uid(7),
+                stream: sid(0),
+                weight: 1.0
+            }),
+            Err(IngestError::UnknownUser(_))
+        ));
+        assert!(matches!(
+            eng.push(Update::InterestChange {
+                user: uid(0),
+                stream: sid(0),
+                weight: f64::NAN
+            }),
+            Err(IngestError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            eng.push(Update::BudgetChange {
+                measure: 5,
+                budget: 1.0
+            }),
+            Err(IngestError::UnknownMeasure(5))
+        ));
+        assert!(eng.pending().is_empty());
+    }
+
+    #[test]
+    fn apply_rejects_budget_below_live_cost_and_keeps_state() {
+        let mut eng = engine(three_components());
+        let committed = eng.utility();
+        // Stream 5 costs 7.0: a budget of 5.0 cannot host it while live.
+        eng.push(Update::BudgetChange {
+            measure: 0,
+            budget: 5.0,
+        })
+        .unwrap();
+        assert!(matches!(
+            eng.apply(),
+            Err(IngestError::CostExceedsBudget { .. })
+        ));
+        assert_eq!(eng.pending().len(), 1, "pending retained for inspection");
+        assert_eq!(eng.utility(), committed, "committed state unchanged");
+        eng.clear_pending();
+        assert!(eng.pending().is_empty());
+        // Departing the costly streams first makes the same change legal.
+        for i in 2..6 {
+            eng.push(Update::StreamDeparture(sid(i))).unwrap();
+        }
+        eng.push(Update::BudgetChange {
+            measure: 0,
+            budget: 5.0,
+        })
+        .unwrap();
+        eng.apply().unwrap();
+        assert_matches_scratch(&eng);
+    }
+
+    #[test]
+    fn provisional_admissions_decide_pending_arrivals() {
+        let mut eng = engine(three_components());
+        eng.push(Update::StreamDeparture(sid(0))).unwrap();
+        eng.apply().unwrap();
+        eng.push(Update::StreamArrival(sid(0))).unwrap();
+        let offers = eng.provisional_admissions(OnlineConfig::default()).unwrap();
+        assert_eq!(offers.len(), 1);
+        assert_eq!(offers[0].stream, sid(0));
+        assert!(
+            !offers[0].assigned.is_empty(),
+            "uncontended arrival must be admitted provisionally"
+        );
+        // Advisory only: committed state untouched, pending still queued.
+        assert!(!eng.assignment().in_range(sid(0)));
+        assert_eq!(eng.pending().len(), 1);
+        // The real apply then commits it.
+        eng.apply().unwrap();
+        assert!(eng.assignment().in_range(sid(0)));
+        assert_matches_scratch(&eng);
+    }
+
+    #[test]
+    fn batched_mixed_updates_stay_equivalent() {
+        let mut eng = engine(three_components());
+        eng.push(Update::StreamDeparture(sid(3))).unwrap();
+        eng.push(Update::InterestChange {
+            user: uid(2),
+            stream: sid(4),
+            weight: 9.0,
+        })
+        .unwrap();
+        eng.push(Update::StreamArrival(sid(3))).unwrap();
+        let out = eng.apply().unwrap();
+        assert_eq!(out.updates_applied, 3);
+        assert_matches_scratch(&eng);
+        assert_eq!(eng.num_live(), 6, "departure + re-arrival nets out");
+    }
+
+    #[test]
+    fn empty_instance_is_handled() {
+        let inst = Instance::builder("e")
+            .server_budgets(vec![1.0])
+            .build()
+            .unwrap();
+        let mut eng = engine(inst);
+        assert_eq!(eng.last_outcome().num_shards, 0);
+        assert_eq!(eng.utility(), 0.0);
+        let out = eng.apply().unwrap();
+        assert_eq!(out.gap_fraction, 0.0);
+    }
+}

@@ -49,12 +49,18 @@
 //!   greedy of §2.2, partial enumeration (§2.3), classify-and-select (§3),
 //!   the multi-budget reduction (§4), the online `Allocate` (Alg. 2, §5),
 //!   baselines, and generic budgeted submodular maximization (§4 remark).
+//! * [`ingest`] — the streaming update frontend: an [`IngestEngine`]
+//!   applies arrival/departure/interest/budget updates and incrementally
+//!   re-solves only the dirty shards, bit-identically to a from-scratch
+//!   sharded solve, with the §5 allocator admitting offers between
+//!   re-solves.
 
 pub mod assignment;
 pub mod coverage;
 pub mod error;
 pub mod graph;
 pub mod ids;
+pub mod ingest;
 pub mod instance;
 pub mod num;
 pub mod skew;
@@ -65,4 +71,5 @@ pub mod algo;
 pub use assignment::Assignment;
 pub use error::{BuildError, Infeasibility, SolveError};
 pub use ids::{StreamId, UserId};
+pub use ingest::{IngestConfig, IngestEngine, IngestError, IngestOutcome, Update};
 pub use instance::{Instance, InstanceBuilder, UserSpec};

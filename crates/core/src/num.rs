@@ -78,6 +78,23 @@ pub fn log2(x: f64) -> f64 {
     x.log2()
 }
 
+/// Neumaier-compensated add: accumulates `x` into `sum`, banking the
+/// rounding error into `comp` so that `sum + comp` carries the bits a plain
+/// `+=` would discard. This is the accumulator discipline shared by the
+/// coverage kernel's value/raw lanes and the online allocator's load
+/// tracking: long add/remove interleavings of mixed-magnitude terms stay at
+/// ULP-scale error instead of drifting.
+#[inline]
+pub fn comp_add(sum: &mut f64, comp: &mut f64, x: f64) {
+    let t = *sum + x;
+    *comp += if sum.abs() >= x.abs() {
+        (*sum - t) + x
+    } else {
+        (x - t) + *sum
+    };
+    *sum = t;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +157,17 @@ mod tests {
     #[test]
     fn log2_matches_std() {
         assert!(approx_eq(log2(8.0), 3.0));
+    }
+
+    #[test]
+    fn comp_add_preserves_light_terms_next_to_heavy_ones() {
+        // 1e16 swallows 1.0 in a plain f64 sum; the compensation lane must
+        // keep it so that adding and later subtracting the heavy term
+        // restores the light total exactly.
+        let (mut sum, mut comp) = (0.0f64, 0.0f64);
+        comp_add(&mut sum, &mut comp, 1.0);
+        comp_add(&mut sum, &mut comp, 1e16);
+        comp_add(&mut sum, &mut comp, -1e16);
+        assert_eq!(sum + comp, 1.0);
     }
 }

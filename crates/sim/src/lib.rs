@@ -10,6 +10,12 @@
 //! baseline the paper's introduction criticizes, and an offline oracle
 //! running the Theorem 1.1 pipeline on the full catalog.
 //!
+//! The [`replay`] module covers the complementary regime: instead of
+//! admitting streams under a *fixed* instance, [`replay_churn`] drives the
+//! incremental ingest engine (`mmd_core::ingest`) over a typed update
+//! trace that mutates the instance itself, and aggregates the certified
+//! per-batch outcomes.
+//!
 //! ```
 //! use mmd_sim::{run, PolicyKind, SimConfig};
 //! use mmd_workload::{TraceConfig, WorkloadConfig};
@@ -24,9 +30,11 @@
 mod engine;
 pub mod metrics;
 mod policy;
+pub mod replay;
 
 pub use engine::{run, run_with, SimConfig, SimReport};
 pub use policy::{
     AdmissionPolicy, OfflineOracle, OnlinePolicy, PolicyKind, PricePolicy, SimState,
     ThresholdPolicy,
 };
+pub use replay::{replay_churn, replay_churn_with, ChurnReplayReport};

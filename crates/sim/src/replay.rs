@@ -1,0 +1,200 @@
+//! Churn replay: drives an [`IngestEngine`] over a typed update trace in
+//! fixed-size batches and aggregates the outcomes — the measurement
+//! harness behind `mmd-cli ingest`, the `exp_e11_ingest` experiment and
+//! the ingest perf rungs.
+//!
+//! Unlike the discrete-event [`run`](crate::run) (timestamped admission of
+//! individual streams under a fixed instance), a replay mutates the
+//! *instance itself*: streams arrive and depart, interests drift, budgets
+//! move, and after every batch the engine's certified bracket is recorded.
+
+use mmd_core::coverage::CoverageState;
+use mmd_core::ingest::{IngestConfig, IngestEngine, IngestError, IngestOutcome, Update};
+use mmd_core::Instance;
+
+/// Aggregated result of one churn replay.
+#[derive(Clone, Debug)]
+pub struct ChurnReplayReport {
+    /// Batches applied.
+    pub batches: usize,
+    /// Updates applied in total.
+    pub updates: usize,
+    /// Certified utility before any update.
+    pub initial_utility: f64,
+    /// Certified utility after the last batch.
+    pub final_utility: f64,
+    /// `final_utility / initial_utility` (1 when the initial utility is 0):
+    /// how much of the planned value survived the churn.
+    pub utility_retention: f64,
+    /// Mean certified gap fraction over all applied batches.
+    pub mean_gap_fraction: f64,
+    /// Re-solved shards as a fraction of all shard-batch slots — the
+    /// incremental engine's work ratio (1.0 = every batch re-solved
+    /// everything).
+    pub resolved_shard_fraction: f64,
+    /// Batches the re-shard trigger escalated to a full re-solve.
+    pub full_resolves: usize,
+    /// The last batch's outcome (the current certificate).
+    pub final_outcome: IngestOutcome,
+    /// Set-function value `w(T)` of the final committed range — the
+    /// semi-feasible ceiling of the committed assignment's stream set
+    /// (`≥ final_utility`; the difference is what user-side constraints
+    /// and the fill pass could not realize).
+    pub final_range_value: f64,
+    /// Live streams after the last batch.
+    pub final_live: usize,
+}
+
+/// Replays `updates` through a fresh [`IngestEngine`] over `instance`,
+/// applying them in batches of `batch` (the final batch may be short).
+///
+/// # Errors
+///
+/// Propagates [`IngestError`]s from engine construction or any apply.
+///
+/// # Panics
+///
+/// Panics if `batch` is zero.
+pub fn replay_churn(
+    instance: &Instance,
+    updates: &[Update],
+    batch: usize,
+    config: &IngestConfig,
+) -> Result<ChurnReplayReport, IngestError> {
+    let mut engine = IngestEngine::new(instance.clone(), *config)?;
+    replay_churn_with(&mut engine, updates, batch)
+}
+
+/// Replays `updates` through an existing engine — the caller keeps the
+/// engine afterwards (for differential verification against a from-scratch
+/// solve, or to continue ingesting), and construction (the initial full
+/// solve) stays outside any timing the caller wraps around this call.
+///
+/// # Errors
+///
+/// Propagates [`IngestError`]s from any push or apply.
+///
+/// # Panics
+///
+/// Panics if `batch` is zero.
+pub fn replay_churn_with(
+    engine: &mut IngestEngine,
+    updates: &[Update],
+    batch: usize,
+) -> Result<ChurnReplayReport, IngestError> {
+    assert!(batch > 0, "batch size must be positive");
+    let initial_utility = engine.utility();
+
+    let mut batches = 0usize;
+    let mut applied = 0usize;
+    let mut gap_sum = 0.0f64;
+    let mut resolved = 0usize;
+    let mut slots = 0usize;
+    let mut full_resolves = 0usize;
+    for chunk in updates.chunks(batch) {
+        for update in chunk {
+            engine.push(update.clone())?;
+        }
+        let outcome = engine.apply()?;
+        batches += 1;
+        applied += outcome.updates_applied;
+        gap_sum += outcome.gap_fraction;
+        resolved += outcome.resolved_shards;
+        slots += outcome.num_shards;
+        full_resolves += usize::from(outcome.full_resolve);
+    }
+
+    let final_utility = engine.utility();
+    let final_range_value =
+        CoverageState::with_set(engine.current_instance(), engine.assignment().range()).value();
+    Ok(ChurnReplayReport {
+        batches,
+        updates: applied,
+        initial_utility,
+        final_utility,
+        utility_retention: if initial_utility > 0.0 {
+            final_utility / initial_utility
+        } else {
+            1.0
+        },
+        mean_gap_fraction: if batches > 0 {
+            gap_sum / batches as f64
+        } else {
+            0.0
+        },
+        resolved_shard_fraction: if slots > 0 {
+            resolved as f64 / slots as f64
+        } else {
+            0.0
+        },
+        full_resolves,
+        final_outcome: *engine.last_outcome(),
+        final_range_value,
+        final_live: engine.num_live(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmd_workload::{ChurnConfig, ClusteredConfig};
+
+    #[test]
+    fn replay_aggregates_batches() {
+        let inst = ClusteredConfig::decomposable(3, 4, 3).generate(2);
+        let updates = ChurnConfig::low(40).generate(&inst, 3);
+        let report = replay_churn(&inst, &updates, 8, &IngestConfig::default()).unwrap();
+        assert_eq!(report.batches, 5);
+        assert_eq!(report.updates, 40);
+        assert!(report.initial_utility > 0.0);
+        assert!(report.final_utility > 0.0);
+        assert!(report.utility_retention > 0.0);
+        assert!((0.0..=1.0).contains(&report.mean_gap_fraction));
+        assert!(report.resolved_shard_fraction <= 1.0);
+        assert!(report.final_range_value >= report.final_utility - 1e-9);
+        assert_eq!(report.final_live, inst.num_streams());
+    }
+
+    #[test]
+    fn low_churn_resolves_few_shards() {
+        // Drift-only updates over well-separated communities: most shards
+        // stay clean in every batch.
+        let inst = ClusteredConfig::decomposable(8, 5, 4).generate(7);
+        let updates = ChurnConfig::low(64).generate(&inst, 5);
+        let report = replay_churn(&inst, &updates, 2, &IngestConfig::default()).unwrap();
+        assert!(
+            report.resolved_shard_fraction < 0.8,
+            "fraction {}",
+            report.resolved_shard_fraction
+        );
+        assert_eq!(report.full_resolves, 0);
+    }
+
+    #[test]
+    fn replay_with_keeps_the_engine_usable() {
+        let inst = ClusteredConfig::decomposable(3, 4, 3).generate(4);
+        let updates = ChurnConfig::low(30).generate(&inst, 2);
+        let mut engine = IngestEngine::new(inst.clone(), IngestConfig::default()).unwrap();
+        let report = replay_churn_with(&mut engine, &updates, 10).unwrap();
+        // The caller's engine holds the final state replay reported...
+        assert_eq!(engine.utility().to_bits(), report.final_utility.to_bits());
+        // ...and matches the one-shot wrapper exactly.
+        let wrapped = replay_churn(&inst, &updates, 10, &IngestConfig::default()).unwrap();
+        assert_eq!(
+            wrapped.final_utility.to_bits(),
+            report.final_utility.to_bits()
+        );
+        // The engine can keep ingesting after the replay.
+        engine.apply().unwrap();
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let inst = ClusteredConfig::decomposable(4, 4, 3).generate(9);
+        let updates = ChurnConfig::mixed(60).generate(&inst, 1);
+        let a = replay_churn(&inst, &updates, 6, &IngestConfig::default()).unwrap();
+        let b = replay_churn(&inst, &updates, 6, &IngestConfig::default()).unwrap();
+        assert_eq!(a.final_utility.to_bits(), b.final_utility.to_bits());
+        assert_eq!(a.resolved_shard_fraction, b.resolved_shard_fraction);
+    }
+}

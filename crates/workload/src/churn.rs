@@ -1,0 +1,294 @@
+//! Churn traces for the ingest engine: seeded streams of typed instance
+//! updates (arrivals, departures, interest drift, budget re-provisioning).
+//!
+//! Where [`crate::trace`] produces *timestamped* arrival/departure events
+//! for the discrete-event simulator, this generator produces the update
+//! language of [`mmd_core::ingest`]: a deterministic sequence of
+//! [`Update`]s that is valid by construction — arrivals never violate the
+//! `c_i(S) ≤ B_i` model assumption because generated budgets are floored at
+//! the catalog's costliest stream, and drifted weights stay positive so no
+//! interest silently vanishes unless the mix says so. Two presets bracket
+//! the perf rungs and the differential suite:
+//!
+//! * [`ChurnConfig::low`] — interest drift only: every update touches one
+//!   community, the incremental re-solve's best case.
+//! * [`ChurnConfig::mixed`] — drift plus stream arrivals/departures plus
+//!   occasional budget changes: the full update language, the soak suite's
+//!   workload.
+
+use mmd_core::ingest::Update;
+use mmd_core::{Instance, StreamId, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a churn trace.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Total updates to generate.
+    pub updates: usize,
+    /// Share of updates that toggle stream liveness (a departure when the
+    /// stream is live, an arrival when it is not).
+    pub toggle_fraction: f64,
+    /// Share of updates that re-provision a (finite) server budget.
+    /// The remainder after toggles and budget changes is interest drift.
+    pub budget_fraction: f64,
+    /// Multiplicative interest drift: each drifted weight is scaled by a
+    /// factor drawn from `[1 − drift_scale, 1 + drift_scale]` (floored so
+    /// weights stay positive). Drifts compound across the trace.
+    pub drift_scale: f64,
+    /// Budget jitter: a re-provisioned budget is the base budget scaled by
+    /// a factor from `[1 − budget_jitter, 1 + budget_jitter]`, floored at
+    /// the costliest stream in the catalog so arrivals stay legal.
+    pub budget_jitter: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            updates: 256,
+            toggle_fraction: 0.2,
+            budget_fraction: 0.02,
+            drift_scale: 0.3,
+            budget_jitter: 0.15,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// Low-churn preset: interest drift only. Each update touches one user
+    /// and one stream, so batches dirty few shards — the incremental
+    /// re-solve's best case (and the perf rung that must beat a full
+    /// re-solve).
+    #[must_use]
+    pub fn low(updates: usize) -> Self {
+        ChurnConfig {
+            updates,
+            toggle_fraction: 0.0,
+            budget_fraction: 0.0,
+            ..ChurnConfig::default()
+        }
+    }
+
+    /// Mixed-churn preset: drift plus liveness toggles plus occasional
+    /// budget changes — the full update language.
+    #[must_use]
+    pub fn mixed(updates: usize) -> Self {
+        ChurnConfig {
+            updates,
+            ..ChurnConfig::default()
+        }
+    }
+
+    /// Generates the update sequence for `instance`, deterministically from
+    /// `seed`. The trace is valid for an [`mmd_core::ingest::IngestEngine`]
+    /// created over the same instance with every stream live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance has no streams, or no interests while the mix
+    /// requests drift.
+    #[must_use]
+    pub fn generate(&self, instance: &Instance, seed: u64) -> Vec<Update> {
+        assert!(
+            instance.num_streams() > 0,
+            "churn needs at least one stream"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ns = instance.num_streams();
+
+        // Interest drift state: (user, stream, current weight) triples over
+        // the base interests, so drifts compound deterministically.
+        let mut weights: Vec<(UserId, StreamId, f64)> = Vec::new();
+        for u in instance.users() {
+            for interest in instance.user(u).interests() {
+                weights.push((u, interest.stream(), interest.utility()));
+            }
+        }
+        let drift_requested = self.toggle_fraction + self.budget_fraction < 1.0;
+        assert!(
+            !(weights.is_empty() && drift_requested),
+            "drift churn needs at least one interest"
+        );
+
+        // Budgets jitter around the base value, floored at the costliest
+        // stream of the whole catalog so any stream can always (re-)arrive.
+        let finite_measures: Vec<usize> = (0..instance.num_measures())
+            .filter(|&i| instance.budget(i).is_finite())
+            .collect();
+        let cost_floor: Vec<f64> = (0..instance.num_measures())
+            .map(|i| {
+                instance
+                    .streams()
+                    .map(|s| instance.cost(s, i))
+                    .fold(0.0f64, f64::max)
+            })
+            .collect();
+
+        let mut live = vec![true; ns];
+        let mut updates = Vec::with_capacity(self.updates);
+        for _ in 0..self.updates {
+            let roll: f64 = rng.gen();
+            // Unavailable bands fall back to a liveness toggle (streams
+            // always exist): a budget roll on an instance with only
+            // infinite budgets, or a drift roll with no interests, must
+            // never panic on an empty range.
+            let toggle = roll < self.toggle_fraction
+                || (roll < self.toggle_fraction + self.budget_fraction
+                    && finite_measures.is_empty())
+                || (roll >= self.toggle_fraction + self.budget_fraction && weights.is_empty());
+            if toggle {
+                let s = StreamId::new(rng.gen_range(0..ns));
+                updates.push(if live[s.index()] {
+                    live[s.index()] = false;
+                    Update::StreamDeparture(s)
+                } else {
+                    live[s.index()] = true;
+                    Update::StreamArrival(s)
+                });
+            } else if roll < self.toggle_fraction + self.budget_fraction {
+                let i = finite_measures[rng.gen_range(0..finite_measures.len())];
+                let factor = 1.0 + self.budget_jitter * (2.0 * rng.gen::<f64>() - 1.0);
+                let budget = (instance.budget(i) * factor).max(cost_floor[i]);
+                updates.push(Update::BudgetChange { measure: i, budget });
+            } else {
+                let idx = rng.gen_range(0..weights.len());
+                let (user, stream, ref mut weight) = weights[idx];
+                let factor = 1.0 + self.drift_scale * (2.0 * rng.gen::<f64>() - 1.0);
+                let drifted = (*weight * factor).max(1e-6);
+                weights[idx].2 = drifted;
+                updates.push(Update::InterestChange {
+                    user,
+                    stream,
+                    weight: drifted,
+                });
+            }
+        }
+        updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusteredConfig;
+    use mmd_core::ingest::{IngestConfig, IngestEngine};
+
+    fn inst() -> Instance {
+        ClusteredConfig::decomposable(3, 4, 3).generate(5)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ChurnConfig::mixed(200);
+        let inst = inst();
+        assert_eq!(cfg.generate(&inst, 3), cfg.generate(&inst, 3));
+        assert_ne!(cfg.generate(&inst, 3), cfg.generate(&inst, 4));
+    }
+
+    #[test]
+    fn low_preset_is_drift_only() {
+        let updates = ChurnConfig::low(150).generate(&inst(), 9);
+        assert_eq!(updates.len(), 150);
+        assert!(updates
+            .iter()
+            .all(|u| matches!(u, Update::InterestChange { .. })));
+        // Drifted weights stay positive and finite.
+        for u in &updates {
+            if let Update::InterestChange { weight, .. } = u {
+                assert!(weight.is_finite() && *weight > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_preset_exercises_the_full_update_language() {
+        let updates = ChurnConfig {
+            budget_fraction: 0.1,
+            ..ChurnConfig::mixed(600)
+        }
+        .generate(&inst(), 1);
+        let toggles = updates
+            .iter()
+            .filter(|u| matches!(u, Update::StreamArrival(_) | Update::StreamDeparture(_)))
+            .count();
+        let budgets = updates
+            .iter()
+            .filter(|u| matches!(u, Update::BudgetChange { .. }))
+            .count();
+        let drifts = updates
+            .iter()
+            .filter(|u| matches!(u, Update::InterestChange { .. }))
+            .count();
+        assert!(toggles > 0 && budgets > 0 && drifts > 0);
+        assert_eq!(toggles + budgets + drifts, 600);
+    }
+
+    #[test]
+    fn toggles_alternate_per_stream() {
+        // A stream's liveness toggles must alternate: never two departures
+        // (or two arrivals) of the same stream without the converse event
+        // between them — the property that keeps re-arrival costs legal.
+        let inst = inst();
+        let updates = ChurnConfig {
+            toggle_fraction: 0.8,
+            ..ChurnConfig::mixed(400)
+        }
+        .generate(&inst, 7);
+        let mut live = vec![true; inst.num_streams()];
+        for u in &updates {
+            match *u {
+                Update::StreamDeparture(s) => {
+                    assert!(live[s.index()], "departure of a departed stream");
+                    live[s.index()] = false;
+                }
+                Update::StreamArrival(s) => {
+                    assert!(!live[s.index()], "arrival of a live stream");
+                    live[s.index()] = true;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn unavailable_bands_fall_back_to_toggles() {
+        // Only infinite budgets and zero interests: budget and drift rolls
+        // are both unavailable, and with a mix that requests no drift the
+        // generator must degrade to pure liveness toggles, not panic on an
+        // empty sampling range.
+        let mut b = Instance::builder("bare").server_budgets(vec![f64::INFINITY]);
+        for _ in 0..4 {
+            b.add_stream(vec![1.0]);
+        }
+        b.add_user(1.0, vec![]);
+        let inst = b.build().unwrap();
+        let updates = ChurnConfig {
+            toggle_fraction: 0.5,
+            budget_fraction: 0.5,
+            ..ChurnConfig::mixed(80)
+        }
+        .generate(&inst, 3);
+        assert_eq!(updates.len(), 80);
+        assert!(updates
+            .iter()
+            .all(|u| matches!(u, Update::StreamArrival(_) | Update::StreamDeparture(_))));
+    }
+
+    #[test]
+    fn traces_apply_cleanly_to_an_engine() {
+        let inst = inst();
+        let updates = ChurnConfig {
+            budget_fraction: 0.08,
+            ..ChurnConfig::mixed(120)
+        }
+        .generate(&inst, 11);
+        let mut engine = IngestEngine::new(inst, IngestConfig::default()).unwrap();
+        for chunk in updates.chunks(10) {
+            for u in chunk {
+                engine.push(u.clone()).unwrap();
+            }
+            engine.apply().unwrap();
+        }
+        assert!(engine.utility() >= 0.0);
+    }
+}

@@ -17,11 +17,15 @@
 //!   perf rung.
 //! * [`trace`] — Poisson arrival / heavy-tailed duration traces for the
 //!   online algorithm (§5) and the discrete-event simulator.
+//! * [`churn`] — typed update traces (arrivals/departures, interest drift,
+//!   budget re-provisioning) in the language of `mmd_core::ingest`, valid
+//!   by construction, for the incremental re-solve engine.
 //! * [`zipf`] — the Zipf sampler underlying stream popularity.
 //!
 //! All generators are deterministic given a `u64` seed.
 
 pub mod catalog;
+pub mod churn;
 pub mod clustered;
 pub mod gen;
 pub mod population;
@@ -30,6 +34,7 @@ pub mod trace;
 pub mod zipf;
 
 pub use catalog::{CatalogConfig, StreamClass};
+pub use churn::ChurnConfig;
 pub use clustered::ClusteredConfig;
 pub use gen::WorkloadConfig;
 pub use population::PopulationConfig;
