@@ -93,6 +93,28 @@ pub enum Command {
         /// Worker threads for offline planning (0 = all cores).
         threads: usize,
     },
+    /// `serve`: run the allocation daemon on an instance file.
+    Serve {
+        /// Input path.
+        input: String,
+        /// Listen address (`HOST:PORT`; port 0 = ephemeral).
+        addr: String,
+        /// Bounded request queue capacity (backpressure beyond it).
+        queue: usize,
+        /// Maximum updates accepted per `update` frame.
+        max_batch: usize,
+        /// Target shard size in streams (0 = component granularity).
+        shard_size: usize,
+        /// Worker threads for shard re-solves (0 = all cores).
+        threads: usize,
+    },
+    /// `client`: send NDJSON frames to a running daemon.
+    Client {
+        /// Daemon address (`HOST:PORT`).
+        addr: String,
+        /// One frame to send; when absent, frames are read from stdin.
+        send: Option<String>,
+    },
     /// `help`: usage text.
     Help,
 }
@@ -124,6 +146,9 @@ USAGE:
               [--margin X] [--rate X] [--duration X] [--seed N] [--threads N]
   mmd-cli ingest --input FILE [--updates N] [--batch N] [--seed N]
               [--churn low|mixed] [--shard-size N] [--threads N] [--verify]
+  mmd-cli serve --input FILE [--addr HOST:PORT] [--queue N] [--max-batch N]
+              [--shard-size N] [--threads N]
+  mmd-cli client --addr HOST:PORT [--send FRAME]
 
   --threads N uses N worker threads (0 = all cores); results are
   bit-identical at any thread count.
@@ -137,6 +162,12 @@ USAGE:
   refreshes the certified utility <= OPT <= upper-bound bracket.
   --verify additionally checks the final state against a from-scratch
   sharded solve of the updated instance (bit-identical by contract).
+  serve runs the long-lived allocation daemon: newline-delimited JSON over
+  TCP (update batches, apply, queries, certified bracket, health/metrics,
+  admissions, graceful background re-solve; see docs/PROTOCOL.md). It
+  blocks until a {\"op\":\"shutdown\"} frame arrives.
+  client sends one frame (--send) or every stdin line to a running daemon
+  and prints the response frames.
   mmd-cli help
 ";
 
@@ -266,6 +297,35 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 duration: get_num(&map, "duration", 20.0f64)?,
                 seed: get_num(&map, "seed", 0u64)?,
                 threads: get_num(&map, "threads", 1usize)?,
+            })
+        }
+        "serve" => {
+            let map = flags_to_map(rest)?;
+            let input = map
+                .get("input")
+                .cloned()
+                .ok_or_else(|| ArgError("serve requires --input FILE".into()))?;
+            Ok(Command::Serve {
+                input,
+                addr: map
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:7411".into()),
+                queue: get_num(&map, "queue", 64usize)?,
+                max_batch: get_num(&map, "max-batch", 1024usize)?,
+                shard_size: get_num(&map, "shard-size", 0usize)?,
+                threads: get_num(&map, "threads", 1usize)?,
+            })
+        }
+        "client" => {
+            let map = flags_to_map(rest)?;
+            let addr = map
+                .get("addr")
+                .cloned()
+                .ok_or_else(|| ArgError("client requires --addr HOST:PORT".into()))?;
+            Ok(Command::Client {
+                addr,
+                send: map.get("send").cloned(),
             })
         }
         other => Err(ArgError(format!("unknown subcommand: {other}"))),
@@ -406,6 +466,56 @@ mod tests {
             parse(&argv("ingest --updates 5")).is_err(),
             "input required"
         );
+    }
+
+    #[test]
+    fn parses_serve_and_client() {
+        let cmd = parse(&argv(
+            "serve --input x.json --addr 127.0.0.1:0 --queue 8 --max-batch 32",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                input,
+                addr,
+                queue,
+                max_batch,
+                shard_size,
+                threads,
+            } => {
+                assert_eq!(input, "x.json");
+                assert_eq!(addr, "127.0.0.1:0");
+                assert_eq!(queue, 8);
+                assert_eq!(max_batch, 32);
+                assert_eq!(shard_size, 0);
+                assert_eq!(threads, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("serve --addr 127.0.0.1:0")).is_err());
+
+        match parse(&argv("client --addr localhost:7411")).unwrap() {
+            Command::Client { addr, send } => {
+                assert_eq!(addr, "localhost:7411");
+                assert_eq!(send, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&[
+            "client".to_string(),
+            "--addr".to_string(),
+            "localhost:7411".to_string(),
+            "--send".to_string(),
+            r#"{"op":"health"}"#.to_string(),
+        ])
+        .unwrap();
+        match cmd {
+            Command::Client { send, .. } => {
+                assert_eq!(send.as_deref(), Some(r#"{"op":"health"}"#));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("client")).is_err(), "addr required");
     }
 
     #[test]

@@ -11,6 +11,8 @@ use mmd_core::ingest::{IngestConfig, IngestEngine};
 use mmd_core::skew;
 use mmd_core::Instance;
 use mmd_exact::{solve as exact_solve, ExactConfig, Objective};
+use mmd_serve::client::WireClient;
+use mmd_serve::service::{ServeConfig, Service};
 use mmd_sim::{run as sim_run, PolicyKind, SimConfig};
 use mmd_workload::special;
 use mmd_workload::{CatalogConfig, PopulationConfig, TraceConfig, WorkloadConfig};
@@ -105,7 +107,89 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 &instance, updates, batch, seed, &churn, shard_size, threads, verify,
             )
         }
+        Command::Serve {
+            input,
+            addr,
+            queue,
+            max_batch,
+            shard_size,
+            threads,
+        } => {
+            let instance = io::load(&input)?;
+            serve(instance, &addr, queue, max_batch, shard_size, threads)
+        }
+        Command::Client { addr, send } => client(&addr, send.as_deref()),
     }
+}
+
+/// Runs the allocation daemon until a `shutdown` frame arrives; the final
+/// serving metrics are the command's output.
+fn serve(
+    instance: Instance,
+    addr: &str,
+    queue: usize,
+    max_batch: usize,
+    shard_size: usize,
+    threads: usize,
+) -> Result<String, Box<dyn Error>> {
+    let mut config = ServeConfig {
+        queue_capacity: queue.max(1),
+        max_batch: max_batch.max(1),
+        ..ServeConfig::default()
+    };
+    config.ingest.shard.max_streams = shard_size;
+    config.ingest.shard.threads = threads;
+    let service = Service::new(instance, config)?;
+    let initial = *service.engine().last_outcome();
+    let handle = mmd_serve::server::spawn(service, addr)?;
+    // Announce on stderr immediately — the summary below only lands after
+    // shutdown, and stdout stays clean for scripted pipelines.
+    eprintln!(
+        "mmd-serve listening on {} (utility {} <= OPT <= {})",
+        handle.addr(),
+        initial.utility,
+        initial.upper_bound
+    );
+    let service = handle.join();
+    let m = service.metrics_snapshot();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "served {} requests: {} applies ({} full re-solves), {} updates",
+        m.requests, m.applies, m.full_resolves, m.updates_applied
+    )?;
+    writeln!(
+        out,
+        "rejected: {} frames, {} updates, {} batches; {} overloaded",
+        m.frames_rejected, m.rejected_updates, m.rejected_batches, m.overloaded
+    )?;
+    writeln!(
+        out,
+        "final bracket: {} <= OPT <= {} (gap {:.4})",
+        m.utility, m.upper_bound, m.gap_fraction
+    )?;
+    Ok(out)
+}
+
+/// Sends one frame (`--send`) or every stdin line to a running daemon and
+/// returns the response transcript.
+fn client(addr: &str, send: Option<&str>) -> Result<String, Box<dyn Error>> {
+    let mut client = WireClient::connect(addr)?;
+    let mut out = String::new();
+    match send {
+        Some(line) => writeln!(out, "{}", client.raw_line(line)?)?,
+        None => {
+            use std::io::BufRead as _;
+            for line in std::io::stdin().lock().lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                writeln!(out, "{}", client.raw_line(&line)?)?;
+            }
+        }
+    }
+    Ok(out)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -693,6 +777,47 @@ mod tests {
         assert!(
             run(parse(&argv(&format!("solve --input {path} --algorithm magic"))).unwrap()).is_err()
         );
+    }
+
+    #[test]
+    fn client_talks_to_a_live_daemon() {
+        let path = tmpfile("client.json");
+        run(parse(&argv(&format!(
+            "gen --kind clustered --seed 8 --streams 12 --users 6 --clusters 3 --out {path}"
+        )))
+        .unwrap())
+        .unwrap();
+        let instance = io::load(&path).unwrap();
+        let service = Service::new(instance, ServeConfig::default()).unwrap();
+        let handle = mmd_serve::server::spawn(service, "127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+
+        let frame = |line: &str| {
+            run(Command::Client {
+                addr: addr.to_string(),
+                send: Some(line.to_string()),
+            })
+            .unwrap()
+        };
+        let out = frame(r#"{"op":"health"}"#);
+        assert!(out.contains(r#""status":"ok""#), "{out}");
+        let out = frame(r#"{"op":"certificate"}"#);
+        assert!(out.contains(r#""kind":"certificate""#), "{out}");
+        let out = frame(r#"{"op":"update","updates":[{"kind":"depart","stream":0}]}"#);
+        assert!(out.contains(r#""kind":"pushed","pending":1"#), "{out}");
+        let out = frame(r#"{"op":"apply"}"#);
+        assert!(out.contains(r#""updates_applied":1"#), "{out}");
+        let out = frame("garbage");
+        assert!(out.contains(r#""code":"parse""#), "{out}");
+        let out = frame(r#"{"op":"shutdown"}"#);
+        assert!(out.contains(r#""kind":"shutdown""#), "{out}");
+        handle.join();
+        // The daemon is gone: connecting again fails.
+        assert!(run(Command::Client {
+            addr: addr.to_string(),
+            send: Some(r#"{"op":"health"}"#.to_string()),
+        })
+        .is_err());
     }
 
     #[test]

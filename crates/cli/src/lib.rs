@@ -1,5 +1,6 @@
 //! Library backing the `mmd-cli` binary: argument parsing, instance I/O,
-//! and the four subcommands (`gen`, `inspect`, `solve`, `simulate`).
+//! and the subcommands (`gen`, `inspect`, `solve`, `simulate`, `ingest`,
+//! `serve`, `client`).
 //!
 //! Kept as a library so the logic is unit-testable; `main.rs` is a thin
 //! wrapper.

@@ -31,9 +31,11 @@ pub mod batch;
 pub mod classify;
 pub mod fixed_greedy;
 pub mod greedy;
+#[warn(missing_docs)]
 pub mod online;
 pub mod partial_enum;
 pub mod reduction;
+#[warn(missing_docs)]
 pub mod shard;
 pub mod submodular;
 

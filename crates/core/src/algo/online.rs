@@ -94,6 +94,29 @@ pub struct OnlineReport {
 /// the freed headroom was not restored exactly, silently shifting later
 /// admission decisions (the same magnitude-cliff drift the coverage kernel
 /// fixes; `drift_free_offer_release_interleaving` pins the repair).
+///
+/// # Examples
+///
+/// ```
+/// use mmd_core::algo::online::OnlineAllocator;
+/// use mmd_core::Instance;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Instance::builder("online").server_budgets(vec![100.0]);
+/// let s = b.add_stream(vec![1.0]);
+/// let u = b.add_user(9.0, vec![]);
+/// b.add_interest(u, s, 5.0, vec![])?;
+/// let inst = b.build()?;
+///
+/// // A cheap stream against an empty server is always admitted: the
+/// // exponential budget costs start at zero.
+/// let mut alloc = OnlineAllocator::new(&inst)?;
+/// let outcome = alloc.offer(s);
+/// assert_eq!(outcome.assigned, vec![u]);
+/// assert_eq!(alloc.utility(), 5.0);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Clone, Debug)]
 pub struct OnlineAllocator<'a> {
     instance: &'a Instance,

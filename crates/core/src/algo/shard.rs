@@ -634,6 +634,33 @@ pub struct ShardedOutcome {
 ///
 /// [`solve_mmd`]: crate::algo::reduction::solve_mmd
 ///
+/// # Examples
+///
+/// ```
+/// use mmd_core::algo::shard::{solve_sharded, ShardConfig};
+/// use mmd_core::Instance;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two disjoint one-stream communities sharing one server budget.
+/// let mut b = Instance::builder("shards").server_budgets(vec![4.0]);
+/// let s0 = b.add_stream(vec![2.0]);
+/// let s1 = b.add_stream(vec![2.0]);
+/// let u0 = b.add_user(5.0, vec![]);
+/// let u1 = b.add_user(5.0, vec![]);
+/// b.add_interest(u0, s0, 3.0, vec![])?;
+/// b.add_interest(u1, s1, 4.0, vec![])?;
+/// let inst = b.build()?;
+///
+/// let out = solve_sharded(&inst, &ShardConfig::default())?;
+/// // The outcome is certified: utility ≤ OPT ≤ upper_bound.
+/// assert!(out.assignment.check_feasible(&inst).is_ok());
+/// assert!(out.utility <= out.upper_bound);
+/// assert_eq!(out.num_shards, 2);
+/// assert_eq!(out.utility, 7.0);
+/// # Ok(())
+/// # }
+/// ```
+///
 /// # Errors
 ///
 /// Propagates [`SolveError`]s from the per-shard pipeline (none occur for

@@ -98,6 +98,31 @@ pub fn eval_set(instance: &Instance, set: &BTreeSet<StreamId>) -> f64 {
 /// [module documentation](self): flat `raw` / `headroom` lanes per user,
 /// CSR audience sweeps, compensated accumulators with periodic exact
 /// re-sync.
+///
+/// # Examples
+///
+/// ```
+/// use mmd_core::coverage::CoverageState;
+/// use mmd_core::Instance;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Instance::builder("cov").server_budgets(vec![10.0]);
+/// let s0 = b.add_stream(vec![1.0]);
+/// let s1 = b.add_stream(vec![1.0]);
+/// let u = b.add_user(3.0, vec![]);
+/// b.add_interest(u, s0, 2.0, vec![])?;
+/// b.add_interest(u, s1, 2.0, vec![])?;
+/// let inst = b.build()?;
+///
+/// let mut cov = CoverageState::new(&inst);
+/// assert_eq!(cov.add(s0), 2.0);
+/// // The 3.0 utility cap truncates the second stream's marginal gain.
+/// assert_eq!(cov.gain(s1), 1.0);
+/// cov.add(s1);
+/// assert_eq!(cov.value(), 3.0);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Clone, Debug)]
 pub struct CoverageState<'a> {
     instance: &'a Instance,

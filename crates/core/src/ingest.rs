@@ -82,6 +82,7 @@ use crate::instance::Instance;
 use crate::num;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
 
 /// One update of the streaming frontend.
 #[derive(Clone, Debug, PartialEq)]
@@ -267,6 +268,80 @@ pub struct IngestOutcome {
     pub cut_mass: f64,
     /// Streams dropped by the global budget repair pass.
     pub repaired_streams: usize,
+}
+
+/// Monotone operation counters of an [`IngestEngine`] — the substrate of a
+/// serving frontend's machine-readable metrics snapshot (`mmd-serve`).
+///
+/// All counters except [`last_apply_nanos`](Self::last_apply_nanos) (a
+/// gauge) are nondecreasing over the engine's lifetime. The initial solve
+/// performed by [`IngestEngine::new`] is not counted — counters cover the
+/// update stream only, so a freshly constructed engine reports all zeros.
+///
+/// # Examples
+///
+/// ```
+/// use mmd_core::{Instance, IngestConfig, IngestEngine};
+/// use mmd_core::ingest::Update;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Instance::builder("m").server_budgets(vec![10.0]);
+/// let s = b.add_stream(vec![1.0]);
+/// let u = b.add_user(f64::INFINITY, vec![]);
+/// b.add_interest(u, s, 2.0, vec![])?;
+/// let mut engine = IngestEngine::new(b.build()?, IngestConfig::default())?;
+/// assert_eq!(engine.metrics().applies, 0);
+///
+/// engine.push(Update::StreamDeparture(s))?;
+/// engine.apply()?;
+/// let m = engine.metrics();
+/// assert_eq!(m.applies, 1);
+/// assert_eq!(m.updates_applied, 1);
+/// assert!(m.total_apply_nanos >= m.last_apply_nanos);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestMetrics {
+    /// Successfully applied batches ([`apply`](IngestEngine::apply) calls
+    /// that returned `Ok`, plus [`refresh_full`](IngestEngine::refresh_full)
+    /// runs).
+    pub applies: u64,
+    /// Updates committed across all successful applies.
+    pub updates_applied: u64,
+    /// Applies escalated to a full re-solve (re-shard trigger or an
+    /// explicit [`refresh_full`](IngestEngine::refresh_full)).
+    pub full_resolves: u64,
+    /// Shards re-solved across all applies.
+    pub resolved_shards: u64,
+    /// Total shard slots across all applies (`num_shards` summed per
+    /// batch); `resolved_shards / shard_slots` is the engine's lifetime
+    /// dirty-work ratio — see [`dirty_fraction`](Self::dirty_fraction).
+    pub shard_slots: u64,
+    /// [`apply`](IngestEngine::apply) calls that returned an error (the
+    /// committed state was left untouched each time).
+    pub rejected_batches: u64,
+    /// Updates rejected by structural validation in
+    /// [`push`](IngestEngine::push) / [`push_batch`](IngestEngine::push_batch)
+    /// (never enqueued).
+    pub rejected_updates: u64,
+    /// Wall-clock nanoseconds of the most recent successful apply (gauge).
+    pub last_apply_nanos: u64,
+    /// Wall-clock nanoseconds summed over all successful applies.
+    pub total_apply_nanos: u64,
+}
+
+impl IngestMetrics {
+    /// Lifetime re-solved fraction of shard-batch slots: `1.0` means every
+    /// batch re-solved every shard, `0.0` means no shard work at all (or no
+    /// applies yet).
+    pub fn dirty_fraction(&self) -> f64 {
+        if self.shard_slots == 0 {
+            0.0
+        } else {
+            self.resolved_shards as f64 / self.shard_slots as f64
+        }
+    }
 }
 
 /// One user's current interest state in the mutable model.
@@ -497,6 +572,7 @@ pub struct IngestEngine {
     cached_shard_of_stream: Vec<usize>,
     cached_shard_of_user: Vec<usize>,
     last: IngestOutcome,
+    metrics: IngestMetrics,
 }
 
 impl IngestEngine {
@@ -531,10 +607,12 @@ impl IngestEngine {
                 cut_mass: 0.0,
                 repaired_streams: 0,
             },
+            metrics: IngestMetrics::default(),
             base,
             config,
         };
         engine.resolve(touched, 0)?;
+        engine.metrics = IngestMetrics::default();
         Ok(engine)
     }
 
@@ -563,6 +641,12 @@ impl IngestEngine {
         &self.last
     }
 
+    /// Monotone operation counters since construction (the initial solve is
+    /// not counted). See [`IngestMetrics`].
+    pub fn metrics(&self) -> &IngestMetrics {
+        &self.metrics
+    }
+
     /// Updates queued but not yet applied.
     pub fn pending(&self) -> &[Update] {
         &self.pending
@@ -573,15 +657,11 @@ impl IngestEngine {
         self.model.live.iter().filter(|&&l| l).count()
     }
 
-    /// Queues one update for the next [`apply`](Self::apply). Structural
-    /// validation (unknown ids, invalid numbers) happens immediately;
-    /// stateful validation (budget coverage) happens at apply time.
-    ///
-    /// # Errors
-    ///
-    /// Returns the structural [`IngestError`] without queuing anything.
-    pub fn push(&mut self, update: Update) -> Result<(), IngestError> {
-        match update {
+    /// Structural validation of one update against the engine's universe:
+    /// unknown ids and invalid numbers are rejected here, stateful
+    /// validation (budget coverage) happens at apply time.
+    fn validate_structural(&self, update: &Update) -> Result<(), IngestError> {
+        match *update {
             Update::StreamArrival(s) | Update::StreamDeparture(s) => {
                 if s.index() >= self.base.num_streams() {
                     return Err(IngestError::UnknownStream(s));
@@ -615,8 +695,76 @@ impl IngestEngine {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Queues one update for the next [`apply`](Self::apply). Structural
+    /// validation (unknown ids, invalid numbers) happens immediately;
+    /// stateful validation (budget coverage) happens at apply time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the structural [`IngestError`] without queuing anything.
+    pub fn push(&mut self, update: Update) -> Result<(), IngestError> {
+        if let Err(e) = self.validate_structural(&update) {
+            self.metrics.rejected_updates += 1;
+            return Err(e);
+        }
         self.pending.push(update);
         Ok(())
+    }
+
+    /// Queues a whole batch atomically: either every update passes
+    /// structural validation and all are enqueued in order, or none are.
+    ///
+    /// This is the serving frontend's entry point — interleaved clients
+    /// push whole frames, and a frame whose third update is garbage must
+    /// not leave its first two in the shared pending queue (a later
+    /// `apply`, possibly triggered by another client, would silently commit
+    /// the partial batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural [`IngestError`] in the batch; the
+    /// pending queue is left exactly as it was.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mmd_core::{Instance, IngestConfig, IngestEngine, StreamId};
+    /// use mmd_core::ingest::Update;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = Instance::builder("b").server_budgets(vec![10.0]);
+    /// let s = b.add_stream(vec![1.0]);
+    /// let u = b.add_user(f64::INFINITY, vec![]);
+    /// b.add_interest(u, s, 2.0, vec![])?;
+    /// let mut engine = IngestEngine::new(b.build()?, IngestConfig::default())?;
+    ///
+    /// // The poisoned tail rejects the whole batch: nothing is queued.
+    /// let poisoned = vec![
+    ///     Update::StreamDeparture(s),
+    ///     Update::StreamArrival(StreamId::new(99)),
+    /// ];
+    /// assert!(engine.push_batch(poisoned).is_err());
+    /// assert!(engine.pending().is_empty());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn push_batch(
+        &mut self,
+        updates: impl IntoIterator<Item = Update>,
+    ) -> Result<usize, IngestError> {
+        let updates: Vec<Update> = updates.into_iter().collect();
+        for update in &updates {
+            if let Err(e) = self.validate_structural(update) {
+                self.metrics.rejected_updates += 1;
+                return Err(e);
+            }
+        }
+        let n = updates.len();
+        self.pending.extend(updates);
+        Ok(n)
     }
 
     /// Drops all pending updates without applying them.
@@ -637,23 +785,73 @@ impl IngestEngine {
     ///
     /// Returns the first [`IngestError`] encountered.
     pub fn apply(&mut self) -> Result<IngestOutcome, IngestError> {
+        let started = Instant::now();
         let mut scratch = self.model.clone();
         let mut touched = Touched::new(self.base.num_streams(), self.base.num_users());
         for update in &self.pending {
-            scratch.apply(&self.base, update, &mut touched)?;
+            if let Err(e) = scratch.apply(&self.base, update, &mut touched) {
+                self.metrics.rejected_batches += 1;
+                return Err(e);
+            }
         }
         let applied = self.pending.len();
         let committed_model = std::mem::replace(&mut self.model, scratch);
         match self.resolve(touched, applied) {
             Ok(outcome) => {
                 self.pending.clear();
+                self.record_apply(&outcome, started);
                 Ok(outcome)
             }
             Err(e) => {
                 self.model = committed_model;
+                self.metrics.rejected_batches += 1;
                 Err(e)
             }
         }
+    }
+
+    /// Forces a full re-solve of the committed state — every shard is
+    /// treated as dirty, nothing is reused from cache. Pending updates are
+    /// untouched (they still need an [`apply`](Self::apply)).
+    ///
+    /// This is the graceful-maintenance entry point of a serving frontend:
+    /// scheduled in the background (between request bursts), it refreshes
+    /// every cached shard solution and the certificate from first
+    /// principles. By the engine's equivalence contract the committed
+    /// state is already bit-identical to a from-scratch solve, so the
+    /// committed assignment and bracket are unchanged — the value is the
+    /// rebuilt cache (and the differential reassurance itself).
+    ///
+    /// # Errors
+    ///
+    /// Propagates materialization or solve failures; the committed state
+    /// is unchanged on error.
+    pub fn refresh_full(&mut self) -> Result<IngestOutcome, IngestError> {
+        let started = Instant::now();
+        let touched = Touched::everything(self.base.num_streams(), self.base.num_users());
+        match self.resolve(touched, 0) {
+            Ok(outcome) => {
+                self.record_apply(&outcome, started);
+                Ok(outcome)
+            }
+            Err(e) => {
+                self.metrics.rejected_batches += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Folds one successful apply into the monotone counters.
+    fn record_apply(&mut self, outcome: &IngestOutcome, started: Instant) {
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let m = &mut self.metrics;
+        m.applies += 1;
+        m.updates_applied += outcome.updates_applied as u64;
+        m.full_resolves += u64::from(outcome.full_resolve);
+        m.resolved_shards += outcome.resolved_shards as u64;
+        m.shard_slots += outcome.num_shards as u64;
+        m.last_apply_nanos = nanos;
+        m.total_apply_nanos = m.total_apply_nanos.saturating_add(nanos);
     }
 
     /// Runs the §5 online allocator over the pending updates: warm-started
@@ -1147,6 +1345,114 @@ mod tests {
         assert_eq!(out.updates_applied, 3);
         assert_matches_scratch(&eng);
         assert_eq!(eng.num_live(), 6, "departure + re-arrival nets out");
+    }
+
+    #[test]
+    fn push_batch_is_all_or_nothing() {
+        let mut eng = engine(three_components());
+        // A poison update mid-batch (unknown stream) rejects the whole
+        // batch: the first, valid update must not linger in the queue
+        // where another client's apply would commit it.
+        let poisoned = vec![
+            Update::StreamDeparture(sid(0)),
+            Update::StreamArrival(sid(99)),
+            Update::StreamDeparture(sid(2)),
+        ];
+        assert!(matches!(
+            eng.push_batch(poisoned),
+            Err(IngestError::UnknownStream(_))
+        ));
+        assert!(eng.pending().is_empty(), "no partial batch enqueued");
+        assert_eq!(eng.metrics().rejected_updates, 1);
+        // The clean batch goes through in order.
+        let n = eng
+            .push_batch(vec![
+                Update::StreamDeparture(sid(0)),
+                Update::StreamArrival(sid(0)),
+            ])
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(eng.pending().len(), 2);
+        eng.apply().unwrap();
+        assert_matches_scratch(&eng);
+    }
+
+    #[test]
+    fn poison_batch_apply_leaves_committed_state_and_cache_intact() {
+        let mut eng = engine(three_components());
+        eng.push(Update::StreamDeparture(sid(3))).unwrap();
+        eng.apply().unwrap();
+        let assignment_before = eng.assignment().clone();
+        let outcome_before = *eng.last_outcome();
+
+        // A stateful poison (budget below a live stream's cost) rejected at
+        // apply time: committed assignment, certificate AND the shard
+        // cache must be exactly as before the failed batch.
+        eng.push(Update::InterestChange {
+            user: uid(0),
+            stream: sid(0),
+            weight: 7.0,
+        })
+        .unwrap();
+        eng.push(Update::BudgetChange {
+            measure: 0,
+            budget: 5.0,
+        })
+        .unwrap();
+        assert!(matches!(
+            eng.apply(),
+            Err(IngestError::CostExceedsBudget { .. })
+        ));
+        assert_eq!(eng.assignment(), &assignment_before);
+        assert_eq!(*eng.last_outcome(), outcome_before);
+        assert_eq!(eng.metrics().rejected_batches, 1);
+        eng.clear_pending();
+
+        // The cache survives unpoisoned: the next incremental apply still
+        // matches a from-scratch solve bit for bit (a partially mutated
+        // cache would surface here as a divergence).
+        eng.push(Update::InterestChange {
+            user: uid(1),
+            stream: sid(2),
+            weight: 11.0,
+        })
+        .unwrap();
+        let out = eng.apply().unwrap();
+        assert!(out.dirty_shards < out.num_shards, "incremental path taken");
+        assert_matches_scratch(&eng);
+    }
+
+    #[test]
+    fn metrics_count_applies_and_full_resolves() {
+        let mut eng = engine(three_components());
+        assert_eq!(*eng.metrics(), IngestMetrics::default());
+
+        eng.push(Update::StreamDeparture(sid(0))).unwrap();
+        eng.apply().unwrap();
+        let m1 = *eng.metrics();
+        assert_eq!(m1.applies, 1);
+        assert_eq!(m1.updates_applied, 1);
+        assert_eq!(m1.resolved_shards, 2);
+        assert_eq!(m1.shard_slots, 4);
+        assert!(m1.dirty_fraction() > 0.0 && m1.dirty_fraction() < 1.0);
+        assert!(m1.total_apply_nanos >= m1.last_apply_nanos);
+
+        // refresh_full counts as an apply escalated to a full re-solve and
+        // leaves the committed state bit-identical.
+        let utility_before = eng.utility();
+        let out = eng.refresh_full().unwrap();
+        assert!(out.full_resolve);
+        assert_eq!(eng.utility().to_bits(), utility_before.to_bits());
+        assert_matches_scratch(&eng);
+        let m2 = *eng.metrics();
+        assert_eq!(m2.applies, 2);
+        assert_eq!(m2.full_resolves, 1);
+        assert_eq!(m2.updates_applied, 1, "refresh applies no updates");
+
+        // Counters are monotone.
+        assert!(m2.resolved_shards >= m1.resolved_shards);
+        assert!(m2.shard_slots >= m1.shard_slots);
+        assert!(m2.total_apply_nanos >= m1.total_apply_nanos);
     }
 
     #[test]

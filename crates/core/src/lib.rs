@@ -56,10 +56,12 @@
 //!   re-solves.
 
 pub mod assignment;
+#[warn(missing_docs)]
 pub mod coverage;
 pub mod error;
 pub mod graph;
 pub mod ids;
+#[warn(missing_docs)]
 pub mod ingest;
 pub mod instance;
 pub mod num;
@@ -71,5 +73,5 @@ pub mod algo;
 pub use assignment::Assignment;
 pub use error::{BuildError, Infeasibility, SolveError};
 pub use ids::{StreamId, UserId};
-pub use ingest::{IngestConfig, IngestEngine, IngestError, IngestOutcome, Update};
+pub use ingest::{IngestConfig, IngestEngine, IngestError, IngestMetrics, IngestOutcome, Update};
 pub use instance::{Instance, InstanceBuilder, UserSpec};

@@ -1,0 +1,587 @@
+//! The request handler: one [`Service`] owns the [`IngestEngine`] and maps
+//! protocol requests to engine operations.
+//!
+//! A `Service` is strictly single-threaded — the daemon runs exactly one,
+//! on a dedicated engine thread, and serializes every request through it
+//! (see [`crate::server`]). That is what makes the daemon deterministic:
+//! requests are applied in queue order against one engine, so the committed
+//! state after any request prefix is a pure function of that prefix, and
+//! the equivalence contract of [`IngestEngine`] (bit-identical to a
+//! from-scratch [`solve_sharded`]) lifts to the whole daemon.
+//!
+//! [`solve_sharded`]: mmd_core::algo::shard::solve_sharded
+
+use crate::protocol::{
+    Admission, ErrorCode, HealthSnapshot, MetricsSnapshot, Request, Response, WireOutcome,
+};
+use mmd_core::algo::online::{OfferOutcome, OnlineConfig};
+use mmd_core::{IngestConfig, IngestEngine, IngestError, Instance, StreamId, UserId};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Daemon configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeConfig {
+    /// The ingest engine's configuration (shard size, threads, triggers).
+    pub ingest: IngestConfig,
+    /// The §5 online allocator's configuration for provisional admissions.
+    pub online: OnlineConfig,
+    /// Capacity of the bounded request queue between connection handlers
+    /// and the engine thread; a full queue bounces requests with an
+    /// `overloaded` error frame (backpressure).
+    pub queue_capacity: usize,
+    /// Maximum updates accepted in one `update` frame; larger frames are
+    /// rejected as `invalid` without being enqueued.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            ingest: IngestConfig::default(),
+            online: OnlineConfig::default(),
+            queue_capacity: 64,
+            max_batch: 1024,
+        }
+    }
+}
+
+/// Serving-layer counters, shared between the connection handlers (which
+/// count rejected frames and backpressure) and the engine thread (which
+/// snapshots them into `metrics` responses). All monotone except
+/// [`queue_depth`](Self::queue_depth), a gauge.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    /// Request frames processed by the engine thread.
+    pub requests: AtomicU64,
+    /// Lines rejected before reaching the engine (parse errors).
+    pub frames_rejected: AtomicU64,
+    /// Requests bounced by backpressure (queue full).
+    pub overloaded: AtomicU64,
+    /// Provisional admission checks run.
+    pub admission_checks: AtomicU64,
+    /// Pending arrivals provisionally admitted.
+    pub admitted: AtomicU64,
+    /// Pending arrivals provisionally dropped.
+    pub admission_rejects: AtomicU64,
+    /// Requests currently in the bounded queue (gauge).
+    pub queue_depth: AtomicUsize,
+}
+
+/// Maps an engine error to its wire error class.
+fn error_code(e: &IngestError) -> ErrorCode {
+    match e {
+        IngestError::UnknownStream(_)
+        | IngestError::UnknownUser(_)
+        | IngestError::UnknownMeasure(_)
+        | IngestError::InvalidWeight { .. }
+        | IngestError::InvalidBudget { .. } => ErrorCode::Invalid,
+        IngestError::CostExceedsBudget { .. } => ErrorCode::Rejected,
+        IngestError::Build(_) | IngestError::Solve(_) => ErrorCode::Internal,
+    }
+}
+
+fn error_response(e: &IngestError) -> Response {
+    Response::Error {
+        code: error_code(e),
+        message: e.to_string(),
+    }
+}
+
+fn admission(offer: &OfferOutcome) -> Admission {
+    Admission {
+        stream: offer.stream.index(),
+        admitted: !offer.assigned.is_empty(),
+        users: offer.assigned.iter().map(|u| u.index()).collect(),
+        gained: offer.gained,
+    }
+}
+
+/// The daemon's request handler (see the [module docs](self)).
+#[derive(Debug)]
+pub struct Service {
+    engine: IngestEngine,
+    config: ServeConfig,
+    counters: Arc<ServeCounters>,
+    full_resolve_scheduled: bool,
+    draining: bool,
+}
+
+impl Service {
+    /// Creates a service over `instance` — solving the initial state fully
+    /// — with fresh counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the initial solve's [`IngestError`].
+    pub fn new(instance: Instance, config: ServeConfig) -> Result<Self, IngestError> {
+        Ok(Service {
+            engine: IngestEngine::new(instance, config.ingest)?,
+            config,
+            counters: Arc::new(ServeCounters::default()),
+            full_resolve_scheduled: false,
+            draining: false,
+        })
+    }
+
+    /// The serving counters, shareable with connection handlers.
+    pub fn counters(&self) -> Arc<ServeCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The underlying engine (read access, e.g. for differential tests).
+    pub fn engine(&self) -> &IngestEngine {
+        &self.engine
+    }
+
+    /// Whether `shutdown` has been requested.
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Handles one request. Never panics on malformed input — every
+    /// failure maps to an error frame.
+    pub fn handle(&mut self, request: &Request) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        if self.draining && !matches!(request, Request::Health | Request::Metrics) {
+            return Response::Error {
+                code: ErrorCode::Unavailable,
+                message: "server is draining".to_string(),
+            };
+        }
+        match request {
+            Request::Update { updates, admit } => self.handle_update(updates, *admit),
+            Request::Apply => match self.engine.apply() {
+                Ok(outcome) => Response::Applied {
+                    outcome: WireOutcome::from(outcome),
+                },
+                Err(e) => {
+                    // A rejected batch must not wedge the shared queue:
+                    // later clients' applies would keep failing on this
+                    // client's poison updates.
+                    self.engine.clear_pending();
+                    error_response(&e)
+                }
+            },
+            Request::QueryUser { user } => self.handle_query_user(*user),
+            Request::QueryStream { stream } => self.handle_query_stream(*stream),
+            Request::Allocation => {
+                let instance = self.engine.current_instance();
+                Response::Allocation {
+                    utility: self.engine.utility(),
+                    users: instance
+                        .users()
+                        .map(|u| {
+                            self.engine
+                                .assignment()
+                                .streams_of(u)
+                                .map(|s| s.index())
+                                .collect()
+                        })
+                        .collect(),
+                }
+            }
+            Request::Certificate => {
+                let last = self.engine.last_outcome();
+                Response::Certificate {
+                    utility: last.utility,
+                    upper_bound: last.upper_bound,
+                    gap_fraction: last.gap_fraction,
+                }
+            }
+            Request::Admissions => match self.provisional() {
+                Ok(admissions) => Response::Admissions { admissions },
+                Err(e) => error_response(&e),
+            },
+            Request::Health => Response::Health(self.health()),
+            Request::Metrics => Response::Metrics(self.metrics_snapshot()),
+            Request::Resolve => {
+                self.full_resolve_scheduled = true;
+                Response::Resolve { scheduled: true }
+            }
+            Request::Shutdown => {
+                self.draining = true;
+                Response::Shutdown
+            }
+        }
+    }
+
+    fn handle_update(&mut self, updates: &[mmd_core::ingest::Update], admit: bool) -> Response {
+        if updates.len() > self.config.max_batch {
+            return Response::Error {
+                code: ErrorCode::Invalid,
+                message: format!(
+                    "update frame carries {} updates, above the {}-update limit",
+                    updates.len(),
+                    self.config.max_batch
+                ),
+            };
+        }
+        if let Err(e) = self.engine.push_batch(updates.iter().cloned()) {
+            return Response::Error {
+                code: ErrorCode::Invalid,
+                message: e.to_string(),
+            };
+        }
+        let admissions = if admit {
+            match self.provisional() {
+                Ok(a) => Some(a),
+                Err(e) => return error_response(&e),
+            }
+        } else {
+            None
+        };
+        Response::Pushed {
+            pending: self.engine.pending().len(),
+            admissions,
+        }
+    }
+
+    fn provisional(&self) -> Result<Vec<Admission>, IngestError> {
+        self.counters
+            .admission_checks
+            .fetch_add(1, Ordering::Relaxed);
+        let offers = self.engine.provisional_admissions(self.config.online)?;
+        let admissions: Vec<Admission> = offers.iter().map(admission).collect();
+        let admitted = admissions.iter().filter(|a| a.admitted).count() as u64;
+        self.counters
+            .admitted
+            .fetch_add(admitted, Ordering::Relaxed);
+        self.counters
+            .admission_rejects
+            .fetch_add(admissions.len() as u64 - admitted, Ordering::Relaxed);
+        Ok(admissions)
+    }
+
+    fn handle_query_user(&self, user: usize) -> Response {
+        if user >= self.engine.current_instance().num_users() {
+            return Response::Error {
+                code: ErrorCode::Invalid,
+                message: format!("unknown user {user}"),
+            };
+        }
+        let u = UserId::new(user);
+        Response::UserAllocation {
+            user,
+            streams: self
+                .engine
+                .assignment()
+                .streams_of(u)
+                .map(|s| s.index())
+                .collect(),
+            utility: self
+                .engine
+                .assignment()
+                .user_utility(u, self.engine.current_instance()),
+        }
+    }
+
+    fn handle_query_stream(&self, stream: usize) -> Response {
+        let instance = self.engine.current_instance();
+        if stream >= instance.num_streams() {
+            return Response::Error {
+                code: ErrorCode::Invalid,
+                message: format!("unknown stream {stream}"),
+            };
+        }
+        let s = StreamId::new(stream);
+        let assignment = self.engine.assignment();
+        Response::StreamAllocation {
+            stream,
+            live: assignment.in_range(s),
+            users: instance
+                .users()
+                .filter(|&u| assignment.contains(u, s))
+                .map(|u| u.index())
+                .collect(),
+        }
+    }
+
+    /// Runs deferred maintenance — the scheduled background full re-solve —
+    /// and returns whether any work was done. The engine thread calls this
+    /// only when the request queue is empty, so maintenance never delays a
+    /// live request (graceful scheduling).
+    pub fn idle(&mut self) -> bool {
+        if !self.full_resolve_scheduled || self.draining {
+            return false;
+        }
+        self.full_resolve_scheduled = false;
+        // By the equivalence contract the committed state is unchanged;
+        // a failure (not reachable for well-formed instances) only means
+        // the cache refresh did not happen.
+        let _ = self.engine.refresh_full();
+        true
+    }
+
+    /// The current `health` body.
+    pub fn health(&self) -> HealthSnapshot {
+        let instance = self.engine.current_instance();
+        HealthSnapshot {
+            status: if self.draining { "draining" } else { "ok" }.to_string(),
+            live_streams: self.engine.num_live(),
+            num_streams: instance.num_streams(),
+            num_users: instance.num_users(),
+            pending_updates: self.engine.pending().len(),
+            queue_depth: self.counters.queue_depth.load(Ordering::Relaxed),
+            queue_capacity: self.config.queue_capacity,
+            full_resolve_scheduled: self.full_resolve_scheduled,
+        }
+    }
+
+    /// The current `metrics` body: engine counters, serving counters and
+    /// the committed certificate.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let m = self.engine.metrics();
+        let c = &self.counters;
+        let last = self.engine.last_outcome();
+        MetricsSnapshot {
+            applies: m.applies,
+            updates_applied: m.updates_applied,
+            full_resolves: m.full_resolves,
+            resolved_shards: m.resolved_shards,
+            shard_slots: m.shard_slots,
+            dirty_fraction: m.dirty_fraction(),
+            rejected_batches: m.rejected_batches,
+            rejected_updates: m.rejected_updates,
+            last_apply_micros: m.last_apply_nanos / 1_000,
+            total_apply_micros: m.total_apply_nanos / 1_000,
+            requests: c.requests.load(Ordering::Relaxed),
+            frames_rejected: c.frames_rejected.load(Ordering::Relaxed),
+            overloaded: c.overloaded.load(Ordering::Relaxed),
+            admission_checks: c.admission_checks.load(Ordering::Relaxed),
+            admitted: c.admitted.load(Ordering::Relaxed),
+            admission_rejects: c.admission_rejects.load(Ordering::Relaxed),
+            queue_depth: c.queue_depth.load(Ordering::Relaxed),
+            queue_capacity: self.config.queue_capacity,
+            utility: last.utility,
+            upper_bound: last.upper_bound,
+            gap_fraction: last.gap_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmd_core::ingest::Update;
+
+    fn demo_instance() -> Instance {
+        let mut b = Instance::builder("svc").server_budgets(vec![100.0]);
+        let s: Vec<_> = (0..6).map(|i| b.add_stream(vec![2.0 + i as f64])).collect();
+        for c in 0..3 {
+            let u = b.add_user(f64::INFINITY, vec![]);
+            b.add_interest(u, s[2 * c], 4.0 + c as f64, vec![]).unwrap();
+            b.add_interest(u, s[2 * c + 1], 3.0, vec![]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn service() -> Service {
+        Service::new(demo_instance(), ServeConfig::default()).unwrap()
+    }
+
+    fn depart(stream: usize) -> Request {
+        Request::Update {
+            updates: vec![Update::StreamDeparture(StreamId::new(stream))],
+            admit: false,
+        }
+    }
+
+    #[test]
+    fn update_apply_query_round() {
+        let mut svc = service();
+        let pushed = svc.handle(&depart(0));
+        assert_eq!(
+            pushed,
+            Response::Pushed {
+                pending: 1,
+                admissions: None
+            }
+        );
+        let Response::Applied { outcome } = svc.handle(&Request::Apply) else {
+            panic!("apply failed");
+        };
+        assert_eq!(outcome.updates_applied, 1);
+        let Response::StreamAllocation { live, users, .. } =
+            svc.handle(&Request::QueryStream { stream: 0 })
+        else {
+            panic!("query failed");
+        };
+        assert!(!live);
+        assert!(users.is_empty());
+        let Response::UserAllocation { streams, .. } = svc.handle(&Request::QueryUser { user: 0 })
+        else {
+            panic!("query failed");
+        };
+        assert_eq!(streams, vec![1], "only the community's second stream left");
+    }
+
+    #[test]
+    fn invalid_updates_and_queries_are_error_frames() {
+        let mut svc = service();
+        let r = svc.handle(&Request::Update {
+            updates: vec![Update::StreamArrival(StreamId::new(99))],
+            admit: false,
+        });
+        assert!(matches!(
+            r,
+            Response::Error {
+                code: ErrorCode::Invalid,
+                ..
+            }
+        ));
+        assert!(matches!(
+            svc.handle(&Request::QueryUser { user: 42 }),
+            Response::Error {
+                code: ErrorCode::Invalid,
+                ..
+            }
+        ));
+        assert!(matches!(
+            svc.handle(&Request::QueryStream { stream: 42 }),
+            Response::Error {
+                code: ErrorCode::Invalid,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn oversized_update_frame_is_rejected_without_enqueue() {
+        let mut svc = Service::new(
+            demo_instance(),
+            ServeConfig {
+                max_batch: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let r = svc.handle(&Request::Update {
+            updates: vec![
+                Update::StreamDeparture(StreamId::new(0)),
+                Update::StreamDeparture(StreamId::new(1)),
+                Update::StreamDeparture(StreamId::new(2)),
+            ],
+            admit: false,
+        });
+        assert!(matches!(
+            r,
+            Response::Error {
+                code: ErrorCode::Invalid,
+                ..
+            }
+        ));
+        assert_eq!(svc.engine().pending().len(), 0);
+    }
+
+    #[test]
+    fn rejected_apply_clears_the_poisoned_queue() {
+        let mut svc = service();
+        // Budget below live costs: stateful rejection at apply time.
+        svc.handle(&Request::Update {
+            updates: vec![Update::BudgetChange {
+                measure: 0,
+                budget: 1.0,
+            }],
+            admit: false,
+        });
+        let r = svc.handle(&Request::Apply);
+        assert!(matches!(
+            r,
+            Response::Error {
+                code: ErrorCode::Rejected,
+                ..
+            }
+        ));
+        // The queue was cleared: the next client's apply is a clean no-op,
+        // not a replay of this client's poison.
+        assert!(matches!(
+            svc.handle(&Request::Apply),
+            Response::Applied { .. }
+        ));
+    }
+
+    #[test]
+    fn admissions_cover_pending_arrivals() {
+        let mut svc = service();
+        svc.handle(&depart(0));
+        svc.handle(&Request::Apply);
+        let r = svc.handle(&Request::Update {
+            updates: vec![Update::StreamArrival(StreamId::new(0))],
+            admit: true,
+        });
+        let Response::Pushed {
+            admissions: Some(admissions),
+            ..
+        } = r
+        else {
+            panic!("expected admissions, got {r:?}");
+        };
+        assert_eq!(admissions.len(), 1);
+        assert!(admissions[0].admitted, "uncontended arrival is admitted");
+        assert_eq!(svc.metrics_snapshot().admitted, 1);
+    }
+
+    #[test]
+    fn resolve_schedules_and_idle_runs_it() {
+        let mut svc = service();
+        assert!(!svc.idle(), "nothing scheduled");
+        assert_eq!(
+            svc.handle(&Request::Resolve),
+            Response::Resolve { scheduled: true }
+        );
+        assert!(svc.health().full_resolve_scheduled);
+        let utility = svc.engine().utility();
+        assert!(svc.idle(), "scheduled work ran");
+        assert!(!svc.idle(), "and is consumed");
+        assert_eq!(svc.engine().utility().to_bits(), utility.to_bits());
+        assert_eq!(svc.metrics_snapshot().full_resolves, 1);
+    }
+
+    #[test]
+    fn draining_rejects_everything_but_observability() {
+        let mut svc = service();
+        assert_eq!(svc.handle(&Request::Shutdown), Response::Shutdown);
+        assert!(svc.draining());
+        assert!(matches!(
+            svc.handle(&Request::Apply),
+            Response::Error {
+                code: ErrorCode::Unavailable,
+                ..
+            }
+        ));
+        let Response::Health(health) = svc.handle(&Request::Health) else {
+            panic!("health must answer while draining");
+        };
+        assert_eq!(health.status, "draining");
+        assert!(matches!(
+            svc.handle(&Request::Metrics),
+            Response::Metrics(_)
+        ));
+    }
+
+    #[test]
+    fn health_and_metrics_reflect_state() {
+        let mut svc = service();
+        let h = svc.health();
+        assert_eq!(h.status, "ok");
+        assert_eq!(h.live_streams, 6);
+        assert_eq!(h.num_users, 3);
+        assert_eq!(h.pending_updates, 0);
+
+        svc.handle(&depart(0));
+        svc.handle(&Request::Apply);
+        let m = svc.metrics_snapshot();
+        assert_eq!(m.applies, 1);
+        assert_eq!(m.updates_applied, 1);
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.queue_capacity, 64);
+        assert!(m.utility > 0.0);
+        assert!(m.upper_bound >= m.utility);
+    }
+}

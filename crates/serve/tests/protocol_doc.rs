@@ -1,0 +1,160 @@
+//! `docs/PROTOCOL.md` cannot drift from the implementation: every JSON
+//! example frame in the document is parsed by the real frame parser,
+//! re-printed canonically, and compared value-for-value (object key order
+//! included — the vendor `Value` equality is order-sensitive). A coverage
+//! pass then checks the document exercises every request op, every
+//! response kind and every error code the protocol defines.
+
+use mmd_serve::protocol::{
+    parse_request, parse_response, request_to_value, response_to_value, Response,
+};
+use serde::Value;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn protocol_doc() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/PROTOCOL.md");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Every line inside a fenced ```json block, with its line number.
+fn example_frames(doc: &str) -> Vec<(usize, String)> {
+    let mut frames = Vec::new();
+    let mut in_json = false;
+    for (i, line) in doc.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("```") {
+            in_json = trimmed == "```json";
+            continue;
+        }
+        if in_json && !trimmed.is_empty() {
+            frames.push((i + 1, trimmed.to_string()));
+        }
+    }
+    frames
+}
+
+fn str_field<'v>(value: &'v Value, key: &str) -> Option<&'v str> {
+    match value.get(key) {
+        Some(Value::String(s)) => Some(s),
+        _ => None,
+    }
+}
+
+#[test]
+fn every_documented_frame_roundtrips_through_the_real_parser() {
+    let doc = protocol_doc();
+    let frames = example_frames(&doc);
+    assert!(
+        frames.len() >= 30,
+        "suspiciously few examples ({}) — extraction broken?",
+        frames.len()
+    );
+
+    let mut ops = BTreeSet::new();
+    let mut kinds = BTreeSet::new();
+    let mut codes = BTreeSet::new();
+
+    for (line_no, frame) in &frames {
+        let documented: Value = serde_json::from_str(frame)
+            .unwrap_or_else(|e| panic!("PROTOCOL.md:{line_no}: not JSON: {e}\n  {frame}"));
+        let canonical = if documented.get("op").is_some() {
+            let request = parse_request(frame).unwrap_or_else(|e| {
+                panic!("PROTOCOL.md:{line_no}: request does not parse: {e}\n  {frame}")
+            });
+            ops.insert(str_field(&documented, "op").unwrap().to_string());
+            request_to_value(&request)
+        } else if documented.get("ok").is_some() {
+            let response = parse_response(frame).unwrap_or_else(|e| {
+                panic!("PROTOCOL.md:{line_no}: response does not parse: {e}\n  {frame}")
+            });
+            match &response {
+                Response::Error { code, .. } => {
+                    codes.insert(code.as_str().to_string());
+                }
+                _ => {
+                    kinds.insert(str_field(&documented, "kind").unwrap().to_string());
+                }
+            }
+            response_to_value(&response)
+        } else {
+            panic!("PROTOCOL.md:{line_no}: frame has neither `op` nor `ok`:\n  {frame}");
+        };
+        assert_eq!(
+            documented, canonical,
+            "PROTOCOL.md:{line_no}: documented frame differs from the canonical \
+             encoding (field order and values must match exactly)\n  doc: {frame}"
+        );
+    }
+
+    // Coverage: the document must exercise the full protocol surface.
+    let expect = |label: &str, want: &[&str], got: &BTreeSet<String>| {
+        for w in want {
+            assert!(
+                got.contains(*w),
+                "PROTOCOL.md documents no {label} example for `{w}` (has: {got:?})"
+            );
+        }
+    };
+    expect(
+        "request op",
+        &[
+            "update",
+            "apply",
+            "query",
+            "allocation",
+            "certificate",
+            "admissions",
+            "health",
+            "metrics",
+            "resolve",
+            "shutdown",
+        ],
+        &ops,
+    );
+    expect(
+        "response kind",
+        &[
+            "pushed",
+            "applied",
+            "user",
+            "stream",
+            "allocation",
+            "certificate",
+            "admissions",
+            "health",
+            "metrics",
+            "resolve",
+            "shutdown",
+        ],
+        &kinds,
+    );
+    expect(
+        "error code",
+        &[
+            "parse",
+            "invalid",
+            "rejected",
+            "overloaded",
+            "unavailable",
+            "internal",
+        ],
+        &codes,
+    );
+}
+
+#[test]
+fn documented_update_kinds_cover_the_update_language() {
+    let doc = protocol_doc();
+    for kind in ["arrive", "depart", "interest", "budget"] {
+        assert!(
+            doc.contains(&format!(r#""kind":"{kind}""#)),
+            "PROTOCOL.md has no `{kind}` update example"
+        );
+    }
+    // The infinity-as-null convention must be shown, not just described.
+    assert!(
+        doc.contains(r#""budget":null"#),
+        "PROTOCOL.md must show an unconstrained (`null`) budget example"
+    );
+}

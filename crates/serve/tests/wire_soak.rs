@@ -1,0 +1,238 @@
+//! End-to-end wire soak: drive a seeded churn trace through a live
+//! `mmd-serve` daemon over real TCP and verify the daemon's final state is
+//! **bit-identical** to a from-scratch sharded solve of the same final
+//! instance (the ingest engine's equivalence contract, lifted through the
+//! wire).
+//!
+//! The vendor JSON layer prints floats with the shortest round-trip
+//! representation, so every f64 in a response frame is exactly the f64 the
+//! engine computed — the comparisons below are on bits, not tolerances.
+
+use mmd_core::algo::shard::solve_sharded;
+use mmd_core::ingest::{IngestEngine, Update};
+use mmd_serve::client::{ClientError, WireClient};
+use mmd_serve::server::{self, ServerHandle};
+use mmd_serve::service::{ServeConfig, Service};
+use mmd_sim::drive_churn;
+use mmd_workload::{ChurnConfig, ClusteredConfig};
+
+fn spawn_daemon(instance: &mmd_core::Instance, config: ServeConfig) -> (ServerHandle, WireClient) {
+    let service = Service::new(instance.clone(), config).expect("initial solve");
+    let handle = server::spawn(service, "127.0.0.1:0").expect("bind ephemeral port");
+    let client = WireClient::connect(handle.addr()).expect("connect");
+    (handle, client)
+}
+
+/// Streams the trace through the wire in `batch`-sized frames and checks
+/// every invariant the protocol promises along the way.
+fn soak(updates: &[Update], batch: usize) {
+    let instance = ClusteredConfig::decomposable(4, 5, 3).generate(23);
+    let config = ServeConfig::default();
+    let (handle, mut client) = spawn_daemon(&instance, config);
+
+    // The reference run: the identical trace through an in-process engine.
+    let mut reference = IngestEngine::new(instance.clone(), config.ingest).expect("engine");
+    let local = drive_churn(updates, batch, |chunk| {
+        reference.push_batch(chunk.iter().cloned())?;
+        let outcome = reference.apply()?;
+        Ok::<_, mmd_core::IngestError>((outcome.utility, outcome.upper_bound))
+    })
+    .expect("local replay");
+
+    // The wire run: same trace, same batching, but every batch crosses TCP
+    // as JSON frames and the bracket comes back out of the response frames.
+    let metrics_before = client.metrics().expect("metrics");
+    let wired = drive_churn(updates, batch, |chunk| -> Result<_, ClientError> {
+        client.push(chunk.to_vec(), false)?;
+        let outcome = client.apply()?;
+        Ok((outcome.utility, outcome.upper_bound))
+    })
+    .expect("wire replay");
+
+    // The transport changed nothing: every aggregate matches on bits.
+    assert_eq!(wired.batches, local.batches);
+    assert_eq!(wired.updates, local.updates);
+    assert_eq!(
+        wired.final_utility.to_bits(),
+        local.final_utility.to_bits(),
+        "utility drifted through the wire"
+    );
+    assert_eq!(
+        wired.final_upper_bound.to_bits(),
+        local.final_upper_bound.to_bits(),
+        "upper bound drifted through the wire"
+    );
+
+    // The daemon's committed state equals a from-scratch sharded solve of
+    // the final instance, bit for bit.
+    let scratch =
+        solve_sharded(reference.current_instance(), &config.ingest.shard).expect("scratch solve");
+    let (utility, upper_bound, _gap) = client.certificate().expect("certificate");
+    assert_eq!(utility.to_bits(), scratch.utility.to_bits());
+    assert_eq!(upper_bound.to_bits(), scratch.upper_bound.to_bits());
+    let (alloc_utility, users) = client.allocation().expect("allocation");
+    assert_eq!(alloc_utility.to_bits(), scratch.utility.to_bits());
+    assert_eq!(users.len(), instance.num_users());
+    for (u, streams) in users.iter().enumerate() {
+        let expected: Vec<usize> = scratch
+            .assignment
+            .streams_of(mmd_core::UserId::new(u))
+            .map(|s| s.index())
+            .collect();
+        assert_eq!(streams, &expected, "user {u} allocation drifted");
+    }
+
+    // Serving counters moved monotonically and report the replay's work.
+    let metrics_after = client.metrics().expect("metrics");
+    assert!(metrics_after.applies >= metrics_before.applies + wired.batches as u64);
+    assert_eq!(
+        metrics_after.updates_applied - metrics_before.updates_applied,
+        wired.updates as u64
+    );
+    assert!(metrics_after.requests > metrics_before.requests);
+    assert!(metrics_after.total_apply_micros >= metrics_before.total_apply_micros);
+    assert_eq!(metrics_after.utility.to_bits(), scratch.utility.to_bits());
+
+    let health = client.health().expect("health");
+    assert_eq!(health.status, "ok");
+    assert_eq!(health.pending_updates, 0);
+
+    // Graceful shutdown; join returns the final service for a last
+    // in-process differential check.
+    client.shutdown().expect("shutdown");
+    drop(client);
+    let service = handle.join();
+    assert_eq!(
+        service.engine().utility().to_bits(),
+        scratch.utility.to_bits()
+    );
+    assert_eq!(service.engine().assignment(), &scratch.assignment);
+}
+
+#[test]
+fn soak_short_trace_matches_scratch_solve() {
+    let instance = ClusteredConfig::decomposable(4, 5, 3).generate(23);
+    let updates = ChurnConfig::mixed(200).generate(&instance, 5);
+    soak(&updates, 16);
+}
+
+/// The CI soak rung: a 1000-update mixed churn trace through the real wire
+/// protocol (`--include-ignored` in the `serve-soak` CI step).
+#[test]
+#[ignore = "CI soak rung: ~1k updates through real TCP"]
+fn soak_long_trace_matches_scratch_solve() {
+    let instance = ClusteredConfig::decomposable(4, 5, 3).generate(23);
+    let updates = ChurnConfig::mixed(1000).generate(&instance, 7);
+    soak(&updates, 25);
+}
+
+#[test]
+fn malformed_lines_get_error_frames_and_do_not_kill_the_connection() {
+    let instance = ClusteredConfig::decomposable(2, 3, 2).generate(3);
+    let (handle, mut client) = spawn_daemon(&instance, ServeConfig::default());
+
+    let line = client.raw_line("this is not json").expect("error frame");
+    assert!(line.starts_with(r#"{"ok":false,"code":"parse""#), "{line}");
+    let line = client.raw_line(r#"{"op":"frobnicate"}"#).expect("frame");
+    assert!(line.contains(r#""code":"parse""#), "{line}");
+
+    // The connection still works afterwards.
+    let health = client.health().expect("health after garbage");
+    assert_eq!(health.status, "ok");
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.frames_rejected, 2);
+
+    client.shutdown().expect("shutdown");
+    drop(client);
+    handle.join();
+}
+
+#[test]
+fn concurrent_clients_serialize_through_the_engine() {
+    let instance = ClusteredConfig::decomposable(3, 4, 3).generate(9);
+    let (handle, mut client) = spawn_daemon(&instance, ServeConfig::default());
+
+    // Several clients push-and-apply concurrently; the engine serializes
+    // the requests, so every response is a valid committed state and the
+    // final state is reachable by SOME interleaving — which, with each
+    // client touching a disjoint stream, is the same final instance.
+    let addr = handle.addr();
+    let workers: Vec<_> = (0..3)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut c = WireClient::connect(addr).expect("connect");
+                c.push(
+                    vec![Update::StreamDeparture(mmd_core::StreamId::new(w))],
+                    false,
+                )
+                .expect("push");
+                c.apply().expect("apply");
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker");
+    }
+
+    let (_, _, gap) = client.certificate().expect("certificate");
+    assert!((0.0..=1.0).contains(&gap));
+    let health = client.health().expect("health");
+    assert_eq!(health.live_streams, instance.num_streams() - 3);
+    assert_eq!(health.pending_updates, 0, "every batch was applied");
+
+    client.shutdown().expect("shutdown");
+    drop(client);
+    let service = handle.join();
+    // Differential: the committed state still matches a scratch solve.
+    let scratch = solve_sharded(
+        service.engine().current_instance(),
+        &service.config().ingest.shard,
+    )
+    .expect("scratch");
+    assert_eq!(service.engine().assignment(), &scratch.assignment);
+}
+
+#[test]
+fn shutdown_drains_and_unblocks_join() {
+    let instance = ClusteredConfig::decomposable(2, 3, 2).generate(1);
+    let (handle, mut client) = spawn_daemon(&instance, ServeConfig::default());
+    client.shutdown().expect("shutdown");
+    // Draining: further requests answer `unavailable`, observability stays.
+    let err = client.apply().expect_err("draining rejects applies");
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            code: mmd_serve::ErrorCode::Unavailable,
+            ..
+        }
+    ));
+    let health = client.health().expect("health while draining");
+    assert_eq!(health.status, "draining");
+    drop(client);
+    handle.join();
+}
+
+#[test]
+fn scheduled_resolve_runs_in_the_background_and_changes_nothing() {
+    let instance = ClusteredConfig::decomposable(3, 4, 3).generate(14);
+    let (handle, mut client) = spawn_daemon(&instance, ServeConfig::default());
+    let (utility_before, upper_before, _) = client.certificate().expect("certificate");
+    assert!(client.resolve().expect("resolve"));
+    // The full re-solve happens between requests; poll metrics until it
+    // lands (bounded — the engine thread is idle apart from our requests).
+    let mut resolves = 0;
+    for _ in 0..200 {
+        resolves = client.metrics().expect("metrics").full_resolves;
+        if resolves > 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(resolves, 1, "scheduled full re-solve ran");
+    let (utility_after, upper_after, _) = client.certificate().expect("certificate");
+    assert_eq!(utility_after.to_bits(), utility_before.to_bits());
+    assert_eq!(upper_after.to_bits(), upper_before.to_bits());
+    client.shutdown().expect("shutdown");
+    drop(client);
+    handle.join();
+}

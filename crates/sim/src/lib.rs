@@ -14,7 +14,10 @@
 //! admitting streams under a *fixed* instance, [`replay_churn`] drives the
 //! incremental ingest engine (`mmd_core::ingest`) over a typed update
 //! trace that mutates the instance itself, and aggregates the certified
-//! per-batch outcomes.
+//! per-batch outcomes. [`wire::drive_churn`] is the transport-agnostic
+//! variant: the same batched trace delivered through an arbitrary send
+//! closure — e.g. a daemon's TCP wire protocol — for differential
+//! end-to-end soaks.
 //!
 //! ```
 //! use mmd_sim::{run, PolicyKind, SimConfig};
@@ -31,6 +34,7 @@ mod engine;
 pub mod metrics;
 mod policy;
 pub mod replay;
+pub mod wire;
 
 pub use engine::{run, run_with, SimConfig, SimReport};
 pub use policy::{
@@ -38,3 +42,4 @@ pub use policy::{
     ThresholdPolicy,
 };
 pub use replay::{replay_churn, replay_churn_with, ChurnReplayReport};
+pub use wire::{drive_churn, WireChurnReport};
