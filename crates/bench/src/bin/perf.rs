@@ -10,6 +10,7 @@
 //! perf [--ladder small|full|tiny] [--threads N] [--out BENCH_perf.json]
 //!      [--baseline bench/baseline.json] [--tolerance 0.30]
 //!      [--write-baseline bench/baseline.json] [--summary FILE]
+//! perf --trend DIR [--summary FILE]
 //! ```
 //!
 //! `--summary FILE` additionally writes the human-readable ladder table as
@@ -17,10 +18,17 @@
 //! the per-commit perf trajectory is readable without downloading
 //! artifacts.
 //!
+//! `--trend DIR` is a separate fast mode: no ladder runs. The directory is
+//! scanned for SHA-stamped `BENCH_perf.json` artifacts (one subdirectory
+//! per commit, the shape artifact downloads produce) and the cross-commit
+//! headline table ([`mmd_bench::trend`]) is printed to stdout — and to
+//! `--summary FILE` when given.
+//!
 //! Exit codes: 0 ok, 1 regression against the baseline, 2 usage error.
 
 use mmd_bench::outfile::ExpArgs;
 use mmd_bench::perf::{check_baseline, run_ladder, Ladder};
+use mmd_bench::trend::{load_trend_dir, trend_table};
 use serde_json::Value;
 
 fn fail_usage(msg: &str) -> ! {
@@ -35,7 +43,23 @@ fn main() {
         "write-baseline",
         "tolerance",
         "summary",
+        "trend",
     ]);
+    if let Some(dir) = args.get("trend") {
+        let points = match load_trend_dir(std::path::Path::new(dir)) {
+            Ok(points) => points,
+            Err(e) => fail_usage(&e),
+        };
+        let table = trend_table(&points);
+        print!("{table}");
+        if let Some(path) = args.get("summary") {
+            if let Err(e) = std::fs::write(path, &table) {
+                fail_usage(&format!("cannot write {path}: {e}"));
+            }
+            eprintln!("wrote summary {path}");
+        }
+        return;
+    }
     let ladder = match Ladder::parse(args.get("ladder").unwrap_or("full")) {
         Ok(l) => l,
         Err(e) => fail_usage(&e),

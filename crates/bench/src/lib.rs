@@ -8,5 +8,6 @@
 pub mod outfile;
 pub mod perf;
 pub mod report;
+pub mod trend;
 
 pub use report::Table;

@@ -1,0 +1,315 @@
+//! Cross-commit perf trends: fold a directory of SHA-stamped
+//! `BENCH_perf.json` artifacts into one markdown table.
+//!
+//! CI keeps one `bench-perf-<sha>` artifact per commit (see
+//! `.github/workflows/ci.yml`). The perf job downloads the last few into a
+//! scratch directory — one subdirectory per commit — and `perf --trend DIR`
+//! renders the headline cells side by side, so the step summary shows the
+//! wall-time trajectory across commits, not just the current run against
+//! the committed baseline.
+//!
+//! Only a fixed set of [`HEADLINE_CELLS`] is tabulated: one representative
+//! cell per subsystem (solver ladder, sharded path, coverage kernel,
+//! ingest, pool dispatch). Artifacts from commits that predate a cell
+//! simply leave the column blank — the table is a union over time, never
+//! an error.
+
+use crate::report::Table;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+/// The cells the trend table tracks, as `(rung, algo, column label)`.
+/// One headline per subsystem, all single-threaded (or fixed-thread) wall
+/// times so the trajectory is comparable across hosts of equal speed.
+pub const HEADLINE_CELLS: [(&str, &str, &str); 5] = [
+    ("s", "pipeline", "s/pipeline"),
+    ("xl", "sharded", "xl/sharded"),
+    ("cov-xl", "coverage-soa", "cov-xl/soa"),
+    ("ing-low", "ingest-incremental", "ing-low/incr"),
+    ("pool-small", "pool-persistent", "pool-small/pool"),
+];
+
+/// One commit's headline numbers: the artifact's label (its SHA-stamped
+/// directory or file name) and a wall time per [`HEADLINE_CELLS`] entry
+/// (`None` = the artifact predates that cell).
+#[derive(Clone, Debug)]
+pub struct TrendPoint {
+    /// Display label, e.g. the short commit SHA.
+    pub label: String,
+    /// Wall milliseconds per headline cell, in [`HEADLINE_CELLS`] order.
+    pub cells: Vec<Option<f64>>,
+}
+
+fn number_at(value: &Value, key: &str) -> Option<f64> {
+    match value.get(key) {
+        Some(Value::Number(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn string_at<'v>(value: &'v Value, key: &str) -> Option<&'v str> {
+    match value.get(key) {
+        Some(Value::String(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Looks one headline cell up in a parsed `BENCH_perf.json`.
+fn cell_wall_ms(report: &Value, rung: &str, algo: &str) -> Option<f64> {
+    let rows = |key: &str| -> Option<Vec<Value>> {
+        match report.get(key) {
+            Some(Value::Array(rows)) => Some(rows.clone()),
+            _ => None,
+        }
+    };
+    if let Some(rows) = rows("results") {
+        for row in &rows {
+            if string_at(row, "rung") == Some(rung)
+                && string_at(row, "algo") == Some(algo)
+                && number_at(row, "threads") == Some(1.0)
+            {
+                return number_at(row, "wall_ms");
+            }
+        }
+    }
+    if let Some(rows) = rows("coverage_kernel") {
+        for row in &rows {
+            if string_at(row, "rung") == Some(rung) {
+                return match algo {
+                    "coverage-scalar" => number_at(row, "scalar_wall_ms"),
+                    "coverage-soa" => number_at(row, "soa_wall_ms"),
+                    _ => None,
+                };
+            }
+        }
+    }
+    if let Some(rows) = rows("ingest") {
+        for row in &rows {
+            if string_at(row, "rung") == Some(rung) && number_at(row, "threads") == Some(1.0) {
+                return match algo {
+                    "ingest-incremental" => number_at(row, "incremental_wall_ms"),
+                    "ingest-full" => number_at(row, "full_wall_ms"),
+                    _ => None,
+                };
+            }
+        }
+    }
+    if let Some(rows) = rows("pool") {
+        for row in &rows {
+            if string_at(row, "rung") == Some(rung) {
+                return match algo {
+                    "pool-scoped" => number_at(row, "scoped_wall_ms"),
+                    "pool-persistent" => number_at(row, "pool_wall_ms"),
+                    _ => None,
+                };
+            }
+        }
+    }
+    None
+}
+
+/// Extracts one [`TrendPoint`] from parsed report JSON. Returns `None`
+/// when the value is not an `mmd-bench-perf/1` report at all.
+#[must_use]
+pub fn trend_point(label: &str, report: &Value) -> Option<TrendPoint> {
+    if string_at(report, "schema") != Some(crate::perf::REPORT_SCHEMA) {
+        return None;
+    }
+    Some(TrendPoint {
+        label: label.to_string(),
+        cells: HEADLINE_CELLS
+            .iter()
+            .map(|&(rung, algo, _)| cell_wall_ms(report, rung, algo))
+            .collect(),
+    })
+}
+
+/// The label an artifact path displays: its parent directory name with the
+/// CI artifact prefix stripped (`bench-perf-<sha>/BENCH_perf.json` → the
+/// short `<sha>`), else the file stem.
+fn label_for(path: &Path) -> String {
+    let dir = path
+        .parent()
+        .and_then(Path::file_name)
+        .map(|n| n.to_string_lossy().into_owned());
+    let raw = match dir {
+        Some(d) if !d.is_empty() && d != "." => d,
+        _ => path.file_stem().map_or_else(
+            || path.display().to_string(),
+            |s| s.to_string_lossy().into_owned(),
+        ),
+    };
+    let raw = raw.strip_prefix("bench-perf-").unwrap_or(&raw).to_string();
+    // Full 40-char SHAs read terribly in a table; short ones identify.
+    if raw.len() > 9 && raw.chars().all(|c| c.is_ascii_hexdigit()) {
+        raw[..9].to_string()
+    } else {
+        raw
+    }
+}
+
+/// Collects every `BENCH_perf.json` under `dir` (one directory level deep
+/// — the shape `actions/download-artifact` and `gh run download` produce —
+/// plus `dir` itself), parses each, and returns the trend points ordered
+/// oldest-first by file modification time (ties broken by label, so the
+/// order is total).
+///
+/// Non-report JSON and unreadable files are skipped, not fatal: trend input
+/// is best-effort artifact scraping by design.
+///
+/// # Errors
+///
+/// Returns `Err` only when `dir` itself cannot be read.
+pub fn load_trend_dir(dir: &Path) -> Result<Vec<TrendPoint>, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if let Ok(sub) = std::fs::read_dir(&path) {
+                for sub_entry in sub.flatten() {
+                    let sub_path = sub_entry.path();
+                    if sub_path.file_name().is_some_and(|n| n == "BENCH_perf.json") {
+                        files.push(sub_path);
+                    }
+                }
+            }
+        } else if path.file_name().is_some_and(|n| n == "BENCH_perf.json") {
+            files.push(path);
+        }
+    }
+    let mut dated: Vec<(std::time::SystemTime, String, PathBuf)> = files
+        .into_iter()
+        .map(|p| {
+            let mtime = std::fs::metadata(&p)
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::UNIX_EPOCH);
+            (mtime, label_for(&p), p)
+        })
+        .collect();
+    dated.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let mut points = Vec::new();
+    for (_, label, path) in dated {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(value) = serde_json::from_str::<Value>(&text) else {
+            continue;
+        };
+        if let Some(point) = trend_point(&label, &value) {
+            points.push(point);
+        }
+    }
+    Ok(points)
+}
+
+/// Renders the trend table (markdown): one row per commit, one column per
+/// headline cell, oldest commit first. An empty input renders a note
+/// instead of an empty table.
+#[must_use]
+pub fn trend_table(points: &[TrendPoint]) -> String {
+    if points.is_empty() {
+        return "perf trend: no prior BENCH_perf.json artifacts found\n".to_string();
+    }
+    let mut headers: Vec<&str> = vec!["commit"];
+    headers.extend(HEADLINE_CELLS.iter().map(|&(_, _, label)| label));
+    let mut t = Table::new(
+        "perf trend (wall ms per headline cell, oldest first)".to_string(),
+        &headers,
+    );
+    for point in points {
+        let mut row = vec![point.label.clone()];
+        row.extend(
+            point
+                .cells
+                .iter()
+                .map(|c| c.map_or_else(String::new, |ms| format!("{ms:.1}"))),
+        );
+        t.row(&row);
+    }
+    t.to_markdown()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::{run_ladder, Ladder};
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mmd-trend-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn trend_folds_artifacts_into_a_table() {
+        let report = run_ladder(Ladder::Tiny, 2);
+        let dir = scratch_dir("fold");
+        for (i, sha) in ["0123456789abcdef0123", "fedcba98765432100123"]
+            .iter()
+            .enumerate()
+        {
+            let sub = dir.join(format!("bench-perf-{sha}"));
+            std::fs::create_dir_all(&sub).unwrap();
+            std::fs::write(sub.join("BENCH_perf.json"), report.to_json()).unwrap();
+            // Distinct mtimes so the oldest-first order is deterministic.
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+        // Noise is skipped, not fatal.
+        std::fs::write(dir.join("BENCH_perf.json"), "{\"schema\": \"other\"}").unwrap();
+        let points = load_trend_dir(&dir).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(
+            points[0].label, "012345678",
+            "short-SHA label, oldest first"
+        );
+        assert_eq!(points[1].label, "fedcba987");
+        // The tiny ladder has no headline rungs except through absence:
+        // every cell is a clean blank, never a panic.
+        assert_eq!(points[0].cells.len(), HEADLINE_CELLS.len());
+        let table = trend_table(&points);
+        assert!(table.contains("012345678"), "{table}");
+        assert!(table.contains("perf trend"), "{table}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn headline_cells_resolve_on_real_reports() {
+        // A synthetic full-shaped report value exercising every lookup arm.
+        let json = r#"{
+            "schema": "mmd-bench-perf/1",
+            "results": [
+                {"rung": "s", "algo": "pipeline", "threads": 1, "wall_ms": 12.5},
+                {"rung": "s", "algo": "pipeline", "threads": 4, "wall_ms": 4.0},
+                {"rung": "xl", "algo": "sharded", "threads": 1, "wall_ms": 80.0}
+            ],
+            "coverage_kernel": [
+                {"rung": "cov-xl", "scalar_wall_ms": 50.0, "soa_wall_ms": 25.0}
+            ],
+            "ingest": [
+                {"rung": "ing-low", "threads": 1, "incremental_wall_ms": 30.0, "full_wall_ms": 90.0}
+            ],
+            "pool": [
+                {"rung": "pool-small", "scoped_wall_ms": 40.0, "pool_wall_ms": 20.0}
+            ]
+        }"#;
+        let value: Value = serde_json::from_str(json).unwrap();
+        let point = trend_point("abc", &value).unwrap();
+        let cells: Vec<f64> = point.cells.iter().map(|c| c.unwrap()).collect();
+        assert_eq!(cells, vec![12.5, 80.0, 25.0, 30.0, 20.0]);
+        let table = trend_table(&[point]);
+        assert!(table.contains("12.5"), "{table}");
+        assert!(table.contains("pool-small/pool"), "{table}");
+    }
+
+    #[test]
+    fn non_reports_are_rejected() {
+        let value: Value = serde_json::from_str("{\"schema\": \"else\"}").unwrap();
+        assert!(trend_point("x", &value).is_none());
+        assert!(trend_table(&[]).contains("no prior"));
+    }
+}

@@ -140,7 +140,7 @@ fn serve(
     config.ingest.shard.max_streams = shard_size;
     config.ingest.shard.threads = threads;
     let service = Service::new(instance, config)?;
-    let initial = *service.engine().last_outcome();
+    let initial = service.certificate();
     let handle = mmd_serve::server::spawn(service, addr)?;
     // Announce on stderr immediately — the summary below only lands after
     // shutdown, and stdout stays clean for scripted pipelines.

@@ -43,6 +43,12 @@ pub fn solve_batch(
     config: &MmdConfig,
     threads: usize,
 ) -> Vec<Result<MmdOutcome, SolveError>> {
+    // Single-instance batches are the ingest engine's common case
+    // (`ing-low` profiles): skip thread-count resolution and worker
+    // dispatch entirely and solve inline.
+    if instances.len() == 1 {
+        return vec![solve_mmd(&instances[0], config)];
+    }
     mmd_par::parallel_map(threads, instances, |_, instance| {
         solve_mmd(instance, config)
     })

@@ -66,7 +66,19 @@
 //! admission verdict without waiting for the batch re-solve (which later
 //! supersedes it).
 //!
+//! # Truly asynchronous applies
+//!
+//! [`async_apply`] lifts the engine onto a dedicated solver thread: an
+//! [`async_apply::AsyncIngest`] accepts pre-validated batches as numbered
+//! *epochs* while re-solves run in the background, publishing each
+//! committed [`IngestSnapshot`] with an atomic swap so readers never block
+//! on an in-flight re-solve. Batch order — and therefore bit-identity with
+//! the synchronous path — is preserved because one solver thread applies
+//! epochs strictly in submission order.
+//!
 //! [`solve_sharded`]: crate::algo::shard::solve_sharded
+
+pub mod async_apply;
 
 use crate::algo::batch::solve_batch;
 use crate::algo::online::{OfferOutcome, OnlineAllocator, OnlineConfig};
@@ -559,6 +571,96 @@ struct ShardCacheEntry {
     local: Assignment,
 }
 
+/// The fixed id universe of an engine: the dimension bounds every update
+/// is validated against.
+///
+/// Updates never grow an instance — arrivals and departures toggle
+/// liveness of streams that exist in the base instance — so structural
+/// validation (unknown ids, non-finite numbers) needs only these three
+/// counts. The async apply path validates on the submitting thread with a
+/// `Universe` while the engine itself lives on the solver thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Universe {
+    streams: usize,
+    users: usize,
+    measures: usize,
+}
+
+impl Universe {
+    /// The universe of `instance`.
+    #[must_use]
+    pub fn of(instance: &Instance) -> Self {
+        Universe {
+            streams: instance.num_streams(),
+            users: instance.num_users(),
+            measures: instance.num_measures(),
+        }
+    }
+
+    /// Number of streams in the universe.
+    #[must_use]
+    pub fn num_streams(&self) -> usize {
+        self.streams
+    }
+
+    /// Number of users in the universe.
+    #[must_use]
+    pub fn num_users(&self) -> usize {
+        self.users
+    }
+
+    /// Number of server cost measures.
+    #[must_use]
+    pub fn num_measures(&self) -> usize {
+        self.measures
+    }
+
+    /// Structural validation of one update against this universe: unknown
+    /// ids and invalid numbers are rejected here, stateful validation
+    /// (budget coverage) happens at apply time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the structural [`IngestError`] for the first violation.
+    pub fn validate(&self, update: &Update) -> Result<(), IngestError> {
+        match *update {
+            Update::StreamArrival(s) | Update::StreamDeparture(s) => {
+                if s.index() >= self.streams {
+                    return Err(IngestError::UnknownStream(s));
+                }
+            }
+            Update::InterestChange {
+                user,
+                stream,
+                weight,
+            } => {
+                if stream.index() >= self.streams {
+                    return Err(IngestError::UnknownStream(stream));
+                }
+                if user.index() >= self.users {
+                    return Err(IngestError::UnknownUser(user));
+                }
+                if !weight.is_finite() || weight < 0.0 {
+                    return Err(IngestError::InvalidWeight {
+                        user,
+                        stream,
+                        weight,
+                    });
+                }
+            }
+            Update::BudgetChange { measure, budget } => {
+                if measure >= self.measures {
+                    return Err(IngestError::UnknownMeasure(measure));
+                }
+                if budget.is_nan() || budget < 0.0 {
+                    return Err(IngestError::InvalidBudget { measure, budget });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The stateful streaming frontend (see the [module docs](self)).
 #[derive(Clone, Debug)]
 pub struct IngestEngine {
@@ -657,45 +759,20 @@ impl IngestEngine {
         self.model.live.iter().filter(|&&l| l).count()
     }
 
+    /// The engine's fixed id [`Universe`] — what
+    /// [`push`](Self::push)/[`push_batch`](Self::push_batch) validate
+    /// against, exported so asynchronous frontends can pre-validate on the
+    /// submitting thread.
+    #[must_use]
+    pub fn universe(&self) -> Universe {
+        Universe::of(&self.base)
+    }
+
     /// Structural validation of one update against the engine's universe:
     /// unknown ids and invalid numbers are rejected here, stateful
     /// validation (budget coverage) happens at apply time.
     fn validate_structural(&self, update: &Update) -> Result<(), IngestError> {
-        match *update {
-            Update::StreamArrival(s) | Update::StreamDeparture(s) => {
-                if s.index() >= self.base.num_streams() {
-                    return Err(IngestError::UnknownStream(s));
-                }
-            }
-            Update::InterestChange {
-                user,
-                stream,
-                weight,
-            } => {
-                if stream.index() >= self.base.num_streams() {
-                    return Err(IngestError::UnknownStream(stream));
-                }
-                if user.index() >= self.base.num_users() {
-                    return Err(IngestError::UnknownUser(user));
-                }
-                if !weight.is_finite() || weight < 0.0 {
-                    return Err(IngestError::InvalidWeight {
-                        user,
-                        stream,
-                        weight,
-                    });
-                }
-            }
-            Update::BudgetChange { measure, budget } => {
-                if measure >= self.base.num_measures() {
-                    return Err(IngestError::UnknownMeasure(measure));
-                }
-                if budget.is_nan() || budget < 0.0 {
-                    return Err(IngestError::InvalidBudget { measure, budget });
-                }
-            }
-        }
-        Ok(())
+        self.universe().validate(update)
     }
 
     /// Queues one update for the next [`apply`](Self::apply). Structural
@@ -868,36 +945,29 @@ impl IngestEngine {
         &self,
         config: OnlineConfig,
     ) -> Result<Vec<OfferOutcome>, IngestError> {
-        let mut scratch = self.model.clone();
-        let mut touched = Touched::new(self.base.num_streams(), self.base.num_users());
-        let mut arrivals = Vec::new();
-        for update in &self.pending {
-            scratch.apply(&self.base, update, &mut touched)?;
-            if let Update::StreamArrival(s) = *update {
-                arrivals.push(s);
-            }
+        provisional_admissions_over(
+            &self.base,
+            &self.model,
+            &self.assignment,
+            &self.pending,
+            config,
+        )
+    }
+
+    /// An owned, immutable view of the committed state, stamped with
+    /// `epoch` — what the async apply path publishes after each commit so
+    /// queries never wait on an in-flight re-solve.
+    #[must_use]
+    pub fn snapshot(&self, epoch: u64) -> IngestSnapshot {
+        IngestSnapshot {
+            epoch,
+            base: self.base.clone(),
+            model: self.model.clone(),
+            current: self.current.clone(),
+            assignment: self.assignment.clone(),
+            last: self.last,
+            metrics: self.metrics,
         }
-        let mut preview = scratch.materialize(&self.base)?;
-        // Audience-less live streams (every interest churned away) would
-        // fail the eq.-(1) normalization; they can never be assigned, so
-        // zeroing their costs changes no decision.
-        let orphans: Vec<StreamId> = preview
-            .streams()
-            .filter(|&s| {
-                preview.audience(s).is_empty() && preview.costs(s).iter().any(|&c| c > 0.0)
-            })
-            .collect();
-        if !orphans.is_empty() {
-            let mut no_cost = scratch.clone();
-            for s in &orphans {
-                no_cost.live[s.index()] = false;
-            }
-            preview = no_cost.materialize(&self.base)?;
-        }
-        let mut allocator =
-            OnlineAllocator::with_config(&preview, config).map_err(IngestError::Solve)?;
-        allocator.preload(&self.assignment);
-        Ok(arrivals.into_iter().map(|s| allocator.offer(s)).collect())
     }
 
     /// The incremental core: refreshes the partition, determines dirty
@@ -1068,6 +1138,137 @@ impl IngestEngine {
         self.assignment = merged;
         self.last = outcome;
         Ok(outcome)
+    }
+}
+
+/// The shared §5 preview behind
+/// [`IngestEngine::provisional_admissions`] and
+/// [`IngestSnapshot::provisional_admissions`]: applies `pending` to a
+/// scratch copy of `model`, materializes the preview (with orphaned
+/// streams zeroed), and offers each pending arrival to a warm-started
+/// [`OnlineAllocator`].
+fn provisional_admissions_over(
+    base: &Instance,
+    model: &Model,
+    assignment: &Assignment,
+    pending: &[Update],
+    config: OnlineConfig,
+) -> Result<Vec<OfferOutcome>, IngestError> {
+    let mut scratch = model.clone();
+    let mut touched = Touched::new(base.num_streams(), base.num_users());
+    let mut arrivals = Vec::new();
+    for update in pending {
+        scratch.apply(base, update, &mut touched)?;
+        if let Update::StreamArrival(s) = *update {
+            arrivals.push(s);
+        }
+    }
+    let mut preview = scratch.materialize(base)?;
+    // Audience-less live streams (every interest churned away) would
+    // fail the eq.-(1) normalization; they can never be assigned, so
+    // zeroing their costs changes no decision.
+    let orphans: Vec<StreamId> = preview
+        .streams()
+        .filter(|&s| preview.audience(s).is_empty() && preview.costs(s).iter().any(|&c| c > 0.0))
+        .collect();
+    if !orphans.is_empty() {
+        let mut no_cost = scratch.clone();
+        for s in &orphans {
+            no_cost.live[s.index()] = false;
+        }
+        preview = no_cost.materialize(base)?;
+    }
+    let mut allocator =
+        OnlineAllocator::with_config(&preview, config).map_err(IngestError::Solve)?;
+    allocator.preload(assignment);
+    Ok(arrivals.into_iter().map(|s| allocator.offer(s)).collect())
+}
+
+/// An owned, immutable view of an engine's committed state, stamped with
+/// the epoch that produced it.
+///
+/// Published by [`async_apply::AsyncIngest`] after every commit via an
+/// atomic `Arc` swap: readers (query handlers, health probes) always see a
+/// complete certified `utility ≤ OPT ≤ upper_bound` bracket — either the
+/// pre-apply state or the post-apply state, never a torn intermediate —
+/// while the solver thread re-solves the next batch.
+#[derive(Clone, Debug)]
+pub struct IngestSnapshot {
+    epoch: u64,
+    base: Instance,
+    model: Model,
+    current: Instance,
+    assignment: Assignment,
+    last: IngestOutcome,
+    metrics: IngestMetrics,
+}
+
+impl IngestSnapshot {
+    /// The epoch whose commit produced this snapshot (0 = initial solve).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The committed instance (the last applied state).
+    #[must_use]
+    pub fn current_instance(&self) -> &Instance {
+        &self.current
+    }
+
+    /// The committed assignment.
+    #[must_use]
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Capped utility of the committed assignment.
+    #[must_use]
+    pub fn utility(&self) -> f64 {
+        self.last.utility
+    }
+
+    /// The outcome of the apply that produced this snapshot (the current
+    /// certificate).
+    #[must_use]
+    pub fn last_outcome(&self) -> &IngestOutcome {
+        &self.last
+    }
+
+    /// Engine counters as of this snapshot's commit.
+    #[must_use]
+    pub fn metrics(&self) -> &IngestMetrics {
+        &self.metrics
+    }
+
+    /// Number of live streams in the committed model.
+    #[must_use]
+    pub fn num_live(&self) -> usize {
+        self.model.live.iter().filter(|&&l| l).count()
+    }
+
+    /// The snapshot's fixed id [`Universe`].
+    #[must_use]
+    pub fn universe(&self) -> Universe {
+        Universe::of(&self.base)
+    }
+
+    /// The §5 online preview over this snapshot: `pending` updates that
+    /// have not reached the engine yet are applied to a scratch model and
+    /// each pending arrival is offered to a warm-started allocator —
+    /// identical to [`IngestEngine::provisional_admissions`] over the same
+    /// committed state and pending queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stateful validation errors from `pending` and
+    /// [`SolveError`]s from the allocator's normalization.
+    pub fn provisional_admissions(
+        &self,
+        pending: &[Update],
+        config: OnlineConfig,
+    ) -> Result<Vec<OfferOutcome>, IngestError> {
+        provisional_admissions_over(&self.base, &self.model, &self.assignment, pending, config)
     }
 }
 

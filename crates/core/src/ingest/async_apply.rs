@@ -1,0 +1,541 @@
+//! Truly asynchronous applies: an [`IngestEngine`] on its own solver
+//! thread, fed pre-validated batches as numbered **epochs**.
+//!
+//! The synchronous engine couples callers to re-solve latency: whoever
+//! calls [`IngestEngine::apply`] holds the engine (and, in `mmd-serve`,
+//! the whole request loop) until the dirty shards are re-solved. This
+//! module decouples them:
+//!
+//! * [`AsyncIngest::apply_async`] validates a batch **on the submitting
+//!   thread** against the engine's fixed [`Universe`], assigns it the next
+//!   epoch number, and enqueues it — returning immediately. Structural
+//!   garbage is rejected synchronously (same all-or-nothing contract as
+//!   [`IngestEngine::push_batch`]); stateful rejections surface through
+//!   [`AsyncIngest::wait`].
+//! * A dedicated solver thread owns the engine and applies epochs
+//!   **strictly in submission order**, one at a time. Order is the entire
+//!   determinism argument: the synchronous path applies the same batches
+//!   in the same order on one thread, so every committed state — and every
+//!   certified `utility ≤ OPT ≤ upper_bound` bracket — is bit-identical to
+//!   the synchronous path and, by the engine's equivalence contract, to a
+//!   from-scratch sharded solve (`tests/ingest_churn.rs` pins all three).
+//! * After each epoch the solver publishes an [`IngestSnapshot`] by
+//!   swapping an `Arc` behind a mutex — an atomic epoch swap. Readers
+//!   ([`AsyncIngest::snapshot`]) get either the previous or the new
+//!   committed state, never a torn intermediate, and never wait on an
+//!   in-flight re-solve.
+//!
+//! Completion is observable per epoch ([`AsyncIngest::wait`], or an
+//! [`ApplyWaiter`] handle from another thread) and in aggregate
+//! ([`AsyncIngest::wait_idle`]). [`AsyncIngest::shutdown`] drains the
+//! queue and returns the engine for post-mortem differential checks.
+
+use super::{
+    IngestEngine, IngestError, IngestMetrics, IngestOutcome, IngestSnapshot, Universe, Update,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Retained per-epoch outcomes: entries older than the last
+/// `OUTCOME_WINDOW` committed epochs are pruned, so fire-and-forget
+/// submitters cannot grow the map without bound. Waiters in practice wait
+/// immediately after submitting, far inside the window.
+const OUTCOME_WINDOW: u64 = 1024;
+
+/// One queued unit of solver work.
+enum Command {
+    /// Apply this epoch's validated batch.
+    Batch(u64, Vec<Update>),
+    /// Full re-solve of the committed state (cache rebuild).
+    Refresh(u64),
+}
+
+struct QueueState {
+    queue: VecDeque<Command>,
+    outcomes: BTreeMap<u64, Result<IngestOutcome, Arc<IngestError>>>,
+    shutdown: bool,
+}
+
+/// State shared between submitters, waiters, and the solver thread.
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Wakes the solver when work arrives or shutdown is requested.
+    work_cv: Condvar,
+    /// Wakes waiters when an epoch's outcome lands.
+    done_cv: Condvar,
+    /// The committed-state snapshot, swapped after every epoch.
+    snapshot: Mutex<Arc<IngestSnapshot>>,
+    /// Last epoch handed out to a submitter.
+    submitted: AtomicU64,
+    /// Last epoch the solver finished processing (committed or rejected).
+    committed: AtomicU64,
+    /// Epoch currently applying on the solver thread (0 = idle).
+    in_flight: AtomicU64,
+    /// Updates rejected by submit-side structural validation (the async
+    /// counterpart of the engine's push-time `rejected_updates`).
+    front_rejected_updates: AtomicU64,
+}
+
+/// The asynchronous apply frontend (see the [module docs](self)).
+///
+/// Owns the solver thread; dropping it (or calling
+/// [`shutdown`](Self::shutdown)) drains the queue and joins the thread.
+#[derive(Debug)]
+pub struct AsyncIngest {
+    shared: Arc<Shared>,
+    universe: Universe,
+    solver: Option<JoinHandle<IngestEngine>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("submitted", &self.submitted.load(Ordering::Relaxed))
+            .field("committed", &self.committed.load(Ordering::Relaxed))
+            .field("in_flight", &self.in_flight.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl AsyncIngest {
+    /// Lifts `engine` onto a dedicated solver thread. The initial snapshot
+    /// (epoch 0) is the engine's committed state at the time of the call.
+    #[must_use]
+    pub fn new(engine: IngestEngine) -> Self {
+        let universe = engine.universe();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                outcomes: BTreeMap::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            snapshot: Mutex::new(Arc::new(engine.snapshot(0))),
+            submitted: AtomicU64::new(0),
+            committed: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            front_rejected_updates: AtomicU64::new(0),
+        });
+        let solver = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mmd-ingest-solver".into())
+                .spawn(move || solver_loop(engine, &shared))
+                .expect("spawning the ingest solver thread")
+        };
+        AsyncIngest {
+            shared,
+            universe,
+            solver: Some(solver),
+        }
+    }
+
+    /// The engine's fixed id [`Universe`] (what submissions validate
+    /// against).
+    #[must_use]
+    pub fn universe(&self) -> Universe {
+        self.universe
+    }
+
+    /// The latest committed snapshot. Never blocks on an in-flight
+    /// re-solve; the `Arc` is cheap to clone and stable once returned.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<IngestSnapshot> {
+        Arc::clone(&self.shared.snapshot.lock().expect("snapshot lock"))
+    }
+
+    /// Validates `updates` structurally (all-or-nothing, exactly like
+    /// [`IngestEngine::push_batch`]) and enqueues them as the next epoch;
+    /// returns the epoch number immediately, while the re-solve runs on
+    /// the solver thread. An empty batch is a valid epoch (it re-certifies
+    /// the committed state, like a sync apply with nothing pending).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural [`IngestError`] in the batch; nothing
+    /// is enqueued. Stateful rejections (budget coverage) surface later
+    /// through [`wait`](Self::wait) for this epoch.
+    pub fn apply_async(&self, updates: Vec<Update>) -> Result<u64, IngestError> {
+        self.validate_batch(&updates)?;
+        Ok(self.enqueue(|epoch| Command::Batch(epoch, updates)))
+    }
+
+    /// Validates a batch structurally without enqueuing anything —
+    /// all-or-nothing, counting the rejection like the engine's push path
+    /// would. Frontends that buffer updates before submitting (e.g. the
+    /// daemon's `update` frames) use this to reject garbage immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural [`IngestError`] in the batch.
+    pub fn validate_batch(&self, updates: &[Update]) -> Result<(), IngestError> {
+        for update in updates {
+            if let Err(e) = self.universe.validate(update) {
+                self.shared
+                    .front_rejected_updates
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Enqueues a full re-solve of the committed state as the next epoch
+    /// (the async counterpart of [`IngestEngine::refresh_full`]) and
+    /// returns its epoch number.
+    pub fn refresh_async(&self) -> u64 {
+        self.enqueue(Command::Refresh)
+    }
+
+    /// Assigns the next epoch and enqueues the command built from it.
+    fn enqueue(&self, command: impl FnOnce(u64) -> Command) -> u64 {
+        let mut state = self.shared.state.lock().expect("ingest queue lock");
+        let epoch = self.shared.submitted.fetch_add(1, Ordering::AcqRel) + 1;
+        state.queue.push_back(command(epoch));
+        drop(state);
+        self.shared.work_cv.notify_all();
+        epoch
+    }
+
+    /// Blocks until `epoch` has been processed and returns its outcome.
+    ///
+    /// # Errors
+    ///
+    /// The engine's rejection for that epoch (shared, since several
+    /// waiters may observe it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` was never submitted, or if its outcome already
+    /// fell out of the retention window (an epoch is retained for
+    /// [`OUTCOME_WINDOW`] commits).
+    pub fn wait(&self, epoch: u64) -> Result<IngestOutcome, Arc<IngestError>> {
+        wait_on(&self.shared, epoch)
+    }
+
+    /// Blocks until every submitted epoch has been processed.
+    pub fn wait_idle(&self) {
+        let mut state = self.shared.state.lock().expect("ingest queue lock");
+        while self.shared.committed.load(Ordering::Acquire)
+            < self.shared.submitted.load(Ordering::Acquire)
+        {
+            state = self
+                .shared
+                .done_cv
+                .wait(state)
+                .expect("ingest done condvar poisoned");
+        }
+        drop(state);
+    }
+
+    /// Epochs submitted but not yet processed — the apply queue lag.
+    #[must_use]
+    pub fn queue_lag(&self) -> u64 {
+        let submitted = self.shared.submitted.load(Ordering::Acquire);
+        let committed = self.shared.committed.load(Ordering::Acquire);
+        submitted.saturating_sub(committed)
+    }
+
+    /// The epoch currently applying on the solver thread, if any.
+    #[must_use]
+    pub fn in_flight_epoch(&self) -> Option<u64> {
+        match self.shared.in_flight.load(Ordering::Acquire) {
+            0 => None,
+            e => Some(e),
+        }
+    }
+
+    /// Last epoch handed out to a submitter.
+    #[must_use]
+    pub fn submitted_epoch(&self) -> u64 {
+        self.shared.submitted.load(Ordering::Acquire)
+    }
+
+    /// Last epoch the solver finished processing.
+    #[must_use]
+    pub fn committed_epoch(&self) -> u64 {
+        self.shared.committed.load(Ordering::Acquire)
+    }
+
+    /// Engine counters as of the latest snapshot, with submit-side
+    /// structural rejections folded in — the same totals the synchronous
+    /// engine would report after the same traffic.
+    #[must_use]
+    pub fn metrics(&self) -> IngestMetrics {
+        let mut m = *self.snapshot().metrics();
+        m.rejected_updates += self.shared.front_rejected_updates.load(Ordering::Relaxed);
+        m
+    }
+
+    /// A cloneable handle other threads can use to wait on epochs and read
+    /// snapshots (e.g. a connection handler resolving a deferred apply
+    /// reply while the engine loop keeps serving).
+    #[must_use]
+    pub fn waiter(&self) -> ApplyWaiter {
+        ApplyWaiter {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Drains every queued epoch, stops the solver thread, and returns the
+    /// engine for in-process inspection (differential tests, final
+    /// reports).
+    #[must_use]
+    pub fn shutdown(mut self) -> IngestEngine {
+        self.begin_shutdown();
+        self.solver
+            .take()
+            .expect("solver thread present until shutdown")
+            .join()
+            .expect("ingest solver thread panicked")
+    }
+
+    fn begin_shutdown(&self) {
+        let mut state = self.shared.state.lock().expect("ingest queue lock");
+        state.shutdown = true;
+        drop(state);
+        self.shared.work_cv.notify_all();
+    }
+}
+
+impl Drop for AsyncIngest {
+    fn drop(&mut self) {
+        if let Some(handle) = self.solver.take() {
+            self.begin_shutdown();
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A cloneable wait-and-read handle over an [`AsyncIngest`]'s shared
+/// state (see [`AsyncIngest::waiter`]). The handle stays valid for the
+/// lifetime of the queue; waits return as long as the solver is draining.
+#[derive(Clone, Debug)]
+pub struct ApplyWaiter {
+    shared: Arc<Shared>,
+}
+
+impl ApplyWaiter {
+    /// Blocks until `epoch` has been processed and returns its outcome —
+    /// see [`AsyncIngest::wait`].
+    ///
+    /// # Errors
+    ///
+    /// The engine's rejection for that epoch.
+    pub fn wait(&self, epoch: u64) -> Result<IngestOutcome, Arc<IngestError>> {
+        wait_on(&self.shared, epoch)
+    }
+
+    /// The latest committed snapshot — see [`AsyncIngest::snapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<IngestSnapshot> {
+        Arc::clone(&self.shared.snapshot.lock().expect("snapshot lock"))
+    }
+}
+
+/// Blocks until `epoch`'s outcome is recorded, then takes it.
+fn wait_on(shared: &Shared, epoch: u64) -> Result<IngestOutcome, Arc<IngestError>> {
+    assert!(
+        epoch <= shared.submitted.load(Ordering::Acquire),
+        "waiting on epoch {epoch} that was never submitted"
+    );
+    let mut state = shared.state.lock().expect("ingest queue lock");
+    loop {
+        if let Some(outcome) = state.outcomes.get(&epoch) {
+            return outcome.clone();
+        }
+        assert!(
+            shared.committed.load(Ordering::Acquire) < epoch,
+            "epoch {epoch} outcome fell out of the retention window"
+        );
+        state = shared
+            .done_cv
+            .wait(state)
+            .expect("ingest done condvar poisoned");
+    }
+}
+
+/// The solver thread: applies epochs strictly in submission order,
+/// publishing a snapshot after each, until shutdown drains the queue.
+fn solver_loop(mut engine: IngestEngine, shared: &Shared) -> IngestEngine {
+    loop {
+        let command = {
+            let mut state = shared.state.lock().expect("ingest queue lock");
+            loop {
+                if let Some(command) = state.queue.pop_front() {
+                    break command;
+                }
+                if state.shutdown {
+                    return engine;
+                }
+                state = shared
+                    .work_cv
+                    .wait(state)
+                    .expect("ingest work condvar poisoned");
+            }
+        };
+        let (epoch, result) = match command {
+            Command::Batch(epoch, updates) => {
+                shared.in_flight.store(epoch, Ordering::Release);
+                let result = match engine.push_batch(updates) {
+                    Ok(_) => engine.apply(),
+                    Err(e) => Err(e),
+                };
+                if result.is_err() {
+                    // Mirror the synchronous serving path: a rejected
+                    // batch must not poison later epochs.
+                    engine.clear_pending();
+                }
+                (epoch, result)
+            }
+            Command::Refresh(epoch) => {
+                shared.in_flight.store(epoch, Ordering::Release);
+                (epoch, engine.refresh_full())
+            }
+        };
+        // The atomic epoch swap: readers see the previous snapshot or this
+        // one, never a torn state. Published on rejection too — the
+        // allocation is unchanged but the metrics moved.
+        *shared.snapshot.lock().expect("snapshot lock") = Arc::new(engine.snapshot(epoch));
+        let mut state = shared.state.lock().expect("ingest queue lock");
+        state.outcomes.insert(epoch, result.map_err(Arc::new));
+        let floor = epoch.saturating_sub(OUTCOME_WINDOW);
+        state.outcomes = state.outcomes.split_off(&floor);
+        shared.committed.store(epoch, Ordering::Release);
+        shared.in_flight.store(0, Ordering::Release);
+        drop(state);
+        shared.done_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::IngestConfig;
+    use crate::instance::Instance;
+    use crate::StreamId;
+
+    fn small_instance() -> Instance {
+        let mut b = Instance::builder("async").server_budgets(vec![10.0]);
+        let streams: Vec<_> = (0..4).map(|_| b.add_stream(vec![2.0])).collect();
+        for u in 0..3 {
+            let user = b.add_user(f64::INFINITY, vec![]);
+            for (i, &s) in streams.iter().enumerate() {
+                b.add_interest(user, s, 1.0 + (u * 4 + i) as f64, vec![])
+                    .expect("interest");
+            }
+        }
+        b.build().expect("instance")
+    }
+
+    #[test]
+    fn async_applies_match_sync_applies_bit_for_bit() {
+        let instance = small_instance();
+        let config = IngestConfig::default();
+        let mut sync = IngestEngine::new(instance.clone(), config).expect("sync engine");
+        let ingest = AsyncIngest::new(IngestEngine::new(instance, config).expect("async engine"));
+
+        let batches: Vec<Vec<Update>> = vec![
+            vec![Update::StreamDeparture(StreamId::new(1))],
+            vec![
+                Update::StreamArrival(StreamId::new(1)),
+                Update::StreamDeparture(StreamId::new(3)),
+            ],
+            vec![],
+        ];
+        for batch in batches {
+            sync.push_batch(batch.clone()).expect("push");
+            let expected = sync.apply().expect("sync apply");
+            let epoch = ingest.apply_async(batch).expect("submit");
+            let got = ingest.wait(epoch).expect("async apply");
+            assert_eq!(got.utility.to_bits(), expected.utility.to_bits());
+            assert_eq!(got.upper_bound.to_bits(), expected.upper_bound.to_bits());
+            assert_eq!(got.resolved_shards, expected.resolved_shards);
+            let snap = ingest.snapshot();
+            assert_eq!(snap.epoch(), epoch);
+            assert_eq!(snap.assignment(), sync.assignment());
+        }
+
+        assert_eq!(ingest.queue_lag(), 0);
+        assert_eq!(ingest.metrics().applies, sync.metrics().applies);
+        let engine = ingest.shutdown();
+        assert_eq!(engine.utility().to_bits(), sync.utility().to_bits());
+        assert_eq!(engine.assignment(), sync.assignment());
+    }
+
+    #[test]
+    fn structural_garbage_is_rejected_at_submit_time() {
+        let ingest = AsyncIngest::new(
+            IngestEngine::new(small_instance(), IngestConfig::default()).expect("engine"),
+        );
+        let err = ingest
+            .apply_async(vec![Update::StreamArrival(StreamId::new(99))])
+            .expect_err("unknown stream");
+        assert!(matches!(err, IngestError::UnknownStream(_)));
+        assert_eq!(ingest.submitted_epoch(), 0, "nothing was enqueued");
+        assert_eq!(ingest.metrics().rejected_updates, 1);
+    }
+
+    #[test]
+    fn stateful_rejection_surfaces_through_wait_and_preserves_state() {
+        let ingest = AsyncIngest::new(
+            IngestEngine::new(small_instance(), IngestConfig::default()).expect("engine"),
+        );
+        let before = ingest.snapshot();
+        // Budget below the live cost: structural pass, stateful reject.
+        let epoch = ingest
+            .apply_async(vec![Update::BudgetChange {
+                measure: 0,
+                budget: 0.5,
+            }])
+            .expect("structurally fine");
+        let err = ingest.wait(epoch).expect_err("stateful rejection");
+        assert!(matches!(*err, IngestError::CostExceedsBudget { .. }));
+        let after = ingest.snapshot();
+        assert_eq!(after.utility().to_bits(), before.utility().to_bits());
+        assert_eq!(after.assignment(), before.assignment());
+        assert_eq!(after.metrics().rejected_batches, 1);
+        // The queue is not poisoned: the next epoch applies cleanly.
+        let epoch = ingest
+            .apply_async(vec![Update::StreamDeparture(StreamId::new(0))])
+            .expect("submit");
+        ingest.wait(epoch).expect("apply after rejection");
+        drop(ingest);
+    }
+
+    #[test]
+    fn refresh_async_changes_nothing_and_waiter_handle_works() {
+        let ingest = AsyncIngest::new(
+            IngestEngine::new(small_instance(), IngestConfig::default()).expect("engine"),
+        );
+        let before = ingest.snapshot();
+        let waiter = ingest.waiter();
+        let epoch = ingest.refresh_async();
+        let outcome = waiter.wait(epoch).expect("refresh");
+        assert!(outcome.full_resolve);
+        assert_eq!(
+            waiter.snapshot().utility().to_bits(),
+            before.utility().to_bits()
+        );
+        ingest.wait_idle();
+        assert_eq!(ingest.committed_epoch(), epoch);
+        assert_eq!(ingest.in_flight_epoch(), None);
+    }
+
+    #[test]
+    fn drop_drains_queued_epochs() {
+        let instance = small_instance();
+        let config = IngestConfig::default();
+        let ingest = AsyncIngest::new(IngestEngine::new(instance.clone(), config).expect("e"));
+        for s in 0..3 {
+            ingest
+                .apply_async(vec![Update::StreamDeparture(StreamId::new(s))])
+                .expect("submit");
+        }
+        let engine = ingest.shutdown();
+        assert_eq!(engine.num_live(), instance.num_streams() - 3);
+    }
+}

@@ -73,5 +73,9 @@ pub mod algo;
 pub use assignment::Assignment;
 pub use error::{BuildError, Infeasibility, SolveError};
 pub use ids::{StreamId, UserId};
-pub use ingest::{IngestConfig, IngestEngine, IngestError, IngestMetrics, IngestOutcome, Update};
+pub use ingest::async_apply::{ApplyWaiter, AsyncIngest};
+pub use ingest::{
+    IngestConfig, IngestEngine, IngestError, IngestMetrics, IngestOutcome, IngestSnapshot,
+    Universe, Update,
+};
 pub use instance::{Instance, InstanceBuilder, UserSpec};

@@ -1,26 +1,42 @@
-//! **mmd-par** — a dependency-free scoped parallel runtime.
+//! **mmd-par** — a dependency-free parallel runtime on a persistent
+//! worker pool.
 //!
 //! The build environment is offline, so this crate is the workspace's
-//! stand-in for `rayon`: a small, std-only toolkit over
-//! [`std::thread::scope`] that the solvers and benchmark harness use for
-//! their hot loops. It deliberately exposes only the patterns the workspace
-//! needs:
+//! stand-in for `rayon`: a small, std-only toolkit the solvers, ingest
+//! engine, and benchmark harness use for their hot loops. Since PR 7 the
+//! primitives run on [`Pool`] — a process-wide set of parked worker
+//! threads fed through an injector with **chunked stealing** — instead of
+//! spawning scoped threads per call; see the [`pool`] module docs for the
+//! design. It deliberately exposes only the patterns the workspace needs:
 //!
-//! * [`parallel_map`] — map a function over a slice with work stealing via
-//!   an atomic cursor; results come back **in input order**, so callers are
-//!   deterministic by construction.
+//! * [`parallel_map`] — map a function over a slice on the global pool;
+//!   results come back **in input order**, so callers are deterministic by
+//!   construction at any thread count or chunk grain.
+//! * [`parallel_map_with_grain`] — the same, with an explicit chunk grain
+//!   (items per work-stealing claim) instead of the auto/`MMD_POOL_GRAIN`
+//!   default.
 //! * [`par_chunks`] — the same, but over contiguous chunks of a slice.
-//! * [`join`] — run two closures concurrently (the classic fork-join
-//!   primitive).
-//! * [`scope`] — re-export of [`std::thread::scope`] for free-form spawns.
+//! * [`scoped_map`] — the pre-pool scoped-spawn implementation, kept as
+//!   the benchmark reference the `pool-*` perf rungs compare against.
+//! * [`join`] — run two closures concurrently on the pool (the classic
+//!   fork-join primitive, without a thread spawn).
+//! * [`scope`] — re-export of [`std::thread::scope`] for free-form spawns
+//!   that genuinely need dedicated threads (servers, soak drivers).
 //! * [`SharedMax`] — a lock-free shared `f64` maximum register, used by the
 //!   exact solver's parallel branch-and-bound as its shared incumbent bound.
 //!
 //! Thread counts follow one convention everywhere: `0` means "use
 //! [`std::thread::available_parallelism`]", `1` means "run inline on the
-//! caller's thread" (no spawning at all), and `n > 1` spawns `n − 1` workers
-//! and uses the calling thread as the `n`-th.
+//! caller's thread" (no dispatch at all), and `n > 1` uses up to `n`
+//! executors — the calling thread plus up to `n − 1` pool workers.
+//!
+//! Environment knobs (read once per process): `MMD_POOL_WORKERS` sizes the
+//! global pool's worker set; `MMD_POOL_GRAIN` pins the chunk grain for
+//! every map that does not pass one explicitly.
 
+pub mod pool;
+
+pub use pool::Pool;
 pub use std::thread::scope;
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -43,9 +59,10 @@ pub fn resolve(threads: usize) -> usize {
 
 /// Runs `a` and `b` concurrently and returns both results.
 ///
-/// `b` runs on a scoped worker thread while `a` runs on the calling thread,
-/// so the primitive never oversubscribes by more than one thread. Panics in
-/// either closure propagate to the caller.
+/// `b` is offered to the global [`Pool`] while `a` runs on the calling
+/// thread; if every worker is busy the caller executes `b` itself after
+/// finishing `a`, so the primitive never blocks on pool capacity and never
+/// spawns a thread. Panics in either closure propagate to the caller.
 ///
 /// ```
 /// let (a, b) = mmd_par::join(|| 2 + 2, || "ok");
@@ -56,25 +73,24 @@ where
     RA: Send,
     RB: Send,
 {
-    scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        let rb = match hb.join() {
-            Ok(v) => v,
-            Err(payload) => std::panic::resume_unwind(payload),
-        };
-        (ra, rb)
-    })
+    Pool::global().join(a, b)
 }
 
-/// Maps `f` over `items` on up to `threads` threads and returns the results
-/// **in input order**.
+/// Maps `f` over `items` on the global [`Pool`] with up to `threads`
+/// executors and returns the results **in input order**.
 ///
-/// Work distribution is dynamic (an atomic cursor each worker pulls from),
-/// so unbalanced items do not leave threads idle; output order is still
-/// deterministic because every result is placed by its input index. With
-/// `threads <= 1` (after [`resolve`]) the map runs inline with no spawning,
-/// which keeps single-threaded callers bit-identical and overhead-free.
+/// Work distribution is dynamic — executors claim grain-sized chunks off
+/// an atomic cursor — so unbalanced items do not leave threads idle;
+/// output order is still deterministic because every result is placed by
+/// its input index, and the values are bit-identical to the sequential
+/// path at any thread count or grain. With `threads <= 1` (after
+/// [`resolve`]) or fewer than two items the map runs inline with no
+/// dispatch, which keeps single-threaded callers bit-identical and
+/// overhead-free.
+///
+/// The chunk grain defaults to `MMD_POOL_GRAIN` when set, otherwise an
+/// item-count heuristic (see [`pool::default_grain_for`]); use
+/// [`parallel_map_with_grain`] to pin it per call.
 ///
 /// `f` receives `(index, &item)` so callers can vary behaviour by position
 /// (seeds, labels) without capturing extra state.
@@ -88,6 +104,39 @@ where
 /// assert_eq!(squares, vec![1, 4, 9, 16]);
 /// ```
 pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    Pool::global().parallel_map(threads, items, None, f)
+}
+
+/// [`parallel_map`] with an explicit chunk grain: executors claim `grain`
+/// items per steal. Grain never affects the results (bit-identical at any
+/// value), only the atomics-per-item overhead and load balance.
+///
+/// ```
+/// let out = mmd_par::parallel_map_with_grain(4, &[1u64, 2, 3, 4], 2, |_, &x| x + 1);
+/// assert_eq!(out, vec![2, 3, 4, 5]);
+/// ```
+pub fn parallel_map_with_grain<T, R, F>(threads: usize, items: &[T], grain: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    Pool::global().parallel_map(threads, items, Some(grain), f)
+}
+
+/// The pre-pool [`parallel_map`]: spawns `threads − 1` scoped worker
+/// threads per call and steals per item.
+///
+/// Kept as the benchmark reference — the `pool-*` perf rungs compare the
+/// persistent pool against this to gate the "no slower than scoped spawn"
+/// acceptance bar — and as an isolation fallback for code that must not
+/// share the global pool. Results are bit-identical to [`parallel_map`].
+pub fn scoped_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -259,6 +308,18 @@ mod tests {
         let seq = parallel_map(1, &items, f);
         let par = parallel_map(4, &items, f);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn pool_and_scoped_maps_are_bit_identical() {
+        let items: Vec<u64> = (0..211).collect();
+        let f = |i: usize, &x: &u64| (i as u64).wrapping_mul(2_654_435_761) ^ x;
+        let seq = scoped_map(1, &items, f);
+        assert_eq!(scoped_map(4, &items, f), seq);
+        assert_eq!(parallel_map(4, &items, f), seq);
+        for grain in [1, 4, 64] {
+            assert_eq!(parallel_map_with_grain(4, &items, grain, f), seq);
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ mmd-serve — long-lived allocation daemon (NDJSON over TCP)
 
 USAGE:
   mmd-serve --input FILE [--addr HOST:PORT] [--queue N] [--max-batch N]
-            [--shard-size N] [--threads N]
+            [--shard-size N] [--threads N] [--sync-apply]
 
   --input FILE      instance JSON (`-` = stdin); solved fully at startup
   --addr HOST:PORT  listen address (default 127.0.0.1:7411; port 0 = ephemeral)
@@ -22,6 +22,8 @@ USAGE:
   --max-batch N     max updates per `update` frame (default 1024)
   --shard-size N    target shard size in streams (0 = component granularity)
   --threads N       worker threads for shard re-solves (0 = all cores)
+  --sync-apply      run applies on the engine thread (blocks other frames
+                    during a re-solve) instead of the async solver thread
 
 The wire protocol is specified in docs/PROTOCOL.md. Talk to a running
 daemon with `mmd-cli client --addr HOST:PORT` or any line-oriented TCP
@@ -43,6 +45,11 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         let key = args[i].as_str();
         if key == "--help" || key == "-h" || key == "help" {
             return Err(String::new());
+        }
+        if key == "--sync-apply" {
+            config.async_apply = false;
+            i += 1;
+            continue;
         }
         let value = args
             .get(i + 1)
@@ -88,7 +95,7 @@ fn load_instance(path: &str) -> Result<Instance, Box<dyn Error>> {
 fn run(args: &Args) -> Result<(), Box<dyn Error>> {
     let instance = load_instance(&args.input)?;
     let service = Service::new(instance, args.config)?;
-    let initial = *service.engine().last_outcome();
+    let initial = service.certificate();
     let handle = mmd_serve::server::spawn(service, &args.addr)?;
     println!(
         "mmd-serve listening on {} (utility {} <= OPT <= {})",

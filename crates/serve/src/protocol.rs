@@ -232,6 +232,12 @@ pub struct HealthSnapshot {
     pub queue_capacity: usize,
     /// Whether a background full re-solve is scheduled.
     pub full_resolve_scheduled: bool,
+    /// Whether applies run asynchronously on a dedicated solver thread.
+    pub async_apply: bool,
+    /// Apply epochs submitted but not yet committed (0 in sync mode).
+    pub apply_queue_lag: u64,
+    /// The epoch currently applying on the solver thread (0 = none).
+    pub epoch_in_flight: u64,
 }
 
 /// The `metrics` response body: engine counters, serving counters and the
@@ -280,6 +286,18 @@ pub struct MetricsSnapshot {
     pub upper_bound: f64,
     /// Committed relative certified gap in `[0, 1]`.
     pub gap_fraction: f64,
+    /// Worker threads of the process-wide solve pool.
+    pub pool_workers: u64,
+    /// Batches queued or executing in the solve pool (gauge).
+    pub pool_depth: u64,
+    /// Apply epochs submitted but not yet committed (0 in sync mode).
+    pub apply_queue_lag: u64,
+    /// Last apply epoch handed out (0 in sync mode).
+    pub epoch_submitted: u64,
+    /// Last apply epoch committed by the solver thread (0 in sync mode).
+    pub epoch_committed: u64,
+    /// The epoch currently applying on the solver thread (0 = none).
+    pub epoch_in_flight: u64,
 }
 
 /// One server response frame.
@@ -670,6 +688,9 @@ impl Serialize for HealthSnapshot {
                 "full_resolve_scheduled",
                 Value::Bool(self.full_resolve_scheduled),
             ),
+            ("async_apply", Value::Bool(self.async_apply)),
+            ("apply_queue_lag", count(self.apply_queue_lag)),
+            ("epoch_in_flight", count(self.epoch_in_flight)),
         ])
     }
 }
@@ -686,6 +707,11 @@ impl Deserialize for HealthSnapshot {
             queue_depth: need_index(value, "queue_depth").map_err(shape)?,
             queue_capacity: need_index(value, "queue_capacity").map_err(shape)?,
             full_resolve_scheduled: need_bool(value, "full_resolve_scheduled").map_err(shape)?,
+            async_apply: need_bool(value, "async_apply").map_err(shape)?,
+            apply_queue_lag: u64::from_value(need(value, "apply_queue_lag").map_err(shape)?)
+                .map_err(|e| serde::DeError(format!("field `apply_queue_lag`: {e}")))?,
+            epoch_in_flight: u64::from_value(need(value, "epoch_in_flight").map_err(shape)?)
+                .map_err(|e| serde::DeError(format!("field `epoch_in_flight`: {e}")))?,
         })
     }
 }
@@ -714,6 +740,12 @@ impl Serialize for MetricsSnapshot {
             ("utility", Value::Number(self.utility)),
             ("upper_bound", bound(self.upper_bound)),
             ("gap_fraction", Value::Number(self.gap_fraction)),
+            ("pool_workers", count(self.pool_workers)),
+            ("pool_depth", count(self.pool_depth)),
+            ("apply_queue_lag", count(self.apply_queue_lag)),
+            ("epoch_submitted", count(self.epoch_submitted)),
+            ("epoch_committed", count(self.epoch_committed)),
+            ("epoch_in_flight", count(self.epoch_in_flight)),
         ])
     }
 }
@@ -747,6 +779,12 @@ impl Deserialize for MetricsSnapshot {
             utility: need_f64(value, "utility").map_err(shape)?,
             upper_bound: need_bound(value, "upper_bound").map_err(shape)?,
             gap_fraction: need_f64(value, "gap_fraction").map_err(shape)?,
+            pool_workers: c("pool_workers")?,
+            pool_depth: c("pool_depth")?,
+            apply_queue_lag: c("apply_queue_lag")?,
+            epoch_submitted: c("epoch_submitted")?,
+            epoch_committed: c("epoch_committed")?,
+            epoch_in_flight: c("epoch_in_flight")?,
         })
     }
 }
@@ -1086,6 +1124,9 @@ mod tests {
                 queue_depth: 0,
                 queue_capacity: 64,
                 full_resolve_scheduled: false,
+                async_apply: true,
+                apply_queue_lag: 1,
+                epoch_in_flight: 40,
             }),
             Response::Metrics(MetricsSnapshot {
                 applies: 40,
@@ -1109,6 +1150,12 @@ mod tests {
                 utility: 41.5,
                 upper_bound: 44.0,
                 gap_fraction: 0.0568,
+                pool_workers: 3,
+                pool_depth: 0,
+                apply_queue_lag: 1,
+                epoch_submitted: 41,
+                epoch_committed: 40,
+                epoch_in_flight: 41,
             }),
             Response::Resolve { scheduled: true },
             Response::Shutdown,

@@ -18,6 +18,12 @@
 //! engine thread runs [`Service::idle`], which performs the scheduled
 //! graceful background full re-solve.
 //!
+//! With the default asynchronous backend the engine thread never blocks on
+//! a re-solve: an `apply` comes back as a *deferred* epoch, and the
+//! connection handler that submitted it waits for the commit on its own
+//! thread while the engine keeps answering other clients' frames (health,
+//! queries, more updates) against the last committed snapshot.
+//!
 //! Shutdown: a `shutdown` frame drains the service (subsequent requests
 //! answer `unavailable`), stops the accept loop, and [`ServerHandle::join`]
 //! returns once in-flight connections close.
@@ -25,7 +31,8 @@
 //! [`sync_channel`]: std::sync::mpsc::sync_channel
 
 use crate::protocol::{parse_request, print_response, ErrorCode, Request, Response};
-use crate::service::{ServeCounters, Service};
+use crate::service::{resolve_deferred, Handled, ServeCounters, Service};
+use mmd_core::ApplyWaiter;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -33,10 +40,18 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// One queued request and the channel its response goes back on.
+/// One queued request and the channel the engine's verdict goes back on.
 struct Job {
     request: Request,
-    reply: SyncSender<Response>,
+    reply: SyncSender<EngineReply>,
+}
+
+/// What the engine thread sends back per request: a finished response, or
+/// an epoch the *connection handler* waits on (so the engine thread keeps
+/// acking frames while the asynchronous re-solve runs).
+enum EngineReply {
+    Now(Box<Response>),
+    Deferred(u64),
 }
 
 /// A running daemon: join handles plus the bound address.
@@ -87,6 +102,9 @@ pub fn spawn(service: Service, addr: &str) -> std::io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let counters = service.counters();
     let queue_capacity = service.config().queue_capacity;
+    // Taken before the service moves onto the engine thread; handlers use
+    // it to resolve deferred apply replies without blocking the engine.
+    let waiter = service.apply_waiter();
     let (tx, rx) = sync_channel::<Job>(queue_capacity);
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -104,8 +122,9 @@ pub fn spawn(service: Service, addr: &str) -> std::io::Result<ServerHandle> {
                 let tx = tx.clone();
                 let counters = Arc::clone(&counters);
                 let stop = Arc::clone(&stop);
+                let waiter = waiter.clone();
                 handlers.push(std::thread::spawn(move || {
-                    handle_connection(stream, &tx, &counters, &stop, addr);
+                    handle_connection(stream, &tx, &counters, &stop, addr, waiter.as_ref());
                 }));
             }
             // `tx` drops here; the engine loop ends once every handler's
@@ -145,8 +164,11 @@ fn engine_loop(mut service: Service, rx: &Receiver<Job>) -> Service {
             Err(std::sync::mpsc::TryRecvError::Disconnected) => break,
         };
         counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        let response = service.handle(&job.request);
-        let _ = job.reply.send(response);
+        let reply = match service.handle_detached(&job.request) {
+            Handled::Now(response) => EngineReply::Now(response),
+            Handled::Deferred(epoch) => EngineReply::Deferred(epoch),
+        };
+        let _ = job.reply.send(reply);
     }
     service
 }
@@ -158,6 +180,7 @@ fn handle_connection(
     counters: &ServeCounters,
     stop: &AtomicBool,
     addr: SocketAddr,
+    waiter: Option<&ApplyWaiter>,
 ) {
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -184,7 +207,7 @@ fn handle_connection(
             }
         };
         let shutdown = matches!(request, Request::Shutdown);
-        let response = dispatch(request, tx, counters);
+        let response = dispatch(request, tx, counters, waiter);
         if write_frame(&mut writer, &response).is_err() {
             break;
         }
@@ -195,9 +218,17 @@ fn handle_connection(
 }
 
 /// Forwards one request through the bounded queue and waits for the
-/// engine's response. A full queue bounces with `overloaded` immediately.
-fn dispatch(request: Request, tx: &SyncSender<Job>, counters: &ServeCounters) -> Response {
-    let (reply_tx, reply_rx) = sync_channel::<Response>(1);
+/// engine's reply. A full queue bounces with `overloaded` immediately.
+/// A deferred reply (asynchronous apply) is resolved *here*, on the
+/// connection's own thread, so the engine stays free to ack other frames
+/// while the re-solve is in flight.
+fn dispatch(
+    request: Request,
+    tx: &SyncSender<Job>,
+    counters: &ServeCounters,
+    waiter: Option<&ApplyWaiter>,
+) -> Response {
+    let (reply_tx, reply_rx) = sync_channel::<EngineReply>(1);
     counters.queue_depth.fetch_add(1, Ordering::Relaxed);
     let depth = counters.queue_depth.load(Ordering::Relaxed);
     match tx.try_send(Job {
@@ -205,7 +236,11 @@ fn dispatch(request: Request, tx: &SyncSender<Job>, counters: &ServeCounters) ->
         reply: reply_tx,
     }) {
         Ok(()) => match reply_rx.recv() {
-            Ok(response) => response,
+            Ok(EngineReply::Now(response)) => *response,
+            Ok(EngineReply::Deferred(epoch)) => {
+                let waiter = waiter.expect("deferred replies only come from the async backend");
+                resolve_deferred(waiter, epoch)
+            }
             Err(_) => Response::Error {
                 code: ErrorCode::Unavailable,
                 message: "server is shutting down".to_string(),

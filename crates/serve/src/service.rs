@@ -1,13 +1,25 @@
-//! The request handler: one [`Service`] owns the [`IngestEngine`] and maps
+//! The request handler: one [`Service`] owns the ingest backend and maps
 //! protocol requests to engine operations.
 //!
 //! A `Service` is strictly single-threaded — the daemon runs exactly one,
 //! on a dedicated engine thread, and serializes every request through it
 //! (see [`crate::server`]). That is what makes the daemon deterministic:
-//! requests are applied in queue order against one engine, so the committed
-//! state after any request prefix is a pure function of that prefix, and
-//! the equivalence contract of [`IngestEngine`] (bit-identical to a
-//! from-scratch [`solve_sharded`]) lifts to the whole daemon.
+//! requests are decided in queue order against one backend, so the
+//! committed state after any request prefix is a pure function of that
+//! prefix, and the equivalence contract of [`IngestEngine`] (bit-identical
+//! to a from-scratch [`solve_sharded`]) lifts to the whole daemon.
+//!
+//! Since PR 7 the default backend is **asynchronous**
+//! ([`ServeConfig::async_apply`]): the engine lives on a dedicated solver
+//! thread behind an [`AsyncIngest`], `apply` frames enqueue an epoch and
+//! return a [`Handled::Deferred`] marker the connection handler resolves
+//! via an [`ApplyWaiter`], and queries answer from the latest committed
+//! [`IngestSnapshot`] — so update frames keep getting acks while a
+//! re-solve is in flight. Determinism is unchanged: the engine thread
+//! still sequences batch *submission* in request-queue order, and the
+//! solver applies epochs strictly in that order, so every committed state
+//! is bit-identical to the synchronous path over the same request
+//! sequence.
 //!
 //! [`solve_sharded`]: mmd_core::algo::shard::solve_sharded
 
@@ -15,7 +27,11 @@ use crate::protocol::{
     Admission, ErrorCode, HealthSnapshot, MetricsSnapshot, Request, Response, WireOutcome,
 };
 use mmd_core::algo::online::{OfferOutcome, OnlineConfig};
-use mmd_core::{IngestConfig, IngestEngine, IngestError, Instance, StreamId, UserId};
+use mmd_core::ingest::Update;
+use mmd_core::{
+    ApplyWaiter, AsyncIngest, IngestConfig, IngestEngine, IngestError, IngestOutcome, Instance,
+    StreamId, UserId,
+};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -33,6 +49,11 @@ pub struct ServeConfig {
     /// Maximum updates accepted in one `update` frame; larger frames are
     /// rejected as `invalid` without being enqueued.
     pub max_batch: usize,
+    /// Run applies asynchronously on a dedicated solver thread (the
+    /// default): `apply` frames return as soon as their epoch is enqueued
+    /// and queries never wait on an in-flight re-solve. `false` keeps the
+    /// fully synchronous engine — bit-identical results either way.
+    pub async_apply: bool,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +63,7 @@ impl Default for ServeConfig {
             online: OnlineConfig::default(),
             queue_capacity: 64,
             max_batch: 1024,
+            async_apply: true,
         }
     }
 }
@@ -97,10 +119,36 @@ fn admission(offer: &OfferOutcome) -> Admission {
     }
 }
 
+/// The engine thread's verdict on one request (see
+/// [`Service::handle_detached`]).
+#[derive(Debug)]
+pub enum Handled {
+    /// The response is ready now (boxed: the ready arm is much larger
+    /// than the deferred epoch).
+    Now(Box<Response>),
+    /// An asynchronous apply was submitted as this epoch; the caller
+    /// resolves the response off the engine thread via an [`ApplyWaiter`]
+    /// (see [`Service::apply_waiter`]).
+    Deferred(u64),
+}
+
+/// The ingest state behind a service: the engine itself (synchronous
+/// mode), or an [`AsyncIngest`] plus the service-local pending queue
+/// (asynchronous mode — pending updates stay on the engine thread until
+/// an `apply` frame submits them as an epoch).
+#[derive(Debug)]
+enum Backend {
+    Sync(Box<IngestEngine>),
+    Async {
+        ingest: AsyncIngest,
+        pending: Vec<Update>,
+    },
+}
+
 /// The daemon's request handler (see the [module docs](self)).
 #[derive(Debug)]
 pub struct Service {
-    engine: IngestEngine,
+    backend: Backend,
     config: ServeConfig,
     counters: Arc<ServeCounters>,
     full_resolve_scheduled: bool,
@@ -115,8 +163,17 @@ impl Service {
     ///
     /// Propagates the initial solve's [`IngestError`].
     pub fn new(instance: Instance, config: ServeConfig) -> Result<Self, IngestError> {
+        let engine = IngestEngine::new(instance, config.ingest)?;
+        let backend = if config.async_apply {
+            Backend::Async {
+                ingest: AsyncIngest::new(engine),
+                pending: Vec::new(),
+            }
+        } else {
+            Backend::Sync(Box::new(engine))
+        };
         Ok(Service {
-            engine: IngestEngine::new(instance, config.ingest)?,
+            backend,
             config,
             counters: Arc::new(ServeCounters::default()),
             full_resolve_scheduled: false,
@@ -134,9 +191,40 @@ impl Service {
         &self.config
     }
 
-    /// The underlying engine (read access, e.g. for differential tests).
-    pub fn engine(&self) -> &IngestEngine {
-        &self.engine
+    /// Consumes the service and returns the ingest engine with every
+    /// committed update applied — in async mode this drains and joins the
+    /// solver thread first. The post-shutdown differential hook.
+    #[must_use]
+    pub fn into_engine(self) -> IngestEngine {
+        match self.backend {
+            Backend::Sync(engine) => *engine,
+            Backend::Async { ingest, .. } => ingest.shutdown(),
+        }
+    }
+
+    /// A handle for resolving [`Handled::Deferred`] replies off the engine
+    /// thread; `None` in synchronous mode (which never defers).
+    pub fn apply_waiter(&self) -> Option<ApplyWaiter> {
+        match &self.backend {
+            Backend::Sync(_) => None,
+            Backend::Async { ingest, .. } => Some(ingest.waiter()),
+        }
+    }
+
+    /// Updates accepted but not yet applied.
+    pub fn pending_updates(&self) -> usize {
+        match &self.backend {
+            Backend::Sync(engine) => engine.pending().len(),
+            Backend::Async { pending, .. } => pending.len(),
+        }
+    }
+
+    /// The committed certificate (the last applied batch's outcome).
+    pub fn certificate(&self) -> IngestOutcome {
+        match &self.backend {
+            Backend::Sync(engine) => *engine.last_outcome(),
+            Backend::Async { ingest, .. } => *ingest.snapshot().last_outcome(),
+        }
     }
 
     /// Whether `shutdown` has been requested.
@@ -144,50 +232,75 @@ impl Service {
         self.draining
     }
 
-    /// Handles one request. Never panics on malformed input — every
-    /// failure maps to an error frame.
+    /// Handles one request to completion, blocking on deferred applies.
+    /// Never panics on malformed input — every failure maps to an error
+    /// frame. The daemon's engine loop uses
+    /// [`handle_detached`](Self::handle_detached) instead so it never
+    /// blocks on a re-solve; this wrapper is for in-process callers and
+    /// tests, and is response-identical to the deferred path.
     pub fn handle(&mut self, request: &Request) -> Response {
+        match self.handle_detached(request) {
+            Handled::Now(response) => *response,
+            Handled::Deferred(epoch) => {
+                let waiter = self
+                    .apply_waiter()
+                    .expect("deferred replies only come from the async backend");
+                resolve_deferred(&waiter, epoch)
+            }
+        }
+    }
+
+    /// Handles one request without ever blocking on a re-solve: an `apply`
+    /// in async mode returns [`Handled::Deferred`] as soon as its epoch is
+    /// enqueued, everything else answers immediately.
+    pub fn handle_detached(&mut self, request: &Request) -> Handled {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         if self.draining && !matches!(request, Request::Health | Request::Metrics) {
-            return Response::Error {
+            return Handled::Now(Box::new(Response::Error {
                 code: ErrorCode::Unavailable,
                 message: "server is draining".to_string(),
-            };
+            }));
         }
-        match request {
+        let response = match request {
             Request::Update { updates, admit } => self.handle_update(updates, *admit),
-            Request::Apply => match self.engine.apply() {
-                Ok(outcome) => Response::Applied {
-                    outcome: WireOutcome::from(outcome),
+            Request::Apply => match &mut self.backend {
+                Backend::Sync(engine) => match engine.apply() {
+                    Ok(outcome) => Response::Applied {
+                        outcome: WireOutcome::from(outcome),
+                    },
+                    Err(e) => {
+                        // A rejected batch must not wedge the shared queue:
+                        // later clients' applies would keep failing on this
+                        // client's poison updates.
+                        engine.clear_pending();
+                        error_response(&e)
+                    }
                 },
-                Err(e) => {
-                    // A rejected batch must not wedge the shared queue:
-                    // later clients' applies would keep failing on this
-                    // client's poison updates.
-                    self.engine.clear_pending();
-                    error_response(&e)
+                Backend::Async { ingest, pending } => {
+                    // Submit even when empty: an empty epoch re-certifies
+                    // the committed state, exactly like a sync apply with
+                    // nothing pending — and the counters stay comparable.
+                    match ingest.apply_async(std::mem::take(pending)) {
+                        Ok(epoch) => return Handled::Deferred(epoch),
+                        // Unreachable in practice: updates were validated
+                        // at push time against the same universe.
+                        Err(e) => error_response(&e),
+                    }
                 }
             },
             Request::QueryUser { user } => self.handle_query_user(*user),
             Request::QueryStream { stream } => self.handle_query_stream(*stream),
             Request::Allocation => {
-                let instance = self.engine.current_instance();
-                Response::Allocation {
-                    utility: self.engine.utility(),
+                self.with_committed(|instance, assignment, last| Response::Allocation {
+                    utility: last.utility,
                     users: instance
                         .users()
-                        .map(|u| {
-                            self.engine
-                                .assignment()
-                                .streams_of(u)
-                                .map(|s| s.index())
-                                .collect()
-                        })
+                        .map(|u| assignment.streams_of(u).map(|s| s.index()).collect())
                         .collect(),
-                }
+                })
             }
             Request::Certificate => {
-                let last = self.engine.last_outcome();
+                let last = self.certificate();
                 Response::Certificate {
                     utility: last.utility,
                     upper_bound: last.upper_bound,
@@ -208,10 +321,11 @@ impl Service {
                 self.draining = true;
                 Response::Shutdown
             }
-        }
+        };
+        Handled::Now(Box::new(response))
     }
 
-    fn handle_update(&mut self, updates: &[mmd_core::ingest::Update], admit: bool) -> Response {
+    fn handle_update(&mut self, updates: &[Update], admit: bool) -> Response {
         if updates.len() > self.config.max_batch {
             return Response::Error {
                 code: ErrorCode::Invalid,
@@ -222,7 +336,13 @@ impl Service {
                 ),
             };
         }
-        if let Err(e) = self.engine.push_batch(updates.iter().cloned()) {
+        let push = match &mut self.backend {
+            Backend::Sync(engine) => engine.push_batch(updates.iter().cloned()).map(|_| ()),
+            Backend::Async { ingest, pending } => ingest.validate_batch(updates).map(|()| {
+                pending.extend(updates.iter().cloned());
+            }),
+        };
+        if let Err(e) = push {
             return Response::Error {
                 code: ErrorCode::Invalid,
                 message: e.to_string(),
@@ -237,7 +357,7 @@ impl Service {
             None
         };
         Response::Pushed {
-            pending: self.engine.pending().len(),
+            pending: self.pending_updates(),
             admissions,
         }
     }
@@ -246,7 +366,12 @@ impl Service {
         self.counters
             .admission_checks
             .fetch_add(1, Ordering::Relaxed);
-        let offers = self.engine.provisional_admissions(self.config.online)?;
+        let offers = match &self.backend {
+            Backend::Sync(engine) => engine.provisional_admissions(self.config.online)?,
+            Backend::Async { ingest, pending } => ingest
+                .snapshot()
+                .provisional_admissions(pending, self.config.online)?,
+        };
         let admissions: Vec<Admission> = offers.iter().map(admission).collect();
         let admitted = admissions.iter().filter(|a| a.admitted).count() as u64;
         self.counters
@@ -258,54 +383,73 @@ impl Service {
         Ok(admissions)
     }
 
-    fn handle_query_user(&self, user: usize) -> Response {
-        if user >= self.engine.current_instance().num_users() {
-            return Response::Error {
-                code: ErrorCode::Invalid,
-                message: format!("unknown user {user}"),
-            };
-        }
-        let u = UserId::new(user);
-        Response::UserAllocation {
-            user,
-            streams: self
-                .engine
-                .assignment()
-                .streams_of(u)
-                .map(|s| s.index())
-                .collect(),
-            utility: self
-                .engine
-                .assignment()
-                .user_utility(u, self.engine.current_instance()),
+    /// Runs `f` over the committed `(instance, assignment, certificate)` —
+    /// the engine's own state in sync mode, the latest published snapshot
+    /// in async mode (never waiting on an in-flight re-solve).
+    fn with_committed<R>(
+        &self,
+        f: impl FnOnce(&Instance, &mmd_core::Assignment, &IngestOutcome) -> R,
+    ) -> R {
+        match &self.backend {
+            Backend::Sync(engine) => f(
+                engine.current_instance(),
+                engine.assignment(),
+                engine.last_outcome(),
+            ),
+            Backend::Async { ingest, .. } => {
+                let snapshot = ingest.snapshot();
+                f(
+                    snapshot.current_instance(),
+                    snapshot.assignment(),
+                    snapshot.last_outcome(),
+                )
+            }
         }
     }
 
+    fn handle_query_user(&self, user: usize) -> Response {
+        self.with_committed(|instance, assignment, _| {
+            if user >= instance.num_users() {
+                return Response::Error {
+                    code: ErrorCode::Invalid,
+                    message: format!("unknown user {user}"),
+                };
+            }
+            let u = UserId::new(user);
+            Response::UserAllocation {
+                user,
+                streams: assignment.streams_of(u).map(|s| s.index()).collect(),
+                utility: assignment.user_utility(u, instance),
+            }
+        })
+    }
+
     fn handle_query_stream(&self, stream: usize) -> Response {
-        let instance = self.engine.current_instance();
-        if stream >= instance.num_streams() {
-            return Response::Error {
-                code: ErrorCode::Invalid,
-                message: format!("unknown stream {stream}"),
-            };
-        }
-        let s = StreamId::new(stream);
-        let assignment = self.engine.assignment();
-        Response::StreamAllocation {
-            stream,
-            live: assignment.in_range(s),
-            users: instance
-                .users()
-                .filter(|&u| assignment.contains(u, s))
-                .map(|u| u.index())
-                .collect(),
-        }
+        self.with_committed(|instance, assignment, _| {
+            if stream >= instance.num_streams() {
+                return Response::Error {
+                    code: ErrorCode::Invalid,
+                    message: format!("unknown stream {stream}"),
+                };
+            }
+            let s = StreamId::new(stream);
+            Response::StreamAllocation {
+                stream,
+                live: assignment.in_range(s),
+                users: instance
+                    .users()
+                    .filter(|&u| assignment.contains(u, s))
+                    .map(|u| u.index())
+                    .collect(),
+            }
+        })
     }
 
     /// Runs deferred maintenance — the scheduled background full re-solve —
     /// and returns whether any work was done. The engine thread calls this
     /// only when the request queue is empty, so maintenance never delays a
-    /// live request (graceful scheduling).
+    /// live request (graceful scheduling). In async mode the refresh is
+    /// merely *submitted* here (the solver thread does the work).
     pub fn idle(&mut self) -> bool {
         if !self.full_resolve_scheduled || self.draining {
             return false;
@@ -314,31 +458,77 @@ impl Service {
         // By the equivalence contract the committed state is unchanged;
         // a failure (not reachable for well-formed instances) only means
         // the cache refresh did not happen.
-        let _ = self.engine.refresh_full();
+        match &mut self.backend {
+            Backend::Sync(engine) => {
+                let _ = engine.refresh_full();
+            }
+            Backend::Async { ingest, .. } => {
+                let _ = ingest.refresh_async();
+            }
+        }
         true
     }
 
     /// The current `health` body.
     pub fn health(&self) -> HealthSnapshot {
-        let instance = self.engine.current_instance();
+        let (live_streams, num_streams, num_users) = match &self.backend {
+            Backend::Sync(engine) => (
+                engine.num_live(),
+                engine.current_instance().num_streams(),
+                engine.current_instance().num_users(),
+            ),
+            Backend::Async { ingest, .. } => {
+                let snapshot = ingest.snapshot();
+                (
+                    snapshot.num_live(),
+                    snapshot.current_instance().num_streams(),
+                    snapshot.current_instance().num_users(),
+                )
+            }
+        };
+        let (async_apply, apply_queue_lag, epoch_in_flight) = match &self.backend {
+            Backend::Sync(_) => (false, 0, 0),
+            Backend::Async { ingest, .. } => (
+                true,
+                ingest.queue_lag(),
+                ingest.in_flight_epoch().unwrap_or(0),
+            ),
+        };
         HealthSnapshot {
             status: if self.draining { "draining" } else { "ok" }.to_string(),
-            live_streams: self.engine.num_live(),
-            num_streams: instance.num_streams(),
-            num_users: instance.num_users(),
-            pending_updates: self.engine.pending().len(),
+            live_streams,
+            num_streams,
+            num_users,
+            pending_updates: self.pending_updates(),
             queue_depth: self.counters.queue_depth.load(Ordering::Relaxed),
             queue_capacity: self.config.queue_capacity,
             full_resolve_scheduled: self.full_resolve_scheduled,
+            async_apply,
+            apply_queue_lag,
+            epoch_in_flight,
         }
     }
 
-    /// The current `metrics` body: engine counters, serving counters and
-    /// the committed certificate.
+    /// The current `metrics` body: engine counters, serving counters, pool
+    /// gauges and the committed certificate.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        let m = self.engine.metrics();
+        let m = match &self.backend {
+            Backend::Sync(engine) => *engine.metrics(),
+            Backend::Async { ingest, .. } => ingest.metrics(),
+        };
+        let last = self.certificate();
+        let (apply_queue_lag, epoch_submitted, epoch_committed, epoch_in_flight) =
+            match &self.backend {
+                Backend::Sync(_) => (0, 0, 0, 0),
+                Backend::Async { ingest, .. } => (
+                    ingest.queue_lag(),
+                    ingest.submitted_epoch(),
+                    ingest.committed_epoch(),
+                    ingest.in_flight_epoch().unwrap_or(0),
+                ),
+            };
+        let pool = mmd_par::Pool::global();
         let c = &self.counters;
-        let last = self.engine.last_outcome();
         MetricsSnapshot {
             applies: m.applies,
             updates_applied: m.updates_applied,
@@ -361,7 +551,25 @@ impl Service {
             utility: last.utility,
             upper_bound: last.upper_bound,
             gap_fraction: last.gap_fraction,
+            pool_workers: pool.workers() as u64,
+            pool_depth: pool.depth() as u64,
+            apply_queue_lag,
+            epoch_submitted,
+            epoch_committed,
+            epoch_in_flight,
         }
+    }
+}
+
+/// Resolves a [`Handled::Deferred`] apply into its response frame by
+/// waiting on the epoch — run off the engine thread by connection
+/// handlers (and by the blocking [`Service::handle`] wrapper).
+pub fn resolve_deferred(waiter: &ApplyWaiter, epoch: u64) -> Response {
+    match waiter.wait(epoch) {
+        Ok(outcome) => Response::Applied {
+            outcome: WireOutcome::from(outcome),
+        },
+        Err(e) => error_response(&e),
     }
 }
 
@@ -476,7 +684,7 @@ mod tests {
                 ..
             }
         ));
-        assert_eq!(svc.engine().pending().len(), 0);
+        assert_eq!(svc.pending_updates(), 0);
     }
 
     #[test]
@@ -536,11 +744,21 @@ mod tests {
             Response::Resolve { scheduled: true }
         );
         assert!(svc.health().full_resolve_scheduled);
-        let utility = svc.engine().utility();
-        assert!(svc.idle(), "scheduled work ran");
+        let utility = svc.certificate().utility;
+        assert!(svc.idle(), "scheduled work ran (async: was submitted)");
         assert!(!svc.idle(), "and is consumed");
-        assert_eq!(svc.engine().utility().to_bits(), utility.to_bits());
-        assert_eq!(svc.metrics_snapshot().full_resolves, 1);
+        // The default backend refreshes asynchronously — poll for the
+        // solver thread to commit the refresh epoch.
+        let mut resolves = 0;
+        for _ in 0..500 {
+            resolves = svc.metrics_snapshot().full_resolves;
+            if resolves == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(resolves, 1);
+        assert_eq!(svc.certificate().utility.to_bits(), utility.to_bits());
     }
 
     #[test]
@@ -563,6 +781,65 @@ mod tests {
             svc.handle(&Request::Metrics),
             Response::Metrics(_)
         ));
+    }
+
+    #[test]
+    fn sync_and_async_backends_are_response_identical() {
+        let sequence = [
+            depart(0),
+            Request::Apply,
+            Request::Update {
+                updates: vec![Update::StreamArrival(StreamId::new(0))],
+                admit: true,
+            },
+            Request::Apply,
+            Request::Update {
+                updates: vec![Update::StreamArrival(StreamId::new(99))],
+                admit: false,
+            },
+            Request::Update {
+                updates: vec![Update::BudgetChange {
+                    measure: 0,
+                    budget: 1.0,
+                }],
+                admit: false,
+            },
+            Request::Apply,
+            Request::Apply,
+            Request::Allocation,
+            Request::Certificate,
+            Request::QueryUser { user: 1 },
+            Request::QueryStream { stream: 3 },
+            Request::Admissions,
+        ];
+        let mut sync_svc = Service::new(
+            demo_instance(),
+            ServeConfig {
+                async_apply: false,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut async_svc = service();
+        assert!(sync_svc.apply_waiter().is_none());
+        assert!(async_svc.apply_waiter().is_some());
+        for request in &sequence {
+            let s = sync_svc.handle(request);
+            let a = async_svc.handle(request);
+            assert_eq!(s, a, "backend divergence on {request:?}");
+        }
+        let sm = sync_svc.metrics_snapshot();
+        let am = async_svc.metrics_snapshot();
+        assert_eq!(sm.applies, am.applies);
+        assert_eq!(sm.updates_applied, am.updates_applied);
+        assert_eq!(sm.rejected_batches, am.rejected_batches);
+        assert_eq!(sm.rejected_updates, am.rejected_updates);
+        assert_eq!(sm.utility.to_bits(), am.utility.to_bits());
+        assert_eq!(sm.upper_bound.to_bits(), am.upper_bound.to_bits());
+        let se = sync_svc.into_engine();
+        let ae = async_svc.into_engine();
+        assert_eq!(se.utility().to_bits(), ae.utility().to_bits());
+        assert_eq!(se.assignment(), ae.assignment());
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! default; run with `--include-ignored`).
 
 use mmd::core::algo::shard::{solve_sharded, ShardConfig};
-use mmd::core::ingest::{IngestConfig, IngestEngine};
+use mmd::core::ingest::{IngestConfig, IngestEngine, IngestOutcome};
+use mmd::core::AsyncIngest;
 use mmd::workload::{ChurnConfig, ClusteredConfig};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -147,6 +148,96 @@ fn ingest_is_bit_identical_across_thread_counts() {
     assert_matches_scratch(&base_engine, "thread-invariance final state");
 }
 
+/// Replays `trace` through the synchronous `push`/`apply` path, returning
+/// every batch outcome and the final engine.
+fn replay_sync(
+    inst: &mmd::core::Instance,
+    trace: &[mmd::core::Update],
+    batch: usize,
+    cfg: IngestConfig,
+) -> (Vec<IngestOutcome>, IngestEngine) {
+    let mut engine = IngestEngine::new(inst.clone(), cfg).unwrap();
+    let mut outcomes = Vec::new();
+    for chunk in trace.chunks(batch) {
+        engine.push_batch(chunk.iter().cloned()).unwrap();
+        outcomes.push(engine.apply().unwrap());
+    }
+    (outcomes, engine)
+}
+
+/// Replays `trace` through `AsyncIngest::apply_async`, submitting `wave`
+/// epochs ahead of the collector (so the solver thread genuinely runs
+/// behind a queue), returning every epoch's outcome and the drained
+/// engine.
+fn replay_async(
+    inst: &mmd::core::Instance,
+    trace: &[mmd::core::Update],
+    batch: usize,
+    wave: usize,
+    cfg: IngestConfig,
+) -> (Vec<IngestOutcome>, IngestEngine) {
+    let engine = IngestEngine::new(inst.clone(), cfg).unwrap();
+    let ingest = AsyncIngest::new(engine);
+    let waiter = ingest.waiter();
+    let mut outcomes = Vec::new();
+    let chunks: Vec<&[mmd::core::Update]> = trace.chunks(batch).collect();
+    for chunk_wave in chunks.chunks(wave.max(1)) {
+        let epochs: Vec<u64> = chunk_wave
+            .iter()
+            .map(|chunk| ingest.apply_async(chunk.to_vec()).unwrap())
+            .collect();
+        for epoch in epochs {
+            outcomes.push(waiter.wait(epoch).unwrap());
+        }
+    }
+    (outcomes, ingest.shutdown())
+}
+
+/// Asserts two per-batch outcome sequences carry bit-identical certified
+/// brackets (`utility ≤ OPT ≤ upper_bound`) and identical re-solve work.
+fn assert_brackets_match(sync: &[IngestOutcome], async_: &[IngestOutcome], context: &str) {
+    assert_eq!(sync.len(), async_.len(), "{context}: batch counts diverge");
+    for (b, (s, a)) in sync.iter().zip(async_).enumerate() {
+        assert_eq!(
+            s.utility.to_bits(),
+            a.utility.to_bits(),
+            "{context} batch {b}: utility diverges ({} vs {})",
+            s.utility,
+            a.utility
+        );
+        assert_eq!(
+            s.upper_bound.to_bits(),
+            a.upper_bound.to_bits(),
+            "{context} batch {b}: upper bound diverges"
+        );
+        assert_eq!(
+            s.gap_fraction.to_bits(),
+            a.gap_fraction.to_bits(),
+            "{context} batch {b}: gap diverges"
+        );
+        assert_eq!(s.updates_applied, a.updates_applied, "{context} batch {b}");
+        assert_eq!(s.dirty_shards, a.dirty_shards, "{context} batch {b}");
+        assert_eq!(s.resolved_shards, a.resolved_shards, "{context} batch {b}");
+        assert_eq!(s.full_resolve, a.full_resolve, "{context} batch {b}");
+    }
+}
+
+#[test]
+fn async_apply_matches_sync_apply_on_mixed_churn() {
+    let inst = ClusteredConfig::decomposable(6, 5, 4).generate(17);
+    let trace = ChurnConfig::mixed(120).generate(&inst, 5);
+    let cfg = config(0, 2);
+    let (sync_outcomes, sync_engine) = replay_sync(&inst, &trace, 6, cfg);
+    let (async_outcomes, async_engine) = replay_async(&inst, &trace, 6, 4, cfg);
+    assert_brackets_match(&sync_outcomes, &async_outcomes, "mixed-churn");
+    assert_eq!(sync_engine.assignment(), async_engine.assignment());
+    assert_eq!(
+        sync_engine.utility().to_bits(),
+        async_engine.utility().to_bits()
+    );
+    assert_matches_scratch(&async_engine, "async final state");
+}
+
 /// The CI soak: a 10k-update fixed-seed mixed-churn trace, verified
 /// against from-scratch solves periodically and at the end, at 1 and 8
 /// threads. Ignored by default (long-haul); the `ingest-soak` CI step runs
@@ -196,4 +287,41 @@ fn soak_10k_update_trace() {
     let (u8, a8) = &finals[1];
     assert_eq!(u1.to_bits(), u8.to_bits(), "soak: 1 vs 8 threads utility");
     assert_eq!(a1, a8, "soak: 1 vs 8 threads assignment");
+}
+
+/// The CI soak's asynchronous twin: the same 10k-update trace driven
+/// through `AsyncIngest::apply_async` (submitted in deep waves, so the
+/// solver thread works behind a real queue) AND through the synchronous
+/// `apply`, with every batch's certified `utility ≤ OPT ≤ upper_bound`
+/// bracket diffed bit-for-bit between the two paths — then the final
+/// committed state anchored against a from-scratch sharded solve.
+#[test]
+#[ignore = "soak: run explicitly (CI ingest-soak step)"]
+fn soak_10k_update_trace_async_matches_sync() {
+    let inst = ClusteredConfig::decomposable(16, 8, 6).generate(2024);
+    let trace = ChurnConfig {
+        budget_fraction: 0.02,
+        ..ChurnConfig::mixed(10_000)
+    }
+    .generate(&inst, 2024);
+    let batch = 8usize;
+    let cfg = config(0, 8);
+
+    let (sync_outcomes, sync_engine) = replay_sync(&inst, &trace, batch, cfg);
+    // Waves of 256 epochs stay inside the async outcome-retention window
+    // while keeping the solver's queue genuinely deep.
+    let (async_outcomes, async_engine) = replay_async(&inst, &trace, batch, 256, cfg);
+
+    assert_brackets_match(&sync_outcomes, &async_outcomes, "10k soak");
+    assert_eq!(
+        sync_engine.utility().to_bits(),
+        async_engine.utility().to_bits(),
+        "10k soak: final utility diverges"
+    );
+    assert_eq!(
+        sync_engine.assignment(),
+        async_engine.assignment(),
+        "10k soak: final assignment diverges"
+    );
+    assert_matches_scratch(&async_engine, "10k soak async final state");
 }

@@ -1,0 +1,229 @@
+//! Determinism and lifecycle torture for the persistent worker pool
+//! (`mmd_par::Pool`).
+//!
+//! The pool's contract is the same as the rest of the parallel runtime:
+//! **bit-identical** results to the sequential path, at any worker count,
+//! any chunk grain, and any interleaving — including oversubscription
+//! (more workers than cores) and repeated pool shutdown/restart. The
+//! ignored `storm_*` cases are the CI `pool-stress` step's long-haul runs
+//! (release profile, `--include-ignored`), where oversubscription on the
+//! multi-core runner produces real preemption.
+
+use mmd::core::algo::{solve_batch, MmdConfig};
+use mmd::core::Instance;
+use mmd::par::Pool;
+
+/// The grain ladder every bit-identity check sweeps: single-item claims
+/// (maximum interleaving), a mid grain, and the clamp ceiling.
+const GRAINS: [usize; 3] = [1, 4, 64];
+
+/// A deterministic item kernel whose value depends only on the item.
+fn kernel(i: usize) -> f64 {
+    let mut x = (i as f64).mul_add(0.707_106_781_186_547_5, 2.5);
+    for _ in 0..64 {
+        x = (x + 3.0 / x) * 0.5 + 1.0 / (x + 1.0);
+    }
+    x
+}
+
+/// A tiny seeded LCG for the storm schedules (no external RNG crates).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn pick(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+fn sequential(items: &[usize]) -> Vec<f64> {
+    items.iter().map(|&i| kernel(i)).collect()
+}
+
+#[test]
+fn oversubscribed_pool_matches_sequential_bit_for_bit() {
+    // 16 workers on any host — far more than this container's cores — so
+    // chunk claims genuinely race.
+    let pool = Pool::new(16);
+    let items: Vec<usize> = (0..513).collect();
+    let want = sequential(&items);
+    for threads in [2usize, 5, 16, 40] {
+        for grain in GRAINS {
+            let got = pool.parallel_map(threads, &items, Some(grain), |_, &i| kernel(i));
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "threads {threads} grain {grain}: value drift"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn global_pool_grain_ladder_is_bit_identical() {
+    let items: Vec<usize> = (0..257).collect();
+    let want = sequential(&items);
+    let default = mmd::par::parallel_map(0, &items, |_, &i| kernel(i));
+    assert_eq!(default.len(), want.len());
+    for grain in GRAINS {
+        let got = mmd::par::parallel_map_with_grain(0, &items, grain, |_, &i| kernel(i));
+        for ((g, d), w) in got.iter().zip(&default).zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits(), "grain {grain} vs sequential");
+            assert_eq!(g.to_bits(), d.to_bits(), "grain {grain} vs default grain");
+        }
+    }
+}
+
+/// Seeded shutdown/restart storm: pools are created with varying worker
+/// counts, used across the grain ladder, and dropped — every drop must
+/// join its workers (no leaks, no hangs) and every use must be
+/// bit-identical to sequential.
+fn storm(seed: u64, rounds: usize, max_items: usize) {
+    let mut rng = Lcg(seed);
+    for round in 0..rounds {
+        let workers = 1 + rng.pick(16);
+        let pool = Pool::new(workers);
+        let uses = 1 + rng.pick(3);
+        for _ in 0..uses {
+            let n = 1 + rng.pick(max_items);
+            let offset = rng.pick(1_000);
+            let items: Vec<usize> = (offset..offset + n).collect();
+            let want = sequential(&items);
+            let threads = 1 + rng.pick(workers + 4);
+            let grain = GRAINS[rng.pick(GRAINS.len())];
+            let got = pool.parallel_map(threads, &items, Some(grain), |_, &i| kernel(i));
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "seed {seed} round {round}: workers {workers} threads {threads} \
+                     grain {grain} diverged"
+                );
+            }
+        }
+        drop(pool); // joins all workers; a hang here fails the test by timeout
+    }
+}
+
+#[test]
+fn shutdown_restart_storm_short() {
+    storm(7, 12, 96);
+}
+
+/// CI `pool-stress` rung: a long seeded storm in release mode.
+#[test]
+#[ignore = "pool-stress: run explicitly (CI pool-stress step)"]
+fn storm_long_seeded_shutdown_restart() {
+    for seed in [1u64, 42, 2024] {
+        storm(seed, 120, 768);
+    }
+}
+
+/// CI `pool-stress` rung: sustained oversubscribed traffic through ONE
+/// pool from many submitter threads at once, with nested submissions —
+/// the caller-executes rule must keep this deadlock-free, and every
+/// result bit-identical.
+#[test]
+#[ignore = "pool-stress: run explicitly (CI pool-stress step)"]
+fn storm_concurrent_submitters_with_nesting() {
+    let pool = Pool::new(12);
+    let items: Vec<usize> = (0..301).collect();
+    let want = sequential(&items);
+    std::thread::scope(|scope| {
+        for submitter in 0..8usize {
+            let pool = &pool;
+            let items = &items;
+            let want = &want;
+            scope.spawn(move || {
+                for round in 0..150usize {
+                    let grain = GRAINS[(submitter + round) % GRAINS.len()];
+                    let got = pool.parallel_map(6, items, Some(grain), |_, &i| {
+                        if i % 97 == 0 {
+                            // A nested submission from inside a chunk: the
+                            // inner map must complete on the same pool.
+                            let inner: Vec<usize> = (0..5).map(|j| i + j).collect();
+                            let nested = pool.parallel_map(2, &inner, Some(1), |_, &j| kernel(j));
+                            assert_eq!(nested[0].to_bits(), kernel(i).to_bits());
+                        }
+                        kernel(i)
+                    });
+                    for (g, w) in got.iter().zip(want) {
+                        assert_eq!(
+                            g.to_bits(),
+                            w.to_bits(),
+                            "submitter {submitter} round {round} grain {grain}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// The production entry point above the pool: `solve_batch` stays
+/// bit-identical to sequential solving across thread counts and grains
+/// now that it dispatches through the persistent pool.
+#[test]
+fn solve_batch_through_the_pool_is_bit_identical() {
+    let instances: Vec<Instance> = (0..9)
+        .map(|i| {
+            let mut b = Instance::builder(format!("pd{i}")).server_budgets(vec![9.0 + i as f64]);
+            let streams: Vec<_> = (0..6)
+                .map(|j| b.add_stream(vec![1.0 + ((i + j) % 4) as f64]))
+                .collect();
+            let users: Vec<_> = (0..4).map(|j| b.add_user(5.0 + j as f64, vec![])).collect();
+            for (si, &s) in streams.iter().enumerate() {
+                for (ui, &u) in users.iter().enumerate() {
+                    let w = ((si * 3 + ui * 5 + i) % 5) as f64;
+                    if w > 0.0 {
+                        b.add_interest(u, s, w, vec![]).unwrap();
+                    }
+                }
+            }
+            b.build().unwrap()
+        })
+        .collect();
+    let config = MmdConfig::default();
+    let reference = solve_batch(&instances, &config, 1);
+    for threads in [0usize, 2, 4, 9, 17] {
+        let got = solve_batch(&instances, &config, threads);
+        for (g, w) in got.iter().zip(&reference) {
+            let (g, w) = (g.as_ref().unwrap(), w.as_ref().unwrap());
+            assert_eq!(
+                g.utility.to_bits(),
+                w.utility.to_bits(),
+                "threads {threads}"
+            );
+            assert_eq!(g.assignment, w.assignment, "threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn pool_panics_propagate_and_leave_the_pool_usable() {
+    let pool = Pool::new(4);
+    let items: Vec<usize> = (0..64).collect();
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.parallel_map(4, &items, Some(1), |_, &i| {
+            assert!(i != 33, "determinism torture panic");
+            kernel(i)
+        })
+    }));
+    assert!(caught.is_err(), "the chunk panic must surface");
+    // The batch was cancelled, not wedged: the pool still works.
+    let want = sequential(&items);
+    let got = pool.parallel_map(4, &items, Some(4), |_, &i| kernel(i));
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(g.to_bits(), w.to_bits());
+    }
+}
