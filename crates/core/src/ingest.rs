@@ -169,6 +169,14 @@ pub enum IngestError {
     Build(BuildError),
     /// A shard solve failed.
     Solve(SolveError),
+    /// An asynchronous apply epoch was processed, but its outcome was
+    /// pruned from the retention window before the waiter looked (see
+    /// [`AsyncIngest::wait`](crate::AsyncIngest::wait)). The epoch *was*
+    /// committed or rejected — only the record of which is gone.
+    OutcomeExpired {
+        /// The epoch whose outcome is no longer retained.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for IngestError {
@@ -196,6 +204,10 @@ impl fmt::Display for IngestError {
             ),
             IngestError::Build(e) => write!(f, "materializing updated instance: {e}"),
             IngestError::Solve(e) => write!(f, "re-solving dirty shards: {e}"),
+            IngestError::OutcomeExpired { epoch } => write!(
+                f,
+                "outcome of apply epoch {epoch} fell out of the retention window"
+            ),
         }
     }
 }

@@ -41,7 +41,8 @@ use std::thread::JoinHandle;
 /// Retained per-epoch outcomes: entries older than the last
 /// `OUTCOME_WINDOW` committed epochs are pruned, so fire-and-forget
 /// submitters cannot grow the map without bound. Waiters in practice wait
-/// immediately after submitting, far inside the window.
+/// immediately after submitting, far inside the window; one that falls
+/// behind gets [`IngestError::OutcomeExpired`] rather than a panic.
 const OUTCOME_WINDOW: u64 = 1024;
 
 /// One queued unit of solver work.
@@ -205,13 +206,13 @@ impl AsyncIngest {
     /// # Errors
     ///
     /// The engine's rejection for that epoch (shared, since several
-    /// waiters may observe it).
+    /// waiters may observe it), or [`IngestError::OutcomeExpired`] when
+    /// the outcome already fell out of the retention window (an epoch is
+    /// retained for 1024 commits — `OUTCOME_WINDOW`).
     ///
     /// # Panics
     ///
-    /// Panics if `epoch` was never submitted, or if its outcome already
-    /// fell out of the retention window (an epoch is retained for
-    /// [`OUTCOME_WINDOW`] commits).
+    /// Panics if `epoch` was never submitted.
     pub fn wait(&self, epoch: u64) -> Result<IngestOutcome, Arc<IngestError>> {
         wait_on(&self.shared, epoch)
     }
@@ -324,7 +325,9 @@ impl ApplyWaiter {
     ///
     /// # Errors
     ///
-    /// The engine's rejection for that epoch.
+    /// The engine's rejection for that epoch, or
+    /// [`IngestError::OutcomeExpired`] when the outcome already fell out
+    /// of the retention window.
     pub fn wait(&self, epoch: u64) -> Result<IngestOutcome, Arc<IngestError>> {
         wait_on(&self.shared, epoch)
     }
@@ -347,10 +350,14 @@ fn wait_on(shared: &Shared, epoch: u64) -> Result<IngestOutcome, Arc<IngestError
         if let Some(outcome) = state.outcomes.get(&epoch) {
             return outcome.clone();
         }
-        assert!(
-            shared.committed.load(Ordering::Acquire) < epoch,
-            "epoch {epoch} outcome fell out of the retention window"
-        );
+        // Processed, but already pruned from the retention window (the
+        // waiter fell more than `OUTCOME_WINDOW` commits behind). An
+        // error, not a panic: in the daemon this runs on a connection
+        // handler thread, which must answer with an error frame rather
+        // than die.
+        if shared.committed.load(Ordering::Acquire) >= epoch {
+            return Err(Arc::new(IngestError::OutcomeExpired { epoch }));
+        }
         state = shared
             .done_cv
             .wait(state)
@@ -523,6 +530,25 @@ mod tests {
         ingest.wait_idle();
         assert_eq!(ingest.committed_epoch(), epoch);
         assert_eq!(ingest.in_flight_epoch(), None);
+    }
+
+    #[test]
+    fn waiting_past_the_retention_window_is_an_error_not_a_panic() {
+        let ingest = AsyncIngest::new(
+            IngestEngine::new(small_instance(), IngestConfig::default()).expect("engine"),
+        );
+        let first = ingest.apply_async(vec![]).expect("submit");
+        // Push the first epoch out of the retention window with empty
+        // re-certification epochs.
+        for _ in 0..=OUTCOME_WINDOW {
+            ingest.apply_async(vec![]).expect("submit");
+        }
+        ingest.wait_idle();
+        let err = ingest.wait(first).expect_err("outcome was pruned");
+        assert!(matches!(*err, IngestError::OutcomeExpired { epoch } if epoch == first));
+        // Recent epochs still resolve normally.
+        let recent = ingest.apply_async(vec![]).expect("submit");
+        ingest.wait(recent).expect("inside the window");
     }
 
     #[test]

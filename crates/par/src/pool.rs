@@ -328,11 +328,20 @@ impl Pool {
             done_cv: Condvar::new(),
         });
         self.enqueue(Arc::clone(&batch));
-        let ra = a();
+        // `a` runs under `catch_unwind`: once the batch is enqueued a
+        // worker may hold the raw `ctx` pointer into this frame, so the
+        // frame must not unwind past the completion latch below. The
+        // panic is re-raised after the latch fires.
+        let ra = catch_unwind(AssertUnwindSafe(a));
         // Help with `b` if it is still unclaimed, then wait it out.
         execute(&batch);
         wait_done(&batch);
         let payload = batch.panic.lock().expect("pool panic lock").take();
+        let ra = match ra {
+            Ok(ra) => ra,
+            // `a`'s panic wins; `b`'s payload (if any) is dropped.
+            Err(a_payload) => resume_unwind(a_payload),
+        };
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
@@ -491,6 +500,13 @@ fn worker_loop(injector: &Injector) {
             execute(&batch);
         }
         batch.executors.fetch_sub(1, Ordering::AcqRel);
+        // Leaving freed an executor slot: wake parked workers so a batch
+        // that still has unclaimed chunks gets rejoined (they may have
+        // parked after seeing it slot-full, and nothing else would wake
+        // them until new work arrives).
+        if batch.has_work() {
+            injector.work_cv.notify_all();
+        }
     }
 }
 
@@ -625,6 +641,34 @@ mod tests {
     fn pool_join_propagates_worker_panics() {
         let pool = Pool::new(1);
         pool.join(|| 1, || panic!("join boom"));
+    }
+
+    #[test]
+    fn pool_join_caller_panic_waits_for_b() {
+        // A panic in `a` must not unwind past the completion latch while
+        // a worker still runs `b` through the raw context pointer into
+        // the caller's frame: `b` must be finished by the time `join`
+        // unwinds.
+        let pool = Pool::new(1);
+        let b_done = AtomicBool::new(false);
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            pool.join(
+                || {
+                    // Give a worker time to claim `b` before panicking.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    panic!("a boom");
+                },
+                || {
+                    std::thread::sleep(std::time::Duration::from_millis(60));
+                    b_done.store(true, Ordering::SeqCst);
+                },
+            )
+        }));
+        assert!(unwound.is_err(), "a's panic propagates");
+        assert!(
+            b_done.load(Ordering::SeqCst),
+            "join unwound before b finished"
+        );
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! thread behind an [`AsyncIngest`], `apply` frames enqueue an epoch and
 //! return a [`Handled::Deferred`] marker the connection handler resolves
 //! via an [`ApplyWaiter`], and queries answer from the latest committed
-//! [`IngestSnapshot`] — so update frames keep getting acks while a
+//! [`IngestSnapshot`](mmd_core::IngestSnapshot) — so update frames keep
+//! getting acks while a
 //! re-solve is in flight. Determinism is unchanged: the engine thread
 //! still sequences batch *submission* in request-queue order, and the
 //! solver applies epochs strictly in that order, so every committed state
@@ -100,6 +101,9 @@ fn error_code(e: &IngestError) -> ErrorCode {
         | IngestError::InvalidBudget { .. } => ErrorCode::Invalid,
         IngestError::CostExceedsBudget { .. } => ErrorCode::Rejected,
         IngestError::Build(_) | IngestError::Solve(_) => ErrorCode::Internal,
+        // A deferred apply whose outcome aged out of the async retention
+        // window: the epoch was processed, only the record is gone.
+        IngestError::OutcomeExpired { .. } => ErrorCode::Unavailable,
     }
 }
 
