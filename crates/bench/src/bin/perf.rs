@@ -10,6 +10,7 @@
 //! perf [--ladder small|full|tiny] [--threads N] [--out BENCH_perf.json]
 //!      [--baseline bench/baseline.json] [--tolerance 0.30]
 //!      [--write-baseline bench/baseline.json] [--summary FILE]
+//! perf --web RUNG [--threads N] [--baseline ...] [--out ...]
 //! perf --trend DIR [--summary FILE]
 //! ```
 //!
@@ -17,6 +18,13 @@
 //! markdown — the file CI appends to the GitHub Actions step summary so
 //! the per-commit perf trajectory is readable without downloading
 //! artifacts.
+//!
+//! `--web RUNG` is the web-smoke mode: instead of the ladder, only the
+//! named web rung (e.g. `web-100k`) runs — compact-lane generation plus
+//! the two-level sharded solve at 1 vs `--threads` workers, with the
+//! in-harness bytes/user gate — and the report carries just those cells
+//! plus calibration. Against `--baseline` this gates the `web-*` wall
+//! times and nothing else (unmeasured cells are skipped).
 //!
 //! `--trend DIR` is a separate fast mode: no ladder runs. The directory is
 //! scanned for SHA-stamped `BENCH_perf.json` artifacts (one subdirectory
@@ -27,8 +35,10 @@
 //! Exit codes: 0 ok, 1 regression against the baseline, 2 usage error.
 
 use mmd_bench::outfile::ExpArgs;
-use mmd_bench::perf::{check_baseline, run_ladder, Ladder};
-use mmd_bench::trend::{load_trend_dir, trend_table};
+use mmd_bench::perf::{
+    check_baseline, run_ladder, run_web_only, web_rung_by_name, Ladder, PerfReport,
+};
+use mmd_bench::trend::{load_trend_dir_with_notes, trend_table};
 use serde_json::Value;
 
 fn fail_usage(msg: &str) -> ! {
@@ -44,12 +54,16 @@ fn main() {
         "tolerance",
         "summary",
         "trend",
+        "web",
     ]);
     if let Some(dir) = args.get("trend") {
-        let points = match load_trend_dir(std::path::Path::new(dir)) {
-            Ok(points) => points,
+        let (points, notes) = match load_trend_dir_with_notes(std::path::Path::new(dir)) {
+            Ok(loaded) => loaded,
             Err(e) => fail_usage(&e),
         };
+        for note in &notes {
+            eprintln!("perf trend: {note}");
+        }
         let table = trend_table(&points);
         print!("{table}");
         if let Some(path) = args.get("summary") {
@@ -60,10 +74,6 @@ fn main() {
         }
         return;
     }
-    let ladder = match Ladder::parse(args.get("ladder").unwrap_or("full")) {
-        Ok(l) => l,
-        Err(e) => fail_usage(&e),
-    };
     // 0 = all cores; the ladder itself raises the floor to 2 so the
     // speedup column exists even on a single-core host.
     let threads = args.threads();
@@ -73,10 +83,26 @@ fn main() {
         Some(Err(_)) => fail_usage("--tolerance takes a number"),
     };
 
-    eprintln!("perf: running {ladder:?} ladder at 1 vs {} threads", {
-        mmd_par::resolve(threads).max(2)
-    });
-    let report = run_ladder(ladder, threads);
+    let report: PerfReport = if let Some(name) = args.get("web") {
+        let Some(rung) = web_rung_by_name(name) else {
+            fail_usage(&format!("unknown web rung: {name} (e.g. web-100k)"));
+        };
+        eprintln!(
+            "perf: running web rung {name} ({} users) at 1 vs {} threads",
+            rung.users,
+            mmd_par::resolve(threads).max(2)
+        );
+        run_web_only(&rung, threads)
+    } else {
+        let ladder = match Ladder::parse(args.get("ladder").unwrap_or("full")) {
+            Ok(l) => l,
+            Err(e) => fail_usage(&e),
+        };
+        eprintln!("perf: running {ladder:?} ladder at 1 vs {} threads", {
+            mmd_par::resolve(threads).max(2)
+        });
+        run_ladder(ladder, threads)
+    };
     eprint!("{}", report.to_table());
 
     let out = args.get("out").unwrap_or("BENCH_perf.json");

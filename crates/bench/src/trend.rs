@@ -161,6 +161,20 @@ fn label_for(path: &Path) -> String {
 ///
 /// Returns `Err` only when `dir` itself cannot be read.
 pub fn load_trend_dir(dir: &Path) -> Result<Vec<TrendPoint>, String> {
+    load_trend_dir_with_notes(dir).map(|(points, _)| points)
+}
+
+/// [`load_trend_dir`], also returning one human-readable note per skipped
+/// artifact (unreadable file, malformed JSON, or a JSON value that is not
+/// an `mmd-bench-perf/1` report). Partial-but-valid reports are *not*
+/// skipped — missing sections simply leave their headline cells blank.
+/// The driver prints the notes so a corrupt artifact is visible in the CI
+/// log instead of silently shrinking the table.
+///
+/// # Errors
+///
+/// Returns `Err` only when `dir` itself cannot be read.
+pub fn load_trend_dir_with_notes(dir: &Path) -> Result<(Vec<TrendPoint>, Vec<String>), String> {
     let mut files: Vec<PathBuf> = Vec::new();
     let entries =
         std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
@@ -190,18 +204,31 @@ pub fn load_trend_dir(dir: &Path) -> Result<Vec<TrendPoint>, String> {
         .collect();
     dated.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
     let mut points = Vec::new();
+    let mut notes = Vec::new();
     for (_, label, path) in dated {
-        let Ok(text) = std::fs::read_to_string(&path) else {
-            continue;
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                notes.push(format!("skipped {label}: unreadable ({e})"));
+                continue;
+            }
         };
-        let Ok(value) = serde_json::from_str::<Value>(&text) else {
-            continue;
+        let value = match serde_json::from_str::<Value>(&text) {
+            Ok(value) => value,
+            Err(e) => {
+                notes.push(format!("skipped {label}: malformed JSON ({e})"));
+                continue;
+            }
         };
-        if let Some(point) = trend_point(&label, &value) {
-            points.push(point);
+        match trend_point(&label, &value) {
+            Some(point) => points.push(point),
+            None => notes.push(format!(
+                "skipped {label}: not an {} report",
+                crate::perf::REPORT_SCHEMA
+            )),
         }
     }
-    Ok(points)
+    Ok((points, notes))
 }
 
 /// Renders the trend table (markdown): one row per commit, one column per
@@ -311,5 +338,75 @@ mod tests {
         let value: Value = serde_json::from_str("{\"schema\": \"else\"}").unwrap();
         assert!(trend_point("x", &value).is_none());
         assert!(trend_table(&[]).contains("no prior"));
+    }
+
+    #[test]
+    fn missing_directory_is_the_only_fatal_case() {
+        let dir = scratch_dir("gone");
+        std::fs::remove_dir_all(&dir).unwrap();
+        let err = load_trend_dir_with_notes(&dir).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+        // An empty-but-present directory is fine: no points, no notes.
+        let dir = scratch_dir("empty");
+        let (points, notes) = load_trend_dir_with_notes(&dir).unwrap();
+        assert!(points.is_empty() && notes.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_foreign_artifacts_skip_with_a_note() {
+        let dir = scratch_dir("corrupt");
+        let good = run_ladder(Ladder::Tiny, 2);
+        let a = dir.join("bench-perf-aaaaaaaaa111111111");
+        let b = dir.join("bench-perf-bbbbbbbbb222222222");
+        let c = dir.join("bench-perf-ccccccccc333333333");
+        for sub in [&a, &b, &c] {
+            std::fs::create_dir_all(sub).unwrap();
+        }
+        std::fs::write(a.join("BENCH_perf.json"), good.to_json()).unwrap();
+        std::fs::write(b.join("BENCH_perf.json"), "{\"schema\": \"mmd-bench").unwrap();
+        std::fs::write(c.join("BENCH_perf.json"), "{\"schema\": \"foreign/9\"}").unwrap();
+        let (points, notes) = load_trend_dir_with_notes(&dir).unwrap();
+        assert_eq!(points.len(), 1, "only the valid report folds in");
+        assert_eq!(points[0].label, "aaaaaaaaa");
+        assert_eq!(notes.len(), 2, "{notes:?}");
+        assert!(
+            notes
+                .iter()
+                .any(|n| n.contains("bbbbbbbbb") && n.contains("malformed JSON")),
+            "{notes:?}"
+        );
+        assert!(
+            notes
+                .iter()
+                .any(|n| n.contains("ccccccccc") && n.contains("not an")),
+            "{notes:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_reports_leave_blank_cells_without_a_note() {
+        // Valid schema, but only one of the sections the headline cells
+        // read: the missing subsystems must render as blanks, never skip
+        // the artifact or note anything.
+        let dir = scratch_dir("partial");
+        let sub = dir.join("bench-perf-ddddddddd444444444");
+        std::fs::create_dir_all(&sub).unwrap();
+        let partial = r#"{
+            "schema": "mmd-bench-perf/1",
+            "results": [
+                {"rung": "s", "algo": "pipeline", "threads": 1, "wall_ms": 9.0}
+            ]
+        }"#;
+        std::fs::write(sub.join("BENCH_perf.json"), partial).unwrap();
+        let (points, notes) = load_trend_dir_with_notes(&dir).unwrap();
+        assert!(notes.is_empty(), "{notes:?}");
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].cells[0], Some(9.0));
+        assert!(points[0].cells[1..].iter().all(Option::is_none));
+        let table = trend_table(&points);
+        assert!(table.contains("9.0"), "{table}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

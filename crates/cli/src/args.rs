@@ -11,7 +11,8 @@ pub enum Command {
     /// `gen`: generate an instance to JSON.
     Gen {
         /// Family: `workload`, `unit-skew`, `tightness`, `small-streams`,
-        /// `hole`, `clustered`.
+        /// `hole`, `clustered`, `web`, `web-compact` (web with the
+        /// quantized compact instance lanes).
         kind: String,
         /// RNG seed.
         seed: u64,
@@ -54,6 +55,9 @@ pub enum Command {
         /// Target shard size in streams for the sharded pipeline
         /// (0 = solve monolithically; pipeline algorithm only).
         shard_size: usize,
+        /// Super-shards for the two-level sharded pipeline (0 or 1 =
+        /// single-level; requires --shard-size).
+        super_shards: usize,
     },
     /// `ingest`: replay a seeded churn trace through the incremental
     /// ingest engine.
@@ -135,13 +139,13 @@ pub const USAGE: &str = "\
 mmd-cli — video distribution under multiple constraints
 
 USAGE:
-  mmd-cli gen --kind <workload|unit-skew|tightness|small-streams|hole|clustered>
+  mmd-cli gen --kind <workload|unit-skew|tightness|small-streams|hole|clustered|web|web-compact>
               [--seed N] [--streams N] [--users N] [--measures N]
               [--user-measures N] [--alpha X] [--clusters N] [--out FILE]
   mmd-cli inspect --input FILE
   mmd-cli solve --input FILE [--algorithm pipeline|greedy|partial-enum|online|threshold|exact]
               [--no-fill] [--faithful] [--margin X] [--threads N]
-              [--shard-size N]
+              [--shard-size N] [--super-shards N]
   mmd-cli simulate --input FILE [--policy online|threshold|oracle]
               [--margin X] [--rate X] [--duration X] [--seed N] [--threads N]
   mmd-cli ingest --input FILE [--updates N] [--batch N] [--seed N]
@@ -156,6 +160,10 @@ USAGE:
   stream-audience connectivity into shards of at most N streams, shards
   are solved concurrently, and the shared budgets are reconciled; the
   report includes the certified optimality gap.
+  --super-shards K (with --shard-size) first splits the catalog into K
+  coarse super-shards, water-fills the budgets once across them, then
+  solves each with the single-level path: the two-level mode that keeps
+  partition + water-fill subquadratic at web scale (10^5-10^6 users).
   ingest generates a seeded churn trace (arrivals/departures, interest
   drift, budget changes) and applies it in batches through the incremental
   ingest engine, which re-solves only the dirty shards; every batch
@@ -261,6 +269,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 margin: get_num(&map, "margin", 1.0f64)?,
                 threads: get_num(&map, "threads", 1usize)?,
                 shard_size: get_num(&map, "shard-size", 0usize)?,
+                super_shards: get_num(&map, "super-shards", 0usize)?,
             })
         }
         "ingest" => {

@@ -71,11 +71,21 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             margin,
             threads,
             shard_size,
+            super_shards,
         } => {
             let instance = io::load(&input)?;
+            if super_shards > 1 && shard_size == 0 {
+                return Err("--super-shards requires --shard-size".into());
+            }
             if shard_size > 0 {
                 return solve_sharded_cmd(
-                    &instance, &algorithm, no_fill, faithful, threads, shard_size,
+                    &instance,
+                    &algorithm,
+                    no_fill,
+                    faithful,
+                    threads,
+                    shard_size,
+                    super_shards,
                 );
             }
             solve(&instance, &algorithm, no_fill, faithful, margin, threads)
@@ -247,6 +257,19 @@ fn generate(
             )
             .generate(seed)
         }
+        "web" => mmd_workload::WebConfig {
+            users,
+            streams,
+            ..mmd_workload::WebConfig::default()
+        }
+        .generate(seed),
+        "web-compact" => mmd_workload::WebConfig {
+            users,
+            streams,
+            ..mmd_workload::WebConfig::default()
+        }
+        .with_lane_mode(mmd_core::LaneMode::Compact)
+        .generate(seed),
         other => return Err(format!("unknown instance kind: {other}").into()),
     })
 }
@@ -385,6 +408,7 @@ fn solve_sharded_cmd(
     faithful: bool,
     threads: usize,
     shard_size: usize,
+    super_shards: usize,
 ) -> Result<String, Box<dyn Error>> {
     if algorithm != "pipeline" {
         return Err(
@@ -394,6 +418,7 @@ fn solve_sharded_cmd(
     let config = ShardConfig {
         max_streams: shard_size,
         threads,
+        super_shards,
         mmd: MmdConfig {
             residual_fill: !no_fill,
             faithful_output_transform: faithful,
@@ -403,7 +428,14 @@ fn solve_sharded_cmd(
     };
     let out = solve_sharded(instance, &config)?;
     let mut text = String::new();
-    let _ = writeln!(text, "algorithm: sharded pipeline (thm 1.1 per shard)");
+    if super_shards > 1 {
+        let _ = writeln!(
+            text,
+            "algorithm: two-level sharded pipeline ({super_shards} super-shards)"
+        );
+    } else {
+        let _ = writeln!(text, "algorithm: sharded pipeline (thm 1.1 per shard)");
+    }
     let _ = writeln!(text, "utility: {:.4}", out.utility);
     let _ = writeln!(
         text,
@@ -631,6 +663,8 @@ mod tests {
             "small-streams",
             "hole",
             "clustered",
+            "web",
+            "web-compact",
         ] {
             let path = tmpfile(&format!("{kind}.json"));
             let cmd = parse(&argv(&format!(
@@ -639,6 +673,30 @@ mod tests {
             .unwrap();
             run(cmd).unwrap_or_else(|e| panic!("{kind}: {e}"));
         }
+    }
+
+    #[test]
+    fn web_compact_roundtrips_through_two_level_solve() {
+        let path = tmpfile("web-compact-2lvl.json");
+        run(parse(&argv(&format!(
+            "gen --kind web-compact --seed 3 --streams 16 --users 60 --out {path}"
+        )))
+        .unwrap())
+        .unwrap();
+        let out = run(parse(&argv(&format!(
+            "solve --input {path} --shard-size 4 --super-shards 3 --threads 2"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(
+            out.contains("two-level sharded pipeline (3 super-shards)"),
+            "{out}"
+        );
+        assert!(out.contains("certified optimum in ["), "{out}");
+        // --super-shards without --shard-size is rejected.
+        let err = run(parse(&argv(&format!("solve --input {path} --super-shards 3"))).unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("requires --shard-size"), "{err}");
     }
 
     #[test]

@@ -128,23 +128,25 @@ pub fn residual_fill(instance: &Instance, assignment: &mut Assignment) {
      -> (f64, Takers) {
         let mut gain = 0.0;
         let mut takers = Vec::new();
-        let users = instance.audience_users(s);
-        let weights = instance.audience_weights(s);
-        for (&ui, &w) in users.iter().zip(weights) {
-            let u = crate::ids::UserId::new(ui as usize);
+        // Exact audience pairs: the fill's gains and taker utilities must
+        // stay exact in every lane mode (they feed the committed
+        // assignment, not the kernel's quantized view).
+        for &(u, w) in instance.audience(s) {
+            let ui = u.index();
             if assignment.contains(u, s) {
                 continue;
             }
-            let head = (caps[ui as usize] - user_raw[ui as usize]).max(0.0);
+            let head = (caps[ui] - user_raw[ui]).max(0.0);
             if head <= 0.0 {
                 continue;
             }
             let spec = instance.user(u);
             let interest = spec.interest(s).expect("audience implies interest");
-            let fits =
-                interest.loads().iter().enumerate().all(|(j, &k)| {
-                    num::approx_le(user_load[ui as usize][j] + k, spec.capacities()[j])
-                });
+            let fits = interest
+                .loads()
+                .iter()
+                .enumerate()
+                .all(|(j, &k)| num::approx_le(user_load[ui][j] + k, spec.capacities()[j]));
             if fits {
                 gain += w.min(head);
                 takers.push((u, w));

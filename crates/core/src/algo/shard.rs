@@ -78,6 +78,18 @@ pub struct ShardConfig {
     /// measures are never inflated, so exactly-decomposable instances stay
     /// bit-identical to the monolithic solve.
     pub budget_slack: f64,
+    /// Number of super-shards for two-level sharding (`0` or `1` disables
+    /// it — the default). With `k ≥ 2`, the catalog is first partitioned at
+    /// the coarse cap `⌈|S| / k⌉`, each finite budget is water-filled
+    /// *once* across the few super-shards, and every super-shard is then
+    /// solved by the standard single-level path at `max_streams`
+    /// granularity. The water-fill's refill loop is worst-case quadratic in
+    /// the number of parties, so splitting it across two levels
+    /// (`k` outer + `shards/k` inner parties instead of `shards`) is what
+    /// keeps partition + water-fill subquadratic at 10⁵–10⁶ users. The
+    /// certificate stays valid by the same Lemma 2.1 subadditivity, taken
+    /// at the super-shard level (see [`solve_sharded`]).
+    pub super_shards: usize,
 }
 
 impl Default for ShardConfig {
@@ -88,6 +100,7 @@ impl Default for ShardConfig {
             mmd: MmdConfig::default(),
             global_fill: true,
             budget_slack: 0.2,
+            super_shards: 0,
         }
     }
 }
@@ -99,6 +112,14 @@ impl ShardConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Enables two-level sharding with the given number of super-shards
+    /// (`0` or `1` keeps the single-level path).
+    #[must_use]
+    pub fn with_super_shards(mut self, super_shards: usize) -> Self {
+        self.super_shards = super_shards;
         self
     }
 }
@@ -456,7 +477,9 @@ pub(crate) fn build_shard_instance_with(
     name: &str,
     local_of: &dyn Fn(StreamId) -> Option<usize>,
 ) -> Instance {
-    let mut b = Instance::builder(name).server_budgets(budgets.to_vec());
+    let mut b = Instance::builder(name)
+        .server_budgets(budgets.to_vec())
+        .lane_mode(instance.lane_mode());
     for &s in &shard.streams {
         b.add_stream(instance.costs(s).to_vec());
     }
@@ -526,16 +549,17 @@ fn utility_upper_bound_with(
         cap_sum += total.min(spec.utility_cap());
     }
 
-    // Per-measure fractional knapsack over singleton utilities (a sweep
-    // over the CSR audience lanes against the contiguous cap lane).
+    // Per-measure fractional knapsack over singleton utilities. Iterates
+    // the exact audience pairs (not the kernel lanes) so the bound is
+    // computed from exact `f64` weights in every lane mode — certificates
+    // must never inherit quantization from the compact lanes.
     let caps = instance.user_caps();
     let singleton = |s: StreamId| -> f64 {
         instance
-            .audience_users(s)
+            .audience(s)
             .iter()
-            .zip(instance.audience_weights(s))
-            .filter(|&(&u, _)| user_in(UserId::new(u as usize)))
-            .map(|(&u, &w)| w.min(caps[u as usize]))
+            .filter(|&&(u, _)| user_in(u))
+            .map(|&(u, w)| w.min(caps[u.index()]))
             .sum()
     };
     let values: Vec<f64> = streams.iter().map(|&s| singleton(s)).collect();
@@ -669,6 +693,9 @@ pub fn solve_sharded(
     instance: &Instance,
     config: &ShardConfig,
 ) -> Result<ShardedOutcome, SolveError> {
+    if config.super_shards > 1 {
+        return solve_two_level(instance, config);
+    }
     let sharding = shard_instance(instance, config.max_streams);
     // One O(instance) pass for all per-shard membership lookups: the dense
     // local index of every stream within its own shard. Together with the
@@ -719,7 +746,12 @@ pub fn solve_sharded(
     }
 
     let utility = merged.utility(instance);
-    let upper_bound = shard_bounds.iter().sum::<f64>() + sharding.cut_mass;
+    // Compact lanes quantize only the coverage kernel; the bound terms are
+    // computed from the exact pairs, but folding the certified quantization
+    // error in keeps the bracket valid for any kernel-derived quantity too
+    // (0 in exact mode, so the default path is unchanged bit-for-bit).
+    let upper_bound =
+        shard_bounds.iter().sum::<f64>() + sharding.cut_mass + instance.quantization_error();
     // 0 when the upper bound is 0 (nothing can produce utility, so the
     // bracket is trivially tight) — and the `> 0` predicate plus the clamp
     // keep the fraction in [0, 1] and NaN-free even if a bound were ever
@@ -743,6 +775,117 @@ pub fn solve_sharded(
         largest_shard: sharding.largest_shard_streams(),
         cut_edges: sharding.cut.len(),
         cut_mass: sharding.cut_mass,
+        repaired_streams,
+    })
+}
+
+/// The two-level path of [`solve_sharded`] (`config.super_shards ≥ 2`):
+/// partition the catalog at the coarse cap `⌈|S| / super_shards⌉`,
+/// water-fill the budgets once across the super-shards, then solve each
+/// super-shard with the single-level pipeline at `max_streams` granularity
+/// and merge globally (repair + optional global fill), exactly like the
+/// single level does for its shards.
+///
+/// Certificate: the upper bound is `Σ_k ub(super_k) + super_cut_mass`,
+/// where every `ub(super_k)` is [`shard_utility_bound`] against the FULL
+/// server budgets — the water-filled shares steer the solves only. This is
+/// the same Lemma 2.1 subadditivity argument as the single level, taken at
+/// the coarse partition: restricting OPT to a super-shard keeps it feasible
+/// for the full budgets, so the per-super-shard bounds (plus the mass of
+/// the interests the coarse partition cut) cover it. Inner certificates are
+/// *not* summed into the bound — budget-restricted inner bounds would not
+/// be valid for the full-budget optimum.
+fn solve_two_level(
+    instance: &Instance,
+    config: &ShardConfig,
+) -> Result<ShardedOutcome, SolveError> {
+    let ns = instance.num_streams();
+    // Never partition coarser than the inner cap asks for, or the inner
+    // level would have nothing left to split.
+    let super_cap = ns
+        .div_ceil(config.super_shards)
+        .max(config.max_streams.max(1));
+    let supering = shard_instance(instance, super_cap);
+    let mut local_of_stream = vec![0usize; ns];
+    for shard in &supering.shards {
+        for (li, &s) in shard.streams.iter().enumerate() {
+            local_of_stream[s.index()] = li;
+        }
+    }
+    // Both the water-fill weights AND the certificate terms (full budgets).
+    let super_bounds: Vec<f64> = (0..supering.num_shards())
+        .map(|k| shard_utility_bound(instance, &supering, k))
+        .collect();
+    let budgets = split_budgets(instance, &supering, &super_bounds, config.budget_slack);
+    // One worker per super-shard; the inner solves run sequentially so the
+    // shard-level fan-out is not multiplied across levels.
+    let inner = ShardConfig {
+        super_shards: 0,
+        threads: 1,
+        ..*config
+    };
+    let pairs: Vec<(&Shard, &Vec<f64>)> = supering.shards.iter().zip(&budgets).collect();
+    let results: Vec<Result<ShardedOutcome, SolveError>> =
+        mmd_par::parallel_map(config.threads, &pairs, |k, &(shard, share)| {
+            let sub = build_shard_instance_with(
+                instance,
+                shard,
+                share,
+                &format!("{}#super{k}", instance.name()),
+                &|s| (supering.shard_of_stream[s.index()] == k).then(|| local_of_stream[s.index()]),
+            );
+            solve_sharded(&sub, &inner)
+        });
+
+    let mut merged = Assignment::for_instance(instance);
+    let mut num_shards = 0usize;
+    let mut largest_shard = 0usize;
+    let mut cut_edges = supering.cut.len();
+    let mut cut_mass = supering.cut_mass;
+    let mut repaired_streams = 0usize;
+    for (shard, result) in supering.shards.iter().zip(results) {
+        let out = result?;
+        num_shards += out.num_shards;
+        largest_shard = largest_shard.max(out.largest_shard);
+        cut_edges += out.cut_edges;
+        cut_mass += out.cut_mass;
+        repaired_streams += out.repaired_streams;
+        for (lu, &gu) in shard.users.iter().enumerate() {
+            for ls in out.assignment.streams_of(UserId::new(lu)) {
+                merged.assign(gu, shard.streams[ls.index()]);
+            }
+        }
+    }
+
+    repaired_streams += repair_budgets(instance, &mut merged);
+    if config.global_fill && merged.check_feasible(instance).is_ok() {
+        residual_fill(instance, &mut merged);
+    }
+
+    let utility = merged.utility(instance);
+    // Super-level certificate plus the compact-lane quantization margin
+    // (0 in exact mode), mirroring the single-level path.
+    let upper_bound =
+        super_bounds.iter().sum::<f64>() + supering.cut_mass + instance.quantization_error();
+    let gap_fraction = if upper_bound.is_finite() && upper_bound > 0.0 {
+        ((upper_bound - utility) / upper_bound).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    debug_assert!(
+        merged.check_feasible(instance).is_ok(),
+        "two-level output must be feasible: {:?}",
+        merged.check_feasible(instance)
+    );
+    Ok(ShardedOutcome {
+        assignment: merged,
+        utility,
+        upper_bound,
+        gap_fraction,
+        num_shards,
+        largest_shard,
+        cut_edges,
+        cut_mass,
         repaired_streams,
     })
 }
@@ -791,15 +934,12 @@ pub fn repair_budgets(instance: &Instance, assignment: &mut Assignment) -> usize
             }
             let mut loss = 0.0f64;
             let caps = instance.user_caps();
-            for (&ui, &w) in instance
-                .audience_users(s)
-                .iter()
-                .zip(instance.audience_weights(s))
-            {
-                let u = UserId::new(ui as usize);
+            // Exact audience pairs: repair decisions and their losses stay
+            // exact in every lane mode.
+            for &(u, w) in instance.audience(s) {
                 if assignment.contains(u, s) {
-                    let cap = caps[ui as usize];
-                    let r = raw[ui as usize];
+                    let cap = caps[u.index()];
+                    let r = raw[u.index()];
                     loss += r.min(cap) - (r - w).min(cap);
                 }
             }
@@ -1217,5 +1357,64 @@ mod tests {
         // Uncontended: slack must not inflate anything.
         let bd2 = split_budgets(&inst2, &sh2, &[0.0], 0.5);
         assert!(approx_eq(bd2[0][0], 4.0));
+    }
+
+    #[test]
+    fn two_level_matches_monolithic_on_disjoint_components() {
+        // Coarse cap 2 recovers exactly the two components, and the inner
+        // level re-solves each at component granularity, so the two-level
+        // result collapses to the single-level (and monolithic) one.
+        let inst = two_components();
+        let mono = solve_mmd(&inst, &MmdConfig::default()).unwrap();
+        for threads in [1usize, 2, 4] {
+            let cfg = ShardConfig::default()
+                .with_threads(threads)
+                .with_super_shards(2);
+            let out = solve_sharded(&inst, &cfg).unwrap();
+            assert_eq!(out.assignment, mono.assignment, "threads {threads}");
+            assert_eq!(out.utility.to_bits(), mono.utility.to_bits());
+            assert_eq!(out.num_shards, 2, "one inner shard per super-shard");
+            assert_eq!(out.cut_edges, 0);
+            assert!(out.utility <= out.upper_bound);
+        }
+    }
+
+    #[test]
+    fn two_level_stays_certified_under_contention() {
+        // 8 streams chained through shared users against a tight shared
+        // budget: the coarse partition cuts interests and the merge needs
+        // repair, but the certificate must still bracket and the result
+        // must be feasible and thread-count invariant.
+        let mut b = Instance::builder("2lvl").server_budgets(vec![12.0]);
+        let s: Vec<_> = (0..8)
+            .map(|i| b.add_stream(vec![2.0 + (i % 3) as f64]))
+            .collect();
+        let users: Vec<_> = (0..8).map(|_| b.add_user(9.0, vec![])).collect();
+        for i in 0..8 {
+            b.add_interest(users[i], s[i], 3.0 + i as f64 * 0.25, vec![])
+                .unwrap();
+            b.add_interest(users[i], s[(i + 1) % 8], 1.0 + i as f64 * 0.125, vec![])
+                .unwrap();
+        }
+        let inst = b.build().unwrap();
+        let cfg = ShardConfig {
+            max_streams: 2,
+            super_shards: 3,
+            ..ShardConfig::default()
+        };
+        let base = solve_sharded(&inst, &cfg).unwrap();
+        assert!(base.assignment.check_feasible(&inst).is_ok());
+        assert!(base.utility > 0.0);
+        assert!(base.utility <= base.upper_bound, "bracket must hold");
+        assert!((0.0..=1.0).contains(&base.gap_fraction));
+        // The super cut and the inner cuts are both accounted.
+        assert!(base.num_shards >= 3);
+        assert!(base.largest_shard <= 2);
+        for threads in [2usize, 4] {
+            let out = solve_sharded(&inst, &ShardConfig { threads, ..cfg }).unwrap();
+            assert_eq!(out.assignment, base.assignment, "threads {threads}");
+            assert_eq!(out.utility.to_bits(), base.utility.to_bits());
+            assert_eq!(out.upper_bound.to_bits(), base.upper_bound.to_bits());
+        }
     }
 }

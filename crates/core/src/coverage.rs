@@ -19,10 +19,17 @@
 //! ([`Instance::user_caps`]), and the state keeps flat `raw` / `headroom`
 //! arrays per user. `gain`, `add` and `remove` are branch-light linear
 //! sweeps over those lanes (one `min` and one gather per element), which
-//! autovectorize where the scalar pair-of-pointer-chases layout cannot. The
-//! old array-of-structs walk is preserved as [`ScalarCoverageState`] — the
-//! differential reference for the proptests and the perf ladder's
-//! coverage-kernel rung.
+//! autovectorize where the scalar pair-of-pointer-chases layout cannot, and
+//! stream the lanes block-wise ([`SWEEP_BLOCK`] elements at a time, same
+//! element order) so million-user audiences stay cache-resident per block.
+//! Under [`LaneMode::Compact`](crate::LaneMode) the sweeps read the
+//! quantized `f32` weight/cap lanes (widened per element): the kernel's
+//! value then tracks the *quantized* set function, which differs from the
+//! exact one by at most [`Instance::quantization_error`] — the margin the
+//! certificates fold into their upper bounds. The old array-of-structs walk
+//! is preserved as [`ScalarCoverageState`] — the differential reference for
+//! the proptests and the perf ladder's coverage-kernel rung (exact `f64`
+//! pairs in every mode).
 //!
 //! # Numerical hygiene
 //!
@@ -36,7 +43,7 @@
 //! operation history (`tests/proptest_invariants.rs` pins this).
 
 use crate::ids::{StreamId, UserId};
-use crate::instance::Instance;
+use crate::instance::{Instance, LaneMode};
 use crate::num::comp_add;
 use std::collections::BTreeSet;
 
@@ -47,10 +54,155 @@ use std::collections::BTreeSet;
 /// per mutation.
 pub const RESYNC_INTERVAL: u32 = 4096;
 
+/// Lane elements per block of the gain/add/remove sweeps. The sweeps
+/// stream the CSR lanes block-wise so one block of user indices, weights
+/// and the gathered `raw`/`headroom` cache lines stays resident together —
+/// at million-user audiences a single monolithic pass thrashes exactly the
+/// lines it is about to revisit. The blocked loops visit elements in the
+/// identical order as an unblocked pass, so exact-mode results are
+/// bit-identical.
+pub const SWEEP_BLOCK: usize = 4096;
+
 /// Headroom `max(0, W_u − raw_u)`; infinite caps stay infinite.
 #[inline]
 fn headroom_of(cap: f64, raw: f64) -> f64 {
     (cap - raw).max(0.0)
+}
+
+/// Block-wise uncompensated accumulate of one stream's weights into `raw`
+/// (the [`eval_set`] fast path). Generic over the weight lane so the same
+/// loop serves the exact `f64` and compact `f32` representations.
+#[inline]
+fn sweep_accumulate_plain<W: Copy + Into<f64>>(users: &[u32], weights: &[W], raw: &mut [f64]) {
+    for (ub, wb) in users.chunks(SWEEP_BLOCK).zip(weights.chunks(SWEEP_BLOCK)) {
+        for (&u, &w) in ub.iter().zip(wb) {
+            raw[u as usize] += w.into();
+        }
+    }
+}
+
+/// Block-wise `Σ min(w, headroom)` — the [`CoverageState::gain`] sweep.
+#[inline]
+fn sweep_gain<W: Copy + Into<f64>>(users: &[u32], weights: &[W], headroom: &[f64]) -> f64 {
+    let mut g = 0.0;
+    for (ub, wb) in users.chunks(SWEEP_BLOCK).zip(weights.chunks(SWEEP_BLOCK)) {
+        for (&u, &w) in ub.iter().zip(wb) {
+            g += w.into().min(headroom[u as usize]);
+        }
+    }
+    g
+}
+
+/// Block-wise add of one stream: updates `raw`/`headroom` and returns the
+/// compensated realized gain `(g, gc)`.
+#[inline]
+fn sweep_add<W: Copy + Into<f64>, C: Copy + Into<f64>>(
+    users: &[u32],
+    weights: &[W],
+    caps: &[C],
+    raw: &mut [f64],
+    raw_comp: &mut [f64],
+    headroom: &mut [f64],
+) -> (f64, f64) {
+    // The realized gain is itself a mixed-magnitude sum (one audience can
+    // span many orders of magnitude), so it gets its own compensation term.
+    let mut g = 0.0;
+    let mut gc = 0.0;
+    for (ub, wb) in users.chunks(SWEEP_BLOCK).zip(weights.chunks(SWEEP_BLOCK)) {
+        for (&u, &w) in ub.iter().zip(wb) {
+            let ui = u as usize;
+            let w: f64 = w.into();
+            comp_add(&mut g, &mut gc, w.min(headroom[ui]));
+            comp_add(&mut raw[ui], &mut raw_comp[ui], w);
+            headroom[ui] = headroom_of(caps[ui].into(), raw[ui] + raw_comp[ui]);
+        }
+    }
+    (g, gc)
+}
+
+/// Block-wise remove of one stream: updates `raw`/`headroom` and returns
+/// the compensated covered-utility delta `(d, dc)`.
+#[inline]
+fn sweep_remove<W: Copy + Into<f64>, C: Copy + Into<f64>>(
+    users: &[u32],
+    weights: &[W],
+    caps: &[C],
+    raw: &mut [f64],
+    raw_comp: &mut [f64],
+    headroom: &mut [f64],
+) -> (f64, f64) {
+    let mut d = 0.0;
+    let mut dc = 0.0;
+    for (ub, wb) in users.chunks(SWEEP_BLOCK).zip(weights.chunks(SWEEP_BLOCK)) {
+        for (&u, &w) in ub.iter().zip(wb) {
+            let ui = u as usize;
+            let w: f64 = w.into();
+            let cap: f64 = caps[ui].into();
+            // Case-split on the cap instead of evaluating
+            // `min(before, cap) − min(after, cap)` on collapsed sums: next
+            // to a huge raw utility that difference would quantize at
+            // `ulp(raw)` and re-introduce exactly the drift the
+            // compensation lanes exist to prevent.
+            let head_before = headroom[ui];
+            comp_add(&mut raw[ui], &mut raw_comp[ui], -w);
+            let after = raw[ui] + raw_comp[ui];
+            let head_after = headroom_of(cap, after);
+            if head_before > 0.0 {
+                // Below the cap before (hence also after): the covered
+                // contribution shrinks by exactly `w`.
+                comp_add(&mut d, &mut dc, w);
+            } else if head_after > 0.0 {
+                // Crossed the cap downward: from `cap` to `after` — and
+                // `after < cap`, so the evaluation is at small magnitude.
+                comp_add(&mut d, &mut dc, cap - after);
+            }
+            headroom[ui] = head_after;
+        }
+    }
+    (d, dc)
+}
+
+/// Block-wise compensated accumulate (the resync path).
+#[inline]
+fn sweep_accumulate<W: Copy + Into<f64>>(
+    users: &[u32],
+    weights: &[W],
+    raw: &mut [f64],
+    raw_comp: &mut [f64],
+) {
+    for (ub, wb) in users.chunks(SWEEP_BLOCK).zip(weights.chunks(SWEEP_BLOCK)) {
+        for (&u, &w) in ub.iter().zip(wb) {
+            let ui = u as usize;
+            comp_add(&mut raw[ui], &mut raw_comp[ui], w.into());
+        }
+    }
+}
+
+/// Folds the re-derived raw sums against the cap lane: refreshes
+/// `headroom` and returns the compensated `(value, value_comp)`.
+#[inline]
+fn resync_fold<C: Copy + Into<f64>>(
+    raw: &[f64],
+    raw_comp: &[f64],
+    caps: &[C],
+    headroom: &mut [f64],
+) -> (f64, f64) {
+    let mut value = 0.0;
+    let mut value_comp = 0.0;
+    let lanes = raw.iter().zip(raw_comp).zip(caps);
+    for (((&r, &rc), &cap), head) in lanes.zip(headroom) {
+        *head = headroom_of(cap.into(), r + rc);
+        if *head > 0.0 {
+            // Below the cap: feed the primary sum and its compensation
+            // separately, so a huge raw utility cannot swallow the
+            // compensation bits in the collapsed effective sum.
+            comp_add(&mut value, &mut value_comp, r);
+            comp_add(&mut value, &mut value_comp, rc);
+        } else {
+            comp_add(&mut value, &mut value_comp, cap.into());
+        }
+    }
+    (value, value_comp)
 }
 
 /// Evaluates `w(T) = Σ_u min(W_u, Σ_{S ∈ T} w_u(S))` for a stream set `T`.
@@ -77,18 +229,28 @@ fn headroom_of(cap: f64, raw: f64) -> f64 {
 pub fn eval_set(instance: &Instance, set: &BTreeSet<StreamId>) -> f64 {
     let mut raw = vec![0.0f64; instance.num_users()];
     for &s in set {
-        for (&u, &w) in instance
-            .audience_users(s)
-            .iter()
-            .zip(instance.audience_weights(s))
-        {
-            raw[u as usize] += w;
+        let users = instance.audience_users(s);
+        match instance.lane_mode() {
+            LaneMode::Exact => {
+                sweep_accumulate_plain(users, instance.audience_weights(s), &mut raw);
+            }
+            LaneMode::Compact => {
+                sweep_accumulate_plain(users, instance.audience_weights_f32(s), &mut raw);
+            }
         }
     }
-    raw.iter()
-        .zip(instance.user_caps())
-        .map(|(&r, &cap)| r.min(cap))
-        .sum()
+    match instance.lane_mode() {
+        LaneMode::Exact => raw
+            .iter()
+            .zip(instance.user_caps())
+            .map(|(&r, &cap)| r.min(cap))
+            .sum(),
+        LaneMode::Compact => raw
+            .iter()
+            .zip(instance.user_caps_f32())
+            .map(|(&r, &cap)| r.min(f64::from(cap)))
+            .sum(),
+    }
 }
 
 /// Incremental evaluator for `w(T)` supporting `O(|audience(S)|)` marginal
@@ -146,11 +308,19 @@ impl<'a> CoverageState<'a> {
     /// Starts from the empty stream set.
     pub fn new(instance: &'a Instance) -> Self {
         let n = instance.num_users();
+        let headroom = match instance.lane_mode() {
+            LaneMode::Exact => instance.user_caps().to_vec(),
+            LaneMode::Compact => instance
+                .user_caps_f32()
+                .iter()
+                .map(|&c| f64::from(c))
+                .collect(),
+        };
         CoverageState {
             instance,
             raw: vec![0.0; n],
             raw_comp: vec![0.0; n],
-            headroom: instance.user_caps().to_vec(),
+            headroom,
             value: 0.0,
             value_comp: 0.0,
             ops_since_sync: 0,
@@ -202,12 +372,18 @@ impl<'a> CoverageState<'a> {
             return 0.0;
         }
         let users = self.instance.audience_users(stream);
-        let weights = self.instance.audience_weights(stream);
-        let mut g = 0.0;
-        for (&u, &w) in users.iter().zip(weights) {
-            g += w.min(self.headroom[u as usize]);
+        match self.instance.lane_mode() {
+            LaneMode::Exact => sweep_gain(
+                users,
+                self.instance.audience_weights(stream),
+                &self.headroom,
+            ),
+            LaneMode::Compact => sweep_gain(
+                users,
+                self.instance.audience_weights_f32(stream),
+                &self.headroom,
+            ),
         }
-        g
     }
 
     /// Adds a stream to `T`, returning the realized marginal gain.
@@ -217,19 +393,24 @@ impl<'a> CoverageState<'a> {
         }
         self.in_set[stream.index()] = true;
         let users = self.instance.audience_users(stream);
-        let weights = self.instance.audience_weights(stream);
-        let caps = self.instance.user_caps();
-        // The realized gain is itself a mixed-magnitude sum (one audience
-        // can span many orders of magnitude), so it gets its own
-        // compensation term.
-        let mut g = 0.0;
-        let mut gc = 0.0;
-        for (&u, &w) in users.iter().zip(weights) {
-            let ui = u as usize;
-            comp_add(&mut g, &mut gc, w.min(self.headroom[ui]));
-            comp_add(&mut self.raw[ui], &mut self.raw_comp[ui], w);
-            self.headroom[ui] = headroom_of(caps[ui], self.raw[ui] + self.raw_comp[ui]);
-        }
+        let (g, gc) = match self.instance.lane_mode() {
+            LaneMode::Exact => sweep_add(
+                users,
+                self.instance.audience_weights(stream),
+                self.instance.user_caps(),
+                &mut self.raw,
+                &mut self.raw_comp,
+                &mut self.headroom,
+            ),
+            LaneMode::Compact => sweep_add(
+                users,
+                self.instance.audience_weights_f32(stream),
+                self.instance.user_caps_f32(),
+                &mut self.raw,
+                &mut self.raw_comp,
+                &mut self.headroom,
+            ),
+        };
         comp_add(&mut self.value, &mut self.value_comp, g);
         comp_add(&mut self.value, &mut self.value_comp, gc);
         self.tick();
@@ -245,33 +426,24 @@ impl<'a> CoverageState<'a> {
         }
         self.in_set[stream.index()] = false;
         let users = self.instance.audience_users(stream);
-        let weights = self.instance.audience_weights(stream);
-        let caps = self.instance.user_caps();
-        let mut d = 0.0;
-        let mut dc = 0.0;
-        for (&u, &w) in users.iter().zip(weights) {
-            let ui = u as usize;
-            let cap = caps[ui];
-            // Case-split on the cap instead of evaluating
-            // `min(before, cap) − min(after, cap)` on collapsed sums: next
-            // to a huge raw utility that difference would quantize at
-            // `ulp(raw)` and re-introduce exactly the drift the
-            // compensation lanes exist to prevent.
-            let head_before = self.headroom[ui];
-            comp_add(&mut self.raw[ui], &mut self.raw_comp[ui], -w);
-            let after = self.raw[ui] + self.raw_comp[ui];
-            let head_after = headroom_of(cap, after);
-            if head_before > 0.0 {
-                // Below the cap before (hence also after): the covered
-                // contribution shrinks by exactly `w`.
-                comp_add(&mut d, &mut dc, w);
-            } else if head_after > 0.0 {
-                // Crossed the cap downward: from `cap` to `after` — and
-                // `after < cap`, so the evaluation is at small magnitude.
-                comp_add(&mut d, &mut dc, cap - after);
-            }
-            self.headroom[ui] = head_after;
-        }
+        let (d, dc) = match self.instance.lane_mode() {
+            LaneMode::Exact => sweep_remove(
+                users,
+                self.instance.audience_weights(stream),
+                self.instance.user_caps(),
+                &mut self.raw,
+                &mut self.raw_comp,
+                &mut self.headroom,
+            ),
+            LaneMode::Compact => sweep_remove(
+                users,
+                self.instance.audience_weights_f32(stream),
+                self.instance.user_caps_f32(),
+                &mut self.raw,
+                &mut self.raw_comp,
+                &mut self.headroom,
+            ),
+        };
         comp_add(&mut self.value, &mut self.value_comp, -d);
         comp_add(&mut self.value, &mut self.value_comp, -dc);
         self.tick();
@@ -290,32 +462,36 @@ impl<'a> CoverageState<'a> {
         self.raw.fill(0.0);
         self.raw_comp.fill(0.0);
         for &s in &self.set {
-            for (&u, &w) in self
-                .instance
-                .audience_users(s)
-                .iter()
-                .zip(self.instance.audience_weights(s))
-            {
-                let ui = u as usize;
-                comp_add(&mut self.raw[ui], &mut self.raw_comp[ui], w);
+            let users = self.instance.audience_users(s);
+            match self.instance.lane_mode() {
+                LaneMode::Exact => sweep_accumulate(
+                    users,
+                    self.instance.audience_weights(s),
+                    &mut self.raw,
+                    &mut self.raw_comp,
+                ),
+                LaneMode::Compact => sweep_accumulate(
+                    users,
+                    self.instance.audience_weights_f32(s),
+                    &mut self.raw,
+                    &mut self.raw_comp,
+                ),
             }
         }
-        let caps = self.instance.user_caps();
-        let mut value = 0.0;
-        let mut value_comp = 0.0;
-        let lanes = self.raw.iter().zip(&self.raw_comp).zip(caps);
-        for (((&r, &rc), &cap), head) in lanes.zip(&mut self.headroom) {
-            *head = headroom_of(cap, r + rc);
-            if *head > 0.0 {
-                // Below the cap: feed the primary sum and its compensation
-                // separately, so a huge raw utility cannot swallow the
-                // compensation bits in the collapsed effective sum.
-                comp_add(&mut value, &mut value_comp, r);
-                comp_add(&mut value, &mut value_comp, rc);
-            } else {
-                comp_add(&mut value, &mut value_comp, cap);
-            }
-        }
+        let (value, value_comp) = match self.instance.lane_mode() {
+            LaneMode::Exact => resync_fold(
+                &self.raw,
+                &self.raw_comp,
+                self.instance.user_caps(),
+                &mut self.headroom,
+            ),
+            LaneMode::Compact => resync_fold(
+                &self.raw,
+                &self.raw_comp,
+                self.instance.user_caps_f32(),
+                &mut self.headroom,
+            ),
+        };
         self.value = value;
         self.value_comp = value_comp;
         self.ops_since_sync = 0;
@@ -586,6 +762,41 @@ mod tests {
             for u in inst.users() {
                 assert!(approx_eq(soa.user_raw(u), scalar.user_raw(u)));
             }
+        }
+    }
+
+    #[test]
+    fn compact_kernel_tracks_exact_within_quantization_error() {
+        use crate::instance::LaneMode;
+        // Weights chosen to be inexact in f32 so the quantization error is
+        // strictly positive and actually exercised.
+        let mut b = Instance::builder("cq").server_budgets(vec![100.0]);
+        let s0 = b.add_stream(vec![1.0]);
+        let s1 = b.add_stream(vec![1.0]);
+        let u0 = b.add_user(0.4, vec![]);
+        let u1 = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u0, s0, 0.3, vec![]).unwrap();
+        b.add_interest(u0, s1, 0.3, vec![]).unwrap();
+        b.add_interest(u1, s0, 0.7, vec![]).unwrap();
+        let compact = b.lane_mode(LaneMode::Compact).build().unwrap();
+        let exact = compact.with_lane_mode(LaneMode::Exact).unwrap();
+        let e = compact.quantization_error();
+        assert!(e > 0.0 && e < 1e-6);
+
+        let mut cq = CoverageState::new(&compact);
+        let mut cx = CoverageState::new(&exact);
+        for s in [sid(0), sid(1), sid(0), sid(1)] {
+            assert!((cq.gain(s) - cx.gain(s)).abs() <= e);
+            if cq.set().contains(&s) {
+                cq.remove(s);
+                cx.remove(s);
+            } else {
+                cq.add(s);
+                cx.add(s);
+            }
+            assert!((cq.value() - cx.value()).abs() <= e, "after {s}");
+            // The incremental compact value matches its own eval_set view.
+            assert!(approx_eq(cq.value(), eval_set(&compact, cq.set())));
         }
     }
 

@@ -51,6 +51,18 @@ pub enum BuildError {
         /// The offending value.
         value: f64,
     },
+    /// A count or index on the CSR lane build path does not fit the `u32`
+    /// lane representation (offsets and user indices are stored as `u32`).
+    /// Raised by every construction path that rebuilds the lanes — the
+    /// builder, deserialization, and ingest-grown instances.
+    TooLarge {
+        /// What overflowed, e.g. `"interest count"`.
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+        /// The lane representation's limit (`u32::MAX`).
+        limit: usize,
+    },
     /// `add_interest` referenced a stream id that was never added.
     UnknownStream(StreamId),
     /// `add_interest` referenced a user id that was never added.
@@ -101,6 +113,10 @@ impl fmt::Display for BuildError {
                     "invalid {what}: {value} (must be a nonnegative finite number)"
                 )
             }
+            BuildError::TooLarge { what, value, limit } => write!(
+                f,
+                "{what} {value} exceeds the u32 audience-lane limit {limit}"
+            ),
             BuildError::UnknownStream(s) => write!(f, "unknown stream {s}"),
             BuildError::UnknownUser(u) => write!(f, "unknown user {u}"),
             BuildError::DuplicateInterest { user, stream } => {
@@ -279,5 +295,18 @@ mod tests {
         assert!(msg.contains("S5"));
         assert!(msg.contains('9'));
         assert!(msg.contains('4'));
+    }
+
+    #[test]
+    fn too_large_mentions_value_and_limit() {
+        let e = BuildError::TooLarge {
+            what: "interest count",
+            value: 4_294_967_296,
+            limit: u32::MAX as usize,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("interest count"));
+        assert!(msg.contains("4294967296"));
+        assert!(msg.contains("4294967295"));
     }
 }

@@ -84,8 +84,8 @@ use crate::algo::batch::solve_batch;
 use crate::algo::online::{OfferOutcome, OnlineAllocator, OnlineConfig};
 use crate::algo::reduction::residual_fill;
 use crate::algo::shard::{
-    build_shard_instance_with, repair_budgets, shard_instance, shard_utility_bound, split_budgets,
-    ShardConfig,
+    build_shard_instance_with, repair_budgets, shard_instance, shard_utility_bound, solve_sharded,
+    split_budgets, ShardConfig,
 };
 use crate::assignment::Assignment;
 use crate::error::{BuildError, SolveError};
@@ -991,6 +991,14 @@ impl IngestEngine {
         touched: Touched,
         updates_applied: usize,
     ) -> Result<IngestOutcome, IngestError> {
+        // Two-level mode delegates every apply to a from-scratch
+        // [`solve_sharded`]: the coarse partition reshuffles globally under
+        // churn, so there is no stable shard unit for the incremental cache
+        // to reuse. Delegation keeps the bit-equivalence contract trivially
+        // and is counted as a full resolve.
+        if self.config.shard.super_shards > 1 {
+            return self.resolve_two_level(updates_applied);
+        }
         let threads = self.config.shard.threads;
         let current = self.model.materialize(&self.base)?;
         let fresh = shard_instance(&current, self.config.shard.max_streams);
@@ -1046,7 +1054,9 @@ impl IngestEngine {
         let dirty_shards = dirty.iter().filter(|&&d| d).count();
 
         let cut_mass = fresh.cut_mass;
-        let upper_bound = bounds.iter().sum::<f64>() + cut_mass;
+        // Mirrors solve_sharded: the compact-lane quantization margin is
+        // part of the certificate (0 in exact mode).
+        let upper_bound = bounds.iter().sum::<f64>() + cut_mass + current.quantization_error();
         let dirty_fraction = if n > 0 {
             dirty_shards as f64 / n as f64
         } else {
@@ -1148,6 +1158,35 @@ impl IngestEngine {
         };
         self.current = current;
         self.assignment = merged;
+        self.last = outcome;
+        Ok(outcome)
+    }
+
+    /// The two-level resolve: one [`solve_sharded`] of the materialized
+    /// instance per apply (see [`Self::resolve`] for why the incremental
+    /// cache is bypassed). The shard cache is cleared so a later switch
+    /// back to single-level mode starts from a cold, consistent state.
+    fn resolve_two_level(&mut self, updates_applied: usize) -> Result<IngestOutcome, IngestError> {
+        let current = self.model.materialize(&self.base)?;
+        let out = solve_sharded(&current, &self.config.shard).map_err(IngestError::Solve)?;
+        self.cache.clear();
+        self.cached_shard_of_stream.clear();
+        self.cached_shard_of_user.clear();
+        let outcome = IngestOutcome {
+            updates_applied,
+            num_shards: out.num_shards,
+            dirty_shards: out.num_shards,
+            resolved_shards: out.num_shards,
+            full_resolve: true,
+            utility: out.utility,
+            upper_bound: out.upper_bound,
+            gap_fraction: out.gap_fraction,
+            cut_edges: out.cut_edges,
+            cut_mass: out.cut_mass,
+            repaired_streams: out.repaired_streams,
+        };
+        self.current = current;
+        self.assignment = out.assignment;
         self.last = outcome;
         Ok(outcome)
     }
@@ -1330,6 +1369,28 @@ mod tests {
         let eng = engine(three_components());
         assert_eq!(eng.last_outcome().num_shards, 3);
         assert!(eng.last_outcome().utility > 0.0);
+        assert_matches_scratch(&eng);
+    }
+
+    #[test]
+    fn two_level_mode_delegates_every_apply() {
+        let config = IngestConfig {
+            shard: ShardConfig::default().with_super_shards(2),
+            ..IngestConfig::default()
+        };
+        let mut eng = IngestEngine::new(three_components(), config).unwrap();
+        assert_matches_scratch(&eng);
+        eng.push(Update::StreamDeparture(sid(0))).unwrap();
+        let out = eng.apply().unwrap();
+        // No incremental cache in two-level mode: every apply is a full,
+        // from-scratch two-level resolve.
+        assert!(out.full_resolve);
+        assert_eq!(out.dirty_shards, out.num_shards);
+        assert_eq!(out.resolved_shards, out.num_shards);
+        assert!(!eng.assignment().in_range(sid(0)));
+        assert_matches_scratch(&eng);
+        eng.push(Update::StreamArrival(sid(0))).unwrap();
+        eng.apply().unwrap();
         assert_matches_scratch(&eng);
     }
 

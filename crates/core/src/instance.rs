@@ -99,53 +99,121 @@ pub struct InstanceStats {
     pub input_length: usize,
 }
 
+/// The representation of the derived CSR audience/cap lanes.
+///
+/// [`Exact`](LaneMode::Exact) (the default) stores `f64` weight and cap
+/// lanes: every kernel sweep reads the same bits the model was built with.
+/// [`Compact`](LaneMode::Compact) stores `f32` weight and cap lanes
+/// instead — half the hot-loop bytes per interest, sized for 10⁵–10⁶-user
+/// catalogs — and records the total quantization mass
+/// `Σ |w − f64(f32(w))|` per stream plus the cap rounding, available as
+/// [`Instance::quantization_error`] so certificates can widen their upper
+/// bound by it and stay valid. The primary model (interests, audiences,
+/// caps) stays `f64` in both modes, so exact recomputations
+/// ([`crate::Assignment::utility`], the shard bounds) are unaffected by the
+/// mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LaneMode {
+    /// Bit-exact `f64` lanes (the default).
+    #[default]
+    Exact,
+    /// Quantized `f32` weight/cap lanes with a certified error bound.
+    Compact,
+}
+
+/// The `u32` ceiling on lane offsets and user indices.
+const LANE_LIMIT: usize = u32::MAX as usize;
+
+/// Checked `usize → u32` conversion for the CSR lane build path: every
+/// narrowing on that path funnels through here so an oversized instance
+/// surfaces [`BuildError::TooLarge`] instead of silently wrapping. Covers
+/// the builder, deserialize-then-rebuild, and ingest-grown instances alike
+/// (they all rebuild through [`AudienceLanes::build`]).
+fn lane_index(what: &'static str, value: usize) -> Result<u32, BuildError> {
+    u32::try_from(value).map_err(|_| BuildError::TooLarge {
+        what,
+        value,
+        limit: LANE_LIMIT,
+    })
+}
+
 /// Struct-of-arrays (CSR) view of the per-stream audiences: one contiguous
-/// `u32` user-index lane and one contiguous `f64` weight lane, with row
-/// pointers per stream. This is the memory layout the coverage kernel's
-/// inner loops sweep (see [`crate::coverage`]): the scalar layout pays two
-/// pointer chases per audience element (`Vec<Vec<(UserId, f64)>>` plus a
-/// [`UserSpec`] lookup for the cap), the lanes pay none.
+/// `u32` user-index lane and one contiguous weight lane (`f64` or quantized
+/// `f32` depending on [`LaneMode`]), with row pointers per stream. This is
+/// the memory layout the coverage kernel's inner loops sweep (see
+/// [`crate::coverage`]): the scalar layout pays two pointer chases per
+/// audience element (`Vec<Vec<(UserId, f64)>>` plus a [`UserSpec`] lookup
+/// for the cap), the lanes pay none.
 #[derive(Clone, Debug, PartialEq, Default)]
 struct AudienceLanes {
     /// CSR row pointers, length `num_streams + 1`.
     offsets: Vec<u32>,
     /// User indices, concatenated per stream in ascending user order.
     users: Vec<u32>,
-    /// Utilities `w_u(S)`, parallel to `users`.
+    /// Utilities `w_u(S)`, parallel to `users` (exact mode; empty in
+    /// compact mode).
     weights: Vec<f64>,
+    /// Quantized utilities, parallel to `users` (compact mode; empty in
+    /// exact mode).
+    weights32: Vec<f32>,
+    /// Per-stream quantization mass `Σ_u |w_u(S) − f64(f32(w_u(S)))|`
+    /// (compact mode; empty in exact mode).
+    stream_err: Vec<f64>,
+    /// Which weight lane is populated.
+    mode: LaneMode,
 }
 
 impl AudienceLanes {
     /// Builds the lanes. Errors (instead of panicking — the construction
-    /// paths are fallible) when the interest count or a user index exceeds
-    /// the `u32` lane limit; user indices are bounded by the interest
-    /// count's predecessor, so the single total check covers both.
+    /// paths are fallible) when the interest count, the user count, or any
+    /// individual offset/user index exceeds the `u32` lane limit.
     fn build(
         audiences: &[Vec<(UserId, f64)>],
         num_users: usize,
+        mode: LaneMode,
     ) -> Result<AudienceLanes, BuildError> {
         let total: usize = audiences.iter().map(Vec::len).sum();
-        if u32::try_from(total).is_err() || u32::try_from(num_users).is_err() {
-            return Err(BuildError::InvalidValue {
-                what: "interest or user count (exceeds the u32 audience-lane limit)",
-                value: total.max(num_users) as f64,
-            });
-        }
+        lane_index("interest count", total)?;
+        lane_index("user count", num_users)?;
         let mut offsets = Vec::with_capacity(audiences.len() + 1);
         let mut users = Vec::with_capacity(total);
-        let mut weights = Vec::with_capacity(total);
+        let mut weights = Vec::new();
+        let mut weights32 = Vec::new();
+        let mut stream_err = Vec::new();
+        match mode {
+            LaneMode::Exact => weights.reserve_exact(total),
+            LaneMode::Compact => {
+                weights32.reserve_exact(total);
+                stream_err.reserve_exact(audiences.len());
+            }
+        }
         offsets.push(0u32);
         for audience in audiences {
+            let mut err = 0.0f64;
+            let mut err_c = 0.0f64;
             for &(u, w) in audience {
-                users.push(u.index() as u32);
-                weights.push(w);
+                users.push(lane_index("user index", u.index())?);
+                match mode {
+                    LaneMode::Exact => weights.push(w),
+                    LaneMode::Compact => {
+                        let q = w as f32;
+                        num::comp_add(&mut err, &mut err_c, (w - f64::from(q)).abs());
+                        weights32.push(q);
+                    }
+                }
             }
-            offsets.push(users.len() as u32);
+            offsets.push(lane_index("lane offset", users.len())?);
+            if mode == LaneMode::Compact {
+                stream_err.push(err + err_c);
+            }
         }
         Ok(AudienceLanes {
             offsets,
             users,
             weights,
+            weights32,
+            stream_err,
+            mode,
         })
     }
 
@@ -153,6 +221,15 @@ impl AudienceLanes {
         let lo = self.offsets[stream.index()] as usize;
         let hi = self.offsets[stream.index() + 1] as usize;
         lo..hi
+    }
+
+    /// Heap bytes held by the lanes themselves.
+    fn bytes(&self) -> usize {
+        self.offsets.len() * 4
+            + self.users.len() * 4
+            + self.weights.len() * 8
+            + self.weights32.len() * 4
+            + self.stream_err.len() * 8
     }
 }
 
@@ -174,7 +251,47 @@ pub struct Instance {
     lanes: AudienceLanes,
     /// Contiguous lane of `W_u` utility caps (derived from `users`).
     user_caps: Vec<f64>,
+    /// Quantized cap lane (compact mode; empty in exact mode).
+    user_caps32: Vec<f32>,
+    /// Total quantization mass of the `f32` lanes (0 in exact mode): the
+    /// certified amount by which any lane-derived quantity can differ from
+    /// its exact counterpart. See [`Instance::quantization_error`].
+    quant_error: f64,
     dropped_interests: usize,
+}
+
+/// Derives every lane from the primary model: the CSR audience lanes, the
+/// exact cap lane, and — in compact mode — the quantized cap lane plus the
+/// total quantization error (weights and caps, compensated accumulation,
+/// inflated by a few ULPs so the accumulation's own rounding can never
+/// under-report the bound).
+fn derive_lanes(
+    audiences: &[Vec<(UserId, f64)>],
+    users: &[UserSpec],
+    mode: LaneMode,
+) -> Result<(AudienceLanes, Vec<f64>, Vec<f32>, f64), BuildError> {
+    let lanes = AudienceLanes::build(audiences, users.len(), mode)?;
+    let user_caps: Vec<f64> = users.iter().map(|u| u.utility_cap).collect();
+    let (user_caps32, quant_error) = match mode {
+        LaneMode::Exact => (Vec::new(), 0.0),
+        LaneMode::Compact => {
+            let caps32: Vec<f32> = user_caps.iter().map(|&c| c as f32).collect();
+            let mut e = 0.0f64;
+            let mut ec = 0.0f64;
+            for &werr in &lanes.stream_err {
+                num::comp_add(&mut e, &mut ec, werr);
+            }
+            for (&c, &q) in user_caps.iter().zip(&caps32) {
+                // Infinite caps quantize to infinite caps: no error (and no
+                // `inf − inf = NaN`).
+                if c.is_finite() {
+                    num::comp_add(&mut e, &mut ec, (c - f64::from(q)).abs());
+                }
+            }
+            (caps32, (e + ec) * (1.0 + 4.0 * f64::EPSILON))
+        }
+    };
+    Ok((lanes, user_caps, user_caps32, quant_error))
 }
 
 impl Instance {
@@ -186,6 +303,7 @@ impl Instance {
             stream_costs: Vec::new(),
             users: Vec::new(),
             seen: HashSet::new(),
+            lane_mode: LaneMode::Exact,
         }
     }
 
@@ -297,29 +415,124 @@ impl Instance {
 
     /// The utilities `w_u(S)` of the audience of `stream`, parallel to
     /// [`audience_users`](Self::audience_users).
+    ///
+    /// # Panics
+    ///
+    /// Panics in [`LaneMode::Compact`] — the `f64` weight lane does not
+    /// exist there; sweep [`audience_weights_f32`](Self::audience_weights_f32)
+    /// or iterate the exact [`audience`](Self::audience) pairs instead.
     pub fn audience_weights(&self, stream: StreamId) -> &[f64] {
+        assert_eq!(
+            self.lanes.mode,
+            LaneMode::Exact,
+            "audience_weights is the exact-mode lane; compact instances carry f32 lanes"
+        );
         &self.lanes.weights[self.lanes.range(stream)]
     }
 
+    /// The quantized utilities of the audience of `stream`, parallel to
+    /// [`audience_users`](Self::audience_users).
+    ///
+    /// # Panics
+    ///
+    /// Panics in [`LaneMode::Exact`] — the quantized lane only exists in
+    /// compact mode.
+    pub fn audience_weights_f32(&self, stream: StreamId) -> &[f32] {
+        assert_eq!(
+            self.lanes.mode,
+            LaneMode::Compact,
+            "audience_weights_f32 is the compact-mode lane"
+        );
+        &self.lanes.weights32[self.lanes.range(stream)]
+    }
+
     /// Contiguous lane of utility caps `W_u`, indexed by user index — the
-    /// `cap` lane of the coverage kernel.
+    /// `cap` lane of the coverage kernel. Exact in both modes.
     pub fn user_caps(&self) -> &[f64] {
         &self.user_caps
     }
 
+    /// Contiguous lane of quantized utility caps, indexed by user index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in [`LaneMode::Exact`].
+    pub fn user_caps_f32(&self) -> &[f32] {
+        assert_eq!(
+            self.lanes.mode,
+            LaneMode::Compact,
+            "user_caps_f32 is the compact-mode lane"
+        );
+        &self.user_caps32
+    }
+
+    /// The lane representation this instance carries.
+    pub fn lane_mode(&self) -> LaneMode {
+        self.lanes.mode
+    }
+
+    /// Total quantization mass of the compact lanes:
+    /// `Σ_S Σ_u |w_u(S) − f64(f32(w_u(S)))| + Σ_u |W_u − f64(f32(W_u))|`
+    /// (0 in exact mode; infinite caps contribute 0). Any quantity a kernel
+    /// derives from the quantized lanes differs from its exact counterpart
+    /// by at most this, because `|min(a, x) − min(ã, x̃)| ≤ |a − ã| + |x − x̃|`
+    /// — so a certificate computed against the quantized view stays valid
+    /// after widening its upper bound by this amount.
+    pub fn quantization_error(&self) -> f64 {
+        self.quant_error
+    }
+
+    /// One stream's share of the quantization mass (0 in exact mode).
+    pub fn stream_quantization_error(&self, stream: StreamId) -> f64 {
+        match self.lanes.mode {
+            LaneMode::Exact => 0.0,
+            LaneMode::Compact => self.lanes.stream_err[stream.index()],
+        }
+    }
+
+    /// Heap bytes of the derived hot-loop lanes (CSR offsets/users/weights
+    /// plus the cap lanes) — the working set the coverage kernel streams,
+    /// and the quantity the perf ladder's bytes/user gates divide by the
+    /// user count.
+    pub fn lane_bytes(&self) -> usize {
+        self.lanes.bytes() + self.user_caps.len() * 8 + self.user_caps32.len() * 4
+    }
+
+    /// Rebuilds this instance's derived lanes in another [`LaneMode`],
+    /// leaving the primary model untouched. Exact computations (utilities,
+    /// bounds from the audience pairs) are bit-identical across modes; only
+    /// the kernel lanes change representation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError::TooLarge`] from the lane rebuild (cannot
+    /// occur for an instance that already built its lanes once).
+    pub fn with_lane_mode(&self, mode: LaneMode) -> Result<Instance, BuildError> {
+        let (lanes, user_caps, user_caps32, quant_error) =
+            derive_lanes(&self.audiences, &self.users, mode)?;
+        Ok(Instance {
+            lanes,
+            user_caps,
+            user_caps32,
+            quant_error,
+            ..self.clone()
+        })
+    }
+
     /// Total raw utility `w(S) = Σ_u w_u(S)` of one stream (Fig. 2).
+    /// Computed from the exact audience pairs, so it is mode-independent.
     pub fn stream_total_utility(&self, stream: StreamId) -> f64 {
-        self.audience_weights(stream).iter().sum()
+        self.audience(stream).iter().map(|&(_, w)| w).sum()
     }
 
     /// Capped utility of transmitting only `stream`:
     /// `Σ_u min(W_u, w_u(S))` — the value of the `A_max` single-stream
-    /// assignment of §2.2.
+    /// assignment of §2.2. Computed from the exact audience pairs, so it is
+    /// mode-independent.
     pub fn singleton_utility(&self, stream: StreamId) -> f64 {
-        self.audience_users(stream)
+        self.audience(stream)
             .iter()
-            .zip(self.audience_weights(stream))
-            .map(|(&u, &w)| w.min(self.user_caps[u as usize]))
+            .map(|&(u, w)| w.min(self.user_caps[u.index()]))
             .sum()
     }
 
@@ -373,7 +586,9 @@ impl Instance {
     /// Returns the first violated assumption.
     pub fn validate(&self) -> Result<(), BuildError> {
         let rebuilt = {
-            let mut b = Instance::builder(self.name.clone()).server_budgets(self.budgets.clone());
+            let mut b = Instance::builder(self.name.clone())
+                .server_budgets(self.budgets.clone())
+                .lane_mode(self.lanes.mode);
             for costs in &self.stream_costs {
                 b.add_stream(costs.clone());
             }
@@ -433,6 +648,7 @@ pub struct InstanceBuilder {
     stream_costs: Vec<Vec<f64>>,
     users: Vec<UserSpec>,
     seen: HashSet<(usize, usize)>,
+    lane_mode: LaneMode,
 }
 
 impl InstanceBuilder {
@@ -441,6 +657,15 @@ impl InstanceBuilder {
     #[must_use]
     pub fn server_budgets(mut self, budgets: Vec<f64>) -> Self {
         self.budgets = budgets;
+        self
+    }
+
+    /// Selects the derived-lane representation of the built instance
+    /// (default [`LaneMode::Exact`]). See [`LaneMode`] for when the compact
+    /// quantized lanes are sound.
+    #[must_use]
+    pub fn lane_mode(mut self, mode: LaneMode) -> Self {
+        self.lane_mode = mode;
         self
     }
 
@@ -606,8 +831,8 @@ impl InstanceBuilder {
                 audiences[interest.stream.index()].push((UserId::new(ui), interest.utility));
             }
         }
-        let lanes = AudienceLanes::build(&audiences, users.len())?;
-        let user_caps = users.iter().map(|u| u.utility_cap).collect();
+        let (lanes, user_caps, user_caps32, quant_error) =
+            derive_lanes(&audiences, &users, self.lane_mode)?;
         Ok(Instance {
             name: self.name,
             budgets: self.budgets,
@@ -616,6 +841,8 @@ impl InstanceBuilder {
             audiences,
             lanes,
             user_caps,
+            user_caps32,
+            quant_error,
             dropped_interests: dropped,
         })
     }
@@ -631,7 +858,7 @@ impl InstanceBuilder {
 /// (deserialization bypasses the builder).
 #[cfg(feature = "serde")]
 mod serde_impls {
-    use super::{Instance, Interest, UserSpec};
+    use super::{Instance, Interest, LaneMode, UserSpec};
     use crate::ids::UserId;
     use serde::{DeError, Deserialize, Serialize, Value};
 
@@ -710,7 +937,7 @@ mod serde_impls {
 
     impl Serialize for Instance {
         fn to_value(&self) -> Value {
-            Value::Object(vec![
+            let mut fields = vec![
                 ("name".into(), self.name.to_value()),
                 (
                     "budgets".into(),
@@ -722,7 +949,13 @@ mod serde_impls {
                     "dropped_interests".into(),
                     self.dropped_interests.to_value(),
                 ),
-            ])
+            ];
+            // Only the non-default mode is persisted, so exact-mode frames
+            // stay byte-identical to the pre-compact wire format.
+            if self.lanes.mode == LaneMode::Compact {
+                fields.push(("lane_mode".into(), Value::String("compact".into())));
+            }
+            Value::Object(fields)
         }
     }
 
@@ -749,9 +982,15 @@ mod serde_impls {
                     slot.push((UserId::new(ui), interest.utility));
                 }
             }
-            let lanes = super::AudienceLanes::build(&audiences, users.len())
-                .map_err(|e| DeError(e.to_string()))?;
-            let user_caps = users.iter().map(|u| u.utility_cap()).collect();
+            let mode = match value.get("lane_mode") {
+                None | Some(Value::Null) => LaneMode::Exact,
+                Some(Value::String(s)) if s == "exact" => LaneMode::Exact,
+                Some(Value::String(s)) if s == "compact" => LaneMode::Compact,
+                Some(other) => return Err(DeError::expected("lane mode string", other)),
+            };
+            let (lanes, user_caps, user_caps32, quant_error) =
+                super::derive_lanes(&audiences, &users, mode)
+                    .map_err(|e| DeError(e.to_string()))?;
             Ok(Instance {
                 name: Deserialize::from_value(field(value, "name")?)?,
                 budgets,
@@ -760,6 +999,8 @@ mod serde_impls {
                 audiences,
                 lanes,
                 user_caps,
+                user_caps32,
+                quant_error,
                 dropped_interests: Deserialize::from_value(field(value, "dropped_interests")?)?,
             })
         }
@@ -968,6 +1209,102 @@ mod tests {
         let text = inst.to_string();
         assert!(text.contains("2 streams"));
         assert!(text.contains("m=2"));
+    }
+
+    #[test]
+    fn lane_index_accepts_exactly_the_u32_range() {
+        // The pure checked conversion every CSR narrowing funnels through,
+        // probed at the exact u32 edge (no 4-billion-entry allocation
+        // needed).
+        assert_eq!(lane_index("interest count", 0), Ok(0));
+        assert_eq!(
+            lane_index("interest count", u32::MAX as usize),
+            Ok(u32::MAX)
+        );
+        match lane_index("interest count", u32::MAX as usize + 1) {
+            Err(BuildError::TooLarge { what, value, limit }) => {
+                assert_eq!(what, "interest count");
+                assert_eq!(value, u32::MAX as usize + 1);
+                assert_eq!(limit, u32::MAX as usize);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_user_count_surfaces_too_large() {
+        // The deserialize-then-rebuild and ingest-grown paths funnel
+        // through AudienceLanes::build too; an oversized user count must
+        // surface TooLarge without allocating anything.
+        let err = AudienceLanes::build(&[], u32::MAX as usize + 1, LaneMode::Exact).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::TooLarge {
+                what: "user count",
+                ..
+            }
+        ));
+        let ok = AudienceLanes::build(&[], 7, LaneMode::Exact).unwrap();
+        assert_eq!(ok.offsets, vec![0]);
+    }
+
+    #[test]
+    fn compact_lanes_mirror_audiences_quantized() {
+        let mut b = Instance::builder("q").server_budgets(vec![10.0]);
+        let s = b.add_stream(vec![1.0]);
+        let u0 = b.add_user(0.3, vec![]);
+        let u1 = b.add_user(f64::INFINITY, vec![]);
+        b.add_interest(u0, s, 0.1, vec![]).unwrap();
+        b.add_interest(u1, s, 0.2, vec![]).unwrap();
+        let inst = b.lane_mode(LaneMode::Compact).build().unwrap();
+        assert_eq!(inst.lane_mode(), LaneMode::Compact);
+        assert_eq!(inst.audience_weights_f32(s), &[0.1f32, 0.2f32]);
+        assert_eq!(inst.user_caps_f32(), &[0.3f32, f32::INFINITY]);
+        // Exact caps survive untouched alongside the quantized lane.
+        assert_eq!(inst.user_caps(), &[0.3, f64::INFINITY]);
+        // 0.1, 0.2 and 0.3 are inexact in f32, the infinite cap is free.
+        let expected = (0.1 - f64::from(0.1f32)).abs()
+            + (0.2 - f64::from(0.2f32)).abs()
+            + (0.3 - f64::from(0.3f32)).abs();
+        assert!(inst.quantization_error() >= expected);
+        assert!(inst.quantization_error() <= expected * (1.0 + 1e-9));
+        assert!(inst.stream_quantization_error(s) > 0.0);
+        // Exact-path computations are mode-independent.
+        let exact = inst.with_lane_mode(LaneMode::Exact).unwrap();
+        assert_eq!(exact.quantization_error(), 0.0);
+        assert_eq!(
+            inst.stream_total_utility(s).to_bits(),
+            exact.stream_total_utility(s).to_bits()
+        );
+        assert_eq!(
+            inst.singleton_utility(s).to_bits(),
+            exact.singleton_utility(s).to_bits()
+        );
+        // Compact lanes are smaller once the interest count dominates the
+        // per-stream/per-user bookkeeping (the web-workload regime; tiny
+        // instances can go the other way because of the error lane).
+        let mut d = Instance::builder("dense").server_budgets(vec![10.0]);
+        let streams: Vec<_> = (0..2).map(|_| d.add_stream(vec![1.0])).collect();
+        let dusers: Vec<_> = (0..8).map(|_| d.add_user(1.0, vec![])).collect();
+        for &du in &dusers {
+            for &ds in &streams {
+                d.add_interest(du, ds, 0.1, vec![]).unwrap();
+            }
+        }
+        let dense = d.lane_mode(LaneMode::Compact).build().unwrap();
+        let dense_exact = dense.with_lane_mode(LaneMode::Exact).unwrap();
+        assert!(dense.lane_bytes() < dense_exact.lane_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "exact-mode lane")]
+    fn exact_weight_lane_is_absent_in_compact_mode() {
+        let mut b = Instance::builder("q").server_budgets(vec![10.0]);
+        let s = b.add_stream(vec![1.0]);
+        let u = b.add_user(1.0, vec![]);
+        b.add_interest(u, s, 0.5, vec![]).unwrap();
+        let inst = b.lane_mode(LaneMode::Compact).build().unwrap();
+        let _ = inst.audience_weights(s);
     }
 
     #[test]

@@ -78,4 +78,4 @@ pub use ingest::{
     IngestConfig, IngestEngine, IngestError, IngestMetrics, IngestOutcome, IngestSnapshot,
     Universe, Update,
 };
-pub use instance::{Instance, InstanceBuilder, UserSpec};
+pub use instance::{Instance, InstanceBuilder, LaneMode, UserSpec};

@@ -510,35 +510,76 @@ fn worker_loop(injector: &Injector) {
     }
 }
 
-/// Worker-thread count of the global pool: `MMD_POOL_WORKERS` when set,
-/// otherwise the machine's available parallelism minus the caller's
-/// thread, floored at 1 so every machine gets at least two executors.
+/// Parses one positive-integer pool knob: `Ok(None)` = unset, `Ok(Some(n))`
+/// = usable, `Err(raw)` = set but unusable (not a number, or zero).
+fn parse_pool_knob(raw: Option<&str>) -> Result<Option<usize>, String> {
+    match raw {
+        None => Ok(None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(v.to_string()),
+        },
+    }
+}
+
+/// Folds a parsed knob into "use the default", logging one stderr warning
+/// when the variable was set but unusable — a typo'd `MMD_POOL_WORKERS`
+/// must not silently fall back and masquerade as a perf regression.
+fn knob_or_warn(name: &str, parsed: Result<Option<usize>, String>) -> Option<usize> {
+    match parsed {
+        Ok(v) => v,
+        Err(raw) => {
+            eprintln!(
+                "mmd-par: ignoring {name}={raw:?} (expected a positive integer); \
+                 falling back to the default"
+            );
+            None
+        }
+    }
+}
+
+/// The worker count `default_workers` falls back to when the env knob is
+/// unset or unusable: available parallelism minus the caller's thread,
+/// floored at 1 so every machine gets at least two executors.
+fn workers_from(knob: Option<usize>) -> usize {
+    knob.unwrap_or_else(|| crate::resolve(0).saturating_sub(1).max(1))
+}
+
+/// The grain `default_grain_for` falls back to when the env knob is unset
+/// or unusable: roughly four chunks per executor clamped to `[1, 64]`.
+fn grain_from(knob: Option<usize>, len: usize, executors: usize) -> usize {
+    knob.unwrap_or_else(|| len.div_ceil(4 * executors.max(1)).clamp(1, MAX_GRAIN))
+}
+
+/// Worker-thread count of the global pool: `MMD_POOL_WORKERS` when set to a
+/// positive integer, otherwise the machine's available parallelism minus
+/// the caller's thread, floored at 1 so every machine gets at least two
+/// executors. An unusable value is reported once on stderr and ignored.
 #[must_use]
 pub fn default_workers() -> usize {
     static WORKERS: OnceLock<usize> = OnceLock::new();
     *WORKERS.get_or_init(|| {
-        std::env::var("MMD_POOL_WORKERS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| crate::resolve(0).saturating_sub(1).max(1))
+        let raw = std::env::var("MMD_POOL_WORKERS").ok();
+        workers_from(knob_or_warn(
+            "MMD_POOL_WORKERS",
+            parse_pool_knob(raw.as_deref()),
+        ))
     })
 }
 
 /// The default chunk grain for a batch of `len` items on `executors`
-/// executors: `MMD_POOL_GRAIN` when set, otherwise roughly four chunks per
-/// executor clamped to `[1, 64]` — enough chunks to balance unequal items,
-/// big enough that tiny items amortize the claim atomics.
+/// executors: `MMD_POOL_GRAIN` when set to a positive integer, otherwise
+/// roughly four chunks per executor clamped to `[1, 64]` — enough chunks to
+/// balance unequal items, big enough that tiny items amortize the claim
+/// atomics. An unusable value is reported once on stderr and ignored.
 #[must_use]
 pub fn default_grain_for(len: usize, executors: usize) -> usize {
     static GRAIN: OnceLock<Option<usize>> = OnceLock::new();
     let env = *GRAIN.get_or_init(|| {
-        std::env::var("MMD_POOL_GRAIN")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&g| g > 0)
+        let raw = std::env::var("MMD_POOL_GRAIN").ok();
+        knob_or_warn("MMD_POOL_GRAIN", parse_pool_knob(raw.as_deref()))
     });
-    env.unwrap_or_else(|| len.div_ceil(4 * executors.max(1)).clamp(1, MAX_GRAIN))
+    grain_from(env, len, executors)
 }
 
 // An interleaving smoke test for the pool's atomics: many submitters
@@ -676,5 +717,42 @@ mod tests {
         assert_eq!(default_grain_for(1, 4), 1);
         assert!(default_grain_for(10_000, 4) <= MAX_GRAIN);
         assert!(default_grain_for(10_000, 4) >= 1);
+    }
+
+    #[test]
+    fn pool_knob_parsing_distinguishes_unset_valid_and_garbage() {
+        assert_eq!(parse_pool_knob(None), Ok(None));
+        assert_eq!(parse_pool_knob(Some("3")), Ok(Some(3)));
+        assert_eq!(parse_pool_knob(Some(" 8 ")), Ok(Some(8)), "whitespace ok");
+        // Unusable settings surface the raw text for the warning.
+        assert_eq!(parse_pool_knob(Some("three")), Err("three".to_string()));
+        assert_eq!(parse_pool_knob(Some("0")), Err("0".to_string()));
+        assert_eq!(parse_pool_knob(Some("-2")), Err("-2".to_string()));
+        assert_eq!(parse_pool_knob(Some("")), Err(String::new()));
+    }
+
+    /// The regression this pins: a typo'd knob must behave exactly like an
+    /// unset knob (same fallback values), not like some third mode.
+    #[test]
+    fn garbage_knobs_fall_back_to_the_documented_defaults() {
+        let garbage = knob_or_warn("MMD_POOL_WORKERS", parse_pool_knob(Some("lots")));
+        assert_eq!(garbage, None, "warned and ignored");
+        assert_eq!(
+            workers_from(garbage),
+            crate::resolve(0).saturating_sub(1).max(1),
+            "worker fallback is cores - 1, floored at 1"
+        );
+        let grain_garbage = knob_or_warn("MMD_POOL_GRAIN", parse_pool_knob(Some("4x")));
+        assert_eq!(grain_garbage, None);
+        for (len, executors) in [(1usize, 4usize), (100, 4), (10_000, 4), (10_000, 0)] {
+            assert_eq!(
+                grain_from(grain_garbage, len, executors),
+                len.div_ceil(4 * executors.max(1)).clamp(1, MAX_GRAIN),
+                "grain fallback is ~4 chunks/executor clamped to [1, {MAX_GRAIN}]"
+            );
+        }
+        // Valid knobs win over the fallback untouched.
+        assert_eq!(workers_from(Some(5)), 5);
+        assert_eq!(grain_from(Some(7), 10_000, 4), 7);
     }
 }

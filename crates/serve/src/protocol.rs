@@ -298,6 +298,12 @@ pub struct MetricsSnapshot {
     pub epoch_committed: u64,
     /// The epoch currently applying on the solver thread (0 = none).
     pub epoch_in_flight: u64,
+    /// Instance lane layout of the committed model: `"exact"` (bit-exact
+    /// `f64` lanes) or `"compact"` (quantized `u32`/`f32` lanes).
+    pub lane_mode: String,
+    /// Peak resident set size of the serving process in bytes (`VmHWM`;
+    /// 0 where the platform does not expose it).
+    pub peak_rss_bytes: u64,
 }
 
 /// One server response frame.
@@ -746,6 +752,8 @@ impl Serialize for MetricsSnapshot {
             ("epoch_submitted", count(self.epoch_submitted)),
             ("epoch_committed", count(self.epoch_committed)),
             ("epoch_in_flight", count(self.epoch_in_flight)),
+            ("lane_mode", Value::String(self.lane_mode.clone())),
+            ("peak_rss_bytes", count(self.peak_rss_bytes)),
         ])
     }
 }
@@ -785,6 +793,8 @@ impl Deserialize for MetricsSnapshot {
             epoch_submitted: c("epoch_submitted")?,
             epoch_committed: c("epoch_committed")?,
             epoch_in_flight: c("epoch_in_flight")?,
+            lane_mode: need_str(value, "lane_mode").map_err(shape)?.to_string(),
+            peak_rss_bytes: c("peak_rss_bytes")?,
         })
     }
 }
@@ -1156,6 +1166,8 @@ mod tests {
                 epoch_submitted: 41,
                 epoch_committed: 40,
                 epoch_in_flight: 41,
+                lane_mode: "exact".into(),
+                peak_rss_bytes: 52_428_800,
             }),
             Response::Resolve { scheduled: true },
             Response::Shutdown,

@@ -157,6 +157,9 @@ pub struct Service {
     counters: Arc<ServeCounters>,
     full_resolve_scheduled: bool,
     draining: bool,
+    /// Lane layout of the served instance, fixed at startup (updates never
+    /// change the layout); reported by `metrics`.
+    lane_mode: &'static str,
 }
 
 impl Service {
@@ -167,6 +170,10 @@ impl Service {
     ///
     /// Propagates the initial solve's [`IngestError`].
     pub fn new(instance: Instance, config: ServeConfig) -> Result<Self, IngestError> {
+        let lane_mode = match instance.lane_mode() {
+            mmd_core::LaneMode::Exact => "exact",
+            mmd_core::LaneMode::Compact => "compact",
+        };
         let engine = IngestEngine::new(instance, config.ingest)?;
         let backend = if config.async_apply {
             Backend::Async {
@@ -182,6 +189,7 @@ impl Service {
             counters: Arc::new(ServeCounters::default()),
             full_resolve_scheduled: false,
             draining: false,
+            lane_mode,
         })
     }
 
@@ -561,7 +569,38 @@ impl Service {
             epoch_submitted,
             epoch_committed,
             epoch_in_flight,
+            lane_mode: self.lane_mode.to_string(),
+            peak_rss_bytes: peak_rss_bytes(),
         }
+    }
+}
+
+/// Peak resident set size of this process in bytes: `VmHWM` from
+/// `/proc/self/status` on Linux, 0 on platforms without that interface.
+/// A 0 therefore means "unknown", never "no memory used".
+#[must_use]
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+            return 0;
+        };
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kib: u64 = rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .unwrap_or(0);
+                return kib * 1024;
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
     }
 }
 

@@ -143,6 +143,37 @@ fn every_documented_frame_roundtrips_through_the_real_parser() {
     );
 }
 
+/// The metrics example must carry the instance-footprint fields (lane
+/// layout + peak RSS) with their documented types, and the surrounding
+/// prose must explain them — both were added for the web-scale compact
+/// lanes and regress silently if the example is regenerated without them.
+#[test]
+fn documented_metrics_frame_reports_lane_mode_and_peak_rss() {
+    let doc = protocol_doc();
+    let metrics = example_frames(&doc)
+        .into_iter()
+        .find_map(|(_, frame)| {
+            let v: Value = serde_json::from_str(&frame).ok()?;
+            (str_field(&v, "kind") == Some("metrics")).then_some(v)
+        })
+        .expect("PROTOCOL.md has a metrics response example");
+    assert_eq!(
+        str_field(&metrics, "lane_mode"),
+        Some("exact"),
+        "metrics example must show the lane_mode field"
+    );
+    assert!(
+        matches!(metrics.get("peak_rss_bytes"), Some(Value::Number(n)) if *n > 0.0),
+        "metrics example must show a positive peak_rss_bytes"
+    );
+    for needle in ["`lane_mode`", "`peak_rss_bytes`", "VmHWM"] {
+        assert!(
+            doc.contains(needle),
+            "PROTOCOL.md prose must explain {needle}"
+        );
+    }
+}
+
 #[test]
 fn documented_update_kinds_cover_the_update_language() {
     let doc = protocol_doc();

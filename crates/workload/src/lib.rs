@@ -20,6 +20,9 @@
 //! * [`churn`] — typed update traces (arrivals/departures, interest drift,
 //!   budget re-provisioning) in the language of `mmd_core::ingest`, valid
 //!   by construction, for the incremental re-solve engine.
+//! * [`web`] — web-scale catalogs: 10⁵–10⁶ users with sparse Zipf-popular
+//!   interest sets, the regime behind the compact instance lanes and the
+//!   two-level sharded solver.
 //! * [`zipf`] — the Zipf sampler underlying stream popularity.
 //!
 //! All generators are deterministic given a `u64` seed.
@@ -31,6 +34,7 @@ pub mod gen;
 pub mod population;
 pub mod special;
 pub mod trace;
+pub mod web;
 pub mod zipf;
 
 pub use catalog::{CatalogConfig, StreamClass};
@@ -39,3 +43,4 @@ pub use clustered::ClusteredConfig;
 pub use gen::WorkloadConfig;
 pub use population::PopulationConfig;
 pub use trace::{ArrivalTrace, TraceConfig, TraceEvent, TraceEventKind};
+pub use web::WebConfig;

@@ -1,0 +1,211 @@
+//! Web-scale catalog workloads: 10⁵–10⁶ users with sparse interest sets
+//! over a Zipf-popular catalog.
+//!
+//! This is the million-user regime the compact instance lanes
+//! ([`mmd_core::instance::LaneMode`]) and the two-level sharded solver
+//! (`ShardConfig::super_shards`) exist for: each user follows only a
+//! handful of streams, but catalog popularity is heavily skewed
+//! ([`Zipf`] over ranks), so the head streams draw
+//! audiences of hundreds of thousands while the tail is near-empty. The
+//! instances are single-measure with utility-capped users, like the
+//! clustered family, so every solver accepts them.
+//!
+//! All generation is deterministic per seed, and [`WebConfig::lane_mode`]
+//! selects the instance layout: [`LaneMode::Exact`] for the bit-exact
+//! `f64` lanes, [`LaneMode::Compact`] for the quantized `u32`/`f32` lanes
+//! whose certified error the solver folds into its upper bound.
+
+use mmd_core::{Instance, LaneMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Configuration of a web workload.
+#[derive(Clone, Debug)]
+pub struct WebConfig {
+    /// Number of users (the paper's "clients"; 10⁵–10⁶ in this family).
+    pub users: usize,
+    /// Catalog size (number of streams).
+    pub streams: usize,
+    /// Zipf exponent of catalog popularity: `0` is uniform, `≈ 1` matches
+    /// measured video-on-demand popularity.
+    pub theta: f64,
+    /// Interests per user (the sparse degree). Duplicated samples are
+    /// deduplicated, so a user may end up with slightly fewer.
+    pub interests_per_user: usize,
+    /// Server budget as a fraction of total catalog cost (floored so the
+    /// costliest stream always fits).
+    pub budget_fraction: f64,
+    /// Utility cap slack: `W_u = cap_slack ×` the user's total interest
+    /// utility; `≤ 0` means unbounded caps.
+    pub cap_slack: f64,
+    /// Instance lane layout (see the module docs).
+    pub lane_mode: LaneMode,
+}
+
+impl Default for WebConfig {
+    fn default() -> Self {
+        WebConfig {
+            users: 100_000,
+            streams: 2_000,
+            theta: 1.0,
+            interests_per_user: 8,
+            budget_fraction: 0.3,
+            cap_slack: 0.8,
+            lane_mode: LaneMode::Exact,
+        }
+    }
+}
+
+impl WebConfig {
+    /// A size-scaled preset: catalog and degree chosen for `users` so the
+    /// instance stays sparse (`streams = max(64, users / 64)`, 8 interests
+    /// per user), with the default contention knobs.
+    #[must_use]
+    pub fn scaled(users: usize) -> Self {
+        WebConfig {
+            users,
+            streams: (users / 64).max(64),
+            ..WebConfig::default()
+        }
+    }
+
+    /// The same workload with a different lane layout.
+    #[must_use]
+    pub fn with_lane_mode(mut self, mode: LaneMode) -> Self {
+        self.lane_mode = mode;
+        self
+    }
+
+    /// Generates an instance deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users`, `streams` or `interests_per_user` is zero, or
+    /// `budget_fraction` is not positive.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Instance {
+        assert!(
+            self.users > 0 && self.streams > 0 && self.interests_per_user > 0,
+            "web workloads need at least one user, stream and interest"
+        );
+        assert!(
+            self.budget_fraction > 0.0,
+            "budget_fraction must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let popularity = Zipf::new(self.streams, self.theta);
+
+        let costs: Vec<f64> = (0..self.streams)
+            .map(|_| 1.0 + 3.0 * rng.gen::<f64>())
+            .collect();
+        let total_cost: f64 = costs.iter().sum();
+        let max_cost = costs.iter().copied().fold(0.0f64, f64::max);
+        let budget = (total_cost * self.budget_fraction).max(max_cost);
+
+        let mut b = Instance::builder(format!("web#{seed}"))
+            .server_budgets(vec![budget])
+            .lane_mode(self.lane_mode);
+        for &c in &costs {
+            b.add_stream(vec![c]);
+        }
+
+        // One pass per user: sample the sparse interest set from the
+        // popularity distribution, dedup, then add the user (cap depends on
+        // its total) and its interests. No per-user state survives the
+        // loop, so generation is O(users × degree × log streams) time and
+        // O(degree) scratch.
+        let mut picked: Vec<(usize, f64)> = Vec::with_capacity(self.interests_per_user);
+        for _ in 0..self.users {
+            picked.clear();
+            for _ in 0..self.interests_per_user {
+                let s = popularity.sample(&mut rng);
+                let w = 0.5 + 4.0 * rng.gen::<f64>();
+                picked.push((s, w));
+            }
+            picked.sort_unstable_by_key(|&(s, _)| s);
+            picked.dedup_by_key(|&mut (s, _)| s);
+            let total: f64 = picked.iter().map(|&(_, w)| w).sum();
+            let cap = if self.cap_slack > 0.0 {
+                self.cap_slack * total
+            } else {
+                f64::INFINITY
+            };
+            let u = b.add_user(cap, vec![]);
+            for &(s, w) in &picked {
+                b.add_interest(u, mmd_core::StreamId::new(s), w, vec![])
+                    .expect("web interests are deduplicated");
+            }
+        }
+        b.build().expect("web workloads are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WebConfig {
+        WebConfig {
+            users: 600,
+            streams: 50,
+            ..WebConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = small();
+        assert_eq!(cfg.generate(3), cfg.generate(3));
+        assert_ne!(cfg.generate(3), cfg.generate(4));
+    }
+
+    #[test]
+    fn sparse_and_single_measure() {
+        let inst = small().generate(1);
+        assert_eq!(inst.num_users(), 600);
+        assert_eq!(inst.num_streams(), 50);
+        assert!(inst.is_single_budget());
+        assert_eq!(inst.max_user_measures(), 0);
+        for u in inst.users() {
+            let d = inst.user(u).interests().len();
+            assert!((1..=8).contains(&d), "degree {d} out of range");
+        }
+    }
+
+    #[test]
+    fn popularity_is_zipf_skewed() {
+        let inst = small().generate(7);
+        // The head of the catalog must draw a far larger audience than the
+        // tail (ranks are stream ids by construction).
+        let head: usize = (0..5)
+            .map(|s| inst.audience(mmd_core::StreamId::new(s)).len())
+            .sum();
+        let tail: usize = (45..50)
+            .map(|s| inst.audience(mmd_core::StreamId::new(s)).len())
+            .sum();
+        assert!(head > 4 * tail.max(1), "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn budget_is_contended() {
+        let inst = small().generate(2);
+        let demand: f64 = inst.streams().map(|s| inst.cost(s, 0)).sum();
+        assert!(demand > inst.budget(0));
+    }
+
+    #[test]
+    fn compact_mode_generates_compact_lanes() {
+        let cfg = small().with_lane_mode(LaneMode::Compact);
+        let inst = cfg.generate(5);
+        assert_eq!(inst.lane_mode(), LaneMode::Compact);
+        let err = inst.quantization_error();
+        assert!(err > 0.0 && err.is_finite());
+        // The exact twin is the same workload in the default layout, with
+        // the fatter per-interest weight lane.
+        let exact = small().generate(5);
+        assert_eq!(exact.lane_mode(), LaneMode::Exact);
+        assert!(inst.lane_bytes() < exact.lane_bytes());
+    }
+}

@@ -1,0 +1,118 @@
+//! The compact quantized lane layout's two acceptance contracts, checked
+//! end to end through the facade:
+//!
+//! 1. **Off means off.** With [`LaneMode::Exact`] (the default) the lane
+//!    layout is the bit-exact `f64` path: an instance built with the
+//!    explicit mode, and a compact instance converted back, must solve
+//!    bit-identically to the default build across the solver stack —
+//!    including the two-level sharded pipeline.
+//! 2. **On stays certified.** With [`LaneMode::Compact`] the solver's
+//!    bracket must still contain the true optimum:
+//!    `utility ≤ OPT ≤ upper_bound`, where OPT comes from the exact
+//!    branch-and-bound solver run on the instance's exact twin (the same
+//!    workload in the `f64` layout).
+
+use mmd::core::algo::shard::{solve_sharded, ShardConfig};
+use mmd::core::LaneMode;
+use mmd::exact::{solve, ExactConfig, Objective};
+use mmd::workload::WebConfig;
+
+/// A web workload small enough for exhaustive search (the exact solver is
+/// exponential in the stream count) but with real Zipf contention.
+fn tiny_web(lane_mode: LaneMode) -> WebConfig {
+    WebConfig {
+        users: 80,
+        streams: 12,
+        interests_per_user: 4,
+        ..WebConfig::default()
+    }
+    .with_lane_mode(lane_mode)
+}
+
+/// The two-level configuration every test solves through: small shards,
+/// two super-shards, parallel workers — the full tentpole path.
+fn two_level() -> ShardConfig {
+    ShardConfig {
+        max_streams: 4,
+        super_shards: 2,
+        ..ShardConfig::default()
+    }
+    .with_threads(2)
+}
+
+#[test]
+fn exact_mode_is_bit_identical_to_the_default_f64_path() {
+    for seed in 0..6u64 {
+        let default_build = tiny_web(LaneMode::Exact).generate(seed);
+        assert_eq!(default_build.lane_mode(), LaneMode::Exact);
+        assert_eq!(default_build.quantization_error(), 0.0);
+        // A compact build of the same workload, converted back to exact
+        // lanes: the conversion must round-trip to the same instance view.
+        let converted = tiny_web(LaneMode::Compact)
+            .generate(seed)
+            .with_lane_mode(LaneMode::Exact)
+            .expect("tiny instances rebuild their lanes");
+
+        let cfg = two_level();
+        let a = solve_sharded(&default_build, &cfg).unwrap();
+        let b = solve_sharded(&converted, &cfg).unwrap();
+        assert!(
+            a.utility.to_bits() == b.utility.to_bits()
+                && a.upper_bound.to_bits() == b.upper_bound.to_bits(),
+            "seed {seed}: exact-mode solve differs from the default path: \
+             ({}, {}) vs ({}, {})",
+            a.utility,
+            a.upper_bound,
+            b.utility,
+            b.upper_bound
+        );
+        assert_eq!(a.assignment, b.assignment, "seed {seed}");
+    }
+}
+
+#[test]
+fn compact_bracket_contains_the_exact_optimum() {
+    let exact_cfg = ExactConfig {
+        objective: Objective::Feasible,
+        ..ExactConfig::default()
+    };
+    let mut nontrivial = 0usize;
+    for seed in 0..6u64 {
+        let compact = tiny_web(LaneMode::Compact).generate(seed);
+        assert_eq!(compact.lane_mode(), LaneMode::Compact);
+        let quant = compact.quantization_error();
+        assert!(quant > 0.0 && quant.is_finite(), "seed {seed}: E = {quant}");
+
+        let out = solve_sharded(&compact, &two_level()).unwrap();
+        out.assignment
+            .check_feasible(&compact)
+            .expect("sharded solves end feasible");
+
+        // True OPT on the exact twin: identical model, f64 lanes.
+        let twin = compact
+            .with_lane_mode(LaneMode::Exact)
+            .expect("tiny instances rebuild their lanes");
+        let opt = solve(&twin, &exact_cfg).unwrap().value;
+
+        // The certified bracket must contain OPT; the quantized layout is
+        // only allowed to widen the upper end (by the folded-in error).
+        assert!(
+            out.utility <= opt + 1e-9,
+            "seed {seed}: compact utility {} exceeds OPT {opt}",
+            out.utility
+        );
+        assert!(
+            opt <= out.upper_bound + 1e-9,
+            "seed {seed}: OPT {opt} escapes the certified upper bound {}",
+            out.upper_bound
+        );
+        if opt > 0.0 {
+            nontrivial += 1;
+        }
+    }
+    assert!(
+        nontrivial >= 4,
+        "only {nontrivial}/6 seeds had a positive optimum — the family is \
+         too easy to exercise the bracket"
+    );
+}
