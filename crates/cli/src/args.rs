@@ -74,6 +74,9 @@ pub enum Command {
         churn: String,
         /// Target shard size in streams (0 = component granularity).
         shard_size: usize,
+        /// Super-shards for the two-level incremental engine (0 or 1 =
+        /// single-level; updates then route to (super, inner) pairs).
+        super_shards: usize,
         /// Worker threads (0 = all cores, 1 = sequential).
         threads: usize,
         /// Differentially verify the final state against a from-scratch
@@ -109,6 +112,9 @@ pub enum Command {
         max_batch: usize,
         /// Target shard size in streams (0 = component granularity).
         shard_size: usize,
+        /// Coarse super-shard fan-out for the two-level hierarchy
+        /// (0/1 = flat; requires `shard_size`).
+        super_shards: usize,
         /// Worker threads for shard re-solves (0 = all cores).
         threads: usize,
     },
@@ -149,9 +155,10 @@ USAGE:
   mmd-cli simulate --input FILE [--policy online|threshold|oracle]
               [--margin X] [--rate X] [--duration X] [--seed N] [--threads N]
   mmd-cli ingest --input FILE [--updates N] [--batch N] [--seed N]
-              [--churn low|mixed] [--shard-size N] [--threads N] [--verify]
+              [--churn low|mixed] [--shard-size N] [--super-shards N]
+              [--threads N] [--verify]
   mmd-cli serve --input FILE [--addr HOST:PORT] [--queue N] [--max-batch N]
-              [--shard-size N] [--threads N]
+              [--shard-size N] [--super-shards N] [--threads N]
   mmd-cli client --addr HOST:PORT [--send FRAME]
 
   --threads N uses N worker threads (0 = all cores); results are
@@ -167,7 +174,10 @@ USAGE:
   ingest generates a seeded churn trace (arrivals/departures, interest
   drift, budget changes) and applies it in batches through the incremental
   ingest engine, which re-solves only the dirty shards; every batch
-  refreshes the certified utility <= OPT <= upper-bound bracket.
+  refreshes the certified utility <= OPT <= upper-bound bracket. With
+  --super-shards K the engine runs the hierarchical two-level partition:
+  updates route to (super, inner) shard pairs and cached solutions are
+  reused at both levels.
   --verify additionally checks the final state against a from-scratch
   sharded solve of the updated instance (bit-identical by contract).
   serve runs the long-lived allocation daemon: newline-delimited JSON over
@@ -285,6 +295,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 seed: get_num(&map, "seed", 0u64)?,
                 churn: map.get("churn").cloned().unwrap_or_else(|| "mixed".into()),
                 shard_size: get_num(&map, "shard-size", 0usize)?,
+                super_shards: get_num(&map, "super-shards", 0usize)?,
                 threads: get_num(&map, "threads", 1usize)?,
                 verify: map.contains_key("verify"),
             })
@@ -323,6 +334,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 queue: get_num(&map, "queue", 64usize)?,
                 max_batch: get_num(&map, "max-batch", 1024usize)?,
                 shard_size: get_num(&map, "shard-size", 0usize)?,
+                super_shards: get_num(&map, "super-shards", 0usize)?,
                 threads: get_num(&map, "threads", 1usize)?,
             })
         }
@@ -449,7 +461,7 @@ mod tests {
     #[test]
     fn parses_ingest_flags() {
         let cmd = parse(&argv(
-            "ingest --input x.json --updates 500 --batch 25 --churn low --verify",
+            "ingest --input x.json --updates 500 --batch 25 --churn low --super-shards 4 --verify",
         ))
         .unwrap();
         match cmd {
@@ -458,6 +470,7 @@ mod tests {
                 updates,
                 batch,
                 churn,
+                super_shards,
                 verify,
                 threads,
                 ..
@@ -466,9 +479,14 @@ mod tests {
                 assert_eq!(updates, 500);
                 assert_eq!(batch, 25);
                 assert_eq!(churn, "low");
+                assert_eq!(super_shards, 4);
                 assert!(verify);
                 assert_eq!(threads, 1);
             }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("ingest --input x.json")).unwrap() {
+            Command::Ingest { super_shards, .. } => assert_eq!(super_shards, 0),
             other => panic!("unexpected {other:?}"),
         }
         assert!(
@@ -480,7 +498,8 @@ mod tests {
     #[test]
     fn parses_serve_and_client() {
         let cmd = parse(&argv(
-            "serve --input x.json --addr 127.0.0.1:0 --queue 8 --max-batch 32",
+            "serve --input x.json --addr 127.0.0.1:0 --queue 8 --max-batch 32 \
+             --shard-size 6 --super-shards 3",
         ))
         .unwrap();
         match cmd {
@@ -490,13 +509,15 @@ mod tests {
                 queue,
                 max_batch,
                 shard_size,
+                super_shards,
                 threads,
             } => {
                 assert_eq!(input, "x.json");
                 assert_eq!(addr, "127.0.0.1:0");
                 assert_eq!(queue, 8);
                 assert_eq!(max_batch, 32);
-                assert_eq!(shard_size, 0);
+                assert_eq!(shard_size, 6);
+                assert_eq!(super_shards, 3);
                 assert_eq!(threads, 1);
             }
             other => panic!("unexpected {other:?}"),

@@ -109,12 +109,21 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             seed,
             churn,
             shard_size,
+            super_shards,
             threads,
             verify,
         } => {
             let instance = io::load(&input)?;
             ingest(
-                &instance, updates, batch, seed, &churn, shard_size, threads, verify,
+                &instance,
+                updates,
+                batch,
+                seed,
+                &churn,
+                shard_size,
+                super_shards,
+                threads,
+                verify,
             )
         }
         Command::Serve {
@@ -123,10 +132,19 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             queue,
             max_batch,
             shard_size,
+            super_shards,
             threads,
         } => {
             let instance = io::load(&input)?;
-            serve(instance, &addr, queue, max_batch, shard_size, threads)
+            serve(
+                instance,
+                &addr,
+                queue,
+                max_batch,
+                shard_size,
+                super_shards,
+                threads,
+            )
         }
         Command::Client { addr, send } => client(&addr, send.as_deref()),
     }
@@ -140,14 +158,19 @@ fn serve(
     queue: usize,
     max_batch: usize,
     shard_size: usize,
+    super_shards: usize,
     threads: usize,
 ) -> Result<String, Box<dyn Error>> {
+    if super_shards > 1 && shard_size == 0 {
+        return Err("--super-shards requires --shard-size".into());
+    }
     let mut config = ServeConfig {
         queue_capacity: queue.max(1),
         max_batch: max_batch.max(1),
         ..ServeConfig::default()
     };
     config.ingest.shard.max_streams = shard_size;
+    config.ingest.shard.super_shards = super_shards;
     config.ingest.shard.threads = threads;
     let service = Service::new(instance, config)?;
     let initial = service.certificate();
@@ -439,8 +462,8 @@ fn solve_sharded_cmd(
     let _ = writeln!(text, "utility: {:.4}", out.utility);
     let _ = writeln!(
         text,
-        "shards: {} (largest {} streams, target {})",
-        out.num_shards, out.largest_shard, shard_size
+        "shards: {} (largest {} streams, target {}, skew {:.2})",
+        out.num_shards, out.largest_shard, shard_size, out.skew_ratio
     );
     let _ = writeln!(
         text,
@@ -483,6 +506,7 @@ fn ingest(
     seed: u64,
     churn: &str,
     shard_size: usize,
+    super_shards: usize,
     threads: usize,
     verify: bool,
 ) -> Result<String, Box<dyn Error>> {
@@ -491,11 +515,15 @@ fn ingest(
         "mixed" => mmd_workload::ChurnConfig::mixed(updates),
         other => return Err(format!("unknown churn mix: {other} (low|mixed)").into()),
     };
+    if super_shards > 1 && shard_size == 0 {
+        return Err("--super-shards requires --shard-size".into());
+    }
     let trace = churn_config.generate(instance, seed);
     let config = IngestConfig {
         shard: ShardConfig {
             max_streams: shard_size,
             threads,
+            super_shards,
             ..ShardConfig::default()
         },
         ..IngestConfig::default()
@@ -527,6 +555,17 @@ fn ingest(
         "re-solved shard fraction: {:.3} ({} full re-solves)",
         report.resolved_shard_fraction, report.full_resolves
     );
+    if super_shards > 1 {
+        let m = engine.metrics();
+        let _ = writeln!(
+            out,
+            "super-shards: {} (dirty-super fraction {:.3}, inner cache {} hits / {} misses)",
+            final_outcome.super_shards,
+            m.dirty_super_fraction(),
+            m.inner_cache_hits,
+            m.inner_cache_misses
+        );
+    }
     let _ = writeln!(
         out,
         "live streams: {} / {}",
@@ -825,6 +864,29 @@ mod tests {
         // Unknown churn mix is rejected.
         assert!(
             run(parse(&argv(&format!("ingest --input {path} --churn wild"))).unwrap()).is_err()
+        );
+    }
+
+    #[test]
+    fn ingest_two_level_reports_super_stats_and_verifies() {
+        let path = tmpfile("ingest-2lvl.json");
+        run(parse(&argv(&format!(
+            "gen --kind clustered --seed 6 --streams 18 --users 9 --clusters 3 --out {path}"
+        )))
+        .unwrap())
+        .unwrap();
+        let out = run(parse(&argv(&format!(
+            "ingest --input {path} --updates 40 --batch 8 --churn low \
+             --shard-size 6 --super-shards 2 --verify"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("super-shards:"), "{out}");
+        assert!(out.contains("dirty-super fraction"), "{out}");
+        assert!(out.contains("bit-identical"), "{out}");
+        // --super-shards without --shard-size is rejected, as in solve.
+        assert!(
+            run(parse(&argv(&format!("ingest --input {path} --super-shards 2"))).unwrap()).is_err()
         );
     }
 

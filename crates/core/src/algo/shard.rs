@@ -40,6 +40,25 @@
 //! knapsack over singleton utilities. `tests/theorem_bounds.rs` checks the
 //! certificate against `mmd-exact`; `tests/shard_equivalence.rs` pins the
 //! shard-vs-monolithic differential behaviour.
+//!
+//! # The hierarchical (two-level) partition
+//!
+//! With [`ShardConfig::super_shards`] `≥ 2` the same machinery is applied
+//! twice, as one explicit tree ([`HierarchicalSharding`]): a *coarse*
+//! partition at cap `⌈|S| / super_shards⌉` (head-split while its
+//! [`Sharding::skew_ratio`] exceeds [`ShardConfig::head_split_skew`], so a
+//! Zipf catalog head cannot pin one super-shard as the critical path), a
+//! single water-fill of every finite budget across the few super-shards,
+//! and per super-shard an *inner* partition at `max_streams` granularity
+//! with its own water-fill of the super-shard's share. All inner shards
+//! across all super-shards are then solved through **one flat
+//! [`solve_batch`] fan-out**, so workers steal inner-shard solves across
+//! super-shards and the outcome stays bit-identical at any thread count.
+//! Certificate terms come from the super level only — per-super-shard
+//! bounds under the FULL budgets plus the coarse `cut_mass` (plus the
+//! compact-lane quantization mass) — because budget-restricted inner
+//! bounds would not be valid for the full-budget optimum. Flat solving is
+//! exactly the depth-1 case of this tree.
 
 use crate::algo::batch::solve_batch;
 use crate::algo::reduction::{residual_fill, MmdConfig};
@@ -80,16 +99,27 @@ pub struct ShardConfig {
     pub budget_slack: f64,
     /// Number of super-shards for two-level sharding (`0` or `1` disables
     /// it — the default). With `k ≥ 2`, the catalog is first partitioned at
-    /// the coarse cap `⌈|S| / k⌉`, each finite budget is water-filled
-    /// *once* across the few super-shards, and every super-shard is then
-    /// solved by the standard single-level path at `max_streams`
-    /// granularity. The water-fill's refill loop is worst-case quadratic in
-    /// the number of parties, so splitting it across two levels
-    /// (`k` outer + `shards/k` inner parties instead of `shards`) is what
-    /// keeps partition + water-fill subquadratic at 10⁵–10⁶ users. The
+    /// the coarse cap `⌈|S| / k⌉` into a [`HierarchicalSharding`]: each
+    /// finite budget is water-filled *once* across the few super-shards,
+    /// every super-shard is partitioned again at `max_streams` granularity,
+    /// and all inner shards across all super-shards are solved through one
+    /// flat [`solve_batch`] fan-out (workers steal inner-shard solves
+    /// across super-shards, so a skewed super-shard cannot pin a worker).
+    /// The water-fill's refill loop is worst-case quadratic in the number
+    /// of parties, so splitting it across two levels (`k` outer +
+    /// `shards/k` inner parties instead of `shards`) is what keeps
+    /// partition + water-fill subquadratic at 10⁵–10⁶ users. The
     /// certificate stays valid by the same Lemma 2.1 subadditivity, taken
     /// at the super-shard level (see [`solve_sharded`]).
     pub super_shards: usize,
+    /// Skew threshold for head-splitting the coarse partition (two-level
+    /// mode only): while the super level's stream-weighted skew ratio
+    /// ([`Sharding::skew_ratio`]: largest / mean streams per shard)
+    /// exceeds this, the largest super-shard is re-cut at half its stream
+    /// count (floored at `max_streams`). Without it a Zipf(θ≈1) catalog
+    /// head leaves one super-shard holding most of the work. `≤ 0`
+    /// disables splitting. Deterministic and thread-count invariant.
+    pub head_split_skew: f64,
 }
 
 impl Default for ShardConfig {
@@ -101,6 +131,7 @@ impl Default for ShardConfig {
             global_fill: true,
             budget_slack: 0.2,
             super_shards: 0,
+            head_split_skew: 2.0,
         }
     }
 }
@@ -176,6 +207,21 @@ impl Sharding {
             .map(|s| s.streams.len())
             .max()
             .unwrap_or(0)
+    }
+
+    /// Stream-weighted skew ratio of the partition: largest / mean streams
+    /// per shard. `1.0` means perfectly balanced; a Zipf catalog head
+    /// typically pushes the coarse partition well above it. `0.0` when the
+    /// partition has no shards or no streams. This is the observable that
+    /// triggers head-splitting ([`ShardConfig::head_split_skew`]).
+    #[must_use]
+    pub fn skew_ratio(&self) -> f64 {
+        let total: usize = self.shards.iter().map(|s| s.streams.len()).sum();
+        if self.shards.is_empty() || total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / self.shards.len() as f64;
+        self.largest_shard_streams() as f64 / mean
     }
 }
 
@@ -620,6 +666,252 @@ pub fn shard_utility_bound(instance: &Instance, sharding: &Sharding, k: usize) -
     )
 }
 
+/// The coarse (super) level of the two-level partition: the catalog
+/// partitioned at cap `⌈|S| / super_shards⌉` (never coarser than
+/// `max_streams`), then head-split while the stream-weighted skew ratio
+/// exceeds [`ShardConfig::head_split_skew`]. Deterministic and
+/// thread-count invariant; the ingest engine and [`solve_sharded`] both
+/// partition through this function, which their bit-for-bit equivalence
+/// depends on.
+#[must_use]
+pub fn super_partition(instance: &Instance, config: &ShardConfig) -> Sharding {
+    let super_cap = instance
+        .num_streams()
+        .div_ceil(config.super_shards.max(1))
+        .max(config.max_streams.max(1));
+    let mut supering = shard_instance(instance, super_cap);
+    split_head_shards(instance, &mut supering, config);
+    supering
+}
+
+/// Head-splitting: while the partition's skew ratio exceeds the threshold,
+/// re-cut the largest shard (ties to the smallest index) at half its
+/// stream count, floored at the inner cap. Each round builds the head's
+/// sub-instance and re-runs the same Kruskal splitter on it, so the split
+/// cuts the head's lowest-utility interests first, exactly like the coarse
+/// partition itself; newly cut interests fold into the partition's cut
+/// list and `cut_mass` (they stay certificate-accounted).
+fn split_head_shards(instance: &Instance, supering: &mut Sharding, config: &ShardConfig) {
+    let threshold = config.head_split_skew;
+    if threshold <= 0.0 || !threshold.is_finite() {
+        return;
+    }
+    let floor = config.max_streams.max(1);
+    let mut split_any = false;
+    while supering.skew_ratio() > threshold {
+        let mut head = 0usize;
+        for (k, s) in supering.shards.iter().enumerate() {
+            if s.streams.len() > supering.shards[head].streams.len() {
+                head = k;
+            }
+        }
+        let head_streams = supering.shards[head].streams.len();
+        let cap = head_streams.div_ceil(2).max(floor);
+        if cap >= head_streams {
+            // The head is already at the inner cap: nothing to gain. Break
+            // (not return) so the membership-map rebuild below still runs if
+            // an earlier round spliced the shard list.
+            break;
+        }
+        let shard = supering.shards[head].clone();
+        let sub = build_shard_instance(
+            instance,
+            &shard,
+            instance.budgets(),
+            "head-split", // partitioned only, never solved: the name is a label
+        );
+        let parts = shard_instance(&sub, cap);
+        // Translate the local split back to global ids. Local ids are
+        // dense in the (ascending) order of the head's members, so the
+        // monotone translation keeps every shard's id vectors ascending.
+        let new_shards: Vec<Shard> = parts
+            .shards
+            .iter()
+            .map(|p| Shard {
+                streams: p
+                    .streams
+                    .iter()
+                    .map(|ls| shard.streams[ls.index()])
+                    .collect(),
+                users: p.users.iter().map(|lu| shard.users[lu.index()]).collect(),
+            })
+            .collect();
+        supering.cut.extend(parts.cut.iter().map(|c| CutInterest {
+            user: shard.users[c.user.index()],
+            stream: shard.streams[c.stream.index()],
+            utility: c.utility,
+        }));
+        supering.cut_mass += parts.cut_mass;
+        supering.shards.splice(head..=head, new_shards);
+        split_any = true;
+    }
+    if split_any {
+        supering.cut.sort_by_key(|c| (c.user, c.stream));
+        for (k, shard) in supering.shards.iter().enumerate() {
+            for &s in &shard.streams {
+                supering.shard_of_stream[s.index()] = k;
+            }
+            for &u in &shard.users {
+                supering.shard_of_user[u.index()] = k;
+            }
+        }
+    }
+}
+
+/// The explicit two-level partition tree: the coarse super level plus its
+/// certificate terms and water-filled budget shares. This is the single
+/// source of truth for `super_shards ≥ 2` solving — [`solve_sharded`]
+/// builds one per call and the ingest engine maintains one incrementally —
+/// and flat solving is its depth-1 degenerate case (every shard its own
+/// super-shard under the full budgets).
+///
+/// `bounds[k]` is [`shard_utility_bound`] of super-shard `k` under the
+/// **full** server budgets. It serves double duty: as the water-fill
+/// weight steering `shares[k]`, and as the only per-shard certificate
+/// contribution — `Σ bounds + supers.cut_mass (+ quantization mass)` is
+/// the certified upper bound, with inner-level bounds deliberately
+/// excluded (budget-restricted inner bounds are not valid for the
+/// full-budget optimum).
+#[derive(Clone, Debug)]
+pub struct HierarchicalSharding {
+    /// The coarse partition (after head-splitting), over global ids.
+    pub supers: Sharding,
+    /// Per-super-shard utility bound under the full budgets: water-fill
+    /// weight and certificate term at once.
+    pub bounds: Vec<f64>,
+    /// Per-super-shard water-filled budget share (one entry per measure).
+    pub shares: Vec<Vec<f64>>,
+}
+
+impl HierarchicalSharding {
+    /// Builds the coarse level for `instance`: partition + head-split
+    /// ([`super_partition`]), full-budget bounds, water-filled shares.
+    #[must_use]
+    pub fn new(instance: &Instance, config: &ShardConfig) -> Self {
+        let supers = super_partition(instance, config);
+        let bounds: Vec<f64> = (0..supers.num_shards())
+            .map(|k| shard_utility_bound(instance, &supers, k))
+            .collect();
+        let shares = split_budgets(instance, &supers, &bounds, config.budget_slack);
+        HierarchicalSharding {
+            supers,
+            bounds,
+            shares,
+        }
+    }
+
+    /// Number of super-shards.
+    #[must_use]
+    pub fn num_supers(&self) -> usize {
+        self.supers.num_shards()
+    }
+
+    /// The certified upper bound these terms imply for `instance`:
+    /// `Σ bounds + super cut_mass + quantization mass`.
+    #[must_use]
+    pub fn upper_bound(&self, instance: &Instance) -> f64 {
+        self.bounds.iter().sum::<f64>() + self.supers.cut_mass + instance.quantization_error()
+    }
+}
+
+/// Everything needed to solve one super-shard: its standalone sub-instance
+/// (budgets = the super-shard's water-filled share), the inner partition
+/// of that sub-instance at `max_streams` granularity, and the inner-level
+/// water-fill of the share across the inner shards. Built by
+/// [`plan_super`] identically in the from-scratch and the incremental
+/// paths — (super, inner) cache reuse in the ingest engine is sound
+/// because an unchanged (membership, content, share) triple reproduces
+/// this plan bit-for-bit.
+pub(crate) struct SuperPlan {
+    /// The super-shard's standalone instance (local ids, share budgets).
+    pub sub: Instance,
+    /// The inner partition of [`Self::sub`].
+    pub inner: Sharding,
+    /// Water-filled share of the super-shard's budgets per inner shard.
+    pub inner_shares: Vec<Vec<f64>>,
+    /// Dense local index of each of `sub`'s streams within its inner shard.
+    local_of_stream: Vec<usize>,
+}
+
+/// Builds the [`SuperPlan`] of super-shard `k`: sub-instance named
+/// `"{instance}#super{k}"`, inner partition at `config.max_streams`, inner
+/// bounds (water-fill weights only — never certificate terms) and inner
+/// shares. `local_of_stream` maps global stream ids to their dense local
+/// index within their super-shard, so the build costs O(super-shard).
+pub(crate) fn plan_super(
+    instance: &Instance,
+    supers: &Sharding,
+    local_of_stream: &[usize],
+    k: usize,
+    share: &[f64],
+    config: &ShardConfig,
+) -> SuperPlan {
+    let shard = &supers.shards[k];
+    let sub = build_shard_instance_with(
+        instance,
+        shard,
+        share,
+        &format!("{}#super{k}", instance.name()),
+        &|s| (supers.shard_of_stream[s.index()] == k).then(|| local_of_stream[s.index()]),
+    );
+    let inner = shard_instance(&sub, config.max_streams);
+    let mut local = vec![0usize; sub.num_streams()];
+    for ish in &inner.shards {
+        for (li, &s) in ish.streams.iter().enumerate() {
+            local[s.index()] = li;
+        }
+    }
+    let inner_bounds: Vec<f64> = (0..inner.num_shards())
+        .map(|j| shard_utility_bound(&sub, &inner, j))
+        .collect();
+    let inner_shares = split_budgets(&sub, &inner, &inner_bounds, config.budget_slack);
+    SuperPlan {
+        sub,
+        inner,
+        inner_shares,
+        local_of_stream: local,
+    }
+}
+
+/// Builds the standalone instance of inner shard `j` of a planned
+/// super-shard, named `"{instance}#super{k}#shard{j}"` (the name is a
+/// label only — solve results never depend on it).
+pub(crate) fn build_inner_instance(plan: &SuperPlan, j: usize) -> Instance {
+    build_shard_instance_with(
+        &plan.sub,
+        &plan.inner.shards[j],
+        &plan.inner_shares[j],
+        &format!("{}#shard{j}", plan.sub.name()),
+        &|s| (plan.inner.shard_of_stream[s.index()] == j).then(|| plan.local_of_stream[s.index()]),
+    )
+}
+
+/// The per-super-shard tail: merge the inner-shard solutions (`locals`,
+/// one assignment per inner shard, inner-local ids) into one assignment
+/// over the super-shard's sub-instance, repair the share budgets, and
+/// optionally run the residual fill — exactly what the single-level solve
+/// does for its shards. Returns the merged assignment (sub-local ids) and
+/// the number of streams the repair pass dropped.
+pub(crate) fn finish_super(
+    plan: &SuperPlan,
+    locals: &[Assignment],
+    global_fill: bool,
+) -> (Assignment, usize) {
+    let mut merged = Assignment::for_instance(&plan.sub);
+    for (shard, local) in plan.inner.shards.iter().zip(locals) {
+        for (lu, &gu) in shard.users.iter().enumerate() {
+            for ls in local.streams_of(UserId::new(lu)) {
+                merged.assign(gu, shard.streams[ls.index()]);
+            }
+        }
+    }
+    let repaired = repair_budgets(&plan.sub, &mut merged);
+    if global_fill && merged.check_feasible(&plan.sub).is_ok() {
+        residual_fill(&plan.sub, &mut merged);
+    }
+    (merged, repaired)
+}
+
 /// Result of [`solve_sharded`]: a feasible assignment plus the certificate
 /// bracketing the optimum (`utility ≤ OPT ≤ upper_bound`).
 #[derive(Clone, Debug)]
@@ -644,6 +936,11 @@ pub struct ShardedOutcome {
     pub cut_mass: f64,
     /// Streams dropped by the budget repair pass.
     pub repaired_streams: usize,
+    /// Stream-weighted skew ratio ([`Sharding::skew_ratio`]) of the
+    /// partition the solve fanned out over: the flat partition in
+    /// single-level mode, the coarse super level (after head-splitting) in
+    /// two-level mode.
+    pub skew_ratio: f64,
 }
 
 /// Solves one instance by sharding: partition ([`shard_instance`]), solve
@@ -776,15 +1073,22 @@ pub fn solve_sharded(
         cut_edges: sharding.cut.len(),
         cut_mass: sharding.cut_mass,
         repaired_streams,
+        skew_ratio: sharding.skew_ratio(),
     })
 }
 
 /// The two-level path of [`solve_sharded`] (`config.super_shards ≥ 2`):
-/// partition the catalog at the coarse cap `⌈|S| / super_shards⌉`,
-/// water-fill the budgets once across the super-shards, then solve each
-/// super-shard with the single-level pipeline at `max_streams` granularity
-/// and merge globally (repair + optional global fill), exactly like the
-/// single level does for its shards.
+/// build the [`HierarchicalSharding`] (coarse partition + head-splitting +
+/// one budget water-fill across the super-shards), plan every super-shard
+/// ([`plan_super`]: sub-instance, inner partition, inner water-fill), then
+/// solve **all** inner shards of all super-shards through one flat
+/// [`solve_batch`] fan-out — workers steal inner solves across
+/// super-shards, so the Zipf head no longer bounds the critical path — and
+/// merge per super-shard ([`finish_super`]) and globally (repair +
+/// optional global fill), exactly like the single level does for its
+/// shards. `solve_batch` results are per-instance deterministic and
+/// input-ordered, so the flat fan-out is bit-identical to solving each
+/// super-shard separately, at any worker count.
 ///
 /// Certificate: the upper bound is `Σ_k ub(super_k) + super_cut_mass`,
 /// where every `ub(super_k)` is [`shard_utility_bound`] against the FULL
@@ -799,59 +1103,63 @@ fn solve_two_level(
     instance: &Instance,
     config: &ShardConfig,
 ) -> Result<ShardedOutcome, SolveError> {
-    let ns = instance.num_streams();
-    // Never partition coarser than the inner cap asks for, or the inner
-    // level would have nothing left to split.
-    let super_cap = ns
-        .div_ceil(config.super_shards)
-        .max(config.max_streams.max(1));
-    let supering = shard_instance(instance, super_cap);
-    let mut local_of_stream = vec![0usize; ns];
-    for shard in &supering.shards {
+    let h = HierarchicalSharding::new(instance, config);
+    let mut local_of_stream = vec![0usize; instance.num_streams()];
+    for shard in &h.supers.shards {
         for (li, &s) in shard.streams.iter().enumerate() {
             local_of_stream[s.index()] = li;
         }
     }
-    // Both the water-fill weights AND the certificate terms (full budgets).
-    let super_bounds: Vec<f64> = (0..supering.num_shards())
-        .map(|k| shard_utility_bound(instance, &supering, k))
+    // Plans are independent per super-shard: fan them out on the same
+    // worker budget as the solves (input-ordered, so fully deterministic).
+    let plans: Vec<SuperPlan> = mmd_par::parallel_map(config.threads, &h.shares, |k, share| {
+        plan_super(instance, &h.supers, &local_of_stream, k, share, config)
+    });
+
+    // Flatten every (super, inner) pair into one global batch. This is
+    // what removes the head-bound fan-out: a worker finishing a small
+    // super-shard's inner solves steals the head's remaining ones.
+    let mut owners: Vec<(usize, usize)> = Vec::new();
+    for (k, plan) in plans.iter().enumerate() {
+        for j in 0..plan.inner.num_shards() {
+            owners.push((k, j));
+        }
+    }
+    let sub_instances: Vec<Instance> =
+        mmd_par::parallel_map(config.threads, &owners, |_, &(k, j)| {
+            build_inner_instance(&plans[k], j)
+        });
+    let results = solve_batch(&sub_instances, &config.mmd, config.threads);
+
+    let mut locals: Vec<Vec<Assignment>> = plans
+        .iter()
+        .map(|p| Vec::with_capacity(p.inner.num_shards()))
         .collect();
-    let budgets = split_budgets(instance, &supering, &super_bounds, config.budget_slack);
-    // One worker per super-shard; the inner solves run sequentially so the
-    // shard-level fan-out is not multiplied across levels.
-    let inner = ShardConfig {
-        super_shards: 0,
-        threads: 1,
-        ..*config
-    };
-    let pairs: Vec<(&Shard, &Vec<f64>)> = supering.shards.iter().zip(&budgets).collect();
-    let results: Vec<Result<ShardedOutcome, SolveError>> =
-        mmd_par::parallel_map(config.threads, &pairs, |k, &(shard, share)| {
-            let sub = build_shard_instance_with(
-                instance,
-                shard,
-                share,
-                &format!("{}#super{k}", instance.name()),
-                &|s| (supering.shard_of_stream[s.index()] == k).then(|| local_of_stream[s.index()]),
-            );
-            solve_sharded(&sub, &inner)
+    for (&(k, _), result) in owners.iter().zip(results) {
+        locals[k].push(result?.assignment);
+    }
+    // The per-super tails (merge, repair, fill against the sub-instance)
+    // are independent too.
+    let idx: Vec<usize> = (0..plans.len()).collect();
+    let finished: Vec<(Assignment, usize)> =
+        mmd_par::parallel_map(config.threads, &idx, |_, &k| {
+            finish_super(&plans[k], &locals[k], config.global_fill)
         });
 
     let mut merged = Assignment::for_instance(instance);
     let mut num_shards = 0usize;
     let mut largest_shard = 0usize;
-    let mut cut_edges = supering.cut.len();
-    let mut cut_mass = supering.cut_mass;
+    let mut cut_edges = h.supers.cut.len();
+    let mut cut_mass = h.supers.cut_mass;
     let mut repaired_streams = 0usize;
-    for (shard, result) in supering.shards.iter().zip(results) {
-        let out = result?;
-        num_shards += out.num_shards;
-        largest_shard = largest_shard.max(out.largest_shard);
-        cut_edges += out.cut_edges;
-        cut_mass += out.cut_mass;
-        repaired_streams += out.repaired_streams;
+    for ((shard, plan), (local, repaired)) in h.supers.shards.iter().zip(&plans).zip(finished) {
+        num_shards += plan.inner.num_shards();
+        largest_shard = largest_shard.max(plan.inner.largest_shard_streams());
+        cut_edges += plan.inner.cut.len();
+        cut_mass += plan.inner.cut_mass;
+        repaired_streams += repaired;
         for (lu, &gu) in shard.users.iter().enumerate() {
-            for ls in out.assignment.streams_of(UserId::new(lu)) {
+            for ls in local.streams_of(UserId::new(lu)) {
                 merged.assign(gu, shard.streams[ls.index()]);
             }
         }
@@ -865,8 +1173,7 @@ fn solve_two_level(
     let utility = merged.utility(instance);
     // Super-level certificate plus the compact-lane quantization margin
     // (0 in exact mode), mirroring the single-level path.
-    let upper_bound =
-        super_bounds.iter().sum::<f64>() + supering.cut_mass + instance.quantization_error();
+    let upper_bound = h.upper_bound(instance);
     let gap_fraction = if upper_bound.is_finite() && upper_bound > 0.0 {
         ((upper_bound - utility) / upper_bound).clamp(0.0, 1.0)
     } else {
@@ -887,6 +1194,7 @@ fn solve_two_level(
         cut_edges,
         cut_mass,
         repaired_streams,
+        skew_ratio: h.supers.skew_ratio(),
     })
 }
 
@@ -1376,6 +1684,132 @@ mod tests {
             assert_eq!(out.num_shards, 2, "one inner shard per super-shard");
             assert_eq!(out.cut_edges, 0);
             assert!(out.utility <= out.upper_bound);
+        }
+    }
+
+    #[test]
+    fn skew_ratio_reports_largest_over_mean() {
+        let inst = two_components();
+        let balanced = shard_instance(&inst, 0);
+        // Two shards of two streams each: perfectly balanced.
+        assert!(approx_eq(balanced.skew_ratio(), 1.0));
+        // No shards / no streams: defined as 0.
+        let empty = Instance::builder("e")
+            .server_budgets(vec![1.0])
+            .build()
+            .unwrap();
+        assert_eq!(shard_instance(&empty, 0).skew_ratio(), 0.0);
+    }
+
+    /// One heavy 4-stream community plus four singleton pairs: the coarse
+    /// partition at `super_shards = 2` (cap 4) yields shard sizes
+    /// [4, 1, 1, 1, 1] — skew 2.5 — so head-splitting must re-cut the head
+    /// at cap 2 and settle at skew 1.5.
+    fn skewed_instance() -> Instance {
+        let mut b = Instance::builder("skew").server_budgets(vec![100.0]);
+        let s: Vec<_> = (0..8).map(|_| b.add_stream(vec![1.0])).collect();
+        let hub = b.add_user(f64::INFINITY, vec![]);
+        for (i, &hs) in s.iter().take(4).enumerate() {
+            b.add_interest(hub, hs, 9.0 - i as f64, vec![]).unwrap();
+        }
+        for (i, &ts) in s.iter().skip(4).enumerate() {
+            let u = b.add_user(f64::INFINITY, vec![]);
+            b.add_interest(u, ts, 1.0 + i as f64 * 0.1, vec![]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn head_splitting_rebalances_the_coarse_partition() {
+        let inst = skewed_instance();
+        let cfg = ShardConfig {
+            super_shards: 2,
+            ..ShardConfig::default()
+        };
+        let supers = super_partition(&inst, &cfg);
+        assert!(
+            supers.skew_ratio() <= cfg.head_split_skew,
+            "post-split skew {} must be at or under the threshold",
+            supers.skew_ratio()
+        );
+        assert!(supers.largest_shard_streams() <= 2);
+        // Disabled threshold keeps the skewed head intact.
+        let raw = super_partition(
+            &inst,
+            &ShardConfig {
+                head_split_skew: 0.0,
+                ..cfg
+            },
+        );
+        assert_eq!(raw.largest_shard_streams(), 4);
+        assert!(raw.skew_ratio() > 2.0);
+        // Splitting cut interests are folded into the certificate terms.
+        assert!(supers.cut_mass >= raw.cut_mass);
+        // Membership maps were rebuilt consistently.
+        for (k, shard) in supers.shards.iter().enumerate() {
+            for &s in &shard.streams {
+                assert_eq!(supers.shard_of_stream[s.index()], k);
+            }
+            for &u in &shard.users {
+                assert_eq!(supers.shard_of_user[u.index()], k);
+            }
+        }
+    }
+
+    /// Regression: with a threshold the partition can never satisfy (every
+    /// shard ends at the inner-cap floor while the singletons keep the skew
+    /// above it), head-splitting exits the loop *after* having spliced the
+    /// shard list at least once. The membership maps must still be rebuilt
+    /// on that path — a stale `shard_of_stream` entry pointing at a
+    /// pre-split index corrupts every downstream local-id translation.
+    #[test]
+    fn head_split_floor_exit_keeps_membership_maps_consistent() {
+        let inst = skewed_instance();
+        let cfg = ShardConfig {
+            super_shards: 2,
+            max_streams: 2,
+            head_split_skew: 1.01,
+            ..ShardConfig::default()
+        };
+        let supers = super_partition(&inst, &cfg);
+        // The floor stops splitting before the skew target is met.
+        assert!(supers.skew_ratio() > cfg.head_split_skew);
+        assert!(supers.largest_shard_streams() <= 2);
+        let mut stream_seen = vec![false; inst.num_streams()];
+        let mut user_seen = vec![false; inst.num_users()];
+        for (k, shard) in supers.shards.iter().enumerate() {
+            for &s in &shard.streams {
+                assert_eq!(supers.shard_of_stream[s.index()], k, "stream {s:?}");
+                assert!(!stream_seen[s.index()], "stream {s:?} listed twice");
+                stream_seen[s.index()] = true;
+            }
+            for &u in &shard.users {
+                assert_eq!(supers.shard_of_user[u.index()], k, "user {u:?}");
+                assert!(!user_seen[u.index()], "user {u:?} listed twice");
+                user_seen[u.index()] = true;
+            }
+        }
+        assert!(stream_seen.iter().all(|&v| v), "every stream stays listed");
+        assert!(user_seen.iter().all(|&v| v), "every user stays listed");
+    }
+
+    #[test]
+    fn head_split_two_level_solve_stays_certified_and_thread_invariant() {
+        let inst = skewed_instance();
+        let cfg = ShardConfig {
+            super_shards: 2,
+            ..ShardConfig::default()
+        };
+        let base = solve_sharded(&inst, &cfg).unwrap();
+        assert!(base.assignment.check_feasible(&inst).is_ok());
+        assert!(base.utility > 0.0);
+        assert!(base.utility <= base.upper_bound + 1e-9, "bracket must hold");
+        assert!(base.skew_ratio <= cfg.head_split_skew);
+        for threads in [2usize, 4, 8] {
+            let out = solve_sharded(&inst, &ShardConfig { threads, ..cfg }).unwrap();
+            assert_eq!(out.assignment, base.assignment, "threads {threads}");
+            assert_eq!(out.utility.to_bits(), base.utility.to_bits());
+            assert_eq!(out.upper_bound.to_bits(), base.upper_bound.to_bits());
         }
     }
 

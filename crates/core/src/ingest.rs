@@ -84,8 +84,8 @@ use crate::algo::batch::solve_batch;
 use crate::algo::online::{OfferOutcome, OnlineAllocator, OnlineConfig};
 use crate::algo::reduction::residual_fill;
 use crate::algo::shard::{
-    build_shard_instance_with, repair_budgets, shard_instance, shard_utility_bound, solve_sharded,
-    split_budgets, ShardConfig,
+    build_inner_instance, build_shard_instance_with, finish_super, plan_super, repair_budgets,
+    shard_instance, shard_utility_bound, split_budgets, super_partition, ShardConfig, SuperPlan,
 };
 use crate::assignment::Assignment;
 use crate::error::{BuildError, SolveError};
@@ -277,6 +277,16 @@ pub struct IngestOutcome {
     pub dirty_shards: usize,
     /// Shards actually re-solved (equals `num_shards` on a full re-solve).
     pub resolved_shards: usize,
+    /// Super-shards of the coarse partition (0 in single-level mode; in
+    /// two-level mode `num_shards`/`dirty_shards`/`resolved_shards` count
+    /// *inner* shards).
+    pub super_shards: usize,
+    /// Super-shards the updates dirtied, before any trigger escalation
+    /// (0 in single-level mode).
+    pub dirty_supers: usize,
+    /// Super-shards actually re-planned and re-merged (equals
+    /// `super_shards` on a full re-solve; 0 in single-level mode).
+    pub resolved_supers: usize,
     /// Whether a re-shard trigger escalated this batch to a full re-solve.
     pub full_resolve: bool,
     /// Capped utility of the committed assignment — certified lower bound.
@@ -342,6 +352,17 @@ pub struct IngestMetrics {
     /// batch); `resolved_shards / shard_slots` is the engine's lifetime
     /// dirty-work ratio — see [`dirty_fraction`](Self::dirty_fraction).
     pub shard_slots: u64,
+    /// Super-shard slots across all applies (`super_shards` summed per
+    /// batch; stays 0 in single-level mode).
+    pub super_slots: u64,
+    /// Super-shards re-planned across all applies (two-level mode).
+    pub resolved_supers: u64,
+    /// Inner-shard solves skipped inside dirty super-shards because the
+    /// cached `(membership, content, share)`-keyed solution was still
+    /// valid (two-level mode).
+    pub inner_cache_hits: u64,
+    /// Inner-shard solves actually run (two-level mode).
+    pub inner_cache_misses: u64,
     /// [`apply`](IngestEngine::apply) calls that returned an error (the
     /// committed state was left untouched each time).
     pub rejected_batches: u64,
@@ -364,6 +385,17 @@ impl IngestMetrics {
             0.0
         } else {
             self.resolved_shards as f64 / self.shard_slots as f64
+        }
+    }
+
+    /// Lifetime re-planned fraction of super-shard slots (two-level mode):
+    /// `1.0` means every batch re-planned every super-shard, `0.0` means no
+    /// super-shard work at all (or no two-level applies yet).
+    pub fn dirty_super_fraction(&self) -> f64 {
+        if self.super_slots == 0 {
+            0.0
+        } else {
+            self.resolved_supers as f64 / self.super_slots as f64
         }
     }
 }
@@ -583,6 +615,49 @@ struct ShardCacheEntry {
     local: Assignment,
 }
 
+/// Everything cached about one planned-and-solved super-shard of the
+/// two-level mode, keyed by its membership. The entry carries both the
+/// finished per-super assignment (reused wholesale when the super-shard is
+/// clean) and the per-inner-shard solutions (reused individually inside a
+/// *dirty* super-shard whose re-plan reproduces an inner shard's
+/// `(membership, content, share)` key — see
+/// [`IngestEngine::resolve_two_level`]).
+#[derive(Clone, Debug)]
+struct SuperCacheEntry {
+    streams: Vec<StreamId>,
+    users: Vec<UserId>,
+    /// The coarse water-filled budget share the cached plan was built under.
+    share: Vec<f64>,
+    /// The super-shard's utility bound under the FULL budgets (water-fill
+    /// weight and the only per-shard certificate term).
+    bound: f64,
+    /// The finished per-super assignment (sub-local ids): inner solutions
+    /// merged, share budgets repaired, residual-filled.
+    local: Assignment,
+    /// Counters of the cached plan, folded into every outcome that reuses
+    /// the entry.
+    num_inner: usize,
+    inner_cut_edges: usize,
+    inner_cut_mass: f64,
+    repaired: usize,
+    /// The inner-shard solutions behind [`Self::local`].
+    inner: Vec<InnerCacheEntry>,
+}
+
+/// One cached inner-shard solve of a super-shard, keyed by the triple that
+/// fully determines its sub-sub-instance (up to the name, which is a
+/// label): global membership, member content, and the inner-level budget
+/// share. Ids are global so the key survives super-shard re-planning.
+#[derive(Clone, Debug)]
+struct InnerCacheEntry {
+    streams: Vec<StreamId>,
+    users: Vec<UserId>,
+    /// The inner water-filled share the cached solve ran under.
+    share: Vec<f64>,
+    /// The cached inner-local solution.
+    local: Assignment,
+}
+
 /// The fixed id universe of an engine: the dimension bounds every update
 /// is validated against.
 ///
@@ -685,6 +760,9 @@ pub struct IngestEngine {
     cache: Vec<ShardCacheEntry>,
     cached_shard_of_stream: Vec<usize>,
     cached_shard_of_user: Vec<usize>,
+    super_cache: Vec<SuperCacheEntry>,
+    cached_super_of_stream: Vec<usize>,
+    cached_super_of_user: Vec<usize>,
     last: IngestOutcome,
     metrics: IngestMetrics,
 }
@@ -706,6 +784,9 @@ impl IngestEngine {
             cache: Vec::new(),
             cached_shard_of_stream: vec![usize::MAX; base.num_streams()],
             cached_shard_of_user: vec![usize::MAX; base.num_users()],
+            super_cache: Vec::new(),
+            cached_super_of_stream: vec![usize::MAX; base.num_streams()],
+            cached_super_of_user: vec![usize::MAX; base.num_users()],
             model,
             pending: Vec::new(),
             last: IngestOutcome {
@@ -713,6 +794,9 @@ impl IngestEngine {
                 num_shards: 0,
                 dirty_shards: 0,
                 resolved_shards: 0,
+                super_shards: 0,
+                dirty_supers: 0,
+                resolved_supers: 0,
                 full_resolve: true,
                 utility: 0.0,
                 upper_bound: 0.0,
@@ -939,6 +1023,8 @@ impl IngestEngine {
         m.full_resolves += u64::from(outcome.full_resolve);
         m.resolved_shards += outcome.resolved_shards as u64;
         m.shard_slots += outcome.num_shards as u64;
+        m.super_slots += outcome.super_shards as u64;
+        m.resolved_supers += outcome.resolved_supers as u64;
         m.last_apply_nanos = nanos;
         m.total_apply_nanos = m.total_apply_nanos.saturating_add(nanos);
     }
@@ -991,13 +1077,12 @@ impl IngestEngine {
         touched: Touched,
         updates_applied: usize,
     ) -> Result<IngestOutcome, IngestError> {
-        // Two-level mode delegates every apply to a from-scratch
-        // [`solve_sharded`]: the coarse partition reshuffles globally under
-        // churn, so there is no stable shard unit for the incremental cache
-        // to reuse. Delegation keeps the bit-equivalence contract trivially
-        // and is counted as a full resolve.
+        // Two-level mode runs the hierarchical twin of the incremental
+        // path below: the same matching/dirtiness machinery applied at the
+        // coarse (super) level, with a second reuse opportunity at the
+        // inner level inside dirty super-shards.
         if self.config.shard.super_shards > 1 {
-            return self.resolve_two_level(updates_applied);
+            return self.resolve_two_level(&touched, updates_applied);
         }
         let threads = self.config.shard.threads;
         let current = self.model.materialize(&self.base)?;
@@ -1148,6 +1233,9 @@ impl IngestEngine {
             num_shards: n,
             dirty_shards,
             resolved_shards,
+            super_shards: 0,
+            dirty_supers: 0,
+            resolved_supers: 0,
             full_resolve,
             utility,
             upper_bound,
@@ -1162,31 +1250,323 @@ impl IngestEngine {
         Ok(outcome)
     }
 
-    /// The two-level resolve: one [`solve_sharded`] of the materialized
-    /// instance per apply (see [`Self::resolve`] for why the incremental
-    /// cache is bypassed). The shard cache is cleared so a later switch
-    /// back to single-level mode starts from a cold, consistent state.
-    fn resolve_two_level(&mut self, updates_applied: usize) -> Result<IngestOutcome, IngestError> {
+    /// The two-level incremental core: the hierarchical twin of
+    /// [`Self::resolve`]. The coarse partition is refreshed through
+    /// [`super_partition`] — the exact function [`solve_sharded`]'s
+    /// two-level path uses, head-splitting included — and the same
+    /// matching/dirtiness machinery is applied at the super level: a
+    /// super-shard is *clean* when its membership, its content (no touched
+    /// member) and its coarse water-filled budget share are unchanged, in
+    /// which case its cached finished assignment and counters are reused
+    /// wholesale. Dirty super-shards are re-planned ([`plan_super`]), and
+    /// inside them a second reuse level kicks in: an inner shard whose
+    /// `(global membership, untouched content, inner share)` key matches a
+    /// cached entry skips its solve — the key fully determines the
+    /// sub-sub-instance (names are labels), so reuse is bit-exact even when
+    /// the super-shard's own share moved. Everything else solves through
+    /// one flattened [`solve_batch`] across all dirty super-shards (workers
+    /// steal inner solves across supers, like the from-scratch fan-out),
+    /// then the per-super tails ([`finish_super`]) and the global passes
+    /// re-run exactly as [`solve_sharded`] runs them.
+    ///
+    /// The certificate is the super level's alone: full-budget super bounds
+    /// (cached unless a budget was touched) + coarse cut mass +
+    /// quantization mass — identical terms, and bit-identical values, to
+    /// the from-scratch two-level solve.
+    ///
+    /// [`solve_sharded`]: crate::algo::shard::solve_sharded
+    /// [`solve_batch`]: crate::algo::batch::solve_batch
+    fn resolve_two_level(
+        &mut self,
+        touched: &Touched,
+        updates_applied: usize,
+    ) -> Result<IngestOutcome, IngestError> {
+        let config = self.config.shard;
+        let threads = config.threads;
         let current = self.model.materialize(&self.base)?;
-        let out = solve_sharded(&current, &self.config.shard).map_err(IngestError::Solve)?;
-        self.cache.clear();
-        self.cached_shard_of_stream.clear();
-        self.cached_shard_of_user.clear();
+        let supers = super_partition(&current, &config);
+        let n = supers.num_shards();
+
+        // Match every fresh super-shard against the cached coarse
+        // partition (by first member) and decide content cleanliness.
+        // `candidate` keeps the raw match even when the super-shard is
+        // dirty: inner-level reuse scans the candidate's inner cache.
+        let mut candidate: Vec<Option<usize>> = Vec::with_capacity(n);
+        let mut matched: Vec<Option<usize>> = Vec::with_capacity(n);
+        for shard in &supers.shards {
+            let j = shard
+                .streams
+                .first()
+                .map(|s| self.cached_super_of_stream[s.index()])
+                .or_else(|| {
+                    shard
+                        .users
+                        .first()
+                        .map(|u| self.cached_super_of_user[u.index()])
+                });
+            let j = match j {
+                Some(j) if j < self.super_cache.len() => j,
+                _ => {
+                    candidate.push(None);
+                    matched.push(None);
+                    continue;
+                }
+            };
+            let entry = &self.super_cache[j];
+            let clean = entry.streams == shard.streams
+                && entry.users == shard.users
+                && !shard.streams.iter().any(|s| touched.streams[s.index()])
+                && !shard.users.iter().any(|u| touched.users[u.index()]);
+            candidate.push(Some(j));
+            matched.push(clean.then_some(j));
+        }
+
+        // Super-level bounds under the FULL budgets: the water-fill weights
+        // and the only per-shard certificate terms. Reused for clean
+        // super-shards unless a shared budget was touched.
+        let bounds: Vec<f64> = (0..n)
+            .map(|k| match matched[k] {
+                Some(j) if !touched.budgets => self.super_cache[j].bound,
+                _ => shard_utility_bound(&current, &supers, k),
+            })
+            .collect();
+        let shares = split_budgets(&current, &supers, &bounds, config.budget_slack);
+
+        // Dirty = content changed, or the coarse water-fill moved the
+        // super-shard's budget share.
+        let mut dirty: Vec<bool> = (0..n)
+            .map(|k| match matched[k] {
+                Some(j) => self.super_cache[j].share != shares[k],
+                None => true,
+            })
+            .collect();
+        let dirty_supers = dirty.iter().filter(|&&d| d).count();
+        let pre_dirty = dirty.clone();
+
+        let super_cut_mass = supers.cut_mass;
+        // Mirrors the from-scratch two-level certificate: super bounds +
+        // coarse cut mass + the compact-lane quantization margin.
+        let upper_bound =
+            bounds.iter().sum::<f64>() + super_cut_mass + current.quantization_error();
+        let dirty_fraction = if n > 0 {
+            dirty_supers as f64 / n as f64
+        } else {
+            0.0
+        };
+        let cut_fraction = if upper_bound.is_finite() && upper_bound > 0.0 {
+            super_cut_mass / upper_bound
+        } else {
+            0.0
+        };
+        let full_resolve = dirty_fraction > self.config.max_dirty_fraction
+            || cut_fraction > self.config.max_cut_fraction;
+        if full_resolve {
+            // Escalation kills reuse at BOTH levels: every super-shard is
+            // re-planned and every inner shard re-solved from scratch.
+            dirty.iter_mut().for_each(|d| *d = true);
+        }
+        let resolved_supers = dirty.iter().filter(|&&d| d).count();
+
+        // Re-plan the dirty super-shards — solve_sharded's plan fan-out
+        // restricted to the dirty set.
+        let mut local_of_stream = vec![0usize; current.num_streams()];
+        for shard in &supers.shards {
+            for (li, &s) in shard.streams.iter().enumerate() {
+                local_of_stream[s.index()] = li;
+            }
+        }
+        let dirty_idx: Vec<usize> = (0..n).filter(|&k| dirty[k]).collect();
+        let plans: Vec<SuperPlan> = mmd_par::parallel_map(threads, &dirty_idx, |_, &k| {
+            plan_super(&current, &supers, &local_of_stream, k, &shares[k], &config)
+        });
+
+        // Inner-level reuse inside the dirty super-shards, then one
+        // flattened solve batch over everything that missed.
+        let mut inner_members: Vec<Vec<(Vec<StreamId>, Vec<UserId>)>> =
+            Vec::with_capacity(plans.len());
+        let mut locals: Vec<Vec<Option<Assignment>>> = Vec::with_capacity(plans.len());
+        let mut owners: Vec<(usize, usize)> = Vec::new();
+        let mut dirty_shards = 0usize;
+        let mut inner_hits = 0u64;
+        for (p, &k) in dirty_idx.iter().enumerate() {
+            let plan = &plans[p];
+            let shard = &supers.shards[k];
+            let mut members = Vec::with_capacity(plan.inner.num_shards());
+            let mut local: Vec<Option<Assignment>> = Vec::with_capacity(plan.inner.num_shards());
+            for j in 0..plan.inner.num_shards() {
+                let ish = &plan.inner.shards[j];
+                let g_streams: Vec<StreamId> = ish
+                    .streams
+                    .iter()
+                    .map(|ls| shard.streams[ls.index()])
+                    .collect();
+                let g_users: Vec<UserId> =
+                    ish.users.iter().map(|lu| shard.users[lu.index()]).collect();
+                let hit = if full_resolve {
+                    None
+                } else {
+                    candidate[k].and_then(|c| {
+                        self.super_cache[c].inner.iter().find(|e| {
+                            e.share == plan.inner_shares[j]
+                                && e.streams == g_streams
+                                && e.users == g_users
+                                && !g_streams.iter().any(|s| touched.streams[s.index()])
+                                && !g_users.iter().any(|u| touched.users[u.index()])
+                        })
+                    })
+                };
+                match hit {
+                    Some(e) => {
+                        inner_hits += 1;
+                        local.push(Some(e.local.clone()));
+                    }
+                    None => {
+                        owners.push((p, j));
+                        if pre_dirty[k] {
+                            dirty_shards += 1;
+                        }
+                        local.push(None);
+                    }
+                }
+                members.push((g_streams, g_users));
+            }
+            inner_members.push(members);
+            locals.push(local);
+        }
+        let subs: Vec<Instance> = mmd_par::parallel_map(threads, &owners, |_, &(p, j)| {
+            build_inner_instance(&plans[p], j)
+        });
+        let results = solve_batch(&subs, &config.mmd, threads);
+        let mut fresh = results.into_iter();
+        for &(p, j) in &owners {
+            let outcome = fresh
+                .next()
+                .expect("one solve result per missed inner shard")
+                .map_err(IngestError::Solve)?;
+            locals[p][j] = Some(outcome.assignment);
+        }
+        let locals: Vec<Vec<Assignment>> = locals
+            .into_iter()
+            .map(|v| {
+                v.into_iter()
+                    .map(|a| a.expect("every inner shard is solved or reused"))
+                    .collect()
+            })
+            .collect();
+
+        // Per-super tails for the dirty set (merge the inner solutions,
+        // repair the share budgets, optional fill) — finish_super is the
+        // from-scratch path's own tail.
+        let idx: Vec<usize> = (0..plans.len()).collect();
+        let finished: Vec<(Assignment, usize)> = mmd_par::parallel_map(threads, &idx, |_, &p| {
+            finish_super(&plans[p], &locals[p], config.global_fill)
+        });
+
+        // Rebuild the cache (dirty super-shards from their fresh plans,
+        // clean ones wholesale) while merging globally in super order —
+        // the same order solve_sharded merges in.
+        let mut merged = Assignment::for_instance(&current);
+        let mut num_shards = 0usize;
+        let mut cut_edges = supers.cut.len();
+        let mut cut_mass = super_cut_mass;
+        let mut repaired_streams = 0usize;
+        let mut new_cache: Vec<SuperCacheEntry> = Vec::with_capacity(n);
+        let mut plans_iter = plans.iter();
+        let mut finished_iter = finished.into_iter();
+        let mut members_iter = inner_members.into_iter();
+        let mut locals_iter = locals.into_iter();
+        for k in 0..n {
+            let entry = if dirty[k] {
+                let plan = plans_iter.next().expect("one plan per dirty super-shard");
+                let (local, repaired) = finished_iter
+                    .next()
+                    .expect("one finished tail per dirty super-shard");
+                let members = members_iter
+                    .next()
+                    .expect("one member list per dirty super-shard");
+                let inner_locals = locals_iter
+                    .next()
+                    .expect("one solution list per dirty super-shard");
+                let inner: Vec<InnerCacheEntry> = members
+                    .into_iter()
+                    .zip(inner_locals)
+                    .enumerate()
+                    .map(|(j, ((streams, users), ilocal))| InnerCacheEntry {
+                        streams,
+                        users,
+                        share: plan.inner_shares[j].clone(),
+                        local: ilocal,
+                    })
+                    .collect();
+                SuperCacheEntry {
+                    streams: supers.shards[k].streams.clone(),
+                    users: supers.shards[k].users.clone(),
+                    share: shares[k].clone(),
+                    bound: bounds[k],
+                    local,
+                    num_inner: plan.inner.num_shards(),
+                    inner_cut_edges: plan.inner.cut.len(),
+                    inner_cut_mass: plan.inner.cut_mass,
+                    repaired,
+                    inner,
+                }
+            } else {
+                let j = matched[k].expect("clean super-shards are matched");
+                let mut entry = self.super_cache[j].clone();
+                entry.share = shares[k].clone();
+                entry.bound = bounds[k];
+                entry
+            };
+            num_shards += entry.num_inner;
+            cut_edges += entry.inner_cut_edges;
+            cut_mass += entry.inner_cut_mass;
+            repaired_streams += entry.repaired;
+            for (lu, &gu) in entry.users.iter().enumerate() {
+                for ls in entry.local.streams_of(UserId::new(lu)) {
+                    merged.assign(gu, entry.streams[ls.index()]);
+                }
+            }
+            new_cache.push(entry);
+        }
+
+        // Global reconciliation — identical to solve_sharded's tail.
+        repaired_streams += repair_budgets(&current, &mut merged);
+        if config.global_fill && merged.check_feasible(&current).is_ok() {
+            residual_fill(&current, &mut merged);
+        }
+
+        let utility = merged.utility(&current);
+        let gap_fraction = if upper_bound.is_finite() && upper_bound > 0.0 {
+            ((upper_bound - utility) / upper_bound).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+
+        // Commit.
+        let resolved_shards = owners.len();
+        self.super_cache = new_cache;
+        self.cached_super_of_stream = supers.shard_of_stream.clone();
+        self.cached_super_of_user = supers.shard_of_user.clone();
+        self.metrics.inner_cache_hits += inner_hits;
+        self.metrics.inner_cache_misses += resolved_shards as u64;
         let outcome = IngestOutcome {
             updates_applied,
-            num_shards: out.num_shards,
-            dirty_shards: out.num_shards,
-            resolved_shards: out.num_shards,
-            full_resolve: true,
-            utility: out.utility,
-            upper_bound: out.upper_bound,
-            gap_fraction: out.gap_fraction,
-            cut_edges: out.cut_edges,
-            cut_mass: out.cut_mass,
-            repaired_streams: out.repaired_streams,
+            num_shards,
+            dirty_shards,
+            resolved_shards,
+            super_shards: n,
+            dirty_supers,
+            resolved_supers,
+            full_resolve,
+            utility,
+            upper_bound,
+            gap_fraction,
+            cut_edges,
+            cut_mass,
+            repaired_streams,
         };
         self.current = current;
-        self.assignment = out.assignment;
+        self.assignment = merged;
         self.last = outcome;
         Ok(outcome)
     }
@@ -1373,23 +1753,86 @@ mod tests {
     }
 
     #[test]
-    fn two_level_mode_delegates_every_apply() {
+    fn two_level_mode_applies_incrementally() {
         let config = IngestConfig {
             shard: ShardConfig::default().with_super_shards(2),
             ..IngestConfig::default()
         };
         let mut eng = IngestEngine::new(three_components(), config).unwrap();
         assert_matches_scratch(&eng);
+        assert_eq!(eng.last_outcome().super_shards, 3);
+
         eng.push(Update::StreamDeparture(sid(0))).unwrap();
         let out = eng.apply().unwrap();
-        // No incremental cache in two-level mode: every apply is a full,
-        // from-scratch two-level resolve.
-        assert!(out.full_resolve);
-        assert_eq!(out.dirty_shards, out.num_shards);
-        assert_eq!(out.resolved_shards, out.num_shards);
+        // The coarse partition is cached: only the departed stream's
+        // super-shard and the residual super-shard the stream moved to are
+        // re-planned; the other communities reuse their finished super
+        // solutions wholesale.
+        assert!(
+            !out.full_resolve,
+            "2/4 dirty supers is at, not above, the trigger"
+        );
+        assert_eq!(out.super_shards, 4);
+        assert_eq!(out.dirty_supers, 2);
+        assert_eq!(out.resolved_supers, 2);
+        assert!(out.resolved_shards < out.num_shards);
         assert!(!eng.assignment().in_range(sid(0)));
         assert_matches_scratch(&eng);
+
+        // Re-arrival restores the original coarse partition; only the
+        // re-merged super-shard re-plans.
         eng.push(Update::StreamArrival(sid(0))).unwrap();
+        let back = eng.apply().unwrap();
+        assert!(!back.full_resolve);
+        assert_eq!(back.super_shards, 3);
+        assert_eq!(back.dirty_supers, 1);
+        assert_matches_scratch(&eng);
+
+        let m = eng.metrics();
+        assert_eq!(m.super_slots, 7);
+        assert_eq!(m.resolved_supers, 3);
+        assert!(m.dirty_super_fraction() < 1.0);
+        assert_eq!(m.inner_cache_misses, m.resolved_shards);
+    }
+
+    #[test]
+    fn two_level_escalation_kills_both_reuse_levels() {
+        let config = IngestConfig {
+            shard: ShardConfig::default().with_super_shards(2),
+            max_dirty_fraction: 0.0,
+            ..IngestConfig::default()
+        };
+        let mut eng = IngestEngine::new(three_components(), config).unwrap();
+        eng.push(Update::StreamDeparture(sid(0))).unwrap();
+        let out = eng.apply().unwrap();
+        assert!(out.full_resolve);
+        assert_eq!(out.resolved_supers, out.super_shards);
+        assert_eq!(out.resolved_shards, out.num_shards);
+        assert_eq!(eng.metrics().inner_cache_hits, 0);
+        assert_matches_scratch(&eng);
+    }
+
+    #[test]
+    fn two_level_budget_change_stays_equivalent() {
+        let config = IngestConfig {
+            shard: ShardConfig::default().with_super_shards(2),
+            ..IngestConfig::default()
+        };
+        let mut eng = IngestEngine::new(three_components(), config).unwrap();
+        // Tighten the shared budget into contention: every coarse share
+        // moves, so the engine escalates — and must still match scratch.
+        eng.push(Update::BudgetChange {
+            measure: 0,
+            budget: 12.0,
+        })
+        .unwrap();
+        eng.apply().unwrap();
+        assert_matches_scratch(&eng);
+        eng.push(Update::BudgetChange {
+            measure: 0,
+            budget: 100.0,
+        })
+        .unwrap();
         eng.apply().unwrap();
         assert_matches_scratch(&eng);
     }

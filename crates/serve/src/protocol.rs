@@ -256,6 +256,15 @@ pub struct MetricsSnapshot {
     pub shard_slots: u64,
     /// Lifetime `resolved_shards / shard_slots` (0 before any apply).
     pub dirty_fraction: f64,
+    /// Configured super-shard fan-out (`0` or `1` = single-level engine).
+    pub super_shards: u64,
+    /// Lifetime `resolved_supers / super_slots` (0 before any two-level
+    /// apply, and always 0 in single-level mode).
+    pub dirty_super_fraction: f64,
+    /// Inner shard solves reused from the two-level cache (engine).
+    pub inner_cache_hits: u64,
+    /// Inner shard solves that missed the two-level cache and ran (engine).
+    pub inner_cache_misses: u64,
     /// Apply calls that were rejected, committed state untouched (engine).
     pub rejected_batches: u64,
     /// Updates rejected by structural validation (engine).
@@ -731,6 +740,13 @@ impl Serialize for MetricsSnapshot {
             ("resolved_shards", count(self.resolved_shards)),
             ("shard_slots", count(self.shard_slots)),
             ("dirty_fraction", Value::Number(self.dirty_fraction)),
+            ("super_shards", count(self.super_shards)),
+            (
+                "dirty_super_fraction",
+                Value::Number(self.dirty_super_fraction),
+            ),
+            ("inner_cache_hits", count(self.inner_cache_hits)),
+            ("inner_cache_misses", count(self.inner_cache_misses)),
             ("rejected_batches", count(self.rejected_batches)),
             ("rejected_updates", count(self.rejected_updates)),
             ("last_apply_micros", count(self.last_apply_micros)),
@@ -772,6 +788,10 @@ impl Deserialize for MetricsSnapshot {
             resolved_shards: c("resolved_shards")?,
             shard_slots: c("shard_slots")?,
             dirty_fraction: need_f64(value, "dirty_fraction").map_err(shape)?,
+            super_shards: c("super_shards")?,
+            dirty_super_fraction: need_f64(value, "dirty_super_fraction").map_err(shape)?,
+            inner_cache_hits: c("inner_cache_hits")?,
+            inner_cache_misses: c("inner_cache_misses")?,
             rejected_batches: c("rejected_batches")?,
             rejected_updates: c("rejected_updates")?,
             last_apply_micros: c("last_apply_micros")?,
@@ -1145,6 +1165,10 @@ mod tests {
                 resolved_shards: 61,
                 shard_slots: 120,
                 dirty_fraction: 61.0 / 120.0,
+                super_shards: 4,
+                dirty_super_fraction: 0.25,
+                inner_cache_hits: 35,
+                inner_cache_misses: 61,
                 rejected_batches: 1,
                 rejected_updates: 3,
                 last_apply_micros: 840,

@@ -548,6 +548,10 @@ impl Service {
             resolved_shards: m.resolved_shards,
             shard_slots: m.shard_slots,
             dirty_fraction: m.dirty_fraction(),
+            super_shards: self.config.ingest.shard.super_shards as u64,
+            dirty_super_fraction: m.dirty_super_fraction(),
+            inner_cache_hits: m.inner_cache_hits,
+            inner_cache_misses: m.inner_cache_misses,
             rejected_batches: m.rejected_batches,
             rejected_updates: m.rejected_updates,
             last_apply_micros: m.last_apply_nanos / 1_000,
