@@ -38,7 +38,7 @@ use mmd_bench::outfile::ExpArgs;
 use mmd_bench::perf::{
     check_baseline, run_ladder, run_web_only, web_rung_by_name, Ladder, PerfReport,
 };
-use mmd_bench::trend::{load_trend_dir_with_notes, trend_table};
+use mmd_bench::trend::{load_trend_dir_with_notes, trend_report};
 use serde_json::Value;
 
 fn fail_usage(msg: &str) -> ! {
@@ -64,7 +64,7 @@ fn main() {
         for note in &notes {
             eprintln!("perf trend: {note}");
         }
-        let table = trend_table(&points);
+        let table = trend_report(&points);
         print!("{table}");
         if let Some(path) = args.get("summary") {
             if let Err(e) = std::fs::write(path, &table) {

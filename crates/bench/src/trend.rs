@@ -1,5 +1,6 @@
 //! Cross-commit perf trends: fold a directory of SHA-stamped
-//! `BENCH_perf.json` artifacts into one markdown table.
+//! `BENCH_perf.json` artifacts into one markdown table plus per-cell
+//! sparklines ([`trend_report`]).
 //!
 //! CI keeps one `bench-perf-<sha>` artifact per commit (see
 //! `.github/workflows/ci.yml`). The perf job downloads the last few into a
@@ -258,6 +259,81 @@ pub fn trend_table(points: &[TrendPoint]) -> String {
     t.to_markdown()
 }
 
+/// Block characters for the trend sparkline, lowest to highest.
+const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders one column's wall times as a sparkline, oldest first. Each
+/// present value scales min→max onto the eight block levels; commits whose
+/// artifact predates the cell render as `·`. A flat series (or a single
+/// point) renders at the lowest level — only *relative* movement lights up.
+#[must_use]
+pub fn sparkline(values: &[Option<f64>]) -> String {
+    let present: Vec<f64> = values.iter().flatten().copied().collect();
+    let (min, max) = present
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let span = max - min;
+    values
+        .iter()
+        .map(|c| match c {
+            None => '·',
+            Some(v) if span <= 0.0 || !span.is_finite() => {
+                let _ = v;
+                SPARK_LEVELS[0]
+            }
+            Some(v) => {
+                let t = ((v - min) / span).clamp(0.0, 1.0);
+                // Top level only at the max itself: index by floor of t·8,
+                // clamped into range.
+                let idx = ((t * SPARK_LEVELS.len() as f64) as usize).min(SPARK_LEVELS.len() - 1);
+                SPARK_LEVELS[idx]
+            }
+        })
+        .collect()
+}
+
+/// The full `perf --trend` report: the cross-commit table plus one
+/// sparkline per headline cell (oldest commit on the left), each annotated
+/// with its first → last wall time so the glyphs carry absolute scale.
+/// Columns with no data at all are omitted from the sparkline block.
+#[must_use]
+pub fn trend_report(points: &[TrendPoint]) -> String {
+    let mut out = trend_table(points);
+    if points.is_empty() {
+        return out;
+    }
+    let mut lines = Vec::new();
+    let width = HEADLINE_CELLS
+        .iter()
+        .map(|&(_, _, label)| label.len())
+        .max()
+        .unwrap_or(0);
+    for (i, &(_, _, label)) in HEADLINE_CELLS.iter().enumerate() {
+        let column: Vec<Option<f64>> = points.iter().map(|p| p.cells[i]).collect();
+        let present: Vec<f64> = column.iter().flatten().copied().collect();
+        if present.is_empty() {
+            continue;
+        }
+        let first = present[0];
+        let last = present[present.len() - 1];
+        lines.push(format!(
+            "{label:width$}  {}  {first:.1} → {last:.1} ms",
+            sparkline(&column)
+        ));
+    }
+    if !lines.is_empty() {
+        out.push_str("\nsparklines (oldest → newest):\n\n```\n");
+        for line in &lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str("```\n");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +407,57 @@ mod tests {
         let table = trend_table(&[point]);
         assert!(table.contains("12.5"), "{table}");
         assert!(table.contains("pool-small/pool"), "{table}");
+    }
+
+    #[test]
+    fn sparkline_scales_min_to_max_with_gaps() {
+        // min→▁, max→█, midpoints in between, missing cells →·.
+        let s = sparkline(&[Some(10.0), None, Some(15.0), Some(20.0)]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 4);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '·');
+        assert_eq!(chars[2], '▅');
+        assert_eq!(chars[3], '█');
+        // Flat and singleton series sit at the lowest level, never panic.
+        assert_eq!(sparkline(&[Some(5.0), Some(5.0)]), "▁▁");
+        assert_eq!(sparkline(&[Some(5.0)]), "▁");
+        assert_eq!(sparkline(&[None, None]), "··");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn trend_report_appends_sparklines_to_the_table() {
+        let json = |wall: f64| {
+            format!(
+                r#"{{"schema": "mmd-bench-perf/1",
+                    "results": [{{"rung": "s", "algo": "pipeline", "threads": 1, "wall_ms": {wall}}}]}}"#
+            )
+        };
+        let points: Vec<TrendPoint> = [9.0, 12.0, 18.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let value: Value = serde_json::from_str(&json(w)).unwrap();
+                trend_point(&format!("c{i}"), &value).unwrap()
+            })
+            .collect();
+        let report = trend_report(&points);
+        assert!(report.contains("perf trend"), "{report}");
+        assert!(report.contains("sparklines (oldest → newest)"), "{report}");
+        // The s/pipeline line: rising series ends at the top block, and the
+        // first → last annotation carries the absolute scale.
+        assert!(report.contains("s/pipeline"), "{report}");
+        assert!(report.contains('█'), "{report}");
+        assert!(report.contains("9.0 → 18.0 ms"), "{report}");
+        // Columns with no data stay out of the sparkline block: their
+        // label appears once (the table header), never a second time.
+        assert_eq!(report.matches("s/pipeline").count(), 2, "{report}");
+        assert_eq!(report.matches("pool-small/pool").count(), 1, "{report}");
+        // Empty input: just the note, no sparkline block.
+        let empty = trend_report(&[]);
+        assert!(empty.contains("no prior"), "{empty}");
+        assert!(!empty.contains("sparklines"), "{empty}");
     }
 
     #[test]

@@ -1,9 +1,40 @@
 //! Hand-rolled argument parsing (the approved dependency set has no CLI
 //! parser; four subcommands do not justify one).
 
+use mmd_core::{DegradeAction, SolveBudget};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+
+/// The solve-budget flags shared by `ingest` and `serve`, mapped directly
+/// onto [`SolveBudget`] (see `mmd_core::govern` for the degrade ladder).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BudgetFlags {
+    /// `--budget-ms`: hard wall limit per apply in milliseconds.
+    pub hard_ms: Option<u64>,
+    /// `--budget-soft-ms`: soft wall limit per apply in milliseconds.
+    pub soft_ms: Option<u64>,
+    /// `--budget-work`: hard work limit per apply (streams×users re-solved).
+    pub hard_work: Option<u64>,
+    /// `--budget-soft-work`: soft work limit per apply.
+    pub soft_work: Option<u64>,
+    /// `--budget-action`: what a hard trip does (`shed`/`widen`/`defer`).
+    pub action: DegradeAction,
+}
+
+impl BudgetFlags {
+    /// The engine-facing budget these flags configure.
+    #[must_use]
+    pub fn to_budget(self) -> SolveBudget {
+        SolveBudget {
+            soft_ms: self.soft_ms,
+            hard_ms: self.hard_ms,
+            soft_work: self.soft_work,
+            hard_work: self.hard_work,
+            hard_action: self.action,
+        }
+    }
+}
 
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -82,6 +113,8 @@ pub enum Command {
         /// Differentially verify the final state against a from-scratch
         /// sharded solve.
         verify: bool,
+        /// Per-apply solve budget (unlimited unless `--budget-*` given).
+        budget: BudgetFlags,
     },
     /// `simulate`: run the DES on an instance file.
     Simulate {
@@ -117,6 +150,8 @@ pub enum Command {
         super_shards: usize,
         /// Worker threads for shard re-solves (0 = all cores).
         threads: usize,
+        /// Per-apply solve budget (unlimited unless `--budget-*` given).
+        budget: BudgetFlags,
     },
     /// `client`: send NDJSON frames to a running daemon.
     Client {
@@ -156,9 +191,13 @@ USAGE:
               [--margin X] [--rate X] [--duration X] [--seed N] [--threads N]
   mmd-cli ingest --input FILE [--updates N] [--batch N] [--seed N]
               [--churn low|mixed] [--shard-size N] [--super-shards N]
-              [--threads N] [--verify]
+              [--threads N] [--verify] [--budget-ms N] [--budget-soft-ms N]
+              [--budget-work N] [--budget-soft-work N]
+              [--budget-action shed|widen|defer]
   mmd-cli serve --input FILE [--addr HOST:PORT] [--queue N] [--max-batch N]
               [--shard-size N] [--super-shards N] [--threads N]
+              [--budget-ms N] [--budget-soft-ms N] [--budget-work N]
+              [--budget-soft-work N] [--budget-action shed|widen|defer]
   mmd-cli client --addr HOST:PORT [--send FRAME]
 
   --threads N uses N worker threads (0 = all cores); results are
@@ -180,6 +219,14 @@ USAGE:
   reused at both levels.
   --verify additionally checks the final state against a from-scratch
   sharded solve of the updated instance (bit-identical by contract).
+  --budget-ms / --budget-work cap one apply's wall time / work
+  (streams x users re-solved); --budget-soft-* set the soft limits. A
+  soft trip skips the remaining dirty-shard re-solves and widens the
+  certified gap soundly; a hard trip runs --budget-action: shed (answer
+  from the last committed bracket, marked stale; the default), widen
+  (commit the widened bracket), or defer (widen and queue a background
+  full re-solve). Unset flags leave the engine ungoverned and
+  bit-identical to one without budgets. See docs/OPERATIONS.md.
   serve runs the long-lived allocation daemon: newline-delimited JSON over
   TCP (update batches, apply, queries, certified bracket, health/metrics,
   admissions, graceful background re-solve; see docs/PROTOCOL.md). It
@@ -223,6 +270,36 @@ fn get_num<T: std::str::FromStr>(
             .parse()
             .map_err(|_| ArgError(format!("invalid value for --{key}: {v}"))),
     }
+}
+
+fn get_opt_num(map: &BTreeMap<String, String>, key: &str) -> Result<Option<u64>, ArgError> {
+    match map.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| ArgError(format!("invalid value for --{key}: {v}"))),
+    }
+}
+
+fn get_budget(map: &BTreeMap<String, String>) -> Result<BudgetFlags, ArgError> {
+    let action = match map.get("budget-action").map(String::as_str) {
+        None | Some("shed") => DegradeAction::ShedToCache,
+        Some("widen") => DegradeAction::WidenGap,
+        Some("defer") => DegradeAction::DeferFull,
+        Some(other) => {
+            return Err(ArgError(format!(
+                "invalid value for --budget-action: {other} (expected shed, widen or defer)"
+            )))
+        }
+    };
+    Ok(BudgetFlags {
+        hard_ms: get_opt_num(map, "budget-ms")?,
+        soft_ms: get_opt_num(map, "budget-soft-ms")?,
+        hard_work: get_opt_num(map, "budget-work")?,
+        soft_work: get_opt_num(map, "budget-soft-work")?,
+        action,
+    })
 }
 
 /// Parses a full argument list (without the program name).
@@ -298,6 +375,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 super_shards: get_num(&map, "super-shards", 0usize)?,
                 threads: get_num(&map, "threads", 1usize)?,
                 verify: map.contains_key("verify"),
+                budget: get_budget(&map)?,
             })
         }
         "simulate" => {
@@ -336,6 +414,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 shard_size: get_num(&map, "shard-size", 0usize)?,
                 super_shards: get_num(&map, "super-shards", 0usize)?,
                 threads: get_num(&map, "threads", 1usize)?,
+                budget: get_budget(&map)?,
             })
         }
         "client" => {
@@ -511,6 +590,7 @@ mod tests {
                 shard_size,
                 super_shards,
                 threads,
+                ..
             } => {
                 assert_eq!(input, "x.json");
                 assert_eq!(addr, "127.0.0.1:0");
@@ -546,6 +626,46 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse(&argv("client")).is_err(), "addr required");
+    }
+
+    #[test]
+    fn parses_budget_flags() {
+        let cmd = parse(&argv(
+            "serve --input x.json --budget-ms 200 --budget-soft-ms 50 \
+             --budget-work 100000 --budget-soft-work 20000 --budget-action defer",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve { budget, .. } => {
+                assert_eq!(budget.hard_ms, Some(200));
+                assert_eq!(budget.soft_ms, Some(50));
+                assert_eq!(budget.hard_work, Some(100_000));
+                assert_eq!(budget.soft_work, Some(20_000));
+                assert_eq!(budget.action, DegradeAction::DeferFull);
+                let b = budget.to_budget();
+                assert_eq!(b.hard_ms, Some(200));
+                assert_eq!(b.hard_action, DegradeAction::DeferFull);
+                assert!(!b.is_unlimited());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // No budget flags at all parses to the unlimited budget: the
+        // engine stays bit-identical to an ungoverned one.
+        match parse(&argv("ingest --input x.json")).unwrap() {
+            Command::Ingest { budget, .. } => {
+                assert!(budget.to_budget().is_unlimited());
+                assert_eq!(budget.action, DegradeAction::ShedToCache);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("ingest --input x.json --budget-action widen")).unwrap() {
+            Command::Ingest { budget, .. } => {
+                assert_eq!(budget.action, DegradeAction::WidenGap);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("serve --input x.json --budget-action explode")).is_err());
+        assert!(parse(&argv("serve --input x.json --budget-ms banana")).is_err());
     }
 
     #[test]

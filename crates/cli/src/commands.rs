@@ -9,7 +9,7 @@ use mmd_core::algo::shard::{solve_sharded, ShardConfig};
 use mmd_core::algo::{self, baselines, Feasibility, PartialEnumConfig};
 use mmd_core::ingest::{IngestConfig, IngestEngine};
 use mmd_core::skew;
-use mmd_core::Instance;
+use mmd_core::{Instance, SolveBudget};
 use mmd_exact::{solve as exact_solve, ExactConfig, Objective};
 use mmd_serve::client::WireClient;
 use mmd_serve::service::{ServeConfig, Service};
@@ -112,6 +112,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             super_shards,
             threads,
             verify,
+            budget,
         } => {
             let instance = io::load(&input)?;
             ingest(
@@ -124,6 +125,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 super_shards,
                 threads,
                 verify,
+                budget.to_budget(),
             )
         }
         Command::Serve {
@@ -134,6 +136,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             shard_size,
             super_shards,
             threads,
+            budget,
         } => {
             let instance = io::load(&input)?;
             serve(
@@ -144,6 +147,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 shard_size,
                 super_shards,
                 threads,
+                budget.to_budget(),
             )
         }
         Command::Client { addr, send } => client(&addr, send.as_deref()),
@@ -152,6 +156,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
 
 /// Runs the allocation daemon until a `shutdown` frame arrives; the final
 /// serving metrics are the command's output.
+#[allow(clippy::too_many_arguments)]
 fn serve(
     instance: Instance,
     addr: &str,
@@ -160,6 +165,7 @@ fn serve(
     shard_size: usize,
     super_shards: usize,
     threads: usize,
+    budget: SolveBudget,
 ) -> Result<String, Box<dyn Error>> {
     if super_shards > 1 && shard_size == 0 {
         return Err("--super-shards requires --shard-size".into());
@@ -172,6 +178,7 @@ fn serve(
     config.ingest.shard.max_streams = shard_size;
     config.ingest.shard.super_shards = super_shards;
     config.ingest.shard.threads = threads;
+    config.ingest.budget = budget;
     let service = Service::new(instance, config)?;
     let initial = service.certificate();
     let handle = mmd_serve::server::spawn(service, addr)?;
@@ -201,6 +208,18 @@ fn serve(
         "final bracket: {} <= OPT <= {} (gap {:.4})",
         m.utility, m.upper_bound, m.gap_fraction
     )?;
+    if !budget.is_unlimited() {
+        writeln!(
+            out,
+            "budget: {} soft trips, {} hard trips, {} degraded applies, \
+             {} deferred full re-solves (stale gap {:.3})",
+            m.budget_soft_trips,
+            m.budget_hard_trips,
+            m.degraded_applies,
+            m.deferred_full_resolves,
+            m.stale_gap_fraction
+        )?;
+    }
     Ok(out)
 }
 
@@ -509,6 +528,7 @@ fn ingest(
     super_shards: usize,
     threads: usize,
     verify: bool,
+    budget: SolveBudget,
 ) -> Result<String, Box<dyn Error>> {
     let churn_config = match churn {
         "low" => mmd_workload::ChurnConfig::low(updates),
@@ -526,6 +546,7 @@ fn ingest(
             super_shards,
             ..ShardConfig::default()
         },
+        budget,
         ..IngestConfig::default()
     };
     let mut engine = IngestEngine::new(instance.clone(), config)?;
@@ -566,6 +587,19 @@ fn ingest(
             m.inner_cache_misses
         );
     }
+    if !budget.is_unlimited() {
+        let m = engine.metrics();
+        let _ = writeln!(
+            out,
+            "budget: {} soft trips, {} hard trips, {} degraded applies, \
+             {} deferred full re-solves (stale gap {:.3})",
+            m.budget_soft_trips,
+            m.budget_hard_trips,
+            m.degraded_applies,
+            m.deferred_full_resolves,
+            engine.last_outcome().stale_gap_fraction
+        );
+    }
     let _ = writeln!(
         out,
         "live streams: {} / {}",
@@ -573,6 +607,12 @@ fn ingest(
         instance.num_streams()
     );
     if verify {
+        // A governed replay may have skipped solves and left shards stale;
+        // heal them first — the contract verified under a budget is
+        // "recovers to scratch equality after a full refresh".
+        if !budget.is_unlimited() {
+            engine.refresh_full()?;
+        }
         // Differential check: the replayed engine's final state against a
         // from-scratch sharded solve of the final instance.
         let scratch = solve_sharded(engine.current_instance(), &config.shard)?;

@@ -1,0 +1,274 @@
+//! **Solve-cost governance**: per-apply budgets with graceful degradation.
+//!
+//! The certified bracket `utility ≤ OPT ≤ upper_bound` is what makes
+//! degrading *soundly* possible: under load the engine can skip expensive
+//! per-shard re-solves and simply report the widened gap, because every
+//! per-shard upper bound in the certificate is recomputed cheaply whether
+//! or not the shard's (expensive) solve runs. A [`SolveBudget`] puts
+//! soft/hard limits on one [`IngestEngine::apply`]'s wall time and *work*
+//! (streams × users re-solved), and a [`DegradeAction`] ladder says what
+//! happens when a limit trips:
+//!
+//! * a **soft** trip always widens the gap ([`DegradeAction::WidenGap`]):
+//!   the remaining dirty-shard solves are skipped, their last committed
+//!   (or empty) local solutions are merged instead, and their fresh upper
+//!   bounds stay in the certificate — the bracket remains sound, just
+//!   wider, and the skipped fraction is reported as
+//!   `stale_gap_fraction`;
+//! * an escalated full re-solve that cannot fit the budget is **deferred**
+//!   to background maintenance ([`DegradeAction::DeferFull`]): the batch
+//!   commits incrementally and
+//!   [`refresh_wanted`](crate::ingest::IngestEngine::refresh_wanted) asks the serving
+//!   frontend to run [`refresh_full`](crate::ingest::IngestEngine::refresh_full) at the
+//!   next idle moment;
+//! * a **hard** trip runs the configured [`SolveBudget::hard_action`] —
+//!   by default [`DegradeAction::ShedToCache`]: the apply is abandoned,
+//!   the last committed bracket keeps serving (marked `stale`), and the
+//!   pending updates are retained for a retry.
+//!
+//! Budgets are checked **between** shard solves, never inside a solve
+//! kernel, so a given budget decision trace yields a deterministic
+//! outcome; pure work budgets (no wall limits) are fully deterministic.
+//! With no limits configured ([`SolveBudget::unlimited`], the default)
+//! the engine's behavior is bit-identical to an ungoverned engine.
+//!
+//! [`IngestEngine::apply`]: crate::IngestEngine::apply
+//! [`IngestEngine::refresh_wanted`]: crate::IngestEngine::refresh_wanted
+//! [`IngestEngine::refresh_full`]: crate::IngestEngine::refresh_full
+//! [`IngestEngine`]: crate::IngestEngine
+
+use std::time::Duration;
+
+/// What the engine does when the **hard** budget limit trips mid-apply.
+///
+/// (A *soft* trip always degrades to [`WidenGap`](Self::WidenGap) — the
+/// ladder only escalates.)
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradeAction {
+    /// Skip the remaining dirty-shard solves, merge their last committed
+    /// (or empty) local solutions, and fold their freshly recomputed upper
+    /// bounds into the certificate. The bracket stays sound; the gap
+    /// widens by exactly the skipped shards' unclaimed headroom, reported
+    /// as `stale_gap_fraction`. Skipped shards are marked stale in the
+    /// cache and re-solve on the next apply that can afford them.
+    WidenGap,
+    /// [`WidenGap`](Self::WidenGap), plus ask the serving frontend for a
+    /// background [`refresh_full`](crate::IngestEngine::refresh_full)
+    /// (surfaced via
+    /// [`refresh_wanted`](crate::IngestEngine::refresh_wanted)) so the
+    /// skipped work is caught up outside the latency path.
+    DeferFull,
+    /// Abandon the apply entirely: the committed state is untouched, the
+    /// last committed bracket keeps answering (its outcome marked
+    /// `stale`, `stale_gap_fraction = 1.0`), and the pending updates are
+    /// retained for a retry. The cheapest possible answer under overload.
+    #[default]
+    ShedToCache,
+}
+
+/// Soft/hard limits on one [`apply`](crate::IngestEngine::apply)'s solve
+/// cost, with graceful degradation (see the [module docs](self)).
+///
+/// *Wall* limits are milliseconds of elapsed apply time; *work* limits are
+/// work units, where one unit is one stream×user cell of a re-solved
+/// shard (a shard of `s` streams and `u` users costs `max(s·u, 1)` units).
+/// `None` disables a limit; the default is fully unlimited and leaves the
+/// engine bit-identical to an ungoverned one.
+///
+/// # Examples
+///
+/// ```
+/// use mmd_core::govern::{DegradeAction, SolveBudget};
+/// use std::time::Duration;
+///
+/// // 50 ms soft / 200 ms hard wall budget; shed to cache on a hard trip.
+/// let budget = SolveBudget::default()
+///     .with_soft_ms(50)
+///     .with_hard_ms(200);
+/// assert!(!budget.is_unlimited());
+/// assert_eq!(budget.hard_action, DegradeAction::ShedToCache);
+///
+/// // Soft trips at the wall limit — checked between shard solves.
+/// assert!(budget.trips_soft(Duration::from_millis(50), 0, 1));
+/// assert!(!budget.trips_soft(Duration::from_millis(49), 0, 1));
+///
+/// // A pure work budget is fully deterministic: it trips exactly when
+/// // the next shard's work units would exceed the limit.
+/// let work = SolveBudget::default().with_hard_work(1_000);
+/// assert!(!work.trips_hard(Duration::ZERO, 900, 100));
+/// assert!(work.trips_hard(Duration::ZERO, 901, 100));
+///
+/// // The default is unlimited: nothing ever trips.
+/// assert!(SolveBudget::default().is_unlimited());
+/// assert!(!SolveBudget::default().trips_hard(Duration::from_secs(3600), u64::MAX / 2, 1));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Soft wall limit in milliseconds (`None` = no soft wall limit). A
+    /// soft trip widens the gap: remaining dirty-shard solves are skipped.
+    pub soft_ms: Option<u64>,
+    /// Hard wall limit in milliseconds (`None` = no hard wall limit). A
+    /// hard trip runs [`hard_action`](Self::hard_action).
+    pub hard_ms: Option<u64>,
+    /// Soft work limit in units of streams×users re-solved (`None` = no
+    /// soft work limit).
+    pub soft_work: Option<u64>,
+    /// Hard work limit in work units (`None` = no hard work limit).
+    pub hard_work: Option<u64>,
+    /// What a hard trip does (default: [`DegradeAction::ShedToCache`]).
+    pub hard_action: DegradeAction,
+}
+
+impl SolveBudget {
+    /// No limits at all — the engine behaves bit-identically to an
+    /// ungoverned one. Equal to `SolveBudget::default()`.
+    #[must_use]
+    pub const fn unlimited() -> Self {
+        SolveBudget {
+            soft_ms: None,
+            hard_ms: None,
+            soft_work: None,
+            hard_work: None,
+            hard_action: DegradeAction::ShedToCache,
+        }
+    }
+
+    /// `true` when no limit is configured (degradation can never trigger).
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.soft_ms.is_none()
+            && self.hard_ms.is_none()
+            && self.soft_work.is_none()
+            && self.hard_work.is_none()
+    }
+
+    /// Sets the soft wall limit.
+    #[must_use]
+    pub fn with_soft_ms(mut self, ms: u64) -> Self {
+        self.soft_ms = Some(ms);
+        self
+    }
+
+    /// Sets the hard wall limit.
+    #[must_use]
+    pub fn with_hard_ms(mut self, ms: u64) -> Self {
+        self.hard_ms = Some(ms);
+        self
+    }
+
+    /// Sets the soft work limit (streams×users re-solved).
+    #[must_use]
+    pub fn with_soft_work(mut self, units: u64) -> Self {
+        self.soft_work = Some(units);
+        self
+    }
+
+    /// Sets the hard work limit (streams×users re-solved).
+    #[must_use]
+    pub fn with_hard_work(mut self, units: u64) -> Self {
+        self.hard_work = Some(units);
+        self
+    }
+
+    /// Sets the hard-trip action.
+    #[must_use]
+    pub fn with_hard_action(mut self, action: DegradeAction) -> Self {
+        self.hard_action = action;
+        self
+    }
+
+    /// Whether starting `next_work` more units after `spent` units and
+    /// `elapsed` wall time would trip the **soft** limit. Wall limits trip
+    /// once `elapsed` reaches them; work limits trip when `spent +
+    /// next_work` would exceed them (the check is a *would-exceed* check —
+    /// budgets gate between shard solves, never mid-kernel).
+    #[must_use]
+    pub fn trips_soft(&self, elapsed: Duration, spent: u64, next_work: u64) -> bool {
+        Self::trips(self.soft_ms, self.soft_work, elapsed, spent, next_work)
+    }
+
+    /// Whether starting `next_work` more units would trip the **hard**
+    /// limit (same semantics as [`trips_soft`](Self::trips_soft)).
+    #[must_use]
+    pub fn trips_hard(&self, elapsed: Duration, spent: u64, next_work: u64) -> bool {
+        Self::trips(self.hard_ms, self.hard_work, elapsed, spent, next_work)
+    }
+
+    fn trips(
+        ms: Option<u64>,
+        work: Option<u64>,
+        elapsed: Duration,
+        spent: u64,
+        next_work: u64,
+    ) -> bool {
+        if let Some(limit) = ms {
+            if elapsed.as_millis() >= u128::from(limit) {
+                return true;
+            }
+        }
+        if let Some(limit) = work {
+            if spent.saturating_add(next_work) > limit {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited_and_never_trips() {
+        let b = SolveBudget::default();
+        assert!(b.is_unlimited());
+        assert_eq!(b, SolveBudget::unlimited());
+        assert!(!b.trips_soft(Duration::from_secs(10_000), u64::MAX / 2, u64::MAX / 2));
+        assert!(!b.trips_hard(Duration::from_secs(10_000), u64::MAX / 2, u64::MAX / 2));
+    }
+
+    #[test]
+    fn wall_limits_trip_at_the_boundary() {
+        let b = SolveBudget::default().with_soft_ms(10).with_hard_ms(20);
+        assert!(!b.trips_soft(Duration::from_millis(9), 0, 1));
+        assert!(b.trips_soft(Duration::from_millis(10), 0, 1));
+        assert!(!b.trips_hard(Duration::from_millis(19), 0, 1));
+        assert!(b.trips_hard(Duration::from_millis(20), 0, 1));
+        // A zero wall limit trips immediately — the deterministic test hook.
+        assert!(SolveBudget::default()
+            .with_hard_ms(0)
+            .trips_hard(Duration::ZERO, 0, 0));
+    }
+
+    #[test]
+    fn work_limits_are_would_exceed_checks() {
+        let b = SolveBudget::default().with_soft_work(100);
+        assert!(!b.trips_soft(Duration::ZERO, 0, 100)); // exactly fits
+        assert!(b.trips_soft(Duration::ZERO, 1, 100));
+        assert!(b.trips_soft(Duration::ZERO, 0, 101));
+        // Zero work budget rejects any positive chunk (every shard costs
+        // at least one unit), but passes a zero-work no-op.
+        let zero = SolveBudget::default().with_hard_work(0);
+        assert!(zero.trips_hard(Duration::ZERO, 0, 1));
+        assert!(!zero.trips_hard(Duration::ZERO, 0, 0));
+        // Saturating: absurd spends cannot wrap around the limit.
+        assert!(b.trips_soft(Duration::ZERO, u64::MAX, u64::MAX));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let b = SolveBudget::default()
+            .with_soft_ms(5)
+            .with_hard_ms(50)
+            .with_soft_work(1_000)
+            .with_hard_work(10_000)
+            .with_hard_action(DegradeAction::WidenGap);
+        assert_eq!(b.soft_ms, Some(5));
+        assert_eq!(b.hard_ms, Some(50));
+        assert_eq!(b.soft_work, Some(1_000));
+        assert_eq!(b.hard_work, Some(10_000));
+        assert_eq!(b.hard_action, DegradeAction::WidenGap);
+        assert!(!b.is_unlimited());
+    }
+}

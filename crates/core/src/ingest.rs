@@ -56,6 +56,24 @@
 //! engine from paying cache-maintenance overhead on top of a full solve's
 //! work.
 //!
+//! # Solve-cost governance
+//!
+//! [`IngestConfig::budget`] arms the [`crate::govern`] layer: soft/hard
+//! limits on one apply's wall time and work (streams × users re-solved),
+//! checked between shard solves, with the escalating degrade ladder —
+//! widen the certified gap (skip remaining dirty solves, keep their fresh
+//! bounds), defer an escalated full re-solve to background maintenance
+//! ([`refresh_wanted`](IngestEngine::refresh_wanted)), or shed to the
+//! last committed bracket. Under the default
+//! [`SolveBudget::unlimited`] every apply is bit-identical to an
+//! ungoverned engine; once a budget degrades an apply, the equivalence
+//! contract is intentionally suspended until the stale shards are
+//! re-solved (the next affordable apply, or a
+//! [`refresh_full`](IngestEngine::refresh_full)) — the certificate itself
+//! stays sound
+//! throughout, because skipped shards keep their freshly recomputed upper
+//! bounds while contributing only their stale (or empty) utility.
+//!
 //! # Admission between re-solves
 //!
 //! [`provisional_admissions`](IngestEngine::provisional_admissions) runs
@@ -89,6 +107,7 @@ use crate::algo::shard::{
 };
 use crate::assignment::Assignment;
 use crate::error::{BuildError, SolveError};
+use crate::govern::{DegradeAction, SolveBudget};
 use crate::ids::{StreamId, UserId};
 use crate::instance::Instance;
 use crate::num;
@@ -244,6 +263,12 @@ pub struct IngestConfig {
     /// Full re-solve when `cut_mass / upper_bound` exceeds this fraction —
     /// the partition has degraded enough that cached locality is suspect.
     pub max_cut_fraction: f64,
+    /// Per-apply solve-cost budget (see [`crate::govern`]). The default is
+    /// [`SolveBudget::unlimited`], under which every apply is bit-identical
+    /// to an ungoverned engine; any configured limit arms the degrade
+    /// ladder (soft trip → widen the gap, hard trip →
+    /// [`SolveBudget::hard_action`]).
+    pub budget: SolveBudget,
 }
 
 impl Default for IngestConfig {
@@ -252,6 +277,7 @@ impl Default for IngestConfig {
             shard: ShardConfig::default(),
             max_dirty_fraction: 0.5,
             max_cut_fraction: 0.25,
+            budget: SolveBudget::unlimited(),
         }
     }
 }
@@ -261,6 +287,13 @@ impl IngestConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.shard.threads = threads;
+        self
+    }
+
+    /// Sets the per-apply solve-cost budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = budget;
         self
     }
 }
@@ -302,6 +335,32 @@ pub struct IngestOutcome {
     pub cut_mass: f64,
     /// Streams dropped by the global budget repair pass.
     pub repaired_streams: usize,
+    /// Whether solve-cost governance degraded this apply in any way (a
+    /// budget trip or a deferred full re-solve). Always `false` under
+    /// [`SolveBudget::unlimited`].
+    pub degraded: bool,
+    /// Whether the soft budget limit tripped during this apply.
+    pub soft_tripped: bool,
+    /// Whether the hard budget limit tripped during this apply.
+    pub hard_tripped: bool,
+    /// Dirty shards whose re-solve was skipped by a budget trip (their
+    /// stale or empty local solutions were merged instead; their fresh
+    /// upper bounds stay in the certificate).
+    pub skipped_shards: usize,
+    /// `true` when this outcome was answered from the last committed
+    /// bracket because a hard trip shed the apply
+    /// ([`DegradeAction::ShedToCache`]): the batch was *not* applied and
+    /// the certificate describes the previous committed instance.
+    pub stale: bool,
+    /// Fraction of `upper_bound` contributed by shard bounds whose solves
+    /// were skipped (`1.0` for a shed apply, `0.0` when nothing was
+    /// skipped). The certified gap can be wider than usual by at most
+    /// this fraction.
+    pub stale_gap_fraction: f64,
+    /// Whether an escalated full re-solve was deferred to background
+    /// maintenance instead of blocking this batch (see
+    /// [`IngestEngine::refresh_wanted`]).
+    pub deferred_full: bool,
 }
 
 /// Monotone operation counters of an [`IngestEngine`] — the substrate of a
@@ -374,6 +433,16 @@ pub struct IngestMetrics {
     pub last_apply_nanos: u64,
     /// Wall-clock nanoseconds summed over all successful applies.
     pub total_apply_nanos: u64,
+    /// Applies during which the soft budget limit tripped.
+    pub budget_soft_trips: u64,
+    /// Applies during which the hard budget limit tripped.
+    pub budget_hard_trips: u64,
+    /// Applies degraded by solve-cost governance in any way (skipped
+    /// shard solves, a deferred full re-solve, or a shed apply).
+    pub degraded_applies: u64,
+    /// Escalated full re-solves deferred to background maintenance
+    /// instead of blocking their batch.
+    pub deferred_full_resolves: u64,
 }
 
 impl IngestMetrics {
@@ -613,6 +682,11 @@ struct ShardCacheEntry {
     bound: f64,
     /// The cached local-id solution of the shard.
     local: Assignment,
+    /// `true` when the entry's solve was skipped by a budget trip: the
+    /// `local` is a stale (or empty) fallback, not the shard's fresh
+    /// solution. Stale entries never match as clean, so the next apply
+    /// re-solves them — budget permitting — and governance self-heals.
+    stale: bool,
 }
 
 /// Everything cached about one planned-and-solved super-shard of the
@@ -642,6 +716,10 @@ struct SuperCacheEntry {
     repaired: usize,
     /// The inner-shard solutions behind [`Self::local`].
     inner: Vec<InnerCacheEntry>,
+    /// `true` when any inner solve behind [`Self::local`] was skipped by
+    /// a budget trip. Stale super-shards never match as clean, forcing a
+    /// re-plan (and fresh inner solves) on the next affordable apply.
+    stale: bool,
 }
 
 /// One cached inner-shard solve of a super-shard, keyed by the triple that
@@ -656,6 +734,9 @@ struct InnerCacheEntry {
     share: Vec<f64>,
     /// The cached inner-local solution.
     local: Assignment,
+    /// `true` when the cached solution is a budget-skip fallback rather
+    /// than a fresh solve (never reused as a hit).
+    stale: bool,
 }
 
 /// The fixed id universe of an engine: the dimension bounds every update
@@ -765,6 +846,24 @@ pub struct IngestEngine {
     cached_super_of_user: Vec<usize>,
     last: IngestOutcome,
     metrics: IngestMetrics,
+    /// Set when governance deferred an escalated full re-solve
+    /// ([`DegradeAction::DeferFull`]); cleared by a successful
+    /// [`refresh_full`](Self::refresh_full).
+    deferred_refresh: bool,
+}
+
+/// What [`IngestEngine::resolve`] produced: a committed outcome, or the
+/// signal that a hard budget trip shed the apply before anything was
+/// committed ([`DegradeAction::ShedToCache`]).
+enum Resolved {
+    Committed(IngestOutcome),
+    Shed { soft_tripped: bool },
+}
+
+/// Work units of one shard solve: streams × users, floored at one so even
+/// degenerate shards register against a work budget.
+fn work_units(streams: usize, users: usize) -> u64 {
+    (streams as u64).saturating_mul(users as u64).max(1)
 }
 
 impl IngestEngine {
@@ -804,12 +903,22 @@ impl IngestEngine {
                 cut_edges: 0,
                 cut_mass: 0.0,
                 repaired_streams: 0,
+                degraded: false,
+                soft_tripped: false,
+                hard_tripped: false,
+                skipped_shards: 0,
+                stale: false,
+                stale_gap_fraction: 0.0,
+                deferred_full: false,
             },
             metrics: IngestMetrics::default(),
+            deferred_refresh: false,
             base,
             config,
         };
-        engine.resolve(touched, 0)?;
+        // The initial solve is never governed: a serving frontend needs a
+        // complete certified bracket before it can degrade from one.
+        engine.resolve(touched, 0, Instant::now(), SolveBudget::unlimited())?;
         engine.metrics = IngestMetrics::default();
         Ok(engine)
     }
@@ -969,11 +1078,30 @@ impl IngestEngine {
         }
         let applied = self.pending.len();
         let committed_model = std::mem::replace(&mut self.model, scratch);
-        match self.resolve(touched, applied) {
-            Ok(outcome) => {
+        match self.resolve(touched, applied, started, self.config.budget) {
+            Ok(Resolved::Committed(outcome)) => {
                 self.pending.clear();
                 self.record_apply(&outcome, started);
                 Ok(outcome)
+            }
+            Ok(Resolved::Shed { soft_tripped }) => {
+                // A hard budget trip shed the apply: the committed state
+                // keeps serving as-is and the pending updates are retained
+                // for a retry. The returned outcome is the last committed
+                // bracket, marked stale — its certificate describes the
+                // *previous* instance, not the requested post-batch one.
+                self.model = committed_model;
+                let m = &mut self.metrics;
+                m.budget_soft_trips += u64::from(soft_tripped);
+                m.budget_hard_trips += 1;
+                m.degraded_applies += 1;
+                self.last.updates_applied = 0;
+                self.last.degraded = true;
+                self.last.soft_tripped = soft_tripped;
+                self.last.hard_tripped = true;
+                self.last.stale = true;
+                self.last.stale_gap_fraction = 1.0;
+                Ok(self.last)
             }
             Err(e) => {
                 self.model = committed_model;
@@ -1002,16 +1130,37 @@ impl IngestEngine {
     pub fn refresh_full(&mut self) -> Result<IngestOutcome, IngestError> {
         let started = Instant::now();
         let touched = Touched::everything(self.base.num_streams(), self.base.num_users());
-        match self.resolve(touched, 0) {
-            Ok(outcome) => {
+        // The deferred-refresh request is consumed by the *attempt*, not
+        // the success — a failing refresh must not put background
+        // maintenance into a hot retry loop (the next DeferFull trip
+        // re-arms it).
+        self.deferred_refresh = false;
+        // Maintenance is never governed: it runs off the latency path, and
+        // it is how a degraded engine catches back up (stale cache entries
+        // are rebuilt from fresh solves here).
+        match self.resolve(touched, 0, started, SolveBudget::unlimited()) {
+            Ok(Resolved::Committed(outcome)) => {
                 self.record_apply(&outcome, started);
                 Ok(outcome)
+            }
+            Ok(Resolved::Shed { .. }) => {
+                unreachable!("an unlimited budget never sheds")
             }
             Err(e) => {
                 self.metrics.rejected_batches += 1;
                 Err(e)
             }
         }
+    }
+
+    /// Whether governance deferred an escalated full re-solve
+    /// ([`DegradeAction::DeferFull`]) that background maintenance should
+    /// pick up: serving frontends call
+    /// [`refresh_full`](Self::refresh_full) at the next idle moment when
+    /// this is `true` (a successful refresh clears it).
+    #[must_use]
+    pub fn refresh_wanted(&self) -> bool {
+        self.deferred_refresh
     }
 
     /// Folds one successful apply into the monotone counters.
@@ -1025,6 +1174,10 @@ impl IngestEngine {
         m.shard_slots += outcome.num_shards as u64;
         m.super_slots += outcome.super_shards as u64;
         m.resolved_supers += outcome.resolved_supers as u64;
+        m.budget_soft_trips += u64::from(outcome.soft_tripped);
+        m.budget_hard_trips += u64::from(outcome.hard_tripped);
+        m.degraded_applies += u64::from(outcome.degraded);
+        m.deferred_full_resolves += u64::from(outcome.deferred_full);
         m.last_apply_nanos = nanos;
         m.total_apply_nanos = m.total_apply_nanos.saturating_add(nanos);
     }
@@ -1076,21 +1229,28 @@ impl IngestEngine {
         &mut self,
         touched: Touched,
         updates_applied: usize,
-    ) -> Result<IngestOutcome, IngestError> {
+        started: Instant,
+        budget: SolveBudget,
+    ) -> Result<Resolved, IngestError> {
         // Two-level mode runs the hierarchical twin of the incremental
         // path below: the same matching/dirtiness machinery applied at the
         // coarse (super) level, with a second reuse opportunity at the
         // inner level inside dirty super-shards.
         if self.config.shard.super_shards > 1 {
-            return self.resolve_two_level(&touched, updates_applied);
+            return self.resolve_two_level(&touched, updates_applied, started, budget);
         }
+        let governed = !budget.is_unlimited();
         let threads = self.config.shard.threads;
         let current = self.model.materialize(&self.base)?;
         let fresh = shard_instance(&current, self.config.shard.max_streams);
         let n = fresh.num_shards();
 
         // Match every fresh shard against the cached partition and decide
-        // content cleanliness: identical membership and nothing touched.
+        // content cleanliness: identical membership, nothing touched, and
+        // a fresh (non-stale) cached solve. `candidate` keeps the raw
+        // match even when the shard is dirty: a budget-skipped solve falls
+        // back to the candidate's membership-identical stale local.
+        let mut candidate: Vec<Option<usize>> = Vec::with_capacity(n);
         let mut matched: Vec<Option<usize>> = Vec::with_capacity(n);
         for shard in &fresh.shards {
             let j = shard
@@ -1106,15 +1266,18 @@ impl IngestEngine {
             let j = match j {
                 Some(j) if j < self.cache.len() => j,
                 _ => {
+                    candidate.push(None);
                     matched.push(None);
                     continue;
                 }
             };
             let entry = &self.cache[j];
-            let clean = entry.streams == shard.streams
+            let clean = !entry.stale
+                && entry.streams == shard.streams
                 && entry.users == shard.users
                 && !shard.streams.iter().any(|s| touched.streams[s.index()])
                 && !shard.users.iter().any(|u| touched.users[u.index()]);
+            candidate.push(Some(j));
             matched.push(clean.then_some(j));
         }
 
@@ -1152,12 +1315,29 @@ impl IngestEngine {
         } else {
             0.0
         };
-        let full_resolve = dirty_fraction > self.config.max_dirty_fraction
+        let mut full_resolve = dirty_fraction > self.config.max_dirty_fraction
             || cut_fraction > self.config.max_cut_fraction;
+        let mut deferred_full = false;
+        if full_resolve && governed {
+            // DeferFull rung of the ladder: when the escalated full
+            // re-solve cannot fit the budget, stay incremental and ask
+            // background maintenance to catch up instead of blowing the
+            // latency target on this batch.
+            let full_work: u64 = fresh
+                .shards
+                .iter()
+                .map(|s| work_units(s.streams.len(), s.users.len()))
+                .sum();
+            let elapsed = started.elapsed();
+            if budget.trips_soft(elapsed, 0, full_work) || budget.trips_hard(elapsed, 0, full_work)
+            {
+                full_resolve = false;
+                deferred_full = true;
+            }
+        }
         if full_resolve {
             dirty.iter_mut().for_each(|d| *d = true);
         }
-        let resolved_shards = dirty.iter().filter(|&&d| d).count();
 
         // Build and solve the dirty shards through the exact path
         // solve_sharded uses (same sub-instances, same batch solver).
@@ -1177,22 +1357,93 @@ impl IngestEngine {
                 &|s| (fresh.shard_of_stream[s.index()] == k).then(|| local_of_stream[s.index()]),
             )
         });
-        let results = solve_batch(&subs, &self.config.shard.mmd, threads);
+
+        // The governed path solves in worker-sized chunks with the budget
+        // checked at each chunk boundary (never mid-kernel); per-shard
+        // solves are independent, so chunking cannot change any result.
+        // The ungoverned path keeps the single historical solve_batch call
+        // — zero overhead and bit-identity by construction.
+        let mut solved: Vec<Option<Assignment>> = Vec::with_capacity(subs.len());
+        let mut soft_tripped = false;
+        let mut hard_tripped = false;
+        if governed {
+            let chunk = mmd_par::resolve(threads).max(1);
+            let mut spent = 0u64;
+            let mut pos = 0usize;
+            while pos < subs.len() {
+                let end = (pos + chunk).min(subs.len());
+                let next_work: u64 = subs[pos..end]
+                    .iter()
+                    .map(|s| work_units(s.num_streams(), s.num_users()))
+                    .sum();
+                let elapsed = started.elapsed();
+                if !hard_tripped && budget.trips_hard(elapsed, spent, next_work) {
+                    hard_tripped = true;
+                    match budget.hard_action {
+                        DegradeAction::ShedToCache => {
+                            return Ok(Resolved::Shed { soft_tripped });
+                        }
+                        DegradeAction::DeferFull => deferred_full = true,
+                        DegradeAction::WidenGap => {}
+                    }
+                }
+                if !soft_tripped && !hard_tripped && budget.trips_soft(elapsed, spent, next_work) {
+                    soft_tripped = true;
+                }
+                if soft_tripped || hard_tripped {
+                    solved.extend((pos..end).map(|_| None));
+                    pos = end;
+                    continue;
+                }
+                let results = solve_batch(&subs[pos..end], &self.config.shard.mmd, threads);
+                for outcome in results {
+                    solved.push(Some(outcome.map_err(IngestError::Solve)?.assignment));
+                }
+                spent = spent.saturating_add(next_work);
+                pos = end;
+            }
+        } else {
+            let results = solve_batch(&subs, &self.config.shard.mmd, threads);
+            for outcome in results {
+                solved.push(Some(outcome.map_err(IngestError::Solve)?.assignment));
+            }
+        }
 
         let mut locals: Vec<Assignment> = Vec::with_capacity(n);
-        let mut fresh_results = results.into_iter();
+        let mut stale_flags = vec![false; n];
+        let mut skipped_shards = 0usize;
+        let mut skipped_bound = 0.0f64;
+        let mut fresh_results = solved.into_iter();
         for k in 0..n {
             if dirty[k] {
-                let outcome = fresh_results
-                    .next()
-                    .expect("one solve result per dirty shard")
-                    .map_err(IngestError::Solve)?;
-                locals.push(outcome.assignment);
+                match fresh_results.next().expect("one slot per dirty shard") {
+                    Some(assignment) => locals.push(assignment),
+                    None => {
+                        // Budget-skipped dirty shard: merge the
+                        // membership-identical cached local if one exists
+                        // (index-safe — same streams and users — and
+                        // feasibility-safe, since the global repair pass
+                        // below re-enforces the real budgets), else an
+                        // empty local. Its fresh upper bound stays in the
+                        // certificate, so the bracket is sound either way.
+                        skipped_shards += 1;
+                        skipped_bound += bounds[k];
+                        stale_flags[k] = true;
+                        let shard = &fresh.shards[k];
+                        let fallback = candidate[k]
+                            .map(|j| &self.cache[j])
+                            .filter(|e| e.streams == shard.streams && e.users == shard.users)
+                            .map(|e| e.local.clone())
+                            .unwrap_or_else(|| Assignment::new(shard.users.len()));
+                        locals.push(fallback);
+                    }
+                }
             } else {
                 let j = matched[k].expect("clean shards are matched");
                 locals.push(self.cache[j].local.clone());
             }
         }
+        let resolved_shards = dirty_idx.len() - skipped_shards;
 
         // Merge, then the global reconciliation passes — identical to
         // solve_sharded's tail.
@@ -1215,6 +1466,11 @@ impl IngestEngine {
         } else {
             0.0
         };
+        let stale_gap_fraction = if upper_bound.is_finite() && upper_bound > 0.0 {
+            (skipped_bound / upper_bound).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
 
         // Commit.
         self.cache = (0..n)
@@ -1224,10 +1480,15 @@ impl IngestEngine {
                 budgets: shares[k].clone(),
                 bound: bounds[k],
                 local: locals[k].clone(),
+                stale: stale_flags[k],
             })
             .collect();
         self.cached_shard_of_stream = fresh.shard_of_stream.clone();
         self.cached_shard_of_user = fresh.shard_of_user.clone();
+        let degraded = soft_tripped || hard_tripped || deferred_full;
+        if deferred_full {
+            self.deferred_refresh = true;
+        }
         let outcome = IngestOutcome {
             updates_applied,
             num_shards: n,
@@ -1243,11 +1504,18 @@ impl IngestEngine {
             cut_edges: fresh.cut.len(),
             cut_mass,
             repaired_streams,
+            degraded,
+            soft_tripped,
+            hard_tripped,
+            skipped_shards,
+            stale: false,
+            stale_gap_fraction,
+            deferred_full,
         };
         self.current = current;
         self.assignment = merged;
         self.last = outcome;
-        Ok(outcome)
+        Ok(Resolved::Committed(outcome))
     }
 
     /// The two-level incremental core: the hierarchical twin of
@@ -1280,7 +1548,10 @@ impl IngestEngine {
         &mut self,
         touched: &Touched,
         updates_applied: usize,
-    ) -> Result<IngestOutcome, IngestError> {
+        started: Instant,
+        budget: SolveBudget,
+    ) -> Result<Resolved, IngestError> {
+        let governed = !budget.is_unlimited();
         let config = self.config.shard;
         let threads = config.threads;
         let current = self.model.materialize(&self.base)?;
@@ -1313,7 +1584,8 @@ impl IngestEngine {
                 }
             };
             let entry = &self.super_cache[j];
-            let clean = entry.streams == shard.streams
+            let clean = !entry.stale
+                && entry.streams == shard.streams
                 && entry.users == shard.users
                 && !shard.streams.iter().any(|s| touched.streams[s.index()])
                 && !shard.users.iter().any(|u| touched.users[u.index()]);
@@ -1358,8 +1630,26 @@ impl IngestEngine {
         } else {
             0.0
         };
-        let full_resolve = dirty_fraction > self.config.max_dirty_fraction
+        let mut full_resolve = dirty_fraction > self.config.max_dirty_fraction
             || cut_fraction > self.config.max_cut_fraction;
+        let mut deferred_full = false;
+        if full_resolve && governed {
+            // DeferFull rung of the ladder, coarse-level estimate: a full
+            // re-solve costs every super-shard's streams×users. When that
+            // cannot fit the budget, stay incremental and hand the catch-up
+            // to background maintenance.
+            let full_work: u64 = supers
+                .shards
+                .iter()
+                .map(|s| work_units(s.streams.len(), s.users.len()))
+                .sum();
+            let elapsed = started.elapsed();
+            if budget.trips_soft(elapsed, 0, full_work) || budget.trips_hard(elapsed, 0, full_work)
+            {
+                full_resolve = false;
+                deferred_full = true;
+            }
+        }
         if full_resolve {
             // Escalation kills reuse at BOTH levels: every super-shard is
             // re-planned and every inner shard re-solved from scratch.
@@ -1407,7 +1697,8 @@ impl IngestEngine {
                 } else {
                     candidate[k].and_then(|c| {
                         self.super_cache[c].inner.iter().find(|e| {
-                            e.share == plan.inner_shares[j]
+                            !e.stale
+                                && e.share == plan.inner_shares[j]
                                 && e.streams == g_streams
                                 && e.users == g_users
                                 && !g_streams.iter().any(|s| touched.streams[s.index()])
@@ -1436,14 +1727,84 @@ impl IngestEngine {
         let subs: Vec<Instance> = mmd_par::parallel_map(threads, &owners, |_, &(p, j)| {
             build_inner_instance(&plans[p], j)
         });
-        let results = solve_batch(&subs, &config.mmd, threads);
-        let mut fresh = results.into_iter();
+
+        // Same chunked governed loop as the single-level path: budget
+        // checks only at chunk boundaries, never mid-kernel; the
+        // ungoverned path keeps the single flattened solve_batch call.
+        let mut solved: Vec<Option<Assignment>> = Vec::with_capacity(subs.len());
+        let mut soft_tripped = false;
+        let mut hard_tripped = false;
+        if governed {
+            let chunk = mmd_par::resolve(threads).max(1);
+            let mut spent = 0u64;
+            let mut pos = 0usize;
+            while pos < subs.len() {
+                let end = (pos + chunk).min(subs.len());
+                let next_work: u64 = subs[pos..end]
+                    .iter()
+                    .map(|s| work_units(s.num_streams(), s.num_users()))
+                    .sum();
+                let elapsed = started.elapsed();
+                if !hard_tripped && budget.trips_hard(elapsed, spent, next_work) {
+                    hard_tripped = true;
+                    match budget.hard_action {
+                        DegradeAction::ShedToCache => {
+                            return Ok(Resolved::Shed { soft_tripped });
+                        }
+                        DegradeAction::DeferFull => deferred_full = true,
+                        DegradeAction::WidenGap => {}
+                    }
+                }
+                if !soft_tripped && !hard_tripped && budget.trips_soft(elapsed, spent, next_work) {
+                    soft_tripped = true;
+                }
+                if soft_tripped || hard_tripped {
+                    solved.extend((pos..end).map(|_| None));
+                    pos = end;
+                    continue;
+                }
+                let results = solve_batch(&subs[pos..end], &config.mmd, threads);
+                for outcome in results {
+                    solved.push(Some(outcome.map_err(IngestError::Solve)?.assignment));
+                }
+                spent = spent.saturating_add(next_work);
+                pos = end;
+            }
+        } else {
+            let results = solve_batch(&subs, &config.mmd, threads);
+            for outcome in results {
+                solved.push(Some(outcome.map_err(IngestError::Solve)?.assignment));
+            }
+        }
+
+        // Fill the owner slots: fresh solves where the budget allowed,
+        // stale membership-identical cached locals (or empty locals) where
+        // it skipped. Skipped slots are remembered so the rebuilt cache
+        // can mark them — and their super-shards — stale.
+        let mut skipped_inner: Vec<Vec<bool>> =
+            locals.iter().map(|v| vec![false; v.len()]).collect();
+        let mut skipped_shards = 0usize;
+        let mut solved_iter = solved.into_iter();
         for &(p, j) in &owners {
-            let outcome = fresh
-                .next()
-                .expect("one solve result per missed inner shard")
-                .map_err(IngestError::Solve)?;
-            locals[p][j] = Some(outcome.assignment);
+            match solved_iter.next().expect("one slot per missed inner shard") {
+                Some(assignment) => locals[p][j] = Some(assignment),
+                None => {
+                    skipped_shards += 1;
+                    skipped_inner[p][j] = true;
+                    let k = dirty_idx[p];
+                    let (g_streams, g_users) = &inner_members[p][j];
+                    let fallback = candidate[k]
+                        .and_then(|c| {
+                            self.super_cache[c]
+                                .inner
+                                .iter()
+                                .find(|e| e.streams == *g_streams && e.users == *g_users)
+                        })
+                        .map(|e| e.local.clone())
+                        .unwrap_or_else(|| Assignment::new(g_users.len()));
+                    locals[p][j] = Some(fallback);
+                }
+            }
         }
         let locals: Vec<Vec<Assignment>> = locals
             .into_iter()
@@ -1471,10 +1832,12 @@ impl IngestEngine {
         let mut cut_mass = super_cut_mass;
         let mut repaired_streams = 0usize;
         let mut new_cache: Vec<SuperCacheEntry> = Vec::with_capacity(n);
+        let mut skipped_bound = 0.0f64;
         let mut plans_iter = plans.iter();
         let mut finished_iter = finished.into_iter();
         let mut members_iter = inner_members.into_iter();
         let mut locals_iter = locals.into_iter();
+        let mut skipped_iter = skipped_inner.into_iter();
         for k in 0..n {
             let entry = if dirty[k] {
                 let plan = plans_iter.next().expect("one plan per dirty super-shard");
@@ -1487,6 +1850,13 @@ impl IngestEngine {
                 let inner_locals = locals_iter
                     .next()
                     .expect("one solution list per dirty super-shard");
+                let skip_flags = skipped_iter
+                    .next()
+                    .expect("one skip list per dirty super-shard");
+                let has_skip = skip_flags.iter().any(|&s| s);
+                if has_skip {
+                    skipped_bound += bounds[k];
+                }
                 let inner: Vec<InnerCacheEntry> = members
                     .into_iter()
                     .zip(inner_locals)
@@ -1496,6 +1866,7 @@ impl IngestEngine {
                         users,
                         share: plan.inner_shares[j].clone(),
                         local: ilocal,
+                        stale: skip_flags[j],
                     })
                     .collect();
                 SuperCacheEntry {
@@ -1509,6 +1880,7 @@ impl IngestEngine {
                     inner_cut_mass: plan.inner.cut_mass,
                     repaired,
                     inner,
+                    stale: has_skip,
                 }
             } else {
                 let j = matched[k].expect("clean super-shards are matched");
@@ -1541,14 +1913,26 @@ impl IngestEngine {
         } else {
             0.0
         };
+        // Skipped work attributes to the super level's certificate terms:
+        // the fraction of the upper bound owned by super-shards with at
+        // least one budget-skipped inner solve.
+        let stale_gap_fraction = if upper_bound.is_finite() && upper_bound > 0.0 {
+            (skipped_bound / upper_bound).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
 
         // Commit.
-        let resolved_shards = owners.len();
+        let resolved_shards = owners.len() - skipped_shards;
         self.super_cache = new_cache;
         self.cached_super_of_stream = supers.shard_of_stream.clone();
         self.cached_super_of_user = supers.shard_of_user.clone();
         self.metrics.inner_cache_hits += inner_hits;
         self.metrics.inner_cache_misses += resolved_shards as u64;
+        let degraded = soft_tripped || hard_tripped || deferred_full;
+        if deferred_full {
+            self.deferred_refresh = true;
+        }
         let outcome = IngestOutcome {
             updates_applied,
             num_shards,
@@ -1564,11 +1948,18 @@ impl IngestEngine {
             cut_edges,
             cut_mass,
             repaired_streams,
+            degraded,
+            soft_tripped,
+            hard_tripped,
+            skipped_shards,
+            stale: false,
+            stale_gap_fraction,
+            deferred_full,
         };
         self.current = current;
         self.assignment = merged;
         self.last = outcome;
-        Ok(outcome)
+        Ok(Resolved::Committed(outcome))
     }
 }
 

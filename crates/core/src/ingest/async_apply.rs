@@ -378,6 +378,24 @@ fn solver_loop(mut engine: IngestEngine, shared: &Shared) -> IngestEngine {
                 if state.shutdown {
                     return engine;
                 }
+                if engine.refresh_wanted() {
+                    // Deferred-full pickup (`DegradeAction::DeferFull`):
+                    // the queue just drained, so the governance-deferred
+                    // catch-up re-solve runs now, off the latency path.
+                    // The queue lock is released first — submitters must
+                    // never block on maintenance — and the refreshed
+                    // snapshot republishes at the current committed epoch:
+                    // same instance, but the stale shards are re-solved
+                    // fresh, so the bracket can only tighten.
+                    drop(state);
+                    let epoch = shared.committed.load(Ordering::Acquire);
+                    if engine.refresh_full().is_ok() {
+                        *shared.snapshot.lock().expect("snapshot lock") =
+                            Arc::new(engine.snapshot(epoch));
+                    }
+                    state = shared.state.lock().expect("ingest queue lock");
+                    continue;
+                }
                 state = shared
                     .work_cv
                     .wait(state)

@@ -54,11 +54,17 @@
 //!   re-solves only the dirty shards, bit-identically to a from-scratch
 //!   sharded solve, with the §5 allocator admitting offers between
 //!   re-solves.
+//! * [`govern`] — solve-cost governance: per-apply wall/work budgets
+//!   ([`SolveBudget`]) with an escalating degrade-action ladder
+//!   ([`DegradeAction`]) that keeps the certified bracket sound while the
+//!   engine sheds load.
 
 pub mod assignment;
 #[warn(missing_docs)]
 pub mod coverage;
 pub mod error;
+#[warn(missing_docs)]
+pub mod govern;
 pub mod graph;
 pub mod ids;
 #[warn(missing_docs)]
@@ -72,6 +78,7 @@ pub mod algo;
 
 pub use assignment::Assignment;
 pub use error::{BuildError, Infeasibility, SolveError};
+pub use govern::{DegradeAction, SolveBudget};
 pub use ids::{StreamId, UserId};
 pub use ingest::async_apply::{ApplyWaiter, AsyncIngest};
 pub use ingest::{

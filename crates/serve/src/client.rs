@@ -200,7 +200,7 @@ impl WireClient {
     /// Transport failures and server error frames.
     pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
         match self.expect(&Request::Metrics)? {
-            Response::Metrics(m) => Ok(m),
+            Response::Metrics(m) => Ok(*m),
             other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
     }

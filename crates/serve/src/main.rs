@@ -3,7 +3,7 @@
 //! Loads an instance file, solves it, and serves the NDJSON wire protocol
 //! (`docs/PROTOCOL.md`) over TCP until a `shutdown` frame arrives.
 
-use mmd_core::Instance;
+use mmd_core::{DegradeAction, Instance};
 use mmd_serve::service::{ServeConfig, Service};
 use std::error::Error;
 use std::process::ExitCode;
@@ -14,6 +14,8 @@ mmd-serve — long-lived allocation daemon (NDJSON over TCP)
 USAGE:
   mmd-serve --input FILE [--addr HOST:PORT] [--queue N] [--max-batch N]
             [--shard-size N] [--threads N] [--sync-apply]
+            [--budget-ms N] [--budget-soft-ms N]
+            [--budget-work N] [--budget-soft-work N] [--budget-action A]
 
   --input FILE      instance JSON (`-` = stdin); solved fully at startup
   --addr HOST:PORT  listen address (default 127.0.0.1:7411; port 0 = ephemeral)
@@ -24,6 +26,15 @@ USAGE:
   --threads N       worker threads for shard re-solves (0 = all cores)
   --sync-apply      run applies on the engine thread (blocks other frames
                     during a re-solve) instead of the async solver thread
+  --budget-ms N         hard wall limit per apply in milliseconds
+  --budget-soft-ms N    soft wall limit per apply in milliseconds
+  --budget-work N       hard work limit per apply (streams x users re-solved)
+  --budget-soft-work N  soft work limit per apply
+  --budget-action A     hard-trip action: shed (default) | widen | defer
+
+A soft trip skips the remaining dirty-shard re-solves and widens the
+certified gap (reported as `stale_gap_fraction` in `metrics`); a hard
+trip runs --budget-action. See docs/OPERATIONS.md for tuning guidance.
 
 The wire protocol is specified in docs/PROTOCOL.md. Talk to a running
 daemon with `mmd-cli client --addr HOST:PORT` or any line-oriented TCP
@@ -66,6 +77,13 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--max-batch" => config.max_batch = num(key)?.max(1),
             "--shard-size" => config.ingest.shard.max_streams = num(key)?,
             "--threads" => config.ingest.shard.threads = num(key)?,
+            "--budget-ms" => config.ingest.budget.hard_ms = Some(num(key)? as u64),
+            "--budget-soft-ms" => config.ingest.budget.soft_ms = Some(num(key)? as u64),
+            "--budget-work" => config.ingest.budget.hard_work = Some(num(key)? as u64),
+            "--budget-soft-work" => config.ingest.budget.soft_work = Some(num(key)? as u64),
+            "--budget-action" => {
+                config.ingest.budget.hard_action = parse_degrade_action(value)?;
+            }
             other => return Err(format!("unexpected argument: {other}")),
         }
         i += 2;
@@ -75,6 +93,17 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         addr,
         config,
     })
+}
+
+fn parse_degrade_action(value: &str) -> Result<DegradeAction, String> {
+    match value {
+        "shed" => Ok(DegradeAction::ShedToCache),
+        "widen" => Ok(DegradeAction::WidenGap),
+        "defer" => Ok(DegradeAction::DeferFull),
+        other => Err(format!(
+            "invalid value for --budget-action: {other} (expected shed, widen or defer)"
+        )),
+    }
 }
 
 fn load_instance(path: &str) -> Result<Instance, Box<dyn Error>> {

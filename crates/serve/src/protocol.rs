@@ -313,6 +313,18 @@ pub struct MetricsSnapshot {
     /// Peak resident set size of the serving process in bytes (`VmHWM`;
     /// 0 where the platform does not expose it).
     pub peak_rss_bytes: u64,
+    /// Applies whose soft solve budget tripped (engine).
+    pub budget_soft_trips: u64,
+    /// Applies whose hard solve budget tripped (engine).
+    pub budget_hard_trips: u64,
+    /// Applies that committed (or shed) with degraded quality (engine).
+    pub degraded_applies: u64,
+    /// Fraction of the committed upper bound attributable to skipped
+    /// (stale) shards, in `[0, 1]` (gauge; 0 when nothing is stale).
+    pub stale_gap_fraction: f64,
+    /// Escalated full re-solves deferred to background maintenance
+    /// (engine).
+    pub deferred_full_resolves: u64,
 }
 
 /// One server response frame.
@@ -379,7 +391,7 @@ pub enum Response {
     /// Reply to `health`.
     Health(HealthSnapshot),
     /// Reply to `metrics`.
-    Metrics(MetricsSnapshot),
+    Metrics(Box<MetricsSnapshot>),
     /// Reply to `resolve`.
     Resolve {
         /// Whether a background full re-solve is now scheduled.
@@ -770,6 +782,11 @@ impl Serialize for MetricsSnapshot {
             ("epoch_in_flight", count(self.epoch_in_flight)),
             ("lane_mode", Value::String(self.lane_mode.clone())),
             ("peak_rss_bytes", count(self.peak_rss_bytes)),
+            ("budget_soft_trips", count(self.budget_soft_trips)),
+            ("budget_hard_trips", count(self.budget_hard_trips)),
+            ("degraded_applies", count(self.degraded_applies)),
+            ("stale_gap_fraction", Value::Number(self.stale_gap_fraction)),
+            ("deferred_full_resolves", count(self.deferred_full_resolves)),
         ])
     }
 }
@@ -815,6 +832,11 @@ impl Deserialize for MetricsSnapshot {
             epoch_in_flight: c("epoch_in_flight")?,
             lane_mode: need_str(value, "lane_mode").map_err(shape)?.to_string(),
             peak_rss_bytes: c("peak_rss_bytes")?,
+            budget_soft_trips: c("budget_soft_trips")?,
+            budget_hard_trips: c("budget_hard_trips")?,
+            degraded_applies: c("degraded_applies")?,
+            stale_gap_fraction: need_f64(value, "stale_gap_fraction").map_err(shape)?,
+            deferred_full_resolves: c("deferred_full_resolves")?,
         })
     }
 }
@@ -1035,9 +1057,9 @@ pub fn response_from_value(value: &Value) -> Result<Response, FrameError> {
         "health" => Ok(Response::Health(
             HealthSnapshot::from_value(value).map_err(|e| FrameError::parse(e.0))?,
         )),
-        "metrics" => Ok(Response::Metrics(
+        "metrics" => Ok(Response::Metrics(Box::new(
             MetricsSnapshot::from_value(value).map_err(|e| FrameError::parse(e.0))?,
-        )),
+        ))),
         "resolve" => Ok(Response::Resolve {
             scheduled: need_bool(value, "scheduled")?,
         }),
@@ -1158,7 +1180,7 @@ mod tests {
                 apply_queue_lag: 1,
                 epoch_in_flight: 40,
             }),
-            Response::Metrics(MetricsSnapshot {
+            Response::Metrics(Box::new(MetricsSnapshot {
                 applies: 40,
                 updates_applied: 1000,
                 full_resolves: 2,
@@ -1192,7 +1214,12 @@ mod tests {
                 epoch_in_flight: 41,
                 lane_mode: "exact".into(),
                 peak_rss_bytes: 52_428_800,
-            }),
+                budget_soft_trips: 3,
+                budget_hard_trips: 1,
+                degraded_applies: 4,
+                stale_gap_fraction: 0.125,
+                deferred_full_resolves: 1,
+            })),
             Response::Resolve { scheduled: true },
             Response::Shutdown,
         ]

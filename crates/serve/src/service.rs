@@ -324,7 +324,7 @@ impl Service {
                 Err(e) => error_response(&e),
             },
             Request::Health => Response::Health(self.health()),
-            Request::Metrics => Response::Metrics(self.metrics_snapshot()),
+            Request::Metrics => Response::Metrics(Box::new(self.metrics_snapshot())),
             Request::Resolve => {
                 self.full_resolve_scheduled = true;
                 Response::Resolve { scheduled: true }
@@ -463,13 +463,26 @@ impl Service {
     /// live request (graceful scheduling). In async mode the refresh is
     /// merely *submitted* here (the solver thread does the work).
     pub fn idle(&mut self) -> bool {
-        if !self.full_resolve_scheduled || self.draining {
+        if self.draining {
+            return false;
+        }
+        // A governed engine that deferred an escalated full re-solve
+        // (`DegradeAction::DeferFull`) asks for background maintenance via
+        // `refresh_wanted`. In async mode the solver thread picks that up
+        // itself at its own idle point, so only the synchronous backend
+        // needs to poll here.
+        let deferred_wanted = match &self.backend {
+            Backend::Sync(engine) => engine.refresh_wanted(),
+            Backend::Async { .. } => false,
+        };
+        if !self.full_resolve_scheduled && !deferred_wanted {
             return false;
         }
         self.full_resolve_scheduled = false;
-        // By the equivalence contract the committed state is unchanged;
-        // a failure (not reachable for well-formed instances) only means
-        // the cache refresh did not happen.
+        // A refresh after a degraded apply re-solves the stale shards and
+        // can only tighten the bracket; otherwise the equivalence contract
+        // keeps the committed state unchanged. A failure (not reachable
+        // for well-formed instances) only means the refresh did not happen.
         match &mut self.backend {
             Backend::Sync(engine) => {
                 let _ = engine.refresh_full();
@@ -575,6 +588,11 @@ impl Service {
             epoch_in_flight,
             lane_mode: self.lane_mode.to_string(),
             peak_rss_bytes: peak_rss_bytes(),
+            budget_soft_trips: m.budget_soft_trips,
+            budget_hard_trips: m.budget_hard_trips,
+            degraded_applies: m.degraded_applies,
+            stale_gap_fraction: last.stale_gap_fraction,
+            deferred_full_resolves: m.deferred_full_resolves,
         }
     }
 }

@@ -172,6 +172,46 @@ fn documented_metrics_frame_reports_lane_mode_and_peak_rss() {
             "PROTOCOL.md prose must explain {needle}"
         );
     }
+    // The 0-as-unknown sentinel is a documented contract: a daemon on a
+    // platform without VmHWM reports 0, and readers must not chart that
+    // as "no memory used".
+    assert!(
+        doc.contains("`0` means the platform does not expose it")
+            && doc.contains(r#""no memory used""#),
+        "PROTOCOL.md prose must pin the peak_rss_bytes == 0 \"unknown\" sentinel"
+    );
+}
+
+/// The metrics example and prose must carry the solve-cost governance
+/// fields — the budget counters are the operator's only visibility into
+/// graceful degradation, so the doc regresses silently if the example is
+/// regenerated without them.
+#[test]
+fn documented_metrics_frame_reports_budget_governance() {
+    let doc = protocol_doc();
+    let metrics = example_frames(&doc)
+        .into_iter()
+        .find_map(|(_, frame)| {
+            let v: Value = serde_json::from_str(&frame).ok()?;
+            (str_field(&v, "kind") == Some("metrics")).then_some(v)
+        })
+        .expect("PROTOCOL.md has a metrics response example");
+    for field in [
+        "budget_soft_trips",
+        "budget_hard_trips",
+        "degraded_applies",
+        "stale_gap_fraction",
+        "deferred_full_resolves",
+    ] {
+        assert!(
+            matches!(metrics.get(field), Some(Value::Number(_))),
+            "metrics example must show the `{field}` field"
+        );
+        assert!(
+            doc.contains(&format!("`{field}`")),
+            "PROTOCOL.md prose must explain `{field}`"
+        );
+    }
 }
 
 #[test]
